@@ -1,0 +1,25 @@
+//! Comparator systems for the paper's evaluation:
+//!
+//! * [`tendermint`] — a Tendermint-style replica model: rotating proposer,
+//!   PBFT-like prevote/precommit rounds, per-transaction gossip, a commit
+//!   interval (`timeout_commit`), and the double block write (before *and*
+//!   after execution) the paper calls out in §VII as the reason Tendermint
+//!   trails SMARTCHAIN.
+//! * [`fabric`] — a Hyperledger-Fabric-style execute-order-validate
+//!   pipeline model: endorsement (execute + sign at peers), BFT ordering,
+//!   then a validation phase that re-verifies every transaction's
+//!   endorsements before the ledger write.
+//!
+//! Both run on the same simulated hardware as SmartChain, so the measured
+//! gaps come from their *structures* (extra phases, per-transaction crypto
+//! multiplicity, write patterns), exactly the factors the paper identifies.
+//! They are simulation models of the comparators, not reimplementations —
+//! see DESIGN.md's substitution table.
+//!
+//! The third baseline the paper measures — SMaRtCoin naively hosted on
+//! BFT-SMaRt (Table I) — needs no code here: it is the
+//! `smartchain_smr::actor::ReplicaActor` with the `AppLedger`/`SigMode`/
+//! `DurabilityMode` policy knobs.
+
+pub mod fabric;
+pub mod tendermint;

@@ -1,0 +1,68 @@
+//! Micro-benchmark of a full VP-Consensus round (4 replicas, in-process
+//! message pumping): the pure protocol cost without any network/disk model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartchain_consensus::instance::Instance;
+use smartchain_consensus::messages::{ConsensusMsg, Output};
+use smartchain_consensus::{ReplicaId, View};
+use smartchain_crypto::keys::{Backend, SecretKey};
+
+fn run_round(n: usize, value: &[u8]) -> usize {
+    let secrets: Vec<SecretKey> = (0..n)
+        .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 60; 32]))
+        .collect();
+    let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+    let mut instances: Vec<Instance> = (0..n)
+        .map(|i| Instance::new(1, i, view.clone(), secrets[i].clone(), 0, 0))
+        .collect();
+    let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = Vec::new();
+    for out in instances[0].propose(value.to_vec()) {
+        if let Output::Broadcast(m) = out {
+            for to in 0..n {
+                queue.push((0, to, m.clone()));
+            }
+        }
+    }
+    let mut decided = 0usize;
+    while let Some((from, to, msg)) = queue.pop() {
+        let (outs, decision) = instances[to].on_message(from, msg);
+        if decision.is_some() {
+            decided += 1;
+        }
+        for out in outs {
+            match out {
+                Output::Broadcast(m) => {
+                    for peer in 0..n {
+                        if peer != to {
+                            queue.push((to, peer, m.clone()));
+                        }
+                    }
+                }
+                Output::Send(peer, m) => queue.push((to, peer, m)),
+            }
+        }
+    }
+    decided
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_round");
+    for (n, batch_bytes) in [(4usize, 512usize), (4, 160_000), (7, 160_000), (10, 160_000)] {
+        let value = vec![0x11u8; batch_bytes];
+        group.throughput(Throughput::Bytes(batch_bytes as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{n}"), batch_bytes),
+            &value,
+            |b, v| {
+                b.iter(|| {
+                    let decided = run_round(n, v);
+                    assert!(decided >= n - (n - 1) / 3);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the cryptographic substrate: hashing, both signature
+//! backends, Merkle trees, and sequential-vs-pooled batch verification (the
+//! mechanism behind the paper's "parallel signature verification" column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartchain_crypto::keys::{Backend, PublicKey, SecretKey, Signature};
+use smartchain_crypto::pool::{verify_batch_sequential, VerifyPool};
+use smartchain_crypto::{merkle, sha256, sha512};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha2");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256::digest(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
+            b.iter(|| sha512::digest(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signatures");
+    let msg = vec![0x42u8; 310]; // a SPEND-sized payload
+    for backend in [Backend::Ed25519, Backend::Sim] {
+        let key = SecretKey::from_seed(backend, &[7u8; 32]);
+        let sig = key.sign(&msg);
+        let pk = key.public_key();
+        group.bench_function(BenchmarkId::new("sign", format!("{backend:?}")), |b| {
+            b.iter(|| key.sign(&msg))
+        });
+        group.bench_function(BenchmarkId::new("verify", format!("{backend:?}")), |b| {
+            b.iter(|| pk.verify(&msg, &sig))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_batch_512");
+    let key = SecretKey::from_seed(Backend::Ed25519, &[9u8; 32]);
+    let batch: Vec<(PublicKey, Vec<u8>, Signature)> = (0..512u32)
+        .map(|i| {
+            let msg = i.to_le_bytes().to_vec();
+            let sig = key.sign(&msg);
+            (key.public_key(), msg, sig)
+        })
+        .collect();
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| verify_batch_sequential(&batch))
+    });
+    let pool = VerifyPool::new(std::thread::available_parallelism().map_or(4, |n| n.get()));
+    group.bench_function("pooled", |b| b.iter(|| pool.verify_batch(&batch)));
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [64usize, 512] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 380]).collect();
+        group.bench_with_input(BenchmarkId::new("root", n), &leaves, |b, l| {
+            b.iter(|| merkle::root(l))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_signatures,
+    bench_verification_pool,
+    bench_merkle
+);
+criterion_main!(benches);

@@ -1,0 +1,426 @@
+//! Deterministic binary encoding for SmartChain.
+//!
+//! Blocks are hashed, signed, and persisted; all three require a *canonical*
+//! byte representation — two replicas encoding the same logical value must
+//! produce identical bytes. This module provides a small, explicit codec:
+//! fixed-width little-endian integers, `u32`-length-prefixed byte strings and
+//! sequences, and manual [`Encode`]/[`Decode`] implementations for every wire
+//! type (no derive magic, no implicit versioning).
+//!
+//! # Examples
+//!
+//! ```
+//! use smartchain_codec::{Decode, Encode};
+//!
+//! let value = (42u64, String::from("genesis"), vec![1u8, 2, 3]);
+//! let bytes = smartchain_codec::to_bytes(&value);
+//! let back: (u64, String, Vec<u8>) = smartchain_codec::from_bytes(&bytes)?;
+//! assert_eq!(value, back);
+//! # Ok::<(), smartchain_codec::DecodeError>(())
+//! ```
+
+use bytes::{Buf, BufMut};
+
+/// Error returned when decoding malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input (or a sanity limit).
+    BadLength(u64),
+    /// An enum discriminant was not recognized.
+    BadDiscriminant(u32),
+    /// Bytes were not valid UTF-8 where a string was expected.
+    BadUtf8,
+    /// Input had trailing garbage after a complete value.
+    TrailingBytes(usize),
+    /// A domain-specific invariant failed during decoding.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds remaining input"),
+            DecodeError::BadDiscriminant(d) => write!(f, "unknown discriminant {d}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A value with a canonical binary encoding.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// A value that can be decoded from its canonical encoding.
+pub trait Decode: Sized {
+    /// Reads a value from the front of `input`, advancing it.
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+/// Encodes any [`Encode`] value into a fresh buffer.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    value.to_vec()
+}
+
+/// Decodes a value and requires the input to be fully consumed.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TrailingBytes`] when the input is longer than one
+/// encoded value, plus any error from the value's own decoder.
+pub fn from_bytes<T: Decode>(mut input: &[u8]) -> Result<T, DecodeError> {
+    let value = T::decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(DecodeError::TrailingBytes(input.len()));
+    }
+    Ok(value)
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if input.len() < n {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.put_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $ty {
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                let mut buf = bytes;
+                Ok(<$ty>::from_le_bytes(
+                    buf.copy_to_bytes(std::mem::size_of::<$ty>()).as_ref().try_into()
+                        .expect("sized read"),
+                ))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64);
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::BadDiscriminant(other as u32)),
+        }
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+}
+
+impl Decode for usize {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = u64::decode(input)?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLength(v))
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let bytes = take(input, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+}
+
+fn decode_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
+    let len = u32::decode(input)? as usize;
+    if len > input.len() {
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    Ok(len)
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.put_slice(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = decode_len(input)?;
+        Ok(take(input, len)?.to_vec())
+    }
+}
+
+impl Encode for [u8] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.put_slice(self);
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_bytes().encode(out);
+    }
+}
+
+impl Decode for String {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let bytes = Vec::<u8>::decode(input)?;
+        String::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+/// Sequences of encodable values (length-prefixed).
+///
+/// Note the deliberate absence of a blanket `Vec<u8>` conflict: byte vectors
+/// use the compact raw encoding above, while `Vec<T>` for structured `T`
+/// encodes each element in turn.
+macro_rules! impl_vec_like {
+    ($($ty:ty),*) => {$(
+        impl Encode for Vec<$ty> {
+            fn encode(&self, out: &mut Vec<u8>) {
+                (self.len() as u32).encode(out);
+                for item in self {
+                    item.encode(out);
+                }
+            }
+        }
+        impl Decode for Vec<$ty> {
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                let len = u32::decode(input)? as usize;
+                // Each element takes at least one byte; bound allocation.
+                if len > input.len() {
+                    return Err(DecodeError::BadLength(len as u64));
+                }
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(<$ty>::decode(input)?);
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+impl_vec_like!(u16, u32, u64, String);
+
+/// Generic helpers for encoding sequences of structured values, avoiding
+/// coherence clashes with the specialized `Vec<u8>` impl.
+pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
+    (items.len() as u32).encode(out);
+    for item in items {
+        item.encode(out);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+///
+/// # Errors
+///
+/// Propagates element decode errors and rejects length prefixes larger than
+/// the remaining input.
+pub fn decode_seq<T: Decode>(input: &mut &[u8]) -> Result<Vec<T>, DecodeError> {
+    let len = u32::decode(input)? as usize;
+    if len > input.len() {
+        return Err(DecodeError::BadLength(len as u64));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(T::decode(input)?);
+    }
+    Ok(out)
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            other => Err(DecodeError::BadDiscriminant(other as u32)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.encode(out);)+
+            }
+        }
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                Ok(($($name::decode(input)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+impl_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ints_roundtrip() {
+        let bytes = to_bytes(&(1u8, 2u16, 3u32, 4u64, -5i64));
+        let back: (u8, u16, u32, u64, i64) = from_bytes(&bytes).unwrap();
+        assert_eq!(back, (1, 2, 3, 4, -5));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0xff);
+        assert_eq!(
+            from_bytes::<u32>(&bytes),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let bytes = to_bytes(&0xdead_beefu64);
+        assert_eq!(
+            from_bytes::<u64>(&bytes[..5]),
+            Err(DecodeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = Vec::new();
+        (1_000_000u32).encode(&mut bytes); // claims 1MB follows
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(DecodeError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        assert!(matches!(
+            from_bytes::<bool>(&[2]),
+            Err(DecodeError::BadDiscriminant(2))
+        ));
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let v: Option<u64> = Some(9);
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&v)).unwrap(), v);
+        let n: Option<u64> = None;
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&n)).unwrap(), n);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let v = (vec![3u64, 1, 2], String::from("x"));
+        assert_eq!(to_bytes(&v), to_bytes(&v.clone()));
+    }
+
+    #[test]
+    fn seq_helpers_roundtrip() {
+        let items = vec![(1u64, vec![1u8, 2]), (2u64, vec![])];
+        let mut out = Vec::new();
+        encode_seq(&items, &mut out);
+        let mut input = out.as_slice();
+        let back: Vec<(u64, Vec<u8>)> = decode_seq(&mut input).unwrap();
+        assert_eq!(back, items);
+        assert!(input.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bytes_roundtrip(data: Vec<u8>) {
+            let bytes = to_bytes(&data);
+            prop_assert_eq!(from_bytes::<Vec<u8>>(&bytes).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_strings_roundtrip(s: String) {
+            let bytes = to_bytes(&s);
+            prop_assert_eq!(from_bytes::<String>(&bytes).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_tuples_roundtrip(a: u64, b: Vec<u8>, c: Option<u32>) {
+            let v = (a, b, c);
+            let bytes = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<(u64, Vec<u8>, Option<u32>)>(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_u64_vecs_roundtrip(v: Vec<u64>) {
+            let bytes = to_bytes(&v);
+            prop_assert_eq!(from_bytes::<Vec<u64>>(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data: Vec<u8>) {
+            // Decoding arbitrary junk must return an error, never panic.
+            let _ = from_bytes::<(u64, Vec<u8>, String)>(&data);
+            let _ = from_bytes::<Vec<u64>>(&data);
+            let _ = from_bytes::<Option<Vec<u8>>>(&data);
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The SMaRtCoin service: a deterministic UTXO wallet as an SMR
+//! [`Application`].
+
+use crate::tx::{coin_id, CoinId, CoinTx, Output, RejectReason, TxResult};
+use smartchain_codec::{decode_seq, encode_seq, to_bytes, Decode, Encode};
+use smartchain_crypto::keys::PublicKey;
+use smartchain_smr::app::Application;
+use smartchain_smr::types::Request;
+use std::collections::BTreeMap;
+
+/// One unspent output in the table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Coin {
+    owner: PublicKey,
+    value: u64,
+}
+
+/// The SMaRtCoin application state.
+#[derive(Debug, Clone)]
+pub struct SmartCoinApp {
+    utxos: BTreeMap<CoinId, Coin>,
+    minters: Vec<PublicKey>,
+    executed: u64,
+    rejected: u64,
+}
+
+impl SmartCoinApp {
+    /// Creates the service with the given authorized minters (from the
+    /// genesis block's app data).
+    pub fn new(minters: Vec<PublicKey>) -> SmartCoinApp {
+        SmartCoinApp { utxos: BTreeMap::new(), minters, executed: 0, rejected: 0 }
+    }
+
+    /// Decodes the minter list from genesis app data (see
+    /// [`SmartCoinApp::encode_minters`]).
+    pub fn from_genesis_data(data: &[u8]) -> SmartCoinApp {
+        let minters = Self::decode_minters(data).unwrap_or_default();
+        SmartCoinApp::new(minters)
+    }
+
+    /// Encodes a minter list for embedding in the genesis block.
+    pub fn encode_minters(minters: &[PublicKey]) -> Vec<u8> {
+        let wires: Vec<[u8; 33]> = minters.iter().map(PublicKey::to_wire).collect();
+        let mut out = Vec::new();
+        encode_seq(&wires, &mut out);
+        out
+    }
+
+    fn decode_minters(mut data: &[u8]) -> Option<Vec<PublicKey>> {
+        let wires: Vec<[u8; 33]> = decode_seq(&mut data).ok()?;
+        Some(wires.iter().map(PublicKey::from_wire).collect())
+    }
+
+    /// Pre-populates the UTXO table with `count` synthetic coins owned by
+    /// `owner` (the Fig. 7 experiment boots with 8M UTXOs ≈ 1 GB of state).
+    pub fn populate_synthetic(&mut self, owner: PublicKey, count: u64) {
+        for i in 0..count {
+            let id = coin_id(u64::MAX, i, 0);
+            self.utxos.insert(id, Coin { owner, value: 1 });
+        }
+    }
+
+    /// Number of unspent outputs.
+    pub fn utxo_count(&self) -> usize {
+        self.utxos.len()
+    }
+
+    /// Sum of all coin values owned by `owner`.
+    pub fn balance(&self, owner: &PublicKey) -> u64 {
+        self.utxos
+            .values()
+            .filter(|c| c.owner == *owner)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Transactions executed (accepted).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Transactions rejected.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total value in circulation (conservation invariant in tests).
+    pub fn total_value(&self) -> u64 {
+        self.utxos.values().map(|c| c.value).sum()
+    }
+
+    fn apply(&mut self, request: &Request) -> TxResult {
+        let Some((issuer, _)) = &request.signature else {
+            return self.reject(RejectReason::Unsigned);
+        };
+        // Decode a transaction prefix; workloads pad payloads to model the
+        // paper's wire sizes, so trailing bytes are permitted.
+        let mut payload = request.payload.as_slice();
+        let Ok(tx) = CoinTx::decode(&mut payload) else {
+            return self.reject(RejectReason::Malformed);
+        };
+        match tx {
+            CoinTx::Mint { outputs } => {
+                if !self.minters.contains(issuer) {
+                    return self.reject(RejectReason::NotAMinter);
+                }
+                self.create(request, &outputs)
+            }
+            CoinTx::Spend { inputs, outputs } => {
+                // Validate inputs: all present, all owned by the issuer.
+                let mut total_in = 0u64;
+                for input in &inputs {
+                    match self.utxos.get(input) {
+                        None => return self.reject(RejectReason::UnknownInput),
+                        Some(coin) if coin.owner != *issuer => {
+                            return self.reject(RejectReason::NotOwner)
+                        }
+                        Some(coin) => total_in += coin.value,
+                    }
+                }
+                let total_out: u64 = outputs.iter().map(|o| o.value).sum();
+                if total_out > total_in {
+                    return self.reject(RejectReason::ValueMismatch);
+                }
+                for input in &inputs {
+                    self.utxos.remove(input);
+                }
+                self.create(request, &outputs)
+            }
+        }
+    }
+
+    fn create(&mut self, request: &Request, outputs: &[Output]) -> TxResult {
+        let mut coins = Vec::with_capacity(outputs.len());
+        for (i, output) in outputs.iter().enumerate() {
+            let id = coin_id(request.client, request.seq, i as u32);
+            self.utxos.insert(id, Coin { owner: output.owner, value: output.value });
+            coins.push(id);
+        }
+        self.executed += 1;
+        TxResult::Created { coins }
+    }
+
+    fn reject(&mut self, reason: RejectReason) -> TxResult {
+        self.rejected += 1;
+        TxResult::Rejected { reason }
+    }
+}
+
+impl Application for SmartCoinApp {
+    fn execute(&mut self, request: &Request) -> Vec<u8> {
+        let result = self.apply(request);
+        to_bytes(&result)
+    }
+
+    fn take_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let entries: Vec<([u8; 32], [u8; 33], u64)> = self
+            .utxos
+            .iter()
+            .map(|(id, c)| (*id, c.owner.to_wire(), c.value))
+            .collect();
+        encode_seq(&entries, &mut out);
+        let minters: Vec<[u8; 33]> = self.minters.iter().map(PublicKey::to_wire).collect();
+        encode_seq(&minters, &mut out);
+        self.executed.encode(&mut out);
+        self.rejected.encode(&mut out);
+        out
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) {
+        let mut input = snapshot;
+        let Ok(entries) = decode_seq::<([u8; 32], [u8; 33], u64)>(&mut input) else {
+            return;
+        };
+        let Ok(minters) = decode_seq::<[u8; 33]>(&mut input) else {
+            return;
+        };
+        self.utxos = entries
+            .into_iter()
+            .map(|(id, owner, value)| {
+                (id, Coin { owner: PublicKey::from_wire(&owner), value })
+            })
+            .collect();
+        self.minters = minters.iter().map(PublicKey::from_wire).collect();
+        self.executed = u64::decode(&mut input).unwrap_or(0);
+        self.rejected = u64::decode(&mut input).unwrap_or(0);
+    }
+
+    fn reset(&mut self) {
+        self.utxos.clear();
+        self.executed = 0;
+        self.rejected = 0;
+        // The minter list comes from genesis and survives resets.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartchain_codec::from_bytes;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    fn key(seed: u8) -> SecretKey {
+        SecretKey::from_seed(Backend::Sim, &[seed; 32])
+    }
+
+    fn signed_request(sk: &SecretKey, client: u64, seq: u64, tx: &CoinTx) -> Request {
+        let payload = to_bytes(tx);
+        let sig = sk.sign(&Request::sign_payload(client, seq, &payload));
+        Request { client, seq, payload, signature: Some((sk.public_key(), sig)) }
+    }
+
+    fn setup() -> (SmartCoinApp, SecretKey, SecretKey) {
+        let minter = key(1);
+        let user = key(2);
+        let app = SmartCoinApp::new(vec![minter.public_key()]);
+        (app, minter, user)
+    }
+
+    #[test]
+    fn mint_and_spend_happy_path() {
+        let (mut app, minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: minter.public_key(), value: 100 }],
+        };
+        let req = signed_request(&minter, 10, 0, &mint);
+        let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        let TxResult::Created { coins } = result else {
+            panic!("mint rejected: {result:?}")
+        };
+        assert_eq!(app.balance(&minter.public_key()), 100);
+        // Spend 60 to the user, 40 back.
+        let spend = CoinTx::Spend {
+            inputs: coins,
+            outputs: vec![
+                Output { owner: user.public_key(), value: 60 },
+                Output { owner: minter.public_key(), value: 40 },
+            ],
+        };
+        let req = signed_request(&minter, 10, 1, &spend);
+        let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        assert!(matches!(result, TxResult::Created { .. }), "{result:?}");
+        assert_eq!(app.balance(&user.public_key()), 60);
+        assert_eq!(app.balance(&minter.public_key()), 40);
+        assert_eq!(app.total_value(), 100, "value conserved");
+    }
+
+    #[test]
+    fn non_minter_cannot_mint() {
+        let (mut app, _minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: user.public_key(), value: 5 }],
+        };
+        let req = signed_request(&user, 11, 0, &mint);
+        let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        assert_eq!(result, TxResult::Rejected { reason: RejectReason::NotAMinter });
+        assert_eq!(app.total_value(), 0);
+    }
+
+    #[test]
+    fn cannot_spend_others_coins() {
+        let (mut app, minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+        };
+        let req = signed_request(&minter, 10, 0, &mint);
+        let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        let TxResult::Created { coins } = result else { panic!() };
+        // The user tries to spend the minter's coin.
+        let theft = CoinTx::Spend {
+            inputs: coins,
+            outputs: vec![Output { owner: user.public_key(), value: 10 }],
+        };
+        let req = signed_request(&user, 11, 0, &theft);
+        let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        assert_eq!(result, TxResult::Rejected { reason: RejectReason::NotOwner });
+        assert_eq!(app.balance(&minter.public_key()), 10);
+    }
+
+    #[test]
+    fn double_spend_rejected() {
+        let (mut app, minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+        };
+        let req = signed_request(&minter, 10, 0, &mint);
+        let TxResult::Created { coins } = from_bytes(&app.execute(&req)).unwrap() else {
+            panic!()
+        };
+        let spend = CoinTx::Spend {
+            inputs: coins.clone(),
+            outputs: vec![Output { owner: user.public_key(), value: 10 }],
+        };
+        let req1 = signed_request(&minter, 10, 1, &spend);
+        let r1: TxResult = from_bytes(&app.execute(&req1)).unwrap();
+        assert!(matches!(r1, TxResult::Created { .. }));
+        // Second spend of the same input.
+        let req2 = signed_request(&minter, 10, 2, &spend);
+        let r2: TxResult = from_bytes(&app.execute(&req2)).unwrap();
+        assert_eq!(r2, TxResult::Rejected { reason: RejectReason::UnknownInput });
+        assert_eq!(app.total_value(), 10);
+    }
+
+    #[test]
+    fn cannot_create_value_from_nothing() {
+        let (mut app, minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+        };
+        let req = signed_request(&minter, 10, 0, &mint);
+        let TxResult::Created { coins } = from_bytes(&app.execute(&req)).unwrap() else {
+            panic!()
+        };
+        let inflate = CoinTx::Spend {
+            inputs: coins,
+            outputs: vec![Output { owner: user.public_key(), value: 11 }],
+        };
+        let req = signed_request(&minter, 10, 1, &inflate);
+        let r: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        assert_eq!(r, TxResult::Rejected { reason: RejectReason::ValueMismatch });
+    }
+
+    #[test]
+    fn unsigned_requests_rejected() {
+        let (mut app, minter, _) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+        };
+        let req = Request { client: 1, seq: 0, payload: to_bytes(&mint), signature: None };
+        let r: TxResult = from_bytes(&app.execute(&req)).unwrap();
+        assert_eq!(r, TxResult::Rejected { reason: RejectReason::Unsigned });
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state() {
+        let (mut app, minter, user) = setup();
+        let mint = CoinTx::Mint {
+            outputs: vec![
+                Output { owner: minter.public_key(), value: 7 },
+                Output { owner: user.public_key(), value: 3 },
+            ],
+        };
+        let req = signed_request(&minter, 10, 0, &mint);
+        app.execute(&req);
+        let snap = app.take_snapshot();
+        let mut restored = SmartCoinApp::new(Vec::new());
+        restored.install_snapshot(&snap);
+        assert_eq!(restored.balance(&minter.public_key()), 7);
+        assert_eq!(restored.balance(&user.public_key()), 3);
+        assert_eq!(restored.total_value(), 10);
+        // The minter list travels with the snapshot.
+        let mint2 = CoinTx::Mint {
+            outputs: vec![Output { owner: user.public_key(), value: 1 }],
+        };
+        let req2 = signed_request(&minter, 10, 1, &mint2);
+        let r: TxResult = from_bytes(&restored.execute(&req2)).unwrap();
+        assert!(matches!(r, TxResult::Created { .. }));
+    }
+
+    #[test]
+    fn genesis_data_roundtrip() {
+        let minters = vec![key(1).public_key(), key(2).public_key()];
+        let data = SmartCoinApp::encode_minters(&minters);
+        let app = SmartCoinApp::from_genesis_data(&data);
+        assert!(app.minters.contains(&minters[0]));
+        assert!(app.minters.contains(&minters[1]));
+    }
+
+    #[test]
+    fn synthetic_population() {
+        let (mut app, minter, _) = setup();
+        app.populate_synthetic(minter.public_key(), 1000);
+        assert_eq!(app.utxo_count(), 1000);
+        assert_eq!(app.total_value(), 1000);
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        let (mut a, minter, user) = setup();
+        let (mut b, _, _) = setup();
+        for seq in 0..10u64 {
+            let tx = if seq % 2 == 0 {
+                CoinTx::Mint {
+                    outputs: vec![Output { owner: user.public_key(), value: seq }],
+                }
+            } else {
+                CoinTx::Spend {
+                    inputs: vec![coin_id(10, seq - 1, 0)],
+                    outputs: vec![Output { owner: minter.public_key(), value: seq - 1 }],
+                }
+            };
+            let req = signed_request(if seq % 2 == 0 { &minter } else { &user }, 10, seq, &tx);
+            assert_eq!(a.execute(&req), b.execute(&req), "seq {seq}");
+        }
+        assert_eq!(a.take_snapshot(), b.take_snapshot());
+    }
+}

@@ -1,0 +1,17 @@
+//! SMaRtCoin — the paper's digital-coin application (§IV-A).
+//!
+//! A deterministic wallet service over the UTXO model: MINT creates coins
+//! for an address (the issuer must be on the genesis minter list), SPEND
+//! consumes input coins owned by the issuer and creates outputs for the
+//! recipients. Requests are signed by clients; ownership is the signing key.
+//!
+//! The service state is the UTXO table plus the authorized-minter list —
+//! exactly the paper's description: "a table with the coins assigned to each
+//! address in memory and a list of addresses authorized to create new coins".
+
+pub mod app;
+pub mod tx;
+pub mod workload;
+
+pub use app::SmartCoinApp;
+pub use tx::{CoinId, CoinTx, TxResult};

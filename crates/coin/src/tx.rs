@@ -1,0 +1,218 @@
+//! SMaRtCoin transactions (MINT / SPEND) and their results.
+
+use smartchain_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
+use smartchain_crypto::keys::PublicKey;
+use smartchain_crypto::{sha256, Hash};
+
+/// Identifies one unspent transaction output.
+pub type CoinId = Hash;
+
+/// Derives the id of output `index` of the transaction issued by
+/// `(client, seq)` — deterministic, so issuers can predict their coin ids.
+pub fn coin_id(client: u64, seq: u64, index: u32) -> CoinId {
+    let mut buf = Vec::with_capacity(24);
+    client.encode(&mut buf);
+    seq.encode(&mut buf);
+    index.encode(&mut buf);
+    sha256::digest_parts(&[b"sc-coin", &buf])
+}
+
+/// A coin transfer output: `(recipient, amount)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Output {
+    /// Receiving address (a public key).
+    pub owner: PublicKey,
+    /// Amount.
+    pub value: u64,
+}
+
+impl Encode for Output {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.owner.to_wire().encode(out);
+        self.value.encode(out);
+    }
+}
+
+impl Decode for Output {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Output {
+            owner: PublicKey::from_wire(&<[u8; 33]>::decode(input)?),
+            value: u64::decode(input)?,
+        })
+    }
+}
+
+/// A SMaRtCoin transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoinTx {
+    /// Creates coins (issuer must be an authorized minter).
+    Mint {
+        /// The coins to create.
+        outputs: Vec<Output>,
+    },
+    /// Transfers coins: consumes `inputs` (owned by the issuer), creates
+    /// `outputs`.
+    Spend {
+        /// Input coin ids.
+        inputs: Vec<CoinId>,
+        /// New outputs.
+        outputs: Vec<Output>,
+    },
+}
+
+impl Encode for CoinTx {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CoinTx::Mint { outputs } => {
+                0u8.encode(out);
+                encode_seq(outputs, out);
+            }
+            CoinTx::Spend { inputs, outputs } => {
+                1u8.encode(out);
+                encode_seq(inputs, out);
+                encode_seq(outputs, out);
+            }
+        }
+    }
+}
+
+impl Decode for CoinTx {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(CoinTx::Mint { outputs: decode_seq(input)? }),
+            1 => Ok(CoinTx::Spend { inputs: decode_seq(input)?, outputs: decode_seq(input)? }),
+            d => Err(DecodeError::BadDiscriminant(d as u32)),
+        }
+    }
+}
+
+/// Result of executing a coin transaction (stored in the block body).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxResult {
+    /// Coins created with these ids.
+    Created {
+        /// Ids of the new coins, in output order.
+        coins: Vec<CoinId>,
+    },
+    /// The transaction was rejected.
+    Rejected {
+        /// Machine-readable reason.
+        reason: RejectReason,
+    },
+}
+
+/// Why a coin transaction was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// MINT from a key not on the minter list.
+    NotAMinter,
+    /// SPEND referencing a missing (or already spent) input.
+    UnknownInput,
+    /// SPEND of a coin the issuer does not own.
+    NotOwner,
+    /// Output total exceeds input total.
+    ValueMismatch,
+    /// Request carried no signature (ownership unprovable).
+    Unsigned,
+    /// Payload did not decode as a coin transaction.
+    Malformed,
+}
+
+impl Encode for TxResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TxResult::Created { coins } => {
+                0u8.encode(out);
+                encode_seq(coins, out);
+            }
+            TxResult::Rejected { reason } => {
+                1u8.encode(out);
+                (*reason as u8).encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for TxResult {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(TxResult::Created { coins: decode_seq(input)? }),
+            1 => {
+                let reason = match u8::decode(input)? {
+                    0 => RejectReason::NotAMinter,
+                    1 => RejectReason::UnknownInput,
+                    2 => RejectReason::NotOwner,
+                    3 => RejectReason::ValueMismatch,
+                    4 => RejectReason::Unsigned,
+                    5 => RejectReason::Malformed,
+                    d => return Err(DecodeError::BadDiscriminant(d as u32)),
+                };
+                Ok(TxResult::Rejected { reason })
+            }
+            d => Err(DecodeError::BadDiscriminant(d as u32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    fn pk(seed: u8) -> PublicKey {
+        SecretKey::from_seed(Backend::Sim, &[seed; 32]).public_key()
+    }
+
+    #[test]
+    fn tx_codec_roundtrip() {
+        let txs = vec![
+            CoinTx::Mint { outputs: vec![Output { owner: pk(1), value: 100 }] },
+            CoinTx::Spend {
+                inputs: vec![coin_id(1, 2, 0), coin_id(1, 3, 1)],
+                outputs: vec![
+                    Output { owner: pk(2), value: 60 },
+                    Output { owner: pk(1), value: 40 },
+                ],
+            },
+        ];
+        for tx in txs {
+            let bytes = smartchain_codec::to_bytes(&tx);
+            assert_eq!(smartchain_codec::from_bytes::<CoinTx>(&bytes).unwrap(), tx);
+        }
+    }
+
+    #[test]
+    fn result_codec_roundtrip() {
+        let results = vec![
+            TxResult::Created { coins: vec![coin_id(1, 0, 0)] },
+            TxResult::Rejected { reason: RejectReason::NotOwner },
+        ];
+        for r in results {
+            let bytes = smartchain_codec::to_bytes(&r);
+            assert_eq!(smartchain_codec::from_bytes::<TxResult>(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn coin_ids_unique_per_output() {
+        assert_ne!(coin_id(1, 1, 0), coin_id(1, 1, 1));
+        assert_ne!(coin_id(1, 1, 0), coin_id(1, 2, 0));
+        assert_ne!(coin_id(1, 1, 0), coin_id(2, 1, 0));
+    }
+
+    #[test]
+    fn tx_sizes_match_paper_scale() {
+        // Paper: MINT ≈ 180 B, SPEND ≈ 310 B (request side, with signature
+        // overhead added by the Request wrapper).
+        let mint = CoinTx::Mint { outputs: vec![Output { owner: pk(1), value: 10 }] };
+        let spend = CoinTx::Spend {
+            inputs: vec![coin_id(1, 0, 0)],
+            outputs: vec![Output { owner: pk(2), value: 10 }],
+        };
+        let mint_len = smartchain_codec::to_bytes(&mint).len();
+        let spend_len = smartchain_codec::to_bytes(&spend).len();
+        assert!(mint_len < spend_len);
+        assert!((30..200).contains(&mint_len), "{mint_len}");
+        assert!((60..320).contains(&spend_len), "{spend_len}");
+    }
+}

@@ -1,0 +1,614 @@
+//! The per-instance VP-Consensus state machine.
+//!
+//! Pure and sans-IO: inputs are protocol messages (plus `propose`/
+//! `advance_epoch` calls from the embedding layer), outputs are
+//! [`Output`] values and at most one [`Decision`]. All timing, networking and
+//! cost accounting live in the embedding (`smartchain-smr` / the simulator).
+
+use crate::messages::{accept_sign_payload, ConsensusMsg, Output};
+use crate::proof::{write_sign_payload, DecisionProof, WriteCertificate};
+use crate::{ReplicaId, View};
+use smartchain_crypto::keys::{SecretKey, Signature};
+use smartchain_crypto::{sha256, Hash};
+use std::collections::HashMap;
+
+/// A decided value together with its proof.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Decision {
+    /// Instance that decided.
+    pub instance: u64,
+    /// Epoch of the decision.
+    pub epoch: u32,
+    /// The decided value (encoded batch).
+    pub value: Vec<u8>,
+    /// Quorum of signed ACCEPTs.
+    pub proof: DecisionProof,
+}
+
+/// Per-epoch vote tallies.
+#[derive(Debug, Default)]
+struct EpochState {
+    writes: HashMap<Hash, Vec<(ReplicaId, Signature)>>,
+    accepts: HashMap<Hash, Vec<(ReplicaId, Signature)>>,
+    sent_write: bool,
+    sent_accept: Option<Hash>,
+}
+
+/// One consensus instance on one replica.
+#[derive(Debug)]
+pub struct Instance {
+    id: u64,
+    me: ReplicaId,
+    view: View,
+    secret: SecretKey,
+    epoch: u32,
+    leader: ReplicaId,
+    /// Value received via PROPOSE (or SYNC re-proposal), with its hash.
+    value: Option<(Vec<u8>, Hash)>,
+    epoch_state: EpochState,
+    decision: Option<Decision>,
+    fetch_requested: bool,
+}
+
+impl Instance {
+    /// Creates the instance for replica `me` under `view`, with `leader`
+    /// leading epoch 0 (the current regency's leader).
+    pub fn new(id: u64, me: ReplicaId, view: View, secret: SecretKey, leader: ReplicaId, epoch: u32) -> Instance {
+        Instance {
+            id,
+            me,
+            view,
+            secret,
+            epoch,
+            leader,
+            value: None,
+            epoch_state: EpochState::default(),
+            decision: None,
+            fetch_requested: false,
+        }
+    }
+
+    /// Instance number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Leader of the current epoch.
+    pub fn leader(&self) -> ReplicaId {
+        self.leader
+    }
+
+    /// The decision, if reached.
+    pub fn decision(&self) -> Option<&Decision> {
+        self.decision.as_ref()
+    }
+
+    /// True once this instance decided.
+    pub fn is_decided(&self) -> bool {
+        self.decision.is_some()
+    }
+
+    /// The value this replica has WRITTEN for in the current epoch, along
+    /// with a write certificate if a quorum of writes was observed — the
+    /// "locked value" reported in STOPDATA during leader changes.
+    pub fn locked_value(&self) -> Option<(Vec<u8>, Option<WriteCertificate>)> {
+        let (value, hash) = self.value.as_ref()?;
+        if !self.epoch_state.sent_write {
+            return None;
+        }
+        let cert = self.epoch_state.writes.get(hash).and_then(|sigs| {
+            (sigs.len() >= self.view.quorum()).then(|| WriteCertificate {
+                instance: self.id,
+                epoch: self.epoch,
+                value_hash: *hash,
+                writes: sigs.clone(),
+            })
+        });
+        Some((value.clone(), cert))
+    }
+
+    /// Leader entry point: proposes `value` for this instance.
+    ///
+    /// Returns the broadcast to perform. Calling this on a non-leader replica
+    /// returns no outputs (defensive; the embedding should not do it).
+    pub fn propose(&mut self, value: Vec<u8>) -> Vec<Output<ConsensusMsg>> {
+        if self.me != self.leader || self.decision.is_some() {
+            return Vec::new();
+        }
+        vec![Output::Broadcast(ConsensusMsg::Propose {
+            instance: self.id,
+            epoch: self.epoch,
+            value,
+        })]
+    }
+
+    /// Moves to a new epoch with a new leader (synchronization phase
+    /// outcome). Vote tallies reset; a locked value, if any, survives in
+    /// `self.value` so a SYNC re-proposal can match it.
+    pub fn advance_epoch(&mut self, epoch: u32, leader: ReplicaId) {
+        if epoch <= self.epoch && !(epoch == self.epoch && self.epoch == 0) {
+            // Never move backwards.
+            if epoch < self.epoch {
+                return;
+            }
+        }
+        self.epoch = epoch;
+        self.leader = leader;
+        self.epoch_state = EpochState::default();
+    }
+
+    /// Adopts `value` as the one to decide in this epoch (used when a SYNC
+    /// message certifies a locked value from a previous epoch).
+    pub fn adopt_value(&mut self, value: Vec<u8>) {
+        let hash = sha256::digest(&value);
+        self.value = Some((value, hash));
+    }
+
+    /// Handles a protocol message from `from`.
+    pub fn on_message(
+        &mut self,
+        from: ReplicaId,
+        msg: ConsensusMsg,
+    ) -> (Vec<Output<ConsensusMsg>>, Option<Decision>) {
+        if self.decision.is_some() {
+            // Serve value fetches even after deciding; drop the rest.
+            if let ConsensusMsg::FetchValue { instance } = msg {
+                return (self.serve_fetch(from, instance), None);
+            }
+            return (Vec::new(), None);
+        }
+        let mut out = Vec::new();
+        match msg {
+            ConsensusMsg::Propose { instance, epoch, value } => {
+                debug_assert_eq!(instance, self.id);
+                if epoch != self.epoch || from != self.leader {
+                    return (out, None); // stale epoch or usurper
+                }
+                if self.epoch_state.sent_write {
+                    return (out, None); // already echoed a proposal this epoch
+                }
+                let hash = sha256::digest(&value);
+                if let Some((_, locked_hash)) = &self.value {
+                    // A SYNC-adopted value constrains what we echo.
+                    if *locked_hash != hash {
+                        return (out, None);
+                    }
+                } else {
+                    self.value = Some((value, hash));
+                }
+                self.epoch_state.sent_write = true;
+                let own_sig = self.sign_write(&hash);
+                out.push(Output::Broadcast(ConsensusMsg::Write {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value_hash: hash,
+                    signature: own_sig,
+                }));
+                // Tally our own write immediately (the broadcast above does
+                // not loop back to us).
+                if self.record_write(self.me, hash, own_sig, &mut out) {
+                    return self.try_decide(hash, &mut out);
+                }
+            }
+            ConsensusMsg::Write { instance, epoch, value_hash, signature } => {
+                debug_assert_eq!(instance, self.id);
+                if epoch != self.epoch {
+                    return (out, None);
+                }
+                // Verify the sender's write signature: these signatures form
+                // the WriteCertificates that justify locked values during
+                // leader changes, so only genuine ones may be tallied.
+                let payload = write_sign_payload(self.id, self.epoch, &value_hash);
+                let Some(key) = self.view.members.get(from) else {
+                    return (out, None);
+                };
+                if !key.verify(&payload, &signature) {
+                    return (out, None);
+                }
+                if self.record_write(from, value_hash, signature, &mut out) {
+                    return self.try_decide(value_hash, &mut out);
+                }
+            }
+            ConsensusMsg::Accept { instance, epoch, value_hash, signature } => {
+                debug_assert_eq!(instance, self.id);
+                if epoch != self.epoch {
+                    return (out, None);
+                }
+                let payload = accept_sign_payload(self.id, self.epoch, &value_hash);
+                let Some(key) = self.view.members.get(from) else {
+                    return (out, None);
+                };
+                if !key.verify(&payload, &signature) {
+                    return (out, None);
+                }
+                let entry = self.epoch_state.accepts.entry(value_hash).or_default();
+                if entry.iter().any(|(r, _)| *r == from) {
+                    return (out, None);
+                }
+                entry.push((from, signature));
+                if entry.len() >= self.view.quorum() {
+                    return self.try_decide(value_hash, &mut out);
+                }
+            }
+            ConsensusMsg::FetchValue { instance } => {
+                return (self.serve_fetch(from, instance), None);
+            }
+            ConsensusMsg::ValueReply { instance, epoch: _, value } => {
+                debug_assert_eq!(instance, self.id);
+                let hash = sha256::digest(&value);
+                if self.value.is_none() {
+                    self.value = Some((value, hash));
+                }
+                // A pending accept quorum may now be completable.
+                if let Some((_, h)) = &self.value {
+                    let h = *h;
+                    if self
+                        .epoch_state
+                        .accepts
+                        .get(&h)
+                        .is_some_and(|a| a.len() >= self.view.quorum())
+                    {
+                        return self.try_decide(h, &mut out);
+                    }
+                }
+            }
+        }
+        (out, None)
+    }
+
+    fn sign_write(&self, hash: &Hash) -> Signature {
+        self.secret.sign(&write_sign_payload(self.id, self.epoch, hash))
+    }
+
+    /// Records a WRITE vote; returns true when this replica's own ACCEPT
+    /// (issued here on reaching the write quorum) completed an accept quorum,
+    /// meaning the caller should attempt to decide.
+    fn record_write(
+        &mut self,
+        from: ReplicaId,
+        hash: Hash,
+        signature: Signature,
+        out: &mut Vec<Output<ConsensusMsg>>,
+    ) -> bool {
+        let entry = self.epoch_state.writes.entry(hash).or_default();
+        if entry.iter().any(|(r, _)| *r == from) {
+            return false;
+        }
+        entry.push((from, signature));
+        if entry.len() >= self.view.quorum() && self.epoch_state.sent_accept.is_none() {
+            self.epoch_state.sent_accept = Some(hash);
+            let payload = accept_sign_payload(self.id, self.epoch, &hash);
+            let signature = self.secret.sign(&payload);
+            out.push(Output::Broadcast(ConsensusMsg::Accept {
+                instance: self.id,
+                epoch: self.epoch,
+                value_hash: hash,
+                signature,
+            }));
+            // Tally our own accept immediately.
+            let entry = self.epoch_state.accepts.entry(hash).or_default();
+            if !entry.iter().any(|(r, _)| *r == self.me) {
+                entry.push((self.me, signature));
+            }
+            return entry.len() >= self.view.quorum();
+        }
+        false
+    }
+
+    fn try_decide(
+        &mut self,
+        value_hash: Hash,
+        out: &mut Vec<Output<ConsensusMsg>>,
+    ) -> (Vec<Output<ConsensusMsg>>, Option<Decision>) {
+        let accepts = self
+            .epoch_state
+            .accepts
+            .get(&value_hash)
+            .cloned()
+            .unwrap_or_default();
+        match &self.value {
+            Some((value, h)) if *h == value_hash => {
+                let decision = Decision {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value: value.clone(),
+                    proof: DecisionProof {
+                        instance: self.id,
+                        epoch: self.epoch,
+                        value_hash,
+                        accepts,
+                    },
+                };
+                self.decision = Some(decision.clone());
+                (std::mem::take(out), Some(decision))
+            }
+            _ => {
+                // Accept-quorum without the value: fetch it. Ask the whole
+                // view — an accepter may itself hold only the hash, but the
+                // leader and every replica that echoed the proposal have the
+                // value, and at least one of those is correct and reachable.
+                if !self.fetch_requested {
+                    self.fetch_requested = true;
+                    out.push(Output::Broadcast(ConsensusMsg::FetchValue { instance: self.id }));
+                }
+                (std::mem::take(out), None)
+            }
+        }
+    }
+
+    fn serve_fetch(&self, to: ReplicaId, instance: u64) -> Vec<Output<ConsensusMsg>> {
+        debug_assert_eq!(instance, self.id);
+        match &self.value {
+            Some((value, _)) => vec![Output::Send(
+                to,
+                ConsensusMsg::ValueReply { instance: self.id, epoch: self.epoch, value: value.clone() },
+            )],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartchain_crypto::keys::Backend;
+
+    struct Net {
+        instances: Vec<Instance>,
+    }
+
+    impl Net {
+        fn new(n: usize) -> Net {
+            let secrets: Vec<SecretKey> = (0..n)
+                .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 50; 32]))
+                .collect();
+            let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+            let instances = (0..n)
+                .map(|i| Instance::new(7, i, view.clone(), secrets[i].clone(), 0, 0))
+                .collect();
+            Net { instances }
+        }
+
+        /// Delivers outputs until quiescence; returns decisions per replica.
+        fn run(&mut self, initial: Vec<(ReplicaId, Output<ConsensusMsg>)>) -> Vec<Option<Decision>> {
+            let n = self.instances.len();
+            let mut decisions: Vec<Option<Decision>> = vec![None; n];
+            let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = Vec::new();
+            let push = |q: &mut Vec<(ReplicaId, ReplicaId, ConsensusMsg)>,
+                            from: ReplicaId,
+                            out: Output<ConsensusMsg>| match out {
+                Output::Broadcast(m) => {
+                    for to in 0..n {
+                        if to != from {
+                            q.push((from, to, m.clone()));
+                        }
+                    }
+                }
+                Output::Send(to, m) => q.push((from, to, m)),
+            };
+            for (from, out) in initial {
+                push(&mut queue, from, out);
+            }
+            while let Some((from, to, msg)) = queue.pop() {
+                let (outs, dec) = self.instances[to].on_message(from, msg);
+                if let Some(d) = dec {
+                    decisions[to] = Some(d);
+                }
+                for out in outs {
+                    push(&mut queue, to, out);
+                }
+            }
+            decisions
+        }
+    }
+
+    #[test]
+    fn four_replicas_decide_proposed_value() {
+        let mut net = Net::new(4);
+        let outs = net.instances[0].propose(b"batch-1".to_vec());
+        let initial: Vec<_> = outs.into_iter().map(|o| (0, o)).collect();
+        // Leader handles its own proposal too.
+        let mut init = initial.clone();
+        if let Some((_, Output::Broadcast(m))) = initial.first() {
+            let (outs0, _) = net.instances[0].on_message(0, m.clone());
+            init.extend(outs0.into_iter().map(|o| (0usize, o)));
+        }
+        let decisions = net.run(init);
+        for (i, d) in decisions.iter().enumerate() {
+            let d = d.as_ref().unwrap_or_else(|| panic!("replica {i} did not decide"));
+            assert_eq!(d.value, b"batch-1");
+            assert_eq!(d.instance, 7);
+            assert!(d.proof.accepts.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn decision_proofs_verify_against_view() {
+        let mut net = Net::new(4);
+        let view = net.instances[0].view.clone();
+        let outs = net.instances[0].propose(b"batch-2".to_vec());
+        let mut init: Vec<_> = outs.clone().into_iter().map(|o| (0, o)).collect();
+        if let Some(Output::Broadcast(m)) = outs.first() {
+            let (outs0, _) = net.instances[0].on_message(0, m.clone());
+            init.extend(outs0.into_iter().map(|o| (0usize, o)));
+        }
+        let decisions = net.run(init);
+        for d in decisions.into_iter().flatten() {
+            assert!(d.proof.verify(&view));
+        }
+    }
+
+    #[test]
+    fn non_leader_proposal_ignored() {
+        let mut net = Net::new(4);
+        assert!(net.instances[1].propose(b"evil".to_vec()).is_empty());
+        // A PROPOSE arriving from a non-leader is also ignored.
+        let (outs, dec) = net.instances[2].on_message(
+            1,
+            ConsensusMsg::Propose { instance: 7, epoch: 0, value: b"evil".to_vec() },
+        );
+        assert!(outs.is_empty());
+        assert!(dec.is_none());
+    }
+
+    #[test]
+    fn equivocating_leader_cannot_cause_conflicting_decisions() {
+        // Leader sends value A to replicas {1}, value B to {2, 3}.
+        let mut net = Net::new(4);
+        let prop = |v: &[u8]| ConsensusMsg::Propose { instance: 7, epoch: 0, value: v.to_vec() };
+        let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = vec![
+            (0, 1, prop(b"A")),
+            (0, 2, prop(b"B")),
+            (0, 3, prop(b"B")),
+        ];
+        let mut decisions: Vec<Option<Decision>> = vec![None; 4];
+        while let Some((from, to, msg)) = queue.pop() {
+            let (outs, dec) = net.instances[to].on_message(from, msg);
+            if let Some(d) = dec {
+                decisions[to] = Some(d);
+            }
+            for out in outs {
+                match out {
+                    Output::Broadcast(m) => {
+                        for peer in 0..4 {
+                            if peer != to {
+                                queue.push((to, peer, m.clone()));
+                            }
+                        }
+                    }
+                    Output::Send(peer, m) => queue.push((to, peer, m)),
+                }
+            }
+        }
+        let decided: Vec<&Decision> = decisions.iter().flatten().collect();
+        let values: std::collections::HashSet<&Vec<u8>> =
+            decided.iter().map(|d| &d.value).collect();
+        assert!(values.len() <= 1, "conflicting decisions: {values:?}");
+    }
+
+    #[test]
+    fn stale_epoch_messages_ignored() {
+        let mut net = Net::new(4);
+        net.instances[1].advance_epoch(2, 2);
+        let (outs, _) = net.instances[1].on_message(
+            0,
+            ConsensusMsg::Propose { instance: 7, epoch: 0, value: b"old".to_vec() },
+        );
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_writes_not_double_counted() {
+        let mut net = Net::new(4);
+        let h = sha256::digest(b"v");
+        let sig = net.instances[2].secret.sign(&write_sign_payload(7, 0, &h));
+        for _ in 0..10 {
+            let (outs, _) = net.instances[1].on_message(
+                2,
+                ConsensusMsg::Write { instance: 7, epoch: 0, value_hash: h, signature: sig },
+            );
+            // A single write from one replica never produces an accept.
+            assert!(outs.is_empty());
+        }
+    }
+
+    #[test]
+    fn write_with_forged_signature_ignored() {
+        let mut net = Net::new(4);
+        let h = sha256::digest(b"v");
+        let outsider = SecretKey::from_seed(Backend::Sim, &[201u8; 32]);
+        let sig = outsider.sign(&write_sign_payload(7, 0, &h));
+        // Even a full round of forged writes never yields an accept.
+        for from in [0usize, 1, 2, 3] {
+            let (outs, _) = net.instances[1].on_message(
+                from,
+                ConsensusMsg::Write { instance: 7, epoch: 0, value_hash: h, signature: sig },
+            );
+            assert!(outs.is_empty(), "forged write accepted");
+        }
+    }
+
+    #[test]
+    fn accept_with_bad_signature_rejected() {
+        let mut net = Net::new(4);
+        let other = SecretKey::from_seed(Backend::Sim, &[200u8; 32]);
+        let h = sha256::digest(b"v");
+        let sig = other.sign(&accept_sign_payload(7, 0, &h));
+        for from in [1usize, 2, 3] {
+            let (_, dec) = net.instances[0].on_message(
+                from,
+                ConsensusMsg::Accept { instance: 7, epoch: 0, value_hash: h, signature: sig },
+            );
+            assert!(dec.is_none());
+        }
+    }
+
+    #[test]
+    fn late_replica_fetches_value() {
+        // Replica 3 misses the proposal but sees an accept quorum; it must
+        // emit FetchValue and decide after the reply.
+        let mut net = Net::new(4);
+        let value = b"late-value".to_vec();
+        let h = sha256::digest(&value);
+        // Build three genuine accepts by letting 0,1,2 run the protocol.
+        let prop = ConsensusMsg::Propose { instance: 7, epoch: 0, value: value.clone() };
+        let mut msgs: Vec<(ReplicaId, ConsensusMsg)> = Vec::new();
+        for r in 0..3usize {
+            let (outs, _) = net.instances[r].on_message(0, prop.clone());
+            for o in outs {
+                if let Output::Broadcast(m) = o {
+                    msgs.push((r, m));
+                }
+            }
+        }
+        // Cross-deliver writes among 0,1,2 to generate accepts.
+        let mut accepts: Vec<(ReplicaId, ConsensusMsg)> = Vec::new();
+        let mut pending = msgs;
+        while let Some((from, m)) = pending.pop() {
+            for r in 0..3usize {
+                if r == from {
+                    continue;
+                }
+                let (outs, _) = net.instances[r].on_message(from, m.clone());
+                for o in outs {
+                    if let Output::Broadcast(mm) = o {
+                        if matches!(mm, ConsensusMsg::Accept { .. }) {
+                            accepts.push((r, mm));
+                        } else {
+                            pending.push((r, mm));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(accepts.len() >= 3, "need an accept quorum, got {}", accepts.len());
+        // Deliver accepts to replica 3, which never saw the proposal.
+        let mut fetch_broadcast = false;
+        for (from, m) in accepts.iter().take(3) {
+            let (outs, dec) = net.instances[3].on_message(*from, m.clone());
+            assert!(dec.is_none());
+            for o in outs {
+                if matches!(o, Output::Broadcast(ConsensusMsg::FetchValue { .. })) {
+                    fetch_broadcast = true;
+                }
+            }
+        }
+        assert!(fetch_broadcast, "replica 3 should fetch the value");
+        // Replica 0 (which echoed the proposal) serves the fetch.
+        let replies = net.instances[0]
+            .on_message(3, ConsensusMsg::FetchValue { instance: 7 })
+            .0;
+        let Some(Output::Send(3, reply)) = replies.into_iter().next() else {
+            panic!("no value reply");
+        };
+        let (_, dec) = net.instances[3].on_message(0, reply);
+        let d = dec.expect("replica 3 decides after fetching the value");
+        assert_eq!(d.value, value);
+        assert_eq!(d.proof.value_hash, h);
+    }
+}

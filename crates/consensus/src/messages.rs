@@ -1,0 +1,224 @@
+//! Wire messages of VP-Consensus and the synchronization phase.
+
+use crate::ReplicaId;
+use smartchain_codec::{Decode, DecodeError, Encode};
+use smartchain_crypto::keys::Signature;
+use smartchain_crypto::Hash;
+
+/// A consensus-protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConsensusMsg {
+    /// Leader's proposal of a value for an instance/epoch.
+    Propose {
+        /// Consensus instance number.
+        instance: u64,
+        /// Epoch (regency) in which this proposal is made.
+        epoch: u32,
+        /// The proposed value (an encoded request batch).
+        value: Vec<u8>,
+    },
+    /// Echo of the proposal hash (Byzantine-leader detection round).
+    Write {
+        /// Consensus instance number.
+        instance: u64,
+        /// Epoch of the proposal being echoed.
+        epoch: u32,
+        /// SHA-256 of the proposed value.
+        value_hash: Hash,
+        /// Signature over [`crate::proof::write_sign_payload`] with the
+        /// sender's consensus key; a quorum of these forms the
+        /// [`crate::proof::WriteCertificate`] used in leader changes.
+        signature: Signature,
+    },
+    /// Signed commitment to a value; a quorum of these is a decision proof.
+    Accept {
+        /// Consensus instance number.
+        instance: u64,
+        /// Epoch of the commitment.
+        epoch: u32,
+        /// SHA-256 of the value being committed.
+        value_hash: Hash,
+        /// Signature over [`accept_sign_payload`] with the sender's
+        /// consensus key.
+        signature: Signature,
+    },
+    /// Request to retransmit a decided/proposed value the sender is missing.
+    FetchValue {
+        /// Consensus instance number.
+        instance: u64,
+    },
+    /// Reply to [`ConsensusMsg::FetchValue`].
+    ValueReply {
+        /// Consensus instance number.
+        instance: u64,
+        /// Epoch the value was proposed in.
+        epoch: u32,
+        /// The value itself.
+        value: Vec<u8>,
+    },
+}
+
+impl ConsensusMsg {
+    /// Instance this message belongs to.
+    pub fn instance(&self) -> u64 {
+        match self {
+            ConsensusMsg::Propose { instance, .. }
+            | ConsensusMsg::Write { instance, .. }
+            | ConsensusMsg::Accept { instance, .. }
+            | ConsensusMsg::FetchValue { instance }
+            | ConsensusMsg::ValueReply { instance, .. } => *instance,
+        }
+    }
+
+    /// Estimated wire size in bytes (message framing + payload), used by the
+    /// simulator's NIC model.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ConsensusMsg::Propose { value, .. } => 24 + value.len(),
+            ConsensusMsg::Write { .. } => 24 + 32 + 65,
+            ConsensusMsg::Accept { .. } => 24 + 32 + 65,
+            ConsensusMsg::FetchValue { .. } => 16,
+            ConsensusMsg::ValueReply { value, .. } => 24 + value.len(),
+        }
+    }
+}
+
+/// Canonical bytes a replica signs in an ACCEPT message: the tuple
+/// (domain tag, instance, epoch, value hash). Every correct replica signs the
+/// same bytes, so any third party can later validate decision proofs.
+pub fn accept_sign_payload(instance: u64, epoch: u32, value_hash: &Hash) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 32 + 8);
+    b"sc-accept".as_slice().encode(&mut out);
+    instance.encode(&mut out);
+    epoch.encode(&mut out);
+    value_hash.encode(&mut out);
+    out
+}
+
+impl Encode for ConsensusMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsensusMsg::Propose { instance, epoch, value } => {
+                0u8.encode(out);
+                instance.encode(out);
+                epoch.encode(out);
+                value.encode(out);
+            }
+            ConsensusMsg::Write { instance, epoch, value_hash, signature } => {
+                1u8.encode(out);
+                instance.encode(out);
+                epoch.encode(out);
+                value_hash.encode(out);
+                signature.to_wire().encode(out);
+            }
+            ConsensusMsg::Accept { instance, epoch, value_hash, signature } => {
+                2u8.encode(out);
+                instance.encode(out);
+                epoch.encode(out);
+                value_hash.encode(out);
+                signature.to_wire().encode(out);
+            }
+            ConsensusMsg::FetchValue { instance } => {
+                3u8.encode(out);
+                instance.encode(out);
+            }
+            ConsensusMsg::ValueReply { instance, epoch, value } => {
+                4u8.encode(out);
+                instance.encode(out);
+                epoch.encode(out);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ConsensusMsg {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(ConsensusMsg::Propose {
+                instance: u64::decode(input)?,
+                epoch: u32::decode(input)?,
+                value: Vec::<u8>::decode(input)?,
+            }),
+            1 => Ok(ConsensusMsg::Write {
+                instance: u64::decode(input)?,
+                epoch: u32::decode(input)?,
+                value_hash: <[u8; 32]>::decode(input)?,
+                signature: Signature::from_wire(&<[u8; 65]>::decode(input)?),
+            }),
+            2 => Ok(ConsensusMsg::Accept {
+                instance: u64::decode(input)?,
+                epoch: u32::decode(input)?,
+                value_hash: <[u8; 32]>::decode(input)?,
+                signature: Signature::from_wire(&<[u8; 65]>::decode(input)?),
+            }),
+            3 => Ok(ConsensusMsg::FetchValue { instance: u64::decode(input)? }),
+            4 => Ok(ConsensusMsg::ValueReply {
+                instance: u64::decode(input)?,
+                epoch: u32::decode(input)?,
+                value: Vec::<u8>::decode(input)?,
+            }),
+            d => Err(DecodeError::BadDiscriminant(d as u32)),
+        }
+    }
+}
+
+/// Output of the instance/synchronizer state machines — the embedding layer
+/// translates these into actual network operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Output<M> {
+    /// Send `msg` to every replica in the view (including self, which the
+    /// embedding may short-circuit).
+    Broadcast(M),
+    /// Send `msg` to one replica.
+    Send(ReplicaId, M),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartchain_codec::{from_bytes, to_bytes};
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    #[test]
+    fn messages_roundtrip() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[1u8; 32]);
+        let msgs = vec![
+            ConsensusMsg::Propose { instance: 3, epoch: 1, value: vec![1, 2, 3] },
+            ConsensusMsg::Write {
+                instance: 3,
+                epoch: 1,
+                value_hash: [7u8; 32],
+                signature: sk.sign(b"w"),
+            },
+            ConsensusMsg::Accept {
+                instance: 3,
+                epoch: 1,
+                value_hash: [7u8; 32],
+                signature: sk.sign(b"x"),
+            },
+            ConsensusMsg::FetchValue { instance: 9 },
+            ConsensusMsg::ValueReply { instance: 9, epoch: 0, value: vec![] },
+        ];
+        for m in msgs {
+            let bytes = to_bytes(&m);
+            let back: ConsensusMsg = from_bytes(&bytes).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn accept_payload_binds_all_fields() {
+        let base = accept_sign_payload(1, 2, &[3u8; 32]);
+        assert_ne!(accept_sign_payload(9, 2, &[3u8; 32]), base);
+        assert_ne!(accept_sign_payload(1, 9, &[3u8; 32]), base);
+        assert_ne!(accept_sign_payload(1, 2, &[9u8; 32]), base);
+    }
+
+    #[test]
+    fn wire_size_tracks_value() {
+        let small = ConsensusMsg::Propose { instance: 0, epoch: 0, value: vec![0; 10] };
+        let big = ConsensusMsg::Propose { instance: 0, epoch: 0, value: vec![0; 10_000] };
+        assert!(big.wire_size() > small.wire_size() + 9_000);
+    }
+}

@@ -1,0 +1,659 @@
+//! The Mod-SMaRt synchronization phase: regency-based leader change.
+//!
+//! When progress stalls (faulty leader or asynchrony), replicas vote to move
+//! to the next *regency*:
+//!
+//! 1. a replica broadcasts `STOP(r+1)`;
+//! 2. any replica seeing more than `f` STOPs for a higher regency joins in
+//!    (so one faulty replica cannot trigger changes, but a correct minority
+//!    is amplified);
+//! 3. on `2f+1` STOPs the replica stops ordering and sends `STOPDATA` — its
+//!    last decided instance plus its *locked value* (the value it WROTE for,
+//!    justified by a [`WriteCertificate`]) — to the new leader
+//!    (`regency mod n`);
+//! 4. the new leader collects `n−f` STOPDATAs, picks the certified value with
+//!    the highest `(instance, epoch)` (safety: any decided value appears in
+//!    at least one correct STOPDATA, because decision and STOPDATA quorums
+//!    intersect in a correct replica), and broadcasts `SYNC` carrying the
+//!    reports so followers can re-validate the choice;
+//! 5. everyone installs the regency and the leader re-proposes.
+//!
+//! The state machine is sans-IO like [`crate::instance`]; the embedding
+//! supplies STOPDATA contents (it owns the log) and performs sends.
+
+use crate::proof::WriteCertificate;
+use crate::{ReplicaId, View};
+use smartchain_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
+use smartchain_crypto::sha256;
+use std::collections::{HashMap, HashSet};
+
+/// A replica's locked value, reported in STOPDATA.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockedReport {
+    /// The open instance the value belongs to.
+    pub instance: u64,
+    /// Epoch in which the value gathered its write certificate.
+    pub epoch: u32,
+    /// The value itself.
+    pub value: Vec<u8>,
+    /// Quorum of signed WRITEs justifying the lock.
+    pub cert: WriteCertificate,
+}
+
+impl Encode for LockedReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.instance.encode(out);
+        self.epoch.encode(out);
+        self.value.encode(out);
+        self.cert.encode(out);
+    }
+}
+
+impl Decode for LockedReport {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(LockedReport {
+            instance: u64::decode(input)?,
+            epoch: u32::decode(input)?,
+            value: Vec::<u8>::decode(input)?,
+            cert: WriteCertificate::decode(input)?,
+        })
+    }
+}
+
+/// Body of a STOPDATA message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StopData {
+    /// Highest consensus instance the sender has decided.
+    pub last_decided: u64,
+    /// The sender's locked value for the open instance, if any.
+    pub locked: Option<LockedReport>,
+}
+
+impl Encode for StopData {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.last_decided.encode(out);
+        self.locked.encode(out);
+    }
+}
+
+impl Decode for StopData {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(StopData {
+            last_decided: u64::decode(input)?,
+            locked: Option::<LockedReport>::decode(input)?,
+        })
+    }
+}
+
+/// Synchronization-phase messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SyncMsg {
+    /// Vote to move to `regency`.
+    Stop {
+        /// The regency being requested.
+        regency: u32,
+    },
+    /// Replica state handed to the new leader.
+    StopData {
+        /// The regency this data is for.
+        regency: u32,
+        /// The sender's state.
+        data: StopData,
+    },
+    /// New leader's installation message.
+    Sync {
+        /// The regency being installed.
+        regency: u32,
+        /// The STOPDATA reports the leader based its choice on.
+        reports: Vec<(u64, StopData)>,
+        /// The locked `(instance, value)` the leader adopted (None = leader
+        /// free to propose fresh batches). The instance matters: only
+        /// replicas still open at that instance may adopt the value —
+        /// adopting it into a *later* instance would re-decide old content
+        /// and fork the history.
+        adopted: Option<(u64, Vec<u8>)>,
+    },
+}
+
+impl SyncMsg {
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SyncMsg::Stop { .. } => 12,
+            SyncMsg::StopData { data, .. } => {
+                20 + data.locked.as_ref().map_or(0, |l| l.value.len() + l.cert.writes.len() * 73 + 52)
+            }
+            SyncMsg::Sync { reports, adopted, .. } => {
+                16 + adopted.as_ref().map_or(0, |(_, v)| v.len() + 8)
+                    + reports
+                        .iter()
+                        .map(|(_, d)| {
+                            20 + d
+                                .locked
+                                .as_ref()
+                                .map_or(0, |l| l.value.len() + l.cert.writes.len() * 73 + 52)
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl Encode for SyncMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SyncMsg::Stop { regency } => {
+                0u8.encode(out);
+                regency.encode(out);
+            }
+            SyncMsg::StopData { regency, data } => {
+                1u8.encode(out);
+                regency.encode(out);
+                data.encode(out);
+            }
+            SyncMsg::Sync { regency, reports, adopted } => {
+                2u8.encode(out);
+                regency.encode(out);
+                encode_seq(reports, out);
+                match adopted {
+                    None => 0u8.encode(out),
+                    Some((instance, value)) => {
+                        1u8.encode(out);
+                        instance.encode(out);
+                        value.encode(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Decode for SyncMsg {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(SyncMsg::Stop { regency: u32::decode(input)? }),
+            1 => Ok(SyncMsg::StopData {
+                regency: u32::decode(input)?,
+                data: StopData::decode(input)?,
+            }),
+            2 => Ok(SyncMsg::Sync {
+                regency: u32::decode(input)?,
+                reports: decode_seq(input)?,
+                adopted: match u8::decode(input)? {
+                    0 => None,
+                    1 => Some((u64::decode(input)?, Vec::<u8>::decode(input)?)),
+                    d => return Err(DecodeError::BadDiscriminant(d as u32)),
+                },
+            }),
+            d => Err(DecodeError::BadDiscriminant(d as u32)),
+        }
+    }
+}
+
+/// Instructions from the synchronizer to its embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SyncAction {
+    /// Broadcast a message to the view.
+    Broadcast(SyncMsg),
+    /// Send a message to one replica.
+    Send(ReplicaId, SyncMsg),
+    /// Ordering must stop; the embedding should call
+    /// [`Synchronizer::make_stopdata`] with its log state and send the
+    /// result to `leader`.
+    ProvideStopData {
+        /// Regency awaiting data.
+        regency: u32,
+        /// The new leader to send it to.
+        leader: ReplicaId,
+    },
+    /// Install `regency` with `leader`; if `adopt` is set, replicas whose
+    /// open instance equals the carried instance must adopt (and the leader
+    /// re-propose) this value there.
+    Install {
+        /// The regency to install.
+        regency: u32,
+        /// Leader of the new regency.
+        leader: ReplicaId,
+        /// Locked `(instance, value)` carried over from the previous
+        /// regency.
+        adopt: Option<(u64, Vec<u8>)>,
+    },
+}
+
+/// The per-replica synchronization state machine.
+#[derive(Debug)]
+pub struct Synchronizer {
+    me: ReplicaId,
+    view: View,
+    regency: u32,
+    /// Highest regency we have broadcast a STOP for.
+    sent_stop_for: u32,
+    /// Regency we are currently stopped at (awaiting SYNC), if any.
+    stopped_at: Option<u32>,
+    stops: HashMap<u32, HashSet<ReplicaId>>,
+    stopdata: HashMap<u32, HashMap<ReplicaId, StopData>>,
+    synced: HashSet<u32>,
+}
+
+impl Synchronizer {
+    /// Creates the synchronizer at regency 0.
+    pub fn new(me: ReplicaId, view: View) -> Synchronizer {
+        Synchronizer {
+            me,
+            view,
+            regency: 0,
+            sent_stop_for: 0,
+            stopped_at: None,
+            stops: HashMap::new(),
+            stopdata: HashMap::new(),
+            synced: HashSet::new(),
+        }
+    }
+
+    /// Current regency.
+    pub fn regency(&self) -> u32 {
+        self.regency
+    }
+
+    /// Leader of the given regency.
+    pub fn leader_of(&self, regency: u32) -> ReplicaId {
+        regency as usize % self.view.n()
+    }
+
+    /// Leader of the current regency.
+    pub fn current_leader(&self) -> ReplicaId {
+        self.leader_of(self.regency)
+    }
+
+    /// True while a regency change is in flight.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped_at.is_some()
+    }
+
+    /// Timeout entry point: ask for the next regency. Repeated timeouts
+    /// escalate past a pending (stopped) regency whose new leader is itself
+    /// unresponsive — otherwise a crashed next-leader would wedge the view
+    /// change forever.
+    pub fn request_change(&mut self) -> Vec<SyncAction> {
+        let target = (self.regency + 1)
+            .max(self.stopped_at.map_or(0, |s| s + 1))
+            .max(self.sent_stop_for + 1);
+        if self.sent_stop_for >= target {
+            return Vec::new();
+        }
+        self.sent_stop_for = target;
+        let mut actions = vec![SyncAction::Broadcast(SyncMsg::Stop { regency: target })];
+        actions.extend(self.record_stop(self.me, target));
+        actions
+    }
+
+    fn record_stop(&mut self, from: ReplicaId, regency: u32) -> Vec<SyncAction> {
+        let mut actions = Vec::new();
+        if regency <= self.regency {
+            return actions;
+        }
+        let votes = self.stops.entry(regency).or_default();
+        votes.insert(from);
+        let count = votes.len();
+        let f = self.view.f();
+        if count > f && self.sent_stop_for < regency {
+            // Join the change: a correct minority amplifies.
+            self.sent_stop_for = regency;
+            actions.push(SyncAction::Broadcast(SyncMsg::Stop { regency }));
+            actions.extend(self.record_stop(self.me, regency));
+            return actions;
+        }
+        if count >= 2 * f + 1 && self.stopped_at.map_or(true, |s| s < regency) {
+            self.stopped_at = Some(regency);
+            actions.push(SyncAction::ProvideStopData {
+                regency,
+                leader: self.leader_of(regency),
+            });
+        }
+        actions
+    }
+
+    /// Builds this replica's STOPDATA message for `regency`.
+    pub fn make_stopdata(&self, regency: u32, data: StopData) -> SyncMsg {
+        SyncMsg::StopData { regency, data }
+    }
+
+    /// Handles a synchronization message.
+    pub fn on_message(&mut self, from: ReplicaId, msg: SyncMsg) -> Vec<SyncAction> {
+        match msg {
+            SyncMsg::Stop { regency } => self.record_stop(from, regency),
+            SyncMsg::StopData { regency, data } => self.on_stopdata(from, regency, data),
+            SyncMsg::Sync { regency, reports, adopted } => {
+                self.on_sync(from, regency, reports, adopted)
+            }
+        }
+    }
+
+    fn on_stopdata(&mut self, from: ReplicaId, regency: u32, data: StopData) -> Vec<SyncAction> {
+        if regency <= self.regency || self.leader_of(regency) != self.me {
+            return Vec::new();
+        }
+        // Validate an attached lock before counting it.
+        if let Some(locked) = &data.locked {
+            if !Self::lock_valid(&self.view, locked) {
+                return Vec::new();
+            }
+        }
+        let entry = self.stopdata.entry(regency).or_default();
+        entry.insert(from, data);
+        if entry.len() >= self.view.reconfig_quorum() && !self.synced.contains(&regency) {
+            self.synced.insert(regency);
+            let reports: Vec<(u64, StopData)> = entry
+                .iter()
+                .map(|(r, d)| (*r as u64, d.clone()))
+                .collect();
+            let adopted = Self::choose(&reports);
+            let mut actions = vec![SyncAction::Broadcast(SyncMsg::Sync {
+                regency,
+                reports: reports.clone(),
+                adopted: adopted.clone(),
+            })];
+            actions.extend(self.install(regency, adopted));
+            return actions;
+        }
+        Vec::new()
+    }
+
+    fn lock_valid(view: &View, locked: &LockedReport) -> bool {
+        locked.cert.verify(view)
+            && locked.cert.instance == locked.instance
+            && locked.cert.epoch == locked.epoch
+            && locked.cert.value_hash == sha256::digest(&locked.value)
+    }
+
+    /// The leader's (and validators') deterministic choice rule: the valid
+    /// lock with the highest `(instance, epoch)` wins, and the adoption is
+    /// pinned to that lock's instance.
+    fn choose(reports: &[(u64, StopData)]) -> Option<(u64, Vec<u8>)> {
+        reports
+            .iter()
+            .filter_map(|(_, d)| d.locked.as_ref())
+            .max_by_key(|l| (l.instance, l.epoch))
+            .map(|l| (l.instance, l.value.clone()))
+    }
+
+    fn on_sync(
+        &mut self,
+        from: ReplicaId,
+        regency: u32,
+        reports: Vec<(u64, StopData)>,
+        adopted: Option<(u64, Vec<u8>)>,
+    ) -> Vec<SyncAction> {
+        if regency <= self.regency || self.leader_of(regency) != from {
+            return Vec::new();
+        }
+        // Re-validate the leader's choice: all locks must verify and the
+        // adopted value must equal the deterministic choice.
+        for (_, d) in &reports {
+            if let Some(locked) = &d.locked {
+                if !Self::lock_valid(&self.view, locked) {
+                    return Vec::new();
+                }
+            }
+        }
+        if reports.len() < self.view.reconfig_quorum() {
+            return Vec::new();
+        }
+        let expected = Self::choose(&reports);
+        if expected != adopted {
+            return Vec::new();
+        }
+        self.install(regency, adopted)
+    }
+
+    fn install(&mut self, regency: u32, adopt: Option<(u64, Vec<u8>)>) -> Vec<SyncAction> {
+        self.regency = regency;
+        self.stopped_at = None;
+        self.stops.retain(|r, _| *r > regency);
+        vec![SyncAction::Install {
+            regency,
+            leader: self.leader_of(regency),
+            adopt,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::write_sign_payload;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    fn setup(n: usize) -> (Vec<SecretKey>, View, Vec<Synchronizer>) {
+        let secrets: Vec<SecretKey> = (0..n)
+            .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 100; 32]))
+            .collect();
+        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let syncs = (0..n).map(|i| Synchronizer::new(i, view.clone())).collect();
+        (secrets, view, syncs)
+    }
+
+    fn deliver_all(
+        syncs: &mut [Synchronizer],
+        mut queue: Vec<(ReplicaId, ReplicaId, SyncMsg)>,
+        stopdata: impl Fn(ReplicaId) -> StopData,
+    ) -> Vec<Vec<SyncAction>> {
+        let n = syncs.len();
+        let mut installs: Vec<Vec<SyncAction>> = vec![Vec::new(); n];
+        while let Some((from, to, msg)) = queue.pop() {
+            let actions = syncs[to].on_message(from, msg);
+            for action in actions {
+                match action {
+                    SyncAction::Broadcast(m) => {
+                        for peer in 0..n {
+                            if peer != to {
+                                queue.push((to, peer, m.clone()));
+                            }
+                        }
+                    }
+                    SyncAction::Send(peer, m) => queue.push((to, peer, m)),
+                    SyncAction::ProvideStopData { regency, leader } => {
+                        let msg = syncs[to].make_stopdata(regency, stopdata(to));
+                        if leader == to {
+                            queue.push((to, to, msg));
+                        } else {
+                            queue.push((to, leader, msg));
+                        }
+                    }
+                    install @ SyncAction::Install { .. } => installs[to].push(install),
+                }
+            }
+        }
+        installs
+    }
+
+    /// Triggers `request_change` at the given replicas (modelling their
+    /// timeouts firing) and returns the initial message queue.
+    fn trigger_change(
+        syncs: &mut [Synchronizer],
+        requesters: &[ReplicaId],
+    ) -> Vec<(ReplicaId, ReplicaId, SyncMsg)> {
+        let n = syncs.len();
+        let mut queue = Vec::new();
+        for &r in requesters {
+            for a in syncs[r].request_change() {
+                if let SyncAction::Broadcast(m) = a {
+                    for peer in 0..n {
+                        if peer != r {
+                            queue.push((r, peer, m.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        queue
+    }
+
+    #[test]
+    fn regency_change_completes_without_locks() {
+        // f+1 = 2 replicas time out; the rest join via the amplification rule.
+        let (_, _, mut syncs) = setup(4);
+        let queue = trigger_change(&mut syncs, &[1, 2]);
+        let installs = deliver_all(
+            &mut syncs,
+            queue,
+            |_| StopData { last_decided: 9, locked: None },
+        );
+        for (i, acts) in installs.iter().enumerate() {
+            assert!(
+                acts.iter().any(|a| matches!(
+                    a,
+                    SyncAction::Install { regency: 1, leader: 1, adopt: None }
+                )),
+                "replica {i} did not install regency 1: {acts:?}"
+            );
+        }
+        for s in &syncs {
+            assert_eq!(s.regency(), 1);
+            assert_eq!(s.current_leader(), 1);
+        }
+    }
+
+    #[test]
+    fn one_faulty_stop_does_not_trigger_change() {
+        let (_, _, mut syncs) = setup(4);
+        // Replica 3 (faulty) sends STOP alone; nobody joins.
+        let actions = syncs[0].on_message(3, SyncMsg::Stop { regency: 1 });
+        assert!(actions.is_empty());
+        assert_eq!(syncs[0].regency(), 0);
+    }
+
+    #[test]
+    fn f_plus_one_stops_amplify() {
+        let (_, _, mut syncs) = setup(4);
+        // Two replicas (> f = 1) request the change; replica 0 must join.
+        let a1 = syncs[0].on_message(2, SyncMsg::Stop { regency: 1 });
+        assert!(a1.is_empty());
+        let a2 = syncs[0].on_message(3, SyncMsg::Stop { regency: 1 });
+        assert!(
+            a2.iter()
+                .any(|a| matches!(a, SyncAction::Broadcast(SyncMsg::Stop { regency: 1 }))),
+            "{a2:?}"
+        );
+    }
+
+    #[test]
+    fn locked_value_survives_regency_change() {
+        let (secrets, view, mut syncs) = setup(4);
+        // Build a genuine write certificate for value "locked-batch" at
+        // instance 5, epoch 0.
+        let value = b"locked-batch".to_vec();
+        let h = sha256::digest(&value);
+        let payload = write_sign_payload(5, 0, &h);
+        let cert = WriteCertificate {
+            instance: 5,
+            epoch: 0,
+            value_hash: h,
+            writes: (0..3).map(|r| (r, secrets[r].sign(&payload))).collect(),
+        };
+        assert!(cert.verify(&view));
+        let locked = LockedReport { instance: 5, epoch: 0, value: value.clone(), cert };
+
+        let queue = trigger_change(&mut syncs, &[2, 3]);
+        // A possibly-decided value is locked at a full quorum (2f+1 = 3) of
+        // replicas, so every n-f STOPDATA set the new leader can collect
+        // contains at least one report of it — this is the intersection
+        // argument that makes decided values survive leader changes.
+        let locked_for = locked.clone();
+        let installs = deliver_all(&mut syncs, queue, move |r| StopData {
+            last_decided: 4,
+            locked: (r != 3).then(|| locked_for.clone()),
+        });
+        for (i, acts) in installs.iter().enumerate() {
+            let adopted = acts.iter().find_map(|a| match a {
+                SyncAction::Install { regency: 1, adopt, .. } => Some(adopt.clone()),
+                _ => None,
+            });
+            assert_eq!(
+                adopted.flatten(),
+                Some((5, value.clone())),
+                "replica {i} must adopt the locked value at its instance"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_lock_is_ignored() {
+        let (secrets, view, mut syncs) = setup(4);
+        // A lock whose certificate has only one signature (sub-quorum).
+        let value = b"forged".to_vec();
+        let h = sha256::digest(&value);
+        let payload = write_sign_payload(5, 0, &h);
+        let bad_cert = WriteCertificate {
+            instance: 5,
+            epoch: 0,
+            value_hash: h,
+            writes: vec![(3, secrets[3].sign(&payload))],
+        };
+        assert!(!bad_cert.verify(&view));
+        let locked = LockedReport { instance: 5, epoch: 0, value, cert: bad_cert };
+
+        let queue = trigger_change(&mut syncs, &[2, 0]);
+        let locked_for = locked.clone();
+        let installs = deliver_all(&mut syncs, queue, move |r| StopData {
+            last_decided: 4,
+            locked: (r == 3).then(|| locked_for.clone()),
+        });
+        // STOPDATA from replica 3 is rejected (invalid cert), but the other
+        // three suffice for the n-f quorum and nothing is adopted.
+        for acts in &installs {
+            for a in acts {
+                if let SyncAction::Install { adopt, .. } = a {
+                    assert_eq!(adopt, &None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_from_non_leader_rejected() {
+        let (_, _, mut syncs) = setup(4);
+        let actions = syncs[0].on_message(
+            3, // leader of regency 1 is replica 1, not 3
+            SyncMsg::Sync { regency: 1, reports: Vec::new(), adopted: None },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(syncs[0].regency(), 0);
+    }
+
+    #[test]
+    fn sync_with_wrong_choice_rejected() {
+        let (_, _, mut syncs) = setup(4);
+        // Leader 1 claims adoption of a value not justified by any report.
+        let reports: Vec<(u64, StopData)> = (0..3u64)
+            .map(|r| (r, StopData { last_decided: 0, locked: None }))
+            .collect();
+        let actions = syncs[0].on_message(
+            1,
+            SyncMsg::Sync { regency: 1, reports, adopted: Some((5, b"bogus".to_vec())) },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(syncs[0].regency(), 0);
+    }
+
+    #[test]
+    fn messages_roundtrip() {
+        let msgs = vec![
+            SyncMsg::Stop { regency: 3 },
+            SyncMsg::StopData {
+                regency: 3,
+                data: StopData { last_decided: 8, locked: None },
+            },
+            SyncMsg::Sync {
+                regency: 3,
+                reports: vec![(0, StopData { last_decided: 8, locked: None })],
+                adopted: Some((9, vec![1, 2, 3])),
+            },
+        ];
+        for m in msgs {
+            let bytes = smartchain_codec::to_bytes(&m);
+            let back: SyncMsg = smartchain_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+}

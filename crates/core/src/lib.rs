@@ -1,0 +1,18 @@
+//! SMARTCHAIN — the paper's contribution: a blockchain layer over BFT SMR.
+//!
+//! * [`block`] — the block structure of Fig. 2 (header/body/certificate),
+//!   genesis configuration, reconfiguration transactions.
+//! * [`ledger`] — the replica-local chain over stable storage.
+//! * [`view_keys`] — per-view consensus keys and the forgetting protocol.
+//! * [`audit`] — third-party self-verification, including Figure-4 fork
+//!   rejection.
+//! * [`node`] — the SmartChain replica (Algorithm 1) as a simulation actor:
+//!   weak (1-Persistence) and strong (0-Persistence with the PERSIST phase)
+//!   variants, chain-linked checkpoints, state transfer, decentralized
+//!   join/leave/exclude.
+pub mod audit;
+pub mod block;
+pub mod harness;
+pub mod ledger;
+pub mod node;
+pub mod view_keys;

@@ -1,0 +1,228 @@
+//! Unified signing API over the two backends:
+//!
+//! * [`Backend::Ed25519`] — the real RFC 8032 implementation in
+//!   [`crate::ed25519`]; cryptographically sound, used for end-to-end tests,
+//!   examples and auditing.
+//! * [`Backend::Sim`] — a registry-backed keyed-hash scheme
+//!   ([`crate::sim_signer`]); sound *within a single-process simulation*
+//!   (forgery requires reading the process-global registry, which simulated
+//!   adversaries never do) and roughly two orders of magnitude faster.
+//!   Large parameter sweeps use this backend while the simulator's cost model
+//!   charges realistic virtual time for every operation.
+
+use crate::ed25519;
+use crate::sim_signer;
+
+/// Which signature scheme a key belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Real Ed25519 (RFC 8032).
+    Ed25519,
+    /// Registry-backed simulation signer.
+    Sim,
+}
+
+/// A public key (32 bytes plus a backend tag).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey {
+    backend_tag: u8,
+    bytes: [u8; 32],
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({}…)", &crate::hex(&self.bytes)[..12])
+    }
+}
+
+impl std::fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", crate::hex(&self.bytes))
+    }
+}
+
+impl PublicKey {
+    const TAG_ED25519: u8 = 0;
+    const TAG_SIM: u8 = 1;
+
+    /// The backend this key belongs to.
+    pub fn backend(&self) -> Backend {
+        if self.backend_tag == Self::TAG_ED25519 {
+            Backend::Ed25519
+        } else {
+            Backend::Sim
+        }
+    }
+
+    /// Raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.bytes
+    }
+
+    /// Serializes to 33 bytes (tag || key).
+    pub fn to_wire(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        out[0] = self.backend_tag;
+        out[1..].copy_from_slice(&self.bytes);
+        out
+    }
+
+    /// Parses the 33-byte wire form.
+    pub fn from_wire(wire: &[u8; 33]) -> PublicKey {
+        let mut bytes = [0u8; 32];
+        bytes.copy_from_slice(&wire[1..]);
+        PublicKey { backend_tag: wire[0], bytes }
+    }
+
+    /// Verifies `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        if sig.backend_tag != self.backend_tag {
+            return false;
+        }
+        match self.backend() {
+            Backend::Ed25519 => {
+                let mut s = [0u8; 64];
+                s.copy_from_slice(&sig.bytes);
+                ed25519::verify(&self.bytes, msg, &s)
+            }
+            Backend::Sim => sim_signer::verify(&self.bytes, msg, &sig.bytes),
+        }
+    }
+}
+
+/// A signature (64 bytes plus a backend tag).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    backend_tag: u8,
+    bytes: [u8; 64],
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({}…)", &crate::hex(&self.bytes)[..12])
+    }
+}
+
+impl Signature {
+    /// Raw signature bytes.
+    pub fn as_bytes(&self) -> &[u8; 64] {
+        &self.bytes
+    }
+
+    /// Serializes to 65 bytes (tag || sig).
+    pub fn to_wire(&self) -> [u8; 65] {
+        let mut out = [0u8; 65];
+        out[0] = self.backend_tag;
+        out[1..].copy_from_slice(&self.bytes);
+        out
+    }
+
+    /// Parses the 65-byte wire form.
+    pub fn from_wire(wire: &[u8; 65]) -> Signature {
+        let mut bytes = [0u8; 64];
+        bytes.copy_from_slice(&wire[1..]);
+        Signature { backend_tag: wire[0], bytes }
+    }
+}
+
+/// A secret (signing) key.
+#[derive(Clone)]
+pub enum SecretKey {
+    /// Real Ed25519 signing key.
+    Ed25519(Box<ed25519::SigningKey>),
+    /// Simulation signer secret.
+    Sim(sim_signer::SimSecret),
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecretKey")
+            .field("public", &self.public_key())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecretKey {
+    /// Deterministically derives a key of the given backend from a seed.
+    pub fn from_seed(backend: Backend, seed: &[u8; 32]) -> SecretKey {
+        match backend {
+            Backend::Ed25519 => SecretKey::Ed25519(Box::new(ed25519::SigningKey::from_seed(seed))),
+            Backend::Sim => SecretKey::Sim(sim_signer::SimSecret::from_seed(seed)),
+        }
+    }
+
+    /// Generates a fresh key from OS/user-provided randomness.
+    pub fn generate(backend: Backend, rng: &mut impl rand::RngCore) -> SecretKey {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        SecretKey::from_seed(backend, &seed)
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        match self {
+            SecretKey::Ed25519(k) => PublicKey {
+                backend_tag: PublicKey::TAG_ED25519,
+                bytes: k.public_key(),
+            },
+            SecretKey::Sim(k) => PublicKey {
+                backend_tag: PublicKey::TAG_SIM,
+                bytes: k.public_key(),
+            },
+        }
+    }
+
+    /// Signs `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        match self {
+            SecretKey::Ed25519(k) => Signature {
+                backend_tag: PublicKey::TAG_ED25519,
+                bytes: k.sign(msg),
+            },
+            SecretKey::Sim(k) => Signature {
+                backend_tag: PublicKey::TAG_SIM,
+                bytes: k.sign(msg),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_roundtrip() {
+        for backend in [Backend::Ed25519, Backend::Sim] {
+            let sk = SecretKey::from_seed(backend, &[42u8; 32]);
+            let pk = sk.public_key();
+            let sig = sk.sign(b"hello");
+            assert!(pk.verify(b"hello", &sig), "{backend:?}");
+            assert!(!pk.verify(b"goodbye", &sig), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn backends_do_not_cross_verify() {
+        let ed = SecretKey::from_seed(Backend::Ed25519, &[1u8; 32]);
+        let sim = SecretKey::from_seed(Backend::Sim, &[1u8; 32]);
+        let sig = ed.sign(b"m");
+        assert!(!sim.public_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[3u8; 32]);
+        let pk = sk.public_key();
+        let sig = sk.sign(b"m");
+        assert_eq!(PublicKey::from_wire(&pk.to_wire()), pk);
+        assert_eq!(Signature::from_wire(&sig.to_wire()), sig);
+    }
+
+    #[test]
+    fn deterministic_derivation() {
+        let a = SecretKey::from_seed(Backend::Ed25519, &[9u8; 32]);
+        let b = SecretKey::from_seed(Backend::Ed25519, &[9u8; 32]);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+}

@@ -1,0 +1,73 @@
+//! Cryptographic substrate for the SmartChain reproduction.
+//!
+//! Everything is implemented from scratch on the standard library:
+//!
+//! * [`sha256`] / [`sha512`] — FIPS 180-4 hashes (verified against NIST
+//!   vectors).
+//! * [`ed25519`] — RFC 8032 signatures (verified against the RFC vectors).
+//! * [`sim_signer`] — a registry-backed keyed-hash scheme for fast
+//!   single-process simulations.
+//! * [`keys`] — a unified [`keys::SecretKey`]/[`keys::PublicKey`] API over
+//!   both backends.
+//! * [`merkle`] — binary Merkle trees (block result commitments).
+//! * [`pool`] — a parallel signature-verification worker pool (the mechanism
+//!   behind the paper's "parallel signature verification" column in Table I).
+//!
+//! # Examples
+//!
+//! ```
+//! use smartchain_crypto::keys::{Backend, SecretKey};
+//!
+//! let key = SecretKey::from_seed(Backend::Ed25519, &[7u8; 32]);
+//! let sig = key.sign(b"transfer 10 coins to bob");
+//! assert!(key.public_key().verify(b"transfer 10 coins to bob", &sig));
+//! ```
+
+pub mod ed25519;
+pub mod keys;
+pub mod merkle;
+pub mod pool;
+pub mod sha256;
+pub mod sha512;
+pub mod sim_signer;
+
+/// 32-byte hash digest used throughout the workspace.
+pub type Hash = [u8; 32];
+
+/// Formats bytes as lowercase hex (used in `Debug`/`Display` impls and logs).
+pub fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        use std::fmt::Write;
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// Parses lowercase/uppercase hex into bytes; `None` on bad input.
+pub fn unhex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0x00, 0x01, 0xab, 0xff];
+        assert_eq!(unhex(&hex(&data)), Some(data));
+    }
+
+    #[test]
+    fn unhex_rejects_bad_input() {
+        assert_eq!(unhex("abc"), None);
+        assert_eq!(unhex("zz"), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Binary Merkle trees over SHA-256.
+//!
+//! Used for the compact representation of per-block transaction results the
+//! paper mentions (footnote 4: "Results can include a compact representation
+//! (e.g., a Merkle tree) of the state changes caused by the transactions").
+
+use crate::sha256;
+
+/// 32-byte hash value.
+pub type Hash = [u8; 32];
+
+const LEAF_PREFIX: &[u8] = b"\x00";
+const NODE_PREFIX: &[u8] = b"\x01";
+
+/// Hashes a leaf with domain separation from interior nodes.
+pub fn leaf_hash(data: &[u8]) -> Hash {
+    sha256::digest_parts(&[LEAF_PREFIX, data])
+}
+
+/// Hashes an interior node.
+pub fn node_hash(left: &Hash, right: &Hash) -> Hash {
+    sha256::digest_parts(&[NODE_PREFIX, left, right])
+}
+
+/// Computes the Merkle root of a list of leaves.
+///
+/// The empty list hashes to `leaf_hash(b"")` so that every input has a
+/// well-defined root. Odd levels promote the unpaired node unchanged
+/// (Bitcoin-style duplication would enable CVE-2012-2459-class mutations).
+pub fn root(leaves: &[Vec<u8>]) -> Hash {
+    if leaves.is_empty() {
+        return leaf_hash(b"");
+    }
+    let mut level: Vec<Hash> = leaves.iter().map(|l| leaf_hash(l)).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(node_hash(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// A Merkle inclusion proof: the sibling hashes from leaf to root, with a
+/// direction flag (`true` = sibling is on the right).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes bottom-up; the flag is true when the sibling sits to
+    /// the right of the running hash.
+    pub path: Vec<(Hash, bool)>,
+}
+
+/// Builds an inclusion proof for `leaves[index]`.
+///
+/// # Panics
+///
+/// Panics if `index >= leaves.len()`.
+pub fn prove(leaves: &[Vec<u8>], index: usize) -> Proof {
+    assert!(index < leaves.len(), "proof index out of range");
+    let mut level: Vec<Hash> = leaves.iter().map(|l| leaf_hash(l)).collect();
+    let mut idx = index;
+    let mut path = Vec::new();
+    while level.len() > 1 {
+        let sibling = idx ^ 1;
+        if sibling < level.len() {
+            path.push((level[sibling], sibling > idx));
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(node_hash(&pair[0], &pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        idx /= 2;
+    }
+    Proof { index, path }
+}
+
+/// Verifies that `leaf_data` is included under `expected_root` at the proof's
+/// position.
+pub fn verify(expected_root: &Hash, leaf_data: &[u8], proof: &Proof) -> bool {
+    let mut h = leaf_hash(leaf_data);
+    for (sibling, sibling_right) in &proof.path {
+        h = if *sibling_right {
+            node_hash(&h, sibling)
+        } else {
+            node_hash(sibling, &h)
+        };
+    }
+    &h == expected_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(root(&[]), leaf_hash(b""));
+        let one = leaves(1);
+        assert_eq!(root(&one), leaf_hash(b"leaf-0"));
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let base = leaves(8);
+        let r = root(&base);
+        for i in 0..8 {
+            let mut tampered = base.clone();
+            tampered[i].push(b'!');
+            assert_ne!(root(&tampered), r, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..20usize {
+            let ls = leaves(n);
+            let r = root(&ls);
+            for i in 0..n {
+                let p = prove(&ls, i);
+                assert!(verify(&r, &ls[i], &p), "n={n} i={i}");
+                // Wrong leaf data must fail.
+                assert!(!verify(&r, b"bogus", &p), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_from_other_index_fails() {
+        let ls = leaves(8);
+        let r = root(&ls);
+        let p = prove(&ls, 3);
+        assert!(!verify(&r, &ls[4], &p));
+    }
+
+    #[test]
+    fn unbalanced_tree_no_duplication_mutation() {
+        // With promote-the-odd-node trees, [a, b, c] and [a, b, c, c] must
+        // have different roots (the classic duplication bug makes them equal).
+        let three = leaves(3);
+        let mut four = leaves(3);
+        four.push(three[2].clone());
+        assert_ne!(root(&three), root(&four));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prove_out_of_range_panics() {
+        prove(&leaves(3), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! A parallel signature-verification pool.
+//!
+//! BFT-SMaRt pushes client-signature checks into a pool of worker threads so
+//! multi-core servers verify in parallel instead of inside the (sequential)
+//! state machine — the paper's Table I shows this alone more than doubles
+//! SMaRtCoin's throughput. This module provides the same facility for real
+//! (wall-clock) deployments; the discrete-event simulator models the pool's
+//! *virtual-time* behaviour separately in `smartchain-sim`.
+
+use crate::keys::{PublicKey, Signature};
+use crossbeam::channel;
+use std::thread::JoinHandle;
+
+/// One verification job.
+struct Job {
+    index: usize,
+    public: PublicKey,
+    msg: Vec<u8>,
+    sig: Signature,
+}
+
+/// A fixed-size pool of verification workers.
+///
+/// # Examples
+///
+/// ```
+/// use smartchain_crypto::keys::{Backend, SecretKey};
+/// use smartchain_crypto::pool::VerifyPool;
+///
+/// let pool = VerifyPool::new(4);
+/// let sk = SecretKey::from_seed(Backend::Sim, &[1u8; 32]);
+/// let batch: Vec<_> = (0..16u8)
+///     .map(|i| (sk.public_key(), vec![i], sk.sign(&[i])))
+///     .collect();
+/// let results = pool.verify_batch(&batch);
+/// assert!(results.iter().all(|&ok| ok));
+/// ```
+pub struct VerifyPool {
+    senders: channel::Sender<Job>,
+    results_rx: channel::Receiver<(usize, bool)>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for VerifyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl VerifyPool {
+    /// Spawns a pool with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> VerifyPool {
+        assert!(workers > 0, "pool needs at least one worker");
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, bool)>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = job_rx.clone();
+            let tx = res_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let ok = job.public.verify(&job.msg, &job.sig);
+                    if tx.send((job.index, ok)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        VerifyPool { senders: job_tx, results_rx: res_rx, workers: handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Verifies a batch in parallel, returning per-item results in order.
+    pub fn verify_batch(&self, batch: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<bool> {
+        let n = batch.len();
+        for (index, (public, msg, sig)) in batch.iter().enumerate() {
+            self.senders
+                .send(Job { index, public: *public, msg: msg.clone(), sig: *sig })
+                .expect("workers alive while pool exists");
+        }
+        let mut results = vec![false; n];
+        for _ in 0..n {
+            let (index, ok) = self
+                .results_rx
+                .recv()
+                .expect("workers alive while pool exists");
+            results[index] = ok;
+        }
+        results
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers.
+        let (empty_tx, _) = channel::unbounded();
+        self.senders = empty_tx;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Verifies a batch sequentially — the baseline the pool is compared against.
+pub fn verify_batch_sequential(batch: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<bool> {
+    batch
+        .iter()
+        .map(|(public, msg, sig)| public.verify(msg, sig))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{Backend, SecretKey};
+
+    fn batch(n: usize) -> Vec<(PublicKey, Vec<u8>, Signature)> {
+        let sk = SecretKey::from_seed(Backend::Sim, &[11u8; 32]);
+        (0..n)
+            .map(|i| {
+                let msg = format!("tx-{i}").into_bytes();
+                let sig = sk.sign(&msg);
+                (sk.public_key(), msg, sig)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let b = batch(64);
+        let pool = VerifyPool::new(4);
+        assert_eq!(pool.verify_batch(&b), verify_batch_sequential(&b));
+    }
+
+    #[test]
+    fn detects_bad_signatures_at_right_positions() {
+        let mut b = batch(16);
+        // Corrupt entries 3 and 11 by swapping their messages.
+        let m3 = b[3].1.clone();
+        b[3].1 = b[11].1.clone();
+        b[11].1 = m3;
+        let pool = VerifyPool::new(3);
+        let results = pool.verify_batch(&b);
+        for (i, ok) in results.iter().enumerate() {
+            assert_eq!(*ok, i != 3 && i != 11, "index {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let pool = VerifyPool::new(2);
+        assert!(pool.verify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn pool_reusable_across_batches() {
+        let pool = VerifyPool::new(2);
+        for _ in 0..3 {
+            let b = batch(8);
+            assert!(pool.verify_batch(&b).iter().all(|&ok| ok));
+        }
+    }
+}

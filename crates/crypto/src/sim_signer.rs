@@ -1,0 +1,113 @@
+//! A fast keyed-hash "signature" scheme for single-process simulations.
+//!
+//! Real Ed25519 costs tens of microseconds per operation; a simulated cluster
+//! pushing hundreds of thousands of transactions through parameter sweeps
+//! would spend nearly all wall-clock time in curve arithmetic that the
+//! experiment is *modeling anyway* through the simulator's virtual cost model.
+//!
+//! This backend replaces the curve with SHA-256: a keypair is
+//! `(seed, pk = H("simpk" || seed))` and a signature is
+//! `H(seed || pk || msg) || pad`. Verification recovers the seed from a
+//! process-global registry keyed by `pk`. Within a simulation this preserves
+//! the semantics that matter — only the holder of `seed` can produce a
+//! signature that verifies under `pk`, because simulated adversaries never
+//! read the registry — while costing two hash compressions per operation.
+//!
+//! This is **not** a real signature scheme and must never be used outside a
+//! simulation; the type names and module docs are deliberately loud about it.
+
+use crate::sha256;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+fn registry() -> &'static RwLock<HashMap<[u8; 32], [u8; 32]>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<[u8; 32], [u8; 32]>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// A simulation-only secret key.
+#[derive(Clone)]
+pub struct SimSecret {
+    seed: [u8; 32],
+    public: [u8; 32],
+}
+
+impl std::fmt::Debug for SimSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSecret")
+            .field("public", &crate::hex(&self.public))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimSecret {
+    /// Derives the key from a seed and registers it for verification.
+    pub fn from_seed(seed: &[u8; 32]) -> SimSecret {
+        let public = sha256::digest_parts(&[b"simpk", seed]);
+        registry().write().insert(public, *seed);
+        SimSecret { seed: *seed, public }
+    }
+
+    /// The corresponding public key.
+    pub fn public_key(&self) -> [u8; 32] {
+        self.public
+    }
+
+    /// Signs `msg` (keyed hash over seed, public key and message).
+    pub fn sign(&self, msg: &[u8]) -> [u8; 64] {
+        let mac = sha256::digest_parts(&[&self.seed, &self.public, msg]);
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&mac);
+        // Second half binds the public key so signatures are unique per key.
+        out[32..].copy_from_slice(&self.public);
+        out
+    }
+}
+
+/// Verifies a simulation signature by recomputing the keyed hash with the
+/// registered seed. Unknown keys never verify.
+pub fn verify(public: &[u8; 32], msg: &[u8], sig: &[u8; 64]) -> bool {
+    if &sig[32..] != public.as_slice() {
+        return false;
+    }
+    let seed = match registry().read().get(public) {
+        Some(seed) => *seed,
+        None => return false,
+    };
+    let mac = sha256::digest_parts(&[&seed, public, msg]);
+    sig[..32] == mac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SimSecret::from_seed(&[1u8; 32]);
+        let sig = sk.sign(b"hello");
+        assert!(verify(&sk.public_key(), b"hello", &sig));
+        assert!(!verify(&sk.public_key(), b"other", &sig));
+    }
+
+    #[test]
+    fn unregistered_key_never_verifies() {
+        let fake_pk = [0xeeu8; 32];
+        assert!(!verify(&fake_pk, b"m", &[0u8; 64]));
+    }
+
+    #[test]
+    fn signature_bound_to_key() {
+        let a = SimSecret::from_seed(&[1u8; 32]);
+        let b = SimSecret::from_seed(&[2u8; 32]);
+        let sig = a.sign(b"m");
+        assert!(!verify(&b.public_key(), b"m", &sig));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SimSecret::from_seed(&[7u8; 32]);
+        assert_eq!(a.sign(b"x"), a.sign(b"x"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the cryptographic substrate: algebraic laws of
+//! the Ed25519 field/scalar arithmetic, group laws on the curve, signature
+//! round-trips across backends, and Merkle proof soundness.
+
+use proptest::prelude::*;
+use smartchain_crypto::ed25519::field::Fe;
+use smartchain_crypto::ed25519::point::Point;
+use smartchain_crypto::ed25519::scalar::Scalar;
+use smartchain_crypto::keys::{Backend, SecretKey};
+use smartchain_crypto::{merkle, sha256};
+
+fn arb_fe() -> impl Strategy<Value = Fe> {
+    any::<[u8; 32]>().prop_map(|mut b| {
+        b[31] &= 0x7f;
+        Fe::from_bytes(&b)
+    })
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_bytes_mod_order(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fe_add_commutes(a in arb_fe(), b in arb_fe()) {
+        prop_assert!(a.add(b).ct_eq(b.add(a)));
+    }
+
+    #[test]
+    fn fe_mul_commutes_and_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert!(a.mul(b).ct_eq(b.mul(a)));
+        prop_assert!(a.mul(b).mul(c).ct_eq(a.mul(b.mul(c))));
+    }
+
+    #[test]
+    fn fe_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert!(a.mul(b.add(c)).ct_eq(a.mul(b).add(a.mul(c))));
+    }
+
+    #[test]
+    fn fe_sub_is_add_neg(a in arb_fe(), b in arb_fe()) {
+        prop_assert!(a.sub(b).ct_eq(a.add(b.neg())));
+    }
+
+    #[test]
+    fn fe_inverse_law(a in arb_fe()) {
+        prop_assume!(!a.is_zero());
+        prop_assert!(a.mul(a.invert()).ct_eq(Fe::ONE));
+    }
+
+    #[test]
+    fn fe_canonical_roundtrip(a in arb_fe()) {
+        let canon = a.to_bytes();
+        prop_assert_eq!(Fe::from_bytes(&canon).to_bytes(), canon);
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+        prop_assert_eq!(Scalar::from_bytes_mod_order(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn point_scalar_homomorphism(a in 0u64..1000, b in 0u64..1000) {
+        // [a]B + [b]B == [a+b]B
+        let base = Point::basepoint();
+        let left = base.mul(&Scalar::from_u64(a)).add(&base.mul(&Scalar::from_u64(b)));
+        let right = base.mul(&Scalar::from_u64(a + b));
+        prop_assert!(left.eq_point(&right));
+    }
+
+    #[test]
+    fn point_compress_roundtrip(k in 1u64..5000) {
+        let p = Point::basepoint().mul(&Scalar::from_u64(k));
+        let enc = p.compress();
+        let q = Point::decompress(&enc).expect("valid encoding");
+        prop_assert!(p.eq_point(&q));
+        prop_assert_eq!(q.compress(), enc);
+    }
+
+    #[test]
+    fn signatures_roundtrip_any_message(msg: Vec<u8>, seed: [u8; 32]) {
+        for backend in [Backend::Ed25519, Backend::Sim] {
+            let sk = SecretKey::from_seed(backend, &seed);
+            let sig = sk.sign(&msg);
+            prop_assert!(sk.public_key().verify(&msg, &sig));
+        }
+    }
+
+    #[test]
+    fn tampered_messages_never_verify(msg in proptest::collection::vec(any::<u8>(), 1..100), flip in 0usize..100) {
+        let sk = SecretKey::from_seed(Backend::Ed25519, &[5u8; 32]);
+        let sig = sk.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!sk.public_key().verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn merkle_proofs_sound(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..24), pick: prop::sample::Index) {
+        let root = merkle::root(&leaves);
+        let index = pick.index(leaves.len());
+        let proof = merkle::prove(&leaves, index);
+        prop_assert!(merkle::verify(&root, &leaves[index], &proof));
+        // A proof never validates different content.
+        let mut other = leaves[index].clone();
+        other.push(0xff);
+        prop_assert!(!merkle::verify(&root, &other, &proof));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..8)) {
+        let mut hasher = sha256::Sha256::new();
+        let mut all = Vec::new();
+        for c in &chunks {
+            hasher.update(c);
+            all.extend_from_slice(c);
+        }
+        prop_assert_eq!(hasher.finalize(), sha256::digest(&all));
+    }
+}

@@ -1,0 +1,207 @@
+//! Measurement helpers: throughput over windows, latency percentiles and the
+//! paper's trimmed-average methodology.
+//!
+//! The paper measures throughput at the replicas "at regular intervals (at
+//! each 10k operations)", discards the 20% of values with greatest variance
+//! and reports the average (§VI-A). [`ThroughputMeter`] reproduces exactly
+//! that procedure; [`LatencyMeter`] records client-observed latencies.
+
+use crate::{Time, SECOND};
+
+/// Records commit instants and derives interval throughputs.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    committed: u64,
+    window: u64,
+    window_start: Option<Time>,
+    window_count: u64,
+    samples: Vec<f64>,
+    timeline: Vec<(Time, f64)>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter sampling every `window` operations (the paper uses
+    /// 10_000).
+    pub fn new(window: u64) -> ThroughputMeter {
+        ThroughputMeter { window: window.max(1), ..ThroughputMeter::default() }
+    }
+
+    /// Registers `count` operations committed at time `at`.
+    pub fn record(&mut self, at: Time, count: u64) {
+        if self.window_start.is_none() {
+            self.window_start = Some(at);
+        }
+        self.committed += count;
+        self.window_count += count;
+        if self.window_count >= self.window {
+            let start = self.window_start.expect("window started");
+            let elapsed = (at - start).max(1);
+            let tps = self.window_count as f64 * SECOND as f64 / elapsed as f64;
+            self.samples.push(tps);
+            self.timeline.push((at, tps));
+            self.window_start = Some(at);
+            self.window_count = 0;
+        }
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.committed
+    }
+
+    /// All interval samples (txs/sec).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// `(time, txs/sec)` pairs for timeline plots (Figure 7).
+    pub fn timeline(&self) -> &[(Time, f64)] {
+        &self.timeline
+    }
+
+    /// The paper's methodology: drop the 20% of samples furthest from the
+    /// mean, then average. Returns `(mean, std_dev)` of the kept samples.
+    pub fn trimmed_mean(&self) -> (f64, f64) {
+        trimmed_mean(&self.samples)
+    }
+}
+
+/// Applies the paper's 20% variance trim to a sample set and returns
+/// `(mean, std_dev)` of the survivors. Empty input yields zeros.
+pub fn trimmed_mean(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    let mut by_distance: Vec<f64> = samples.to_vec();
+    by_distance.sort_by(|a, b| {
+        (a - mean)
+            .abs()
+            .partial_cmp(&(b - mean).abs())
+            .expect("finite samples")
+    });
+    let keep = ((samples.len() as f64) * 0.8).ceil() as usize;
+    let kept = &by_distance[..keep.max(1)];
+    let m = kept.iter().sum::<f64>() / kept.len() as f64;
+    let var = kept.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / kept.len() as f64;
+    (m, var.sqrt())
+}
+
+/// Client-observed request latencies.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyMeter {
+    samples: Vec<Time>,
+}
+
+impl LatencyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> LatencyMeter {
+        LatencyMeter::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Time) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no latency has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u128 = self.samples.iter().map(|&t| t as u128).sum();
+        (sum as f64 / self.samples.len() as f64) / SECOND as f64
+    }
+
+    /// Standard deviation in seconds.
+    pub fn std_dev_seconds(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_seconds();
+        let var = self
+            .samples
+            .iter()
+            .map(|&t| {
+                let x = t as f64 / SECOND as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// The p-th percentile (0-100) in seconds.
+    pub fn percentile_seconds(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)] as f64 / SECOND as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MILLI;
+
+    #[test]
+    fn throughput_basic() {
+        let mut m = ThroughputMeter::new(10);
+        // 10 ops in 1 second -> 10 tps.
+        for i in 1..=10u64 {
+            m.record(i * SECOND / 10, 1);
+        }
+        assert_eq!(m.samples().len(), 1);
+        let tps = m.samples()[0];
+        assert!((tps - 11.1).abs() < 1.2, "{tps}"); // 10 ops over 0.9s window
+    }
+
+    #[test]
+    fn trimmed_mean_discards_outliers() {
+        let mut samples = vec![100.0; 8];
+        samples.push(1000.0); // outlier
+        samples.push(0.0); // outlier
+        let (mean, _) = trimmed_mean(&samples);
+        assert!((mean - 100.0).abs() < 1e-9, "{mean}");
+    }
+
+    #[test]
+    fn trimmed_mean_empty() {
+        assert_eq!(trimmed_mean(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = LatencyMeter::new();
+        for i in 1..=100u64 {
+            m.record(i * MILLI);
+        }
+        assert!((m.percentile_seconds(50.0) - 0.050).abs() < 0.002);
+        assert!((m.percentile_seconds(99.0) - 0.099).abs() < 0.002);
+        assert!((m.mean_seconds() - 0.0505).abs() < 0.001);
+    }
+
+    #[test]
+    fn timeline_records_pairs() {
+        let mut m = ThroughputMeter::new(5);
+        for i in 1..=20u64 {
+            m.record(i * 100 * MILLI, 1);
+        }
+        assert_eq!(m.timeline().len(), 4);
+        assert_eq!(m.total(), 20);
+    }
+}

@@ -1,0 +1,18 @@
+//! Mod-SMaRt state machine replication for SmartChain.
+//!
+//! This crate reimplements the BFT-SMaRt stack the paper builds on
+//! (§II-C): the [`ordering`] core (total order via sequential VP-Consensus
+//! instances with regency-based leader changes), the [`types`] wire
+//! vocabulary, the [`app`] service interface, simulation [`actor`]s for
+//! replicas and closed-loop [`client`]s, and the Dura-SMaRt-style
+//! [`durability`] pipeline whose batch-coalescing the paper measures in
+//! Table I.
+
+pub mod actor;
+pub mod app;
+pub mod client;
+pub mod durability;
+pub mod ordering;
+pub mod reconfig;
+pub mod runtime;
+pub mod types;

@@ -1,0 +1,729 @@
+//! The Mod-SMaRt total-order core: a sans-IO state machine that turns client
+//! requests into an ordered stream of batches by running a sequence of
+//! VP-Consensus instances (one at a time — the paper's α = 1), with
+//! regency-based leader changes.
+
+use crate::types::{decode_batch, encode_batch, Request};
+use smartchain_consensus::instance::{Decision, Instance};
+use smartchain_consensus::messages::{ConsensusMsg, Output};
+use smartchain_consensus::synchronizer::{StopData, SyncAction, SyncMsg, Synchronizer};
+use smartchain_consensus::{ReplicaId, View};
+use smartchain_crypto::keys::SecretKey;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// How many instances ahead of `last_decided` a replica will participate in
+/// (catch-up window before state transfer is required).
+const INSTANCE_WINDOW: u64 = 8;
+
+/// Wire messages exchanged by SMR replicas (clients speak
+/// [`SmrMsg::Request`]/[`SmrMsg::Reply`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrMsg {
+    /// Client request (sent by clients to all replicas).
+    Request(crate::types::Request),
+    /// Consensus-instance traffic.
+    Consensus(ConsensusMsg),
+    /// Synchronization-phase traffic.
+    Sync(SyncMsg),
+    /// Reply to a client.
+    Reply(crate::types::Reply),
+}
+
+impl SmrMsg {
+    /// Estimated wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SmrMsg::Request(r) => 4 + r.wire_size(),
+            SmrMsg::Consensus(c) => 4 + c.wire_size(),
+            SmrMsg::Sync(s) => 4 + s.wire_size(),
+            SmrMsg::Reply(r) => 4 + r.wire_size(),
+        }
+    }
+}
+
+/// A network message type that can carry SMR traffic — lets generic
+/// components (e.g. the closed-loop client actor) work over richer message
+/// enums such as SmartChain's.
+pub trait SmrEnvelope: Clone + 'static {
+    /// Wraps an SMR message.
+    fn from_smr(msg: SmrMsg) -> Self;
+    /// Views this message as a client reply, if it is one.
+    fn as_reply(&self) -> Option<&crate::types::Reply>;
+    /// Wire size in bytes.
+    fn envelope_size(&self) -> usize;
+}
+
+impl SmrEnvelope for SmrMsg {
+    fn from_smr(msg: SmrMsg) -> Self {
+        msg
+    }
+    fn as_reply(&self) -> Option<&crate::types::Reply> {
+        match self {
+            SmrMsg::Reply(r) => Some(r),
+            _ => None,
+        }
+    }
+    fn envelope_size(&self) -> usize {
+        self.wire_size()
+    }
+}
+
+/// A totally-ordered, decided batch handed to the upper layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderedBatch {
+    /// Consensus instance that decided this batch.
+    pub instance: u64,
+    /// Epoch of the decision.
+    pub epoch: u32,
+    /// The decoded requests in proposal order.
+    pub requests: Vec<Request>,
+    /// The decision proof (quorum of signed ACCEPTs).
+    pub proof: smartchain_consensus::proof::DecisionProof,
+}
+
+/// Outputs of the ordering core.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreOutput {
+    /// Broadcast to all replicas in the view.
+    Broadcast(SmrMsg),
+    /// Point-to-point send.
+    Send(ReplicaId, SmrMsg),
+    /// In-order delivery of a decided batch.
+    Deliver(OrderedBatch),
+    /// The replica fell more than the window behind; the embedding must run
+    /// state transfer up to (at least) the given instance.
+    NeedStateTransfer {
+        /// Some replica has decided at least this instance.
+        observed_instance: u64,
+    },
+}
+
+/// Configuration of the ordering core.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderingConfig {
+    /// Maximum requests per proposed batch (the paper/SmartChain use 512).
+    pub max_batch: usize,
+}
+
+impl Default for OrderingConfig {
+    fn default() -> Self {
+        OrderingConfig { max_batch: 512 }
+    }
+}
+
+/// The per-replica ordering state machine.
+pub struct OrderingCore {
+    me: ReplicaId,
+    view: View,
+    secret: SecretKey,
+    config: OrderingConfig,
+    synchronizer: Synchronizer,
+    instances: BTreeMap<u64, Instance>,
+    /// Highest instance delivered to the upper layer.
+    last_delivered: u64,
+    /// Decisions that arrived out of order, waiting for their predecessors.
+    undelivered: BTreeMap<u64, Decision>,
+    /// Requests admitted and not yet delivered.
+    pending: VecDeque<Request>,
+    /// Ids of live entries in `pending` (O(1) dedup; removal is lazy —
+    /// deque entries whose id left this set are dropped when encountered).
+    pending_ids: std::collections::HashSet<(u64, u64)>,
+    /// Instance/epoch pairs we already proposed in (leader bookkeeping).
+    proposed: HashMap<u64, u32>,
+    /// Per-client highest delivered sequence number (dedup).
+    delivered_seq: HashMap<u64, u64>,
+}
+
+impl std::fmt::Debug for OrderingCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OrderingCore")
+            .field("me", &self.me)
+            .field("last_delivered", &self.last_delivered)
+            .field("pending", &self.pending.len())
+            .field("regency", &self.synchronizer.regency())
+            .finish()
+    }
+}
+
+impl OrderingCore {
+    /// Creates the core for replica `me` in `view`, using `secret` as this
+    /// replica's consensus key. `next_instance` is 1 + the highest instance
+    /// already applied (1 for a fresh start; decided instances start at 1 so
+    /// that block numbers align with the genesis block being 0).
+    pub fn new(
+        me: ReplicaId,
+        view: View,
+        secret: SecretKey,
+        config: OrderingConfig,
+        last_applied: u64,
+    ) -> OrderingCore {
+        OrderingCore {
+            me,
+            synchronizer: Synchronizer::new(me, view.clone()),
+            view,
+            secret,
+            config,
+            instances: BTreeMap::new(),
+            last_delivered: last_applied,
+            undelivered: BTreeMap::new(),
+            pending: VecDeque::new(),
+            pending_ids: std::collections::HashSet::new(),
+            proposed: HashMap::new(),
+            delivered_seq: HashMap::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Current regency (for timeout bookkeeping by the embedding).
+    pub fn regency(&self) -> u32 {
+        self.synchronizer.regency()
+    }
+
+    /// Leader of the current regency.
+    pub fn leader(&self) -> ReplicaId {
+        self.synchronizer.current_leader()
+    }
+
+    /// True when this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.leader() == self.me
+    }
+
+    /// Highest instance delivered so far.
+    pub fn last_delivered(&self) -> u64 {
+        self.last_delivered
+    }
+
+    /// Number of admitted, undelivered requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Replaces the view and resets consensus machinery (used after
+    /// reconfiguration installs a new membership, per paper §V-D). Open
+    /// instances are dropped — reconfigurations happen at instance
+    /// boundaries, right after a delivery.
+    pub fn install_view(&mut self, view: View, secret: SecretKey) {
+        self.view = view.clone();
+        self.secret = secret;
+        self.synchronizer = Synchronizer::new(self.me, view);
+        self.instances = BTreeMap::new();
+        self.proposed.clear();
+    }
+
+    /// Records that `(client, seq)` was delivered in replayed history —
+    /// state transfer MUST call this for every replayed request, or the
+    /// recovering replica's duplicate filter diverges from its peers' and
+    /// client retransmissions fork the delivered sequence.
+    pub fn note_delivered(&mut self, client: u64, seq: u64) {
+        self.delivered_seq
+            .entry(client)
+            .and_modify(|s| *s = (*s).max(seq))
+            .or_insert(seq);
+        self.pending_ids.remove(&(client, seq));
+    }
+
+    /// Fast-forwards after state transfer: everything up to `instance` is
+    /// already applied via a snapshot/log replay.
+    pub fn fast_forward(&mut self, instance: u64) {
+        if instance <= self.last_delivered {
+            return;
+        }
+        self.last_delivered = instance;
+        self.undelivered.retain(|&i, _| i > instance);
+        self.instances.retain(|&i, _| i > instance);
+    }
+
+    /// Admits a request for ordering. The embedding is responsible for
+    /// signature policy (verify before admitting, or charge pool time).
+    /// Returns outputs (a proposal may start immediately).
+    pub fn submit(&mut self, request: Request) -> Vec<CoreOutput> {
+        // Drop already-delivered or already-pending duplicates.
+        if self
+            .delivered_seq
+            .get(&request.client)
+            .is_some_and(|&s| request.seq <= s)
+        {
+            return Vec::new();
+        }
+        if !self.pending_ids.insert(request.id()) {
+            return Vec::new();
+        }
+        self.pending.push_back(request);
+        self.try_propose()
+    }
+
+    /// Called by the embedding when its progress timer fires and nothing was
+    /// delivered since the timer was armed: starts a leader change.
+    pub fn on_progress_timeout(&mut self) -> Vec<CoreOutput> {
+        if self.pending_ids.is_empty() && self.undelivered.is_empty() {
+            return Vec::new();
+        }
+        let actions = self.synchronizer.request_change();
+        self.apply_sync_actions(actions)
+    }
+
+    /// Handles a message from another replica.
+    pub fn on_message(&mut self, from: ReplicaId, msg: SmrMsg) -> Vec<CoreOutput> {
+        match msg {
+            SmrMsg::Request(req) => self.submit(req),
+            SmrMsg::Consensus(cmsg) => self.on_consensus(from, cmsg),
+            SmrMsg::Sync(smsg) => {
+                let actions = self.synchronizer.on_message(from, smsg);
+                self.apply_sync_actions(actions)
+            }
+            SmrMsg::Reply(_) => Vec::new(), // replicas ignore replies
+        }
+    }
+
+    fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg) -> Vec<CoreOutput> {
+        let instance_id = msg.instance();
+        if instance_id <= self.last_delivered {
+            // Late traffic for an already-delivered instance: serve fetches
+            // (a lagging peer may need the value), drop the rest.
+            if let (ConsensusMsg::FetchValue { .. }, Some(inst)) =
+                (&msg, self.instances.get_mut(&instance_id))
+            {
+                let (outs, _) = inst.on_message(from, msg);
+                return outs.into_iter().map(Self::net).collect();
+            }
+            return Vec::new();
+        }
+        if instance_id > self.last_delivered + INSTANCE_WINDOW {
+            return vec![CoreOutput::NeedStateTransfer { observed_instance: instance_id }];
+        }
+        let mut outputs = Vec::new();
+        let inst = self.instance_entry(instance_id);
+        let (outs, decision) = inst.on_message(from, msg);
+        outputs.extend(outs.into_iter().map(Self::net));
+        if let Some(d) = decision {
+            outputs.extend(self.on_decision(d));
+        }
+        outputs
+    }
+
+    fn instance_entry(&mut self, id: u64) -> &mut Instance {
+        let me = self.me;
+        let view = self.view.clone();
+        let secret = self.secret.clone();
+        let regency = self.synchronizer.regency();
+        let leader = self.synchronizer.current_leader();
+        self.instances
+            .entry(id)
+            .or_insert_with(|| Instance::new(id, me, view, secret, leader, regency))
+    }
+
+    fn on_decision(&mut self, decision: Decision) -> Vec<CoreOutput> {
+        self.undelivered.insert(decision.instance, decision);
+        let mut outputs = Vec::new();
+        // Release contiguous decisions in order.
+        while let Some(d) = self.undelivered.remove(&(self.last_delivered + 1)) {
+            self.last_delivered = d.instance;
+            let requests = match decode_batch(&d.value) {
+                Ok(reqs) => reqs,
+                Err(_) => Vec::new(), // malformed batch decided: deliver empty
+            };
+            // Dedup against already-delivered requests and drop them from
+            // our own pending pool.
+            let mut fresh = Vec::with_capacity(requests.len());
+            for req in requests {
+                let seen = self
+                    .delivered_seq
+                    .get(&req.client)
+                    .is_some_and(|&s| req.seq <= s);
+                self.pending_ids.remove(&req.id());
+                if !seen {
+                    self.delivered_seq
+                        .entry(req.client)
+                        .and_modify(|s| *s = (*s).max(req.seq))
+                        .or_insert(req.seq);
+                    fresh.push(req);
+                }
+            }
+            outputs.push(CoreOutput::Deliver(OrderedBatch {
+                instance: d.instance,
+                epoch: d.epoch,
+                requests: fresh,
+                proof: d.proof.clone(),
+            }));
+        }
+        // Prune old instances (keep a tail to serve FetchValue).
+        let keep_from = self.last_delivered.saturating_sub(INSTANCE_WINDOW);
+        self.instances.retain(|&i, _| i >= keep_from);
+        outputs.extend(self.try_propose());
+        outputs
+    }
+
+    /// Starts the next consensus if this replica leads and work is queued.
+    pub fn try_propose(&mut self) -> Vec<CoreOutput> {
+        if !self.is_leader() || self.synchronizer.is_stopped() || self.pending_ids.is_empty() {
+            return Vec::new();
+        }
+        let next = self.last_delivered + 1;
+        let regency = self.synchronizer.regency();
+        if self.proposed.get(&next).is_some_and(|&e| e >= regency) {
+            return Vec::new();
+        }
+        if self.instances.get(&next).is_some_and(Instance::is_decided) {
+            return Vec::new();
+        }
+        // Drop stale deque entries (ids removed on delivery) lazily, then
+        // take up to a batch of live requests (which stay queued until their
+        // own delivery removes them).
+        while let Some(front) = self.pending.front() {
+            if self.pending_ids.contains(&front.id()) {
+                break;
+            }
+            self.pending.pop_front();
+        }
+        let batch: Vec<Request> = self
+            .pending
+            .iter()
+            .filter(|r| self.pending_ids.contains(&r.id()))
+            .take(self.config.max_batch)
+            .cloned()
+            .collect();
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let value = encode_batch(&batch);
+        self.proposed.insert(next, regency);
+        let me = self.me;
+        let inst = self.instance_entry(next);
+        let mut outputs: Vec<CoreOutput> = inst
+            .propose(value.clone())
+            .into_iter()
+            .map(Self::net)
+            .collect();
+        // The broadcast does not loop back; handle our own proposal.
+        let (outs, decision) = inst.on_message(me, ConsensusMsg::Propose {
+            instance: next,
+            epoch: regency,
+            value,
+        });
+        outputs.extend(outs.into_iter().map(Self::net));
+        if let Some(d) = decision {
+            outputs.extend(self.on_decision(d));
+        }
+        outputs
+    }
+
+    fn apply_sync_actions(&mut self, actions: Vec<SyncAction>) -> Vec<CoreOutput> {
+        let mut outputs = Vec::new();
+        for action in actions {
+            match action {
+                SyncAction::Broadcast(m) => outputs.push(CoreOutput::Broadcast(SmrMsg::Sync(m))),
+                SyncAction::Send(to, m) => outputs.push(CoreOutput::Send(to, SmrMsg::Sync(m))),
+                SyncAction::ProvideStopData { regency, leader } => {
+                    let locked = self
+                        .instances
+                        .get(&(self.last_delivered + 1))
+                        .and_then(Instance::locked_value)
+                        .and_then(|(value, cert)| {
+                            cert.map(|c| smartchain_consensus::synchronizer::LockedReport {
+                                instance: self.last_delivered + 1,
+                                epoch: c.epoch,
+                                value,
+                                cert: c,
+                            })
+                        });
+                    let msg = self.synchronizer.make_stopdata(
+                        regency,
+                        StopData { last_decided: self.last_delivered, locked },
+                    );
+                    if leader == self.me {
+                        let actions = self.synchronizer.on_message(self.me, msg);
+                        outputs.extend(self.apply_sync_actions(actions));
+                    } else {
+                        outputs.push(CoreOutput::Send(leader, SmrMsg::Sync(msg)));
+                    }
+                }
+                SyncAction::Install { regency, leader, adopt } => {
+                    let next = self.last_delivered + 1;
+                    let inst = self.instance_entry(next);
+                    inst.advance_epoch(regency, leader);
+                    // Adopt the carried value only if it belongs to OUR open
+                    // instance. A replica that already delivered that
+                    // instance must not re-decide its content one slot later
+                    // — that is precisely how histories fork.
+                    let adopt_here = match &adopt {
+                        Some((instance, value)) if *instance == next => Some(value.clone()),
+                        _ => None,
+                    };
+                    if let Some(value) = adopt_here.clone() {
+                        inst.adopt_value(value);
+                    }
+                    if leader == self.me {
+                        if let Some(value) = adopt_here {
+                            // Re-propose the locked value in the new epoch.
+                            self.proposed.insert(next, regency);
+                            let me = self.me;
+                            let inst = self.instance_entry(next);
+                            let mut outs: Vec<CoreOutput> =
+                                inst.propose(value.clone()).into_iter().map(Self::net).collect();
+                            let (more, decision) = inst.on_message(
+                                me,
+                                ConsensusMsg::Propose { instance: next, epoch: regency, value },
+                            );
+                            outs.extend(more.into_iter().map(Self::net));
+                            if let Some(d) = decision {
+                                outs.extend(self.on_decision(d));
+                            }
+                            outputs.extend(outs);
+                        } else {
+                            outputs.extend(self.try_propose());
+                        }
+                    }
+                }
+            }
+        }
+        outputs
+    }
+
+    fn net(out: Output<ConsensusMsg>) -> CoreOutput {
+        match out {
+            Output::Broadcast(m) => CoreOutput::Broadcast(SmrMsg::Consensus(m)),
+            Output::Send(to, m) => CoreOutput::Send(to, SmrMsg::Consensus(m)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartchain_crypto::keys::Backend;
+
+    fn make_cluster(n: usize) -> Vec<OrderingCore> {
+        let secrets: Vec<SecretKey> = (0..n)
+            .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 30; 32]))
+            .collect();
+        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        (0..n)
+            .map(|i| {
+                OrderingCore::new(
+                    i,
+                    view.clone(),
+                    secrets[i].clone(),
+                    OrderingConfig { max_batch: 4 },
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    fn req(client: u64, seq: u64) -> Request {
+        Request { client, seq, payload: vec![client as u8, seq as u8], signature: None }
+    }
+
+    /// Synchronously routes all outputs until quiescence; collects deliveries
+    /// per replica. `down` nodes neither send nor receive.
+    fn pump(
+        cores: &mut [OrderingCore],
+        initial: Vec<(ReplicaId, CoreOutput)>,
+        down: &[ReplicaId],
+    ) -> Vec<Vec<OrderedBatch>> {
+        let n = cores.len();
+        let mut delivered: Vec<Vec<OrderedBatch>> = vec![Vec::new(); n];
+        let mut queue: VecDeque<(ReplicaId, ReplicaId, SmrMsg)> = VecDeque::new();
+        let handle = |from: ReplicaId,
+                          out: CoreOutput,
+                          queue: &mut VecDeque<(ReplicaId, ReplicaId, SmrMsg)>,
+                          delivered: &mut Vec<Vec<OrderedBatch>>| {
+            match out {
+                CoreOutput::Broadcast(m) => {
+                    for to in 0..n {
+                        if to != from && !down.contains(&to) {
+                            queue.push_back((from, to, m.clone()));
+                        }
+                    }
+                }
+                CoreOutput::Send(to, m) => {
+                    if !down.contains(&to) {
+                        queue.push_back((from, to, m));
+                    }
+                }
+                CoreOutput::Deliver(b) => delivered[from].push(b),
+                CoreOutput::NeedStateTransfer { .. } => {}
+            }
+        };
+        for (from, out) in initial {
+            handle(from, out, &mut queue, &mut delivered);
+        }
+        while let Some((from, to, msg)) = queue.pop_front() {
+            if down.contains(&to) {
+                continue;
+            }
+            for out in cores[to].on_message(from, msg) {
+                handle(to, out, &mut queue, &mut delivered);
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn requests_are_ordered_and_delivered_everywhere() {
+        let mut cores = make_cluster(4);
+        let mut initial = Vec::new();
+        for i in 0..6u64 {
+            for out in cores[0].submit(req(i, 0)) {
+                initial.push((0usize, out));
+            }
+        }
+        let delivered = pump(&mut cores, initial, &[]);
+        for (r, batches) in delivered.iter().enumerate() {
+            let total: usize = batches.iter().map(|b| b.requests.len()).sum();
+            assert_eq!(total, 6, "replica {r} delivered {total}");
+            // max_batch = 4 so at least two instances ran.
+            assert!(batches.len() >= 2, "replica {r}");
+            // Instances are delivered in order.
+            let ids: Vec<u64> = batches.iter().map(|b| b.instance).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted);
+        }
+        // All replicas delivered identical sequences.
+        let seq0: Vec<(u64, u64)> = delivered[0]
+            .iter()
+            .flat_map(|b| b.requests.iter().map(Request::id))
+            .collect();
+        for r in 1..4 {
+            let seq: Vec<(u64, u64)> = delivered[r]
+                .iter()
+                .flat_map(|b| b.requests.iter().map(Request::id))
+                .collect();
+            assert_eq!(seq, seq0, "replica {r} ordering differs");
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_delivered_once() {
+        let mut cores = make_cluster(4);
+        let mut initial = Vec::new();
+        // The same request admitted twice at the leader plus once elsewhere.
+        for out in cores[0].submit(req(7, 1)) {
+            initial.push((0usize, out));
+        }
+        for out in cores[0].submit(req(7, 1)) {
+            initial.push((0usize, out));
+        }
+        for out in cores[1].submit(req(7, 1)) {
+            initial.push((1usize, out));
+        }
+        let delivered = pump(&mut cores, initial, &[]);
+        for (r, batches) in delivered.iter().enumerate() {
+            let ids: Vec<(u64, u64)> = batches
+                .iter()
+                .flat_map(|b| b.requests.iter().map(Request::id))
+                .collect();
+            assert_eq!(ids, vec![(7, 1)], "replica {r}: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn proofs_attached_to_deliveries_verify() {
+        let mut cores = make_cluster(4);
+        let view = cores[0].view().clone();
+        let mut initial = Vec::new();
+        for out in cores[0].submit(req(1, 1)) {
+            initial.push((0usize, out));
+        }
+        let delivered = pump(&mut cores, initial, &[]);
+        for batches in &delivered {
+            for b in batches {
+                assert!(b.proof.verify(&view), "delivery proof must verify");
+            }
+        }
+    }
+
+    #[test]
+    fn progress_resumes_after_leader_change() {
+        let mut cores = make_cluster(4);
+        // Leader 0 is down; submit to the others.
+        let mut initial = Vec::new();
+        for r in 1..4usize {
+            for out in cores[r].submit(req(42, 5)) {
+                initial.push((r, out));
+            }
+        }
+        // Nothing decides while leader is down.
+        let delivered = pump(&mut cores, initial, &[0]);
+        assert!(delivered.iter().all(|d| d.is_empty()));
+        // Timeouts fire at the live replicas.
+        let mut initial = Vec::new();
+        for r in 1..4usize {
+            for out in cores[r].on_progress_timeout() {
+                initial.push((r, out));
+            }
+        }
+        let delivered = pump(&mut cores, initial, &[0]);
+        for r in 1..4usize {
+            let total: usize = delivered[r].iter().map(|b| b.requests.len()).sum();
+            assert_eq!(total, 1, "replica {r} must deliver after leader change");
+        }
+        for r in 1..4usize {
+            assert_eq!(cores[r].regency(), 1);
+            assert_eq!(cores[r].leader(), 1);
+        }
+    }
+
+    #[test]
+    fn submit_on_follower_does_not_propose() {
+        let mut cores = make_cluster(4);
+        let outs = cores[2].submit(req(1, 1));
+        assert!(
+            outs.iter().all(|o| !matches!(
+                o,
+                CoreOutput::Broadcast(SmrMsg::Consensus(ConsensusMsg::Propose { .. }))
+            )),
+            "followers must not propose"
+        );
+    }
+
+    #[test]
+    fn far_future_instance_triggers_state_transfer_request() {
+        let mut cores = make_cluster(4);
+        let sig = SecretKey::from_seed(Backend::Sim, &[30u8; 32]).sign(b"w");
+        let outs = cores[3].on_message(
+            0,
+            SmrMsg::Consensus(ConsensusMsg::Write {
+                instance: 100,
+                epoch: 0,
+                value_hash: [0u8; 32],
+                signature: sig,
+            }),
+        );
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, CoreOutput::NeedStateTransfer { observed_instance: 100 })));
+    }
+
+    #[test]
+    fn fast_forward_skips_instances() {
+        let mut cores = make_cluster(4);
+        cores[0].fast_forward(50);
+        assert_eq!(cores[0].last_delivered(), 50);
+        // Traffic for instance 51 is now in-window.
+        let sig = SecretKey::from_seed(Backend::Sim, &[31u8; 32]).sign(b"w");
+        let outs = cores[0].on_message(
+            1,
+            SmrMsg::Consensus(ConsensusMsg::Write {
+                instance: 51,
+                epoch: 0,
+                value_hash: [0u8; 32],
+                signature: sig,
+            }),
+        );
+        assert!(outs
+            .iter()
+            .all(|o| !matches!(o, CoreOutput::NeedStateTransfer { .. })));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests on the total-order core: under arbitrary message
+//! interleavings, duplicate deliveries, and adversarial drop schedules, all
+//! replicas deliver identical request sequences (safety), and with no drops
+//! everything submitted is eventually delivered (liveness under synchrony).
+
+use proptest::prelude::*;
+use smartchain_consensus::{ReplicaId, View};
+use smartchain_crypto::keys::{Backend, SecretKey};
+use smartchain_smr::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
+use smartchain_smr::types::Request;
+
+fn make_cluster(n: usize, max_batch: usize) -> Vec<OrderingCore> {
+    let secrets: Vec<SecretKey> = (0..n)
+        .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 40; 32]))
+        .collect();
+    let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+    (0..n)
+        .map(|i| {
+            OrderingCore::new(
+                i,
+                view.clone(),
+                secrets[i].clone(),
+                OrderingConfig { max_batch },
+                0,
+            )
+        })
+        .collect()
+}
+
+fn req(client: u64, seq: u64) -> Request {
+    Request {
+        client,
+        seq,
+        payload: vec![client as u8, seq as u8],
+        signature: None,
+    }
+}
+
+/// Drives the cluster with a seeded scheduler: `order` decides which queued
+/// message is delivered next; `drop_mask` drops some deliveries entirely.
+/// Returns each replica's delivered id sequence.
+fn pump_randomized(
+    cores: &mut [OrderingCore],
+    submissions: Vec<(ReplicaId, Request)>,
+    order: &[u8],
+    drop_mask: &[bool],
+) -> Vec<Vec<(u64, u64)>> {
+    let n = cores.len();
+    let mut delivered: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+    let mut queue: Vec<(ReplicaId, ReplicaId, SmrMsg)> = Vec::new();
+    let handle =
+        |from: ReplicaId, out: CoreOutput, queue: &mut Vec<(ReplicaId, ReplicaId, SmrMsg)>,
+         delivered: &mut Vec<Vec<(u64, u64)>>| match out {
+            CoreOutput::Broadcast(m) => {
+                for to in 0..n {
+                    if to != from {
+                        queue.push((from, to, m.clone()));
+                    }
+                }
+            }
+            CoreOutput::Send(to, m) => queue.push((from, to, m)),
+            CoreOutput::Deliver(b) => {
+                delivered[from].extend(b.requests.iter().map(Request::id))
+            }
+            CoreOutput::NeedStateTransfer { .. } => {}
+        };
+    for (r, request) in submissions {
+        for out in cores[r].submit(request) {
+            handle(r, out, &mut queue, &mut delivered);
+        }
+    }
+    let mut step = 0usize;
+    while !queue.is_empty() && step < 100_000 {
+        // Pick a pseudo-random queued message.
+        let pick = order[step % order.len()] as usize % queue.len();
+        let (from, to, msg) = queue.swap_remove(pick);
+        let dropped = drop_mask[step % drop_mask.len()];
+        step += 1;
+        if dropped {
+            continue;
+        }
+        for out in cores[to].on_message(from, msg) {
+            handle(to, out, &mut queue, &mut delivered);
+        }
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// SAFETY: any delivery order, any drops — delivered sequences are
+    /// prefix-compatible across replicas and contain no duplicates.
+    #[test]
+    fn prop_no_divergence_under_drops(
+        order in proptest::collection::vec(any::<u8>(), 64),
+        drop_mask in proptest::collection::vec(prop::bool::weighted(0.10), 64),
+        clients in 1u64..5,
+        reqs in 1u64..5,
+        max_batch in 1usize..6,
+    ) {
+        let mut cores = make_cluster(4, max_batch);
+        let mut submissions = Vec::new();
+        for c in 0..clients {
+            for s in 0..reqs {
+                // Submit to every replica, as real clients do.
+                for r in 0..4usize {
+                    submissions.push((r, req(c, s)));
+                }
+            }
+        }
+        let delivered = pump_randomized(&mut cores, submissions, &order, &drop_mask);
+        for a in 0..4 {
+            // No duplicates within a replica.
+            let mut seen = std::collections::HashSet::new();
+            for id in &delivered[a] {
+                prop_assert!(seen.insert(*id), "replica {a} delivered {id:?} twice");
+            }
+            // Prefix compatibility between replicas.
+            for b in (a + 1)..4 {
+                let common = delivered[a].len().min(delivered[b].len());
+                prop_assert_eq!(
+                    &delivered[a][..common],
+                    &delivered[b][..common],
+                    "replicas {} and {} diverge", a, b
+                );
+            }
+        }
+    }
+
+    /// LIVENESS (no drops): everything submitted is delivered everywhere.
+    #[test]
+    fn prop_all_delivered_without_drops(
+        order in proptest::collection::vec(any::<u8>(), 64),
+        clients in 1u64..5,
+        reqs in 1u64..5,
+        max_batch in 1usize..6,
+    ) {
+        let mut cores = make_cluster(4, max_batch);
+        let mut submissions = Vec::new();
+        for c in 0..clients {
+            for s in 0..reqs {
+                for r in 0..4usize {
+                    submissions.push((r, req(c, s)));
+                }
+            }
+        }
+        let expected = (clients * reqs) as usize;
+        let no_drops = vec![false];
+        let delivered = pump_randomized(&mut cores, submissions, &order, &no_drops);
+        for r in 0..4 {
+            prop_assert_eq!(
+                delivered[r].len(),
+                expected,
+                "replica {} delivered {} of {}", r, delivered[r].len(), expected
+            );
+        }
+        // And in the identical order.
+        for r in 1..4 {
+            prop_assert_eq!(&delivered[r], &delivered[0]);
+        }
+    }
+}

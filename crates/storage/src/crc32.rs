@@ -1,0 +1,53 @@
+//! CRC-32 (IEEE 802.3 polynomial) for record framing.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 == 1 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(smartchain_storage::crc32::checksum(b"123456789"), 0xcbf43926);
+/// ```
+pub fn checksum(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(checksum(b""), 0);
+        assert_eq!(checksum(b"123456789"), 0xcbf43926);
+        assert_eq!(checksum(b"The quick brown fox jumps over the lazy dog"), 0x414fa339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = checksum(b"block-payload");
+        let b = checksum(b"block-pbyload");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Stable-storage substrate for SmartChain.
+//!
+//! The paper's durability analysis (Observation 1 / §II-C2) hinges on three
+//! storage behaviours this crate implements:
+//!
+//! * an **append-only record log** with per-record framing and CRC so a
+//!   crashed replica can recover the longest valid prefix ([`log`]);
+//! * a **group-commit WAL** that coalesces many record batches into a single
+//!   synchronous write, diluting fsync cost across requests — the
+//!   Dura-SMaRt "parallel logging" trick that buys the paper its 3.6×
+//!   ([`wal`]);
+//! * a **snapshot store** with atomic install, used by checkpoints
+//!   ([`snapshot`]).
+//!
+//! Everything works against the [`RecordLog`] trait so the discrete-event
+//! simulator can substitute virtual-time disks with identical semantics.
+
+pub mod crc32;
+pub mod log;
+pub mod mem;
+pub mod snapshot;
+pub mod wal;
+
+use std::io;
+
+/// How writes reach stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SyncPolicy {
+    /// Every append is followed by an fsync before it is acknowledged.
+    Sync,
+    /// Appends are buffered; the OS (or a timer) flushes eventually.
+    Async,
+    /// Data is kept in memory only (the paper's ∞-Persistence).
+    None,
+}
+
+/// An append-only log of opaque records.
+///
+/// Implementations: [`log::FileLog`] (real files + fsync) and
+/// [`mem::MemLog`] (heap only). The simulator provides a virtual-time
+/// implementation in `smartchain-sim`.
+pub trait RecordLog: Send {
+    /// Appends one record; returns its zero-based index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying device.
+    fn append(&mut self, record: &[u8]) -> io::Result<u64>;
+
+    /// Forces all buffered records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying device.
+    fn sync(&mut self) -> io::Result<()>;
+
+    /// Number of records currently readable.
+    fn len(&self) -> u64;
+
+    /// True when the log holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads record `index`; `None` when out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying device.
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>>;
+
+    /// Removes every record with index < `upto` (log truncation after a
+    /// checkpoint). Indices of the remaining records are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying device.
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()>;
+}

@@ -1,0 +1,283 @@
+//! A crash-safe framed append-only log backed by a real file.
+//!
+//! Record framing: `[len: u32 LE][crc32(payload): u32 LE][payload]`. On open,
+//! the file is scanned and truncated to the longest prefix of valid records —
+//! a torn tail write (crash mid-append) is discarded, matching the recovery
+//! behaviour SMR durability layers rely on.
+
+use crate::{crc32, RecordLog, SyncPolicy};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only log stored in a single file.
+#[derive(Debug)]
+pub struct FileLog {
+    file: File,
+    path: PathBuf,
+    policy: SyncPolicy,
+    /// Byte offset of each record's frame start (for random reads).
+    offsets: Vec<u64>,
+    /// Records logically removed from the front (kept on disk until rewrite).
+    prefix_dropped: u64,
+    tail: u64,
+}
+
+impl FileLog {
+    /// Opens (or creates) the log at `path`, recovering the valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors opening or scanning the file.
+    pub fn open(path: impl AsRef<Path>, policy: SyncPolicy) -> io::Result<FileLog> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        let mut offsets = Vec::new();
+        let mut pos = 0usize;
+        let mut prefix_dropped = 0u64;
+        // Optional header written by truncate_prefix rewrites.
+        if data.len() >= 12 && &data[..4] == b"SCLG" {
+            let mut dropped = [0u8; 8];
+            dropped.copy_from_slice(&data[4..12]);
+            prefix_dropped = u64::from_le_bytes(dropped);
+            pos = 12;
+        }
+        loop {
+            if pos + 8 > data.len() {
+                break;
+            }
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if pos + 8 + len > data.len() {
+                break; // torn tail
+            }
+            let payload = &data[pos + 8..pos + 8 + len];
+            if crc32::checksum(payload) != crc {
+                break; // corrupt tail
+            }
+            offsets.push(pos as u64);
+            pos += 8 + len;
+        }
+        // Truncate any torn tail so future appends start clean.
+        file.set_len(pos as u64)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(FileLog { file, path, policy, offsets, prefix_dropped, tail: pos as u64 })
+    }
+
+    /// The file this log lives in.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Total bytes on disk (useful for storage-cost accounting).
+    pub fn byte_len(&self) -> u64 {
+        self.tail
+    }
+
+    fn rewrite(&mut self, records: Vec<Vec<u8>>, new_prefix_dropped: u64) -> io::Result<()> {
+        // Rewrite into a temp file and atomically swap, so a crash during
+        // truncation never loses the suffix.
+        let tmp_path = self.path.with_extension("rewrite");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(b"SCLG")?;
+            tmp.write_all(&new_prefix_dropped.to_le_bytes())?;
+            for rec in &records {
+                let len = (rec.len() as u32).to_le_bytes();
+                let crc = crc32::checksum(rec).to_le_bytes();
+                tmp.write_all(&len)?;
+                tmp.write_all(&crc)?;
+                tmp.write_all(rec)?;
+            }
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        *self = FileLog::open(&self.path, self.policy)?;
+        Ok(())
+    }
+}
+
+impl RecordLog for FileLog {
+    fn append(&mut self, record: &[u8]) -> io::Result<u64> {
+        let len = (record.len() as u32).to_le_bytes();
+        let crc = crc32::checksum(record).to_le_bytes();
+        self.file.write_all(&len)?;
+        self.file.write_all(&crc)?;
+        self.file.write_all(record)?;
+        self.offsets.push(self.tail);
+        self.tail += 8 + record.len() as u64;
+        if self.policy == SyncPolicy::Sync {
+            self.file.sync_data()?;
+        }
+        Ok(self.prefix_dropped + self.offsets.len() as u64 - 1)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.policy != SyncPolicy::None {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.prefix_dropped + self.offsets.len() as u64
+    }
+
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
+        if index < self.prefix_dropped {
+            return Ok(None);
+        }
+        let local = (index - self.prefix_dropped) as usize;
+        let Some(&offset) = self.offsets.get(local) else {
+            return Ok(None);
+        };
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; 8];
+        file.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        let mut payload = vec![0u8; len];
+        file.read_exact(&mut payload)?;
+        if crc32::checksum(&payload) != crc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "crc mismatch"));
+        }
+        Ok(Some(payload))
+    }
+
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
+        if upto <= self.prefix_dropped {
+            return Ok(());
+        }
+        let keep_from = (upto - self.prefix_dropped).min(self.offsets.len() as u64) as usize;
+        let mut kept = Vec::with_capacity(self.offsets.len() - keep_from);
+        for i in keep_from..self.offsets.len() {
+            let idx = self.prefix_dropped + i as u64;
+            if let Some(rec) = self.read(idx)? {
+                kept.push(rec);
+            }
+        }
+        let new_dropped = self.prefix_dropped + keep_from as u64;
+        self.rewrite(kept, new_dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smartchain-log-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let path = tmpdir().join("a.log");
+        let _ = std::fs::remove_file(&path);
+        let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.append(b"one").unwrap(), 0);
+        assert_eq!(log.append(b"two").unwrap(), 1);
+        assert_eq!(log.read(0).unwrap().unwrap(), b"one");
+        assert_eq!(log.read(1).unwrap().unwrap(), b"two");
+        assert_eq!(log.read(2).unwrap(), None);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let path = tmpdir().join("b.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+            log.append(b"persisted").unwrap();
+        }
+        let log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.read(0).unwrap().unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn torn_tail_is_discarded() {
+        let path = tmpdir().join("c.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+            log.append(b"good").unwrap();
+        }
+        // Simulate a crash mid-append: write a frame header with no payload.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&100u32.to_le_bytes()).unwrap();
+            f.write_all(&0u32.to_le_bytes()).unwrap();
+            f.write_all(b"shor").unwrap();
+        }
+        let log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.read(0).unwrap().unwrap(), b"good");
+    }
+
+    #[test]
+    fn corrupt_record_stops_recovery() {
+        let path = tmpdir().join("d.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+            log.append(b"first").unwrap();
+            log.append(b"second").unwrap();
+        }
+        // Flip a payload byte of the second record.
+        {
+            let mut data = std::fs::read(&path).unwrap();
+            let last = data.len() - 1;
+            data[last] ^= 0xff;
+            std::fs::write(&path, data).unwrap();
+        }
+        let log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn truncate_prefix_preserves_indices() {
+        let path = tmpdir().join("e.log");
+        let _ = std::fs::remove_file(&path);
+        let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        for i in 0..10u32 {
+            log.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        log.truncate_prefix(6).unwrap();
+        assert_eq!(log.len(), 10);
+        assert_eq!(log.read(5).unwrap(), None);
+        assert_eq!(log.read(6).unwrap().unwrap(), b"rec-6");
+        assert_eq!(log.append(b"rec-10").unwrap(), 10);
+        // Truncation persists across reopen.
+        drop(log);
+        let log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert_eq!(log.read(3).unwrap(), None);
+        assert_eq!(log.read(9).unwrap().unwrap(), b"rec-9");
+        assert_eq!(log.read(10).unwrap().unwrap(), b"rec-10");
+    }
+
+    #[test]
+    fn empty_records_are_valid() {
+        let path = tmpdir().join("f.log");
+        let _ = std::fs::remove_file(&path);
+        let mut log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        log.append(b"").unwrap();
+        drop(log);
+        let log = FileLog::open(&path, SyncPolicy::Sync).unwrap();
+        assert_eq!(log.read(0).unwrap().unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,141 @@
+//! Durable snapshot (checkpoint) store.
+//!
+//! SmartChain stores service snapshots *outside* the blockchain, in their own
+//! files, with each snapshot referencing the last block whose transactions it
+//! covers (paper §V-B3). Installation is atomic (write-to-temp + rename) so a
+//! crash mid-checkpoint leaves the previous snapshot intact.
+
+use std::fs::{self, File};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Metadata + payload of one snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of the last block covered by this snapshot (inclusive).
+    pub covered_block: u64,
+    /// Serialized application state.
+    pub state: Vec<u8>,
+}
+
+/// A directory-backed snapshot store keeping the most recent snapshot.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<SnapshotStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    fn current_path(&self) -> PathBuf {
+        self.dir.join("snapshot.current")
+    }
+
+    /// Atomically installs `snapshot` as the current one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on failure the previous snapshot remains.
+    pub fn install(&self, snapshot: &Snapshot) -> io::Result<()> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(b"SCSN")?;
+            f.write_all(&snapshot.covered_block.to_le_bytes())?;
+            f.write_all(&(snapshot.state.len() as u64).to_le_bytes())?;
+            f.write_all(&snapshot.state)?;
+            let crc = crate::crc32::checksum(&snapshot.state);
+            f.write_all(&crc.to_le_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.current_path())?;
+        Ok(())
+    }
+
+    /// Loads the current snapshot; `None` when none has been installed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the snapshot file is corrupt.
+    pub fn load(&self) -> io::Result<Option<Snapshot>> {
+        let path = self.current_path();
+        let mut data = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut data)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        if data.len() < 24 || &data[..4] != b"SCSN" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"));
+        }
+        let covered_block = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes"));
+        let state_len = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes")) as usize;
+        if data.len() != 20 + state_len + 4 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot length"));
+        }
+        let state = data[20..20 + state_len].to_vec();
+        let crc = u32::from_le_bytes(data[20 + state_len..].try_into().expect("4 bytes"));
+        if crate::crc32::checksum(&state) != crc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "snapshot crc mismatch"));
+        }
+        Ok(Some(Snapshot { covered_block, state }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!(
+            "smartchain-snap-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        assert_eq!(store().load().unwrap(), None);
+    }
+
+    #[test]
+    fn install_load_roundtrip() {
+        let s = store();
+        let snap = Snapshot { covered_block: 42, state: vec![1, 2, 3, 4] };
+        s.install(&snap).unwrap();
+        assert_eq!(s.load().unwrap(), Some(snap));
+    }
+
+    #[test]
+    fn newer_snapshot_replaces_older() {
+        let s = store();
+        s.install(&Snapshot { covered_block: 1, state: vec![1] }).unwrap();
+        s.install(&Snapshot { covered_block: 2, state: vec![2] }).unwrap();
+        assert_eq!(s.load().unwrap().unwrap().covered_block, 2);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let s = store();
+        s.install(&Snapshot { covered_block: 7, state: vec![9u8; 100] }).unwrap();
+        let path = s.current_path();
+        let mut data = fs::read(&path).unwrap();
+        data[50] ^= 0x01;
+        fs::write(&path, data).unwrap();
+        assert!(s.load().is_err());
+    }
+}

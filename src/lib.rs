@@ -1,0 +1,48 @@
+//! # SmartChain
+//!
+//! A from-scratch Rust reproduction of **"From Byzantine Replication to
+//! Blockchain: Consensus is Only the Beginning"** (Bessani et al., DSN 2020):
+//! a permissioned blockchain platform layered on BFT state machine
+//! replication, with a self-verifiable block ledger, strong (0-Persistence)
+//! durability via the PERSIST phase, and fork-safe decentralized
+//! reconfiguration through per-view consensus-key rotation.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), Merkle trees, verification pool
+//! * [`codec`] — deterministic binary encoding
+//! * [`storage`] — append-only logs, group-commit WAL, snapshots
+//! * [`sim`] — deterministic discrete-event simulator with hardware models
+//! * [`consensus`] — VP-Consensus and the Mod-SMaRt synchronizer
+//! * [`smr`] — total ordering, clients, the Dura-SMaRt durability layer
+//! * [`core`] — the SMARTCHAIN blockchain layer (the paper's contribution)
+//! * [`coin`] — SMaRtCoin, the UTXO digital-coin application
+//! * [`baselines`] — Tendermint- and Fabric-style comparator models
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smartchain::core::harness::ChainClusterBuilder;
+//! use smartchain::core::audit::verify_chain;
+//! use smartchain::smr::app::CounterApp;
+//! use smartchain::sim::SECOND;
+//!
+//! let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+//!     .clients(1, 2, Some(10))
+//!     .build();
+//! cluster.run_until(30 * SECOND);
+//! let node = cluster.node::<CounterApp>(0);
+//! let report = verify_chain(&node.genesis().clone(), &node.chain())?;
+//! assert!(report.blocks > 0);
+//! # Ok::<(), smartchain::core::audit::AuditError>(())
+//! ```
+
+pub use smartchain_baselines as baselines;
+pub use smartchain_codec as codec;
+pub use smartchain_coin as coin;
+pub use smartchain_consensus as consensus;
+pub use smartchain_core as core;
+pub use smartchain_crypto as crypto;
+pub use smartchain_sim as sim;
+pub use smartchain_smr as smr;
+pub use smartchain_storage as storage;
