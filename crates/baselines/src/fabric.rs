@@ -19,11 +19,11 @@
 //! (the simulated client sends its transaction once; peer 0 acts as the
 //! submitting gateway) so the standard closed-loop client actor drives it.
 
+use smartchain_sim::metrics::ThroughputMeter;
+use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, MILLI};
 use smartchain_smr::app::Application;
 use smartchain_smr::ordering::SmrEnvelope;
 use smartchain_smr::types::{Reply, Request};
-use smartchain_sim::metrics::ThroughputMeter;
-use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, MILLI};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Wire messages of the Fabric model.
@@ -157,7 +157,7 @@ impl<A: Application> FabricNode<A> {
             batch_timer_armed: false,
             origins: HashSet::new(),
             meter: ThroughputMeter::new(1_000),
-        committed_blocks: 0,
+            committed_blocks: 0,
         }
     }
 
@@ -193,7 +193,10 @@ impl<A: Application> FabricNode<A> {
             }
         }
         // Deliver the block to all peers (including ourselves, locally).
-        let msg = FabMsg::Block { block, txs: txs.clone() };
+        let msg = FabMsg::Block {
+            block,
+            txs: txs.clone(),
+        };
         for (r, &node) in self.peers.iter().enumerate() {
             if r != self.me {
                 ctx.send(node, msg.clone(), msg.wire_size());
@@ -219,7 +222,12 @@ impl<A: Application> FabricNode<A> {
         for tx in txs {
             let result = self.app.execute(&tx);
             if self.origins.remove(&tx.id()) {
-                let reply = Reply { client: tx.client, seq: tx.seq, result, replica: self.me };
+                let reply = Reply {
+                    client: tx.client,
+                    seq: tx.seq,
+                    result,
+                    replica: self.me,
+                };
                 let node = smartchain_smr::actor::client_node(reply.client);
                 let msg = FabMsg::Reply(reply);
                 let size = msg.wire_size();
@@ -257,10 +265,7 @@ impl<A: Application> Actor<FabMsg> for FabricNode<A> {
                             }
                         }
                         // Gateway endorses locally too.
-                        let _ = ctx.pool_charge(
-                            ctx.hw().cpu.verify_ns + ctx.hw().cpu.sign_ns,
-                            1,
-                        );
+                        let _ = ctx.pool_charge(ctx.hw().cpu.verify_ns + ctx.hw().cpu.sign_ns, 1);
                         ctx.charge(ctx.hw().cpu.execute_tx_ns);
                         let mut set = HashSet::new();
                         set.insert(self.me);
@@ -268,12 +273,12 @@ impl<A: Application> Actor<FabMsg> for FabricNode<A> {
                     }
                     FabMsg::EndorseReq(tx) => {
                         // Endorser: verify, execute speculatively, sign.
-                        let _ = ctx.pool_charge(
-                            ctx.hw().cpu.verify_ns + ctx.hw().cpu.sign_ns,
-                            1,
-                        );
+                        let _ = ctx.pool_charge(ctx.hw().cpu.verify_ns + ctx.hw().cpu.sign_ns, 1);
                         ctx.charge(ctx.hw().cpu.execute_tx_ns);
-                        let rep = FabMsg::EndorseRep { tx: tx.id(), endorser: self.me };
+                        let rep = FabMsg::EndorseRep {
+                            tx: tx.id(),
+                            endorser: self.me,
+                        };
                         ctx.send(from, rep.clone(), rep.wire_size());
                     }
                     FabMsg::EndorseRep { tx, endorser } => {
@@ -318,10 +323,10 @@ impl<A: Application> Actor<FabMsg> for FabricNode<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smartchain_smr::app::CounterApp;
-    use smartchain_smr::client::{ClientActor, ClientConfig, CounterFactory};
     use smartchain_sim::hw::HwSpec;
     use smartchain_sim::{Cluster, SECOND};
+    use smartchain_smr::app::CounterApp;
+    use smartchain_smr::client::{ClientActor, ClientConfig, CounterFactory};
 
     fn build(n: usize, clients: u32, per_client: u64, config: FabConfig) -> Cluster<FabMsg> {
         let peers: Vec<NodeId> = (0..n).collect();
@@ -350,7 +355,10 @@ mod tests {
 
     #[test]
     fn pipeline_commits_all_transactions() {
-        let config = FabConfig { batch_timeout: 5 * MILLI, ..FabConfig::default() };
+        let config = FabConfig {
+            batch_timeout: 5 * MILLI,
+            ..FabConfig::default()
+        };
         let mut cluster = build(4, 3, 5, config);
         cluster.run_until(10 * SECOND);
         for i in 0..4 {
@@ -366,7 +374,10 @@ mod tests {
 
     #[test]
     fn every_peer_writes_the_ledger() {
-        let config = FabConfig { batch_timeout: 5 * MILLI, ..FabConfig::default() };
+        let config = FabConfig {
+            batch_timeout: 5 * MILLI,
+            ..FabConfig::default()
+        };
         let mut cluster = build(4, 2, 5, config);
         cluster.run_until(10 * SECOND);
         for i in 0..4 {

@@ -13,13 +13,13 @@
 //! * a `timeout_commit` pause between heights (Tendermint's default 1 s),
 //!   which dominates client latency.
 
+use smartchain_sim::metrics::ThroughputMeter;
+#[cfg(test)]
+use smartchain_sim::MILLI;
+use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, SECOND};
 use smartchain_smr::app::Application;
 use smartchain_smr::ordering::SmrEnvelope;
 use smartchain_smr::types::{Reply, Request};
-use smartchain_sim::metrics::ThroughputMeter;
-use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, SECOND};
-#[cfg(test)]
-use smartchain_sim::MILLI;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Wire messages of the Tendermint model.
@@ -71,9 +71,7 @@ impl TmMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             TmMsg::Tx(r) | TmMsg::Gossip(r) => 8 + r.wire_size(),
-            TmMsg::Proposal { txs, .. } => {
-                64 + txs.iter().map(Request::wire_size).sum::<usize>()
-            }
+            TmMsg::Proposal { txs, .. } => 64 + txs.iter().map(Request::wire_size).sum::<usize>(),
             TmMsg::Vote { .. } => 120, // height + round + block id + signature
             TmMsg::Reply(r) => 8 + r.wire_size(),
         }
@@ -217,7 +215,10 @@ impl<A: Application> TendermintNode<A> {
         let take = self.mempool.len().min(self.config.max_block);
         let txs: Vec<Request> = self.mempool.iter().take(take).cloned().collect();
         self.proposal.insert(self.height, txs.clone());
-        let msg = TmMsg::Proposal { height: self.height, txs };
+        let msg = TmMsg::Proposal {
+            height: self.height,
+            txs,
+        };
         ctx.charge(ctx.hw().cpu.sign_ns);
         self.broadcast(&msg, ctx);
         self.on_proposal_ready(self.height, ctx);
@@ -264,8 +265,7 @@ impl<A: Application> TendermintNode<A> {
         self.committed.insert(height);
         // Consensus-timeout overhead of the round (charged once per height).
         ctx.charge(self.config.round_overhead);
-        let block_bytes: usize =
-            64 + txs.iter().map(Request::wire_size).sum::<usize>();
+        let block_bytes: usize = 64 + txs.iter().map(Request::wire_size).sum::<usize>();
         // First write: the committed block, synchronously (WAL + block).
         ctx.disk_write(block_bytes, true, 0);
         ctx.charge(ctx.hw().cpu.disk_stall_placeholder());
@@ -316,7 +316,9 @@ impl<A: Application> Actor<TmMsg> for TendermintNode<A> {
     fn on_event(&mut self, event: Event<TmMsg>, ctx: &mut Ctx<'_, TmMsg>) {
         match event {
             Event::Start => {}
-            Event::Timer { token: TOKEN_NEXT_HEIGHT } => {
+            Event::Timer {
+                token: TOKEN_NEXT_HEIGHT,
+            } => {
                 self.pausing = false;
                 self.height += 1;
                 // Old-height bookkeeping can be dropped.
@@ -357,9 +359,11 @@ impl<A: Application> Actor<TmMsg> for TendermintNode<A> {
                     }
                     TmMsg::Proposal { height, txs } => {
                         if from_replica == Some(self.proposer(height)) {
-                            ctx.charge(ctx.hw().cpu.hash_time(
-                                txs.iter().map(Request::wire_size).sum::<usize>(),
-                            ));
+                            ctx.charge(
+                                ctx.hw()
+                                    .cpu
+                                    .hash_time(txs.iter().map(Request::wire_size).sum::<usize>()),
+                            );
                             self.proposal.entry(height).or_insert(txs);
                             self.on_proposal_ready(height, ctx);
                         }
@@ -380,10 +384,10 @@ impl<A: Application> Actor<TmMsg> for TendermintNode<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smartchain_smr::app::CounterApp;
-    use smartchain_smr::client::{ClientActor, ClientConfig, CounterFactory};
     use smartchain_sim::hw::HwSpec;
     use smartchain_sim::Cluster;
+    use smartchain_smr::app::CounterApp;
+    use smartchain_smr::client::{ClientActor, ClientConfig, CounterFactory};
 
     fn build(n: usize, clients: u32, per_client: u64, config: TmConfig) -> Cluster<TmMsg> {
         let peers: Vec<NodeId> = (0..n).collect();
@@ -455,7 +459,10 @@ mod tests {
             .downcast_ref::<TendermintNode<CounterApp>>()
             .unwrap();
         let total = node0.meter().total();
-        assert!(total >= 5 && total <= 20, "expected ~10 txs in 2s, got {total}");
+        assert!(
+            (5..=20).contains(&total),
+            "expected ~10 txs in 2s, got {total}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Micro-benchmark of a full VP-Consensus round (4 replicas, in-process
 //! message pumping): the pure protocol cost without any network/disk model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartchain_bench::micro::bench;
 use smartchain_consensus::instance::Instance;
 use smartchain_consensus::messages::{ConsensusMsg, Output};
 use smartchain_consensus::{ReplicaId, View};
@@ -11,7 +11,10 @@ fn run_round(n: usize, value: &[u8]) -> usize {
     let secrets: Vec<SecretKey> = (0..n)
         .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 60; 32]))
         .collect();
-    let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
     let mut instances: Vec<Instance> = (0..n)
         .map(|i| Instance::new(1, i, view.clone(), secrets[i].clone(), 0, 0))
         .collect();
@@ -45,24 +48,17 @@ fn run_round(n: usize, value: &[u8]) -> usize {
     decided
 }
 
-fn bench_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus_round");
-    for (n, batch_bytes) in [(4usize, 512usize), (4, 160_000), (7, 160_000), (10, 160_000)] {
+fn main() {
+    for (n, batch_bytes) in [
+        (4usize, 512usize),
+        (4, 160_000),
+        (7, 160_000),
+        (10, 160_000),
+    ] {
         let value = vec![0x11u8; batch_bytes];
-        group.throughput(Throughput::Bytes(batch_bytes as u64));
-        group.bench_with_input(
-            BenchmarkId::new(format!("n{n}"), batch_bytes),
-            &value,
-            |b, v| {
-                b.iter(|| {
-                    let decided = run_round(n, v);
-                    assert!(decided >= n - (n - 1) / 3);
-                });
-            },
-        );
+        bench(&format!("consensus_round/n{n}/{batch_bytes}B"), || {
+            let decided = run_round(n, &value);
+            assert!(decided >= n - (n - 1) / 3);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_round);
-criterion_main!(benches);

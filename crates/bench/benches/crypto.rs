@@ -2,45 +2,35 @@
 //! backends, Merkle trees, and sequential-vs-pooled batch verification (the
 //! mechanism behind the paper's "parallel signature verification" column).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartchain_bench::micro::{bench, black_box};
 use smartchain_crypto::keys::{Backend, PublicKey, SecretKey, Signature};
 use smartchain_crypto::pool::{verify_batch_sequential, VerifyPool};
 use smartchain_crypto::{merkle, sha256, sha512};
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha2");
+fn main() {
     for size in [64usize, 1024, 65536] {
         let data = vec![0xabu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
-            b.iter(|| sha256::digest(d))
+        bench(&format!("sha256/{size}"), || {
+            black_box(sha256::digest(&data));
         });
-        group.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
-            b.iter(|| sha512::digest(d))
+        bench(&format!("sha512/{size}"), || {
+            black_box(sha512::digest(&data));
         });
     }
-    group.finish();
-}
 
-fn bench_signatures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signatures");
     let msg = vec![0x42u8; 310]; // a SPEND-sized payload
     for backend in [Backend::Ed25519, Backend::Sim] {
         let key = SecretKey::from_seed(backend, &[7u8; 32]);
         let sig = key.sign(&msg);
         let pk = key.public_key();
-        group.bench_function(BenchmarkId::new("sign", format!("{backend:?}")), |b| {
-            b.iter(|| key.sign(&msg))
+        bench(&format!("sign/{backend:?}"), || {
+            black_box(key.sign(&msg));
         });
-        group.bench_function(BenchmarkId::new("verify", format!("{backend:?}")), |b| {
-            b.iter(|| pk.verify(&msg, &sig))
+        bench(&format!("verify/{backend:?}"), || {
+            black_box(pk.verify(&msg, &sig));
         });
     }
-    group.finish();
-}
 
-fn bench_verification_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verify_batch_512");
     let key = SecretKey::from_seed(Backend::Ed25519, &[9u8; 32]);
     let batch: Vec<(PublicKey, Vec<u8>, Signature)> = (0..512u32)
         .map(|i| {
@@ -49,31 +39,18 @@ fn bench_verification_pool(c: &mut Criterion) {
             (key.public_key(), msg, sig)
         })
         .collect();
-    group.sample_size(10);
-    group.bench_function("sequential", |b| {
-        b.iter(|| verify_batch_sequential(&batch))
+    bench("verify_batch_512/sequential", || {
+        black_box(verify_batch_sequential(&batch));
     });
     let pool = VerifyPool::new(std::thread::available_parallelism().map_or(4, |n| n.get()));
-    group.bench_function("pooled", |b| b.iter(|| pool.verify_batch(&batch)));
-    group.finish();
-}
+    bench("verify_batch_512/pooled", || {
+        black_box(pool.verify_batch(&batch));
+    });
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle");
     for n in [64usize, 512] {
         let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 380]).collect();
-        group.bench_with_input(BenchmarkId::new("root", n), &leaves, |b, l| {
-            b.iter(|| merkle::root(l))
+        bench(&format!("merkle_root/{n}"), || {
+            black_box(merkle::root(&leaves));
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_hashes,
-    bench_signatures,
-    bench_verification_pool,
-    bench_merkle
-);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! group-commit coalescing that underlies the Dura-SMaRt durability layer
 //! (one fsync covering many batches, paper §II-C2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smartchain_bench::micro::bench;
 use smartchain_storage::log::FileLog;
 use smartchain_storage::mem::MemLog;
 use smartchain_storage::wal::BatchingWriter;
@@ -14,56 +14,40 @@ fn tmp(name: &str) -> std::path::PathBuf {
     dir.join(name)
 }
 
-fn bench_append(c: &mut Criterion) {
-    let mut group = c.benchmark_group("log_append_512B");
+fn main() {
     let record = vec![0xaau8; 512];
-    group.throughput(Throughput::Bytes(512));
-    group.bench_function("mem", |b| {
-        let mut log = MemLog::new();
-        b.iter(|| log.append(&record).expect("append"));
-    });
-    group.bench_function("file_async", |b| {
-        let path = tmp("bench-async.log");
-        let _ = std::fs::remove_file(&path);
-        let mut log = FileLog::open(&path, SyncPolicy::Async).expect("open");
-        b.iter(|| log.append(&record).expect("append"));
-    });
-    group.sample_size(20);
-    group.bench_function("file_sync", |b| {
-        let path = tmp("bench-sync.log");
-        let _ = std::fs::remove_file(&path);
-        let mut log = FileLog::open(&path, SyncPolicy::Sync).expect("open");
-        b.iter(|| log.append(&record).expect("append"));
-    });
-    group.finish();
-}
 
-fn bench_group_commit(c: &mut Criterion) {
+    let mut log = MemLog::new();
+    bench("log_append_512B/mem", || {
+        log.append(&record).expect("append");
+    });
+
+    let path = tmp("bench-async.log");
+    let _ = std::fs::remove_file(&path);
+    let mut log = FileLog::open(&path, SyncPolicy::Async).expect("open");
+    bench("log_append_512B/file_async", || {
+        log.append(&record).expect("append");
+    });
+
+    let path = tmp("bench-sync.log");
+    let _ = std::fs::remove_file(&path);
+    let mut log = FileLog::open(&path, SyncPolicy::Sync).expect("open");
+    bench("log_append_512B/file_sync", || {
+        log.append(&record).expect("append");
+    });
+
     // The Dura-SMaRt effect: N records per flush vs one flush per record.
-    let mut group = c.benchmark_group("group_commit");
-    group.sample_size(20);
     for batch in [1usize, 10, 100] {
-        group.throughput(Throughput::Elements(batch as u64));
-        group.bench_with_input(
-            BenchmarkId::new("records_per_flush", batch),
-            &batch,
-            |b, &batch| {
-                let path = tmp(&format!("bench-gc-{batch}.log"));
-                let _ = std::fs::remove_file(&path);
-                let log = FileLog::open(&path, SyncPolicy::Async).expect("open");
-                let mut writer = BatchingWriter::new(log);
-                let record = vec![0x55u8; 512];
-                b.iter(|| {
-                    for _ in 0..batch {
-                        writer.submit(record.clone());
-                    }
-                    writer.flush().expect("flush");
-                });
-            },
-        );
+        let path = tmp(&format!("bench-gc-{batch}.log"));
+        let _ = std::fs::remove_file(&path);
+        let log = FileLog::open(&path, SyncPolicy::Async).expect("open");
+        let mut writer = BatchingWriter::new(log);
+        let record = vec![0x55u8; 512];
+        bench(&format!("group_commit/records_per_flush/{batch}"), || {
+            for _ in 0..batch {
+                writer.submit(record.clone());
+            }
+            writer.flush().expect("flush");
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_append, bench_group_commit);
-criterion_main!(benches);

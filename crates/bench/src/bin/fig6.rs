@@ -18,8 +18,14 @@ fn cell(r: &RunResult) -> String {
 
 fn main() {
     // Half the Table I workload per cell: the sweep spans 36 cluster runs.
-    let scale = Scale { requests_per_client: 30, ..Scale::default() };
-    println!("Figure 6 — SMARTCHAIN throughput (ktxs/sec), {} clients", scale.clients());
+    let scale = Scale {
+        requests_per_client: 30,
+        ..Scale::default()
+    };
+    println!(
+        "Figure 6 — SMARTCHAIN throughput (ktxs/sec), {} clients",
+        scale.clients()
+    );
     println!("paper reference n=4: strong Si+Sy ~12k, weak Si+Sy ~14k, strong Sy ~18k, weak Sy ~26k, Durable-SMaRt N ~33k");
     println!();
     let configs = [

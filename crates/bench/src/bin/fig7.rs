@@ -26,7 +26,7 @@ fn main() {
     let replicas = 4usize;
     let client_actors = 4usize;
     let logical_per_actor = 150u32; // 600 clients (as in the paper)
-    // Clients issue effectively unbounded traffic for the 600s window.
+                                    // Clients issue effectively unbounded traffic for the 600s window.
     let clients: Vec<u64> = (0..client_actors)
         .flat_map(|a| {
             (0..logical_per_actor)
@@ -53,7 +53,10 @@ fn main() {
         .app_data(minters)
         // Checkpoint every z blocks; calibrated so one lands mid-run.
         .checkpoint_period(1800)
-        .extra_node(NodeSchedule { join_at: Some(30 * SECOND), leave_at: Some(120 * SECOND) })
+        .extra_node(NodeSchedule {
+            join_at: Some(30 * SECOND),
+            leave_at: Some(120 * SECOND),
+        })
         .clients(client_actors, logical_per_actor, None)
         .client_factory(|| Box::new(CoinFactory::new(100)))
         .build();
@@ -61,7 +64,9 @@ fn main() {
     cluster.sim().crash(3, 60 * SECOND);
     cluster.sim().recover(3, 90 * SECOND);
     println!("Figure 7 — throughput timeline (strong variant, Si+Sy, 600 clients, 100MB state)");
-    println!("events (4x-compressed timeline): join@30s crash@60s recover@90s ckpt@~105s leave@120s");
+    println!(
+        "events (4x-compressed timeline): join@30s crash@60s recover@90s ckpt@~105s leave@120s"
+    );
     println!();
     println!("{:>6} {:>10}  bar", "t(s)", "ktxs/s");
     let mut printed = 0u64;
@@ -83,12 +88,17 @@ fn main() {
     }
     println!();
     let node0 = cluster.node::<SmartCoinApp>(0);
-    println!("total committed: {printed} txs; final height: {:?}", node0.height());
+    println!(
+        "total committed: {printed} txs; final height: {:?}",
+        node0.height()
+    );
     println!(
         "final view: {:?} (id, members)",
         node0.view().map(|v| (v.id, v.n()))
     );
     let joiner = cluster.node::<SmartCoinApp>(4);
-    println!("replica 4 active at end: {} (joined @30s, left @120s)", joiner.is_active());
-
+    println!(
+        "replica 4 active at end: {} (joined @30s, left @120s)",
+        joiner.is_active()
+    );
 }

@@ -29,7 +29,7 @@ const REPLAY_NS_PER_TX: u64 = 6_000;
 /// Update time for a chain of `blocks` with checkpoint period `z`
 /// (`z == 0` means checkpoints disabled).
 fn update_time(hw: &HwSpec, blocks: u64, z: u64) -> Time {
-    let last_checkpoint = if z == 0 { 0 } else { (blocks / z) * z };
+    let last_checkpoint = blocks.checked_div(z).map_or(0, |q| q * z);
     let suffix_blocks = blocks - last_checkpoint;
     let mut t: Time = 0;
     if last_checkpoint > 0 {
@@ -65,5 +65,8 @@ fn main() {
         );
     }
     println!();
-    println!("(state: 100MB snapshot; blocks of {TXS_PER_BLOCK} txs; replay {}us/tx)", REPLAY_NS_PER_TX / 1000);
+    println!(
+        "(state: 100MB snapshot; blocks of {TXS_PER_BLOCK} txs; replay {}us/tx)",
+        REPLAY_NS_PER_TX / 1000
+    );
 }

@@ -10,15 +10,43 @@ use smartchain_smr::actor::{AppLedger, DurabilityMode, SigMode};
 
 fn main() {
     let scale = Scale::default();
-    println!("Table I — SMaRtCoin throughput (txs/sec), n=4, {} clients", scale.clients());
+    println!(
+        "Table I — SMaRtCoin throughput (txs/sec), n=4, {} clients",
+        scale.clients()
+    );
     println!("paper reference (SPEND): seq+sync 1729, seq+async 1760, par+sync 3881, par+async 4027, Dura-SMaRt 14829");
     println!();
     let configs: [(&str, SigMode, AppLedger, DurabilityMode); 5] = [
-        ("Seq. verification, sync writes ", SigMode::Sequential, AppLedger::Sync, DurabilityMode::None),
-        ("Seq. verification, async writes", SigMode::Sequential, AppLedger::Async, DurabilityMode::None),
-        ("Par. verification, sync writes ", SigMode::Parallel, AppLedger::Sync, DurabilityMode::None),
-        ("Par. verification, async writes", SigMode::Parallel, AppLedger::Async, DurabilityMode::None),
-        ("Dura-SMaRt durability layer    ", SigMode::Parallel, AppLedger::None, DurabilityMode::DuraSmart),
+        (
+            "Seq. verification, sync writes ",
+            SigMode::Sequential,
+            AppLedger::Sync,
+            DurabilityMode::None,
+        ),
+        (
+            "Seq. verification, async writes",
+            SigMode::Sequential,
+            AppLedger::Async,
+            DurabilityMode::None,
+        ),
+        (
+            "Par. verification, sync writes ",
+            SigMode::Parallel,
+            AppLedger::Sync,
+            DurabilityMode::None,
+        ),
+        (
+            "Par. verification, async writes",
+            SigMode::Parallel,
+            AppLedger::Async,
+            DurabilityMode::None,
+        ),
+        (
+            "Dura-SMaRt durability layer    ",
+            SigMode::Parallel,
+            AppLedger::None,
+            DurabilityMode::DuraSmart,
+        ),
     ];
     let mut results = Vec::new();
     for (label, sig, ledger, durability) in configs {
@@ -30,6 +58,12 @@ fn main() {
     let seq = results[0].1.throughput;
     let par = results[2].1.throughput;
     let dura = results[4].1.throughput;
-    println!("shape check: parallel/sequential = {:.2}x (paper ~2.2x)", par / seq);
-    println!("shape check: dura-smart/parallel-sync = {:.2}x (paper ~3.8x)", dura / par);
+    println!(
+        "shape check: parallel/sequential = {:.2}x (paper ~2.2x)",
+        par / seq
+    );
+    println!(
+        "shape check: dura-smart/parallel-sync = {:.2}x (paper ~3.8x)",
+        dura / par
+    );
 }

@@ -11,7 +11,10 @@ use smartchain_core::node::{Persistence, Variant};
 
 fn main() {
     let scale = Scale::default();
-    println!("Table II — throughput (txs/sec) and latency (sec), n=4, {} clients", scale.clients());
+    println!(
+        "Table II — throughput (txs/sec) and latency (sec), n=4, {} clients",
+        scale.clients()
+    );
     println!("paper reference: SC-strong 12560/0.210, SC-weak 14547/0.200, Tendermint 1602/1.378, Fabric 381/1.602");
     println!();
     let strong = run_smartchain(4, Variant::Strong, Persistence::Sync, true, scale, 3);

@@ -15,6 +15,8 @@
 //! [`HwSpec::paper_testbed`] hardware model; see EXPERIMENTS.md for the
 //! calibration rationale and paper-vs-measured comparison.
 
+pub mod micro;
+
 use smartchain_baselines::fabric::{FabConfig, FabMsg, FabricNode};
 use smartchain_baselines::tendermint::{TendermintNode, TmConfig, TmMsg};
 use smartchain_coin::workload::{authorized_minters, CoinFactory};
@@ -119,7 +121,10 @@ pub fn run_smr_coin(
     let secrets: Vec<SecretKey> = (0..n)
         .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 90; 32]))
         .collect();
-    let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
     let peers: Vec<NodeId> = (0..n).collect();
     let clients = workload_clients(n, scale);
     let minters = authorized_minters(clients.iter().copied());
@@ -137,6 +142,7 @@ pub fn run_smr_coin(
         ..ReplicaConfig::default()
     };
     let mut actors: Vec<Box<dyn Actor<SmrMsg>>> = Vec::new();
+    #[allow(clippy::needless_range_loop)] // i is the replica id, not just an index
     for i in 0..n {
         actors.push(Box::new(ReplicaActor::new(
             i,
@@ -173,13 +179,16 @@ pub fn run_smr_coin(
         .expect("replica actor");
     let (throughput, std_dev) = replica.meter().trimmed_mean();
     let (latency, latency_std, _) = client_latency::<SmrMsg>(&cluster, &client_nodes);
-    RunResult { throughput, std_dev, latency, latency_std, total: replica.meter().total() }
+    RunResult {
+        throughput,
+        std_dev,
+        latency,
+        latency_std,
+        total: replica.meter().total(),
+    }
 }
 
-fn client_latency<M: 'static>(
-    cluster: &Cluster<M>,
-    client_nodes: &[NodeId],
-) -> (f64, f64, u64) {
+fn client_latency<M: 'static>(cluster: &Cluster<M>, client_nodes: &[NodeId]) -> (f64, f64, u64) {
     let mut means = Vec::new();
     let mut stds = Vec::new();
     let mut total = 0u64;
@@ -206,8 +215,16 @@ fn client_latency<M: 'static>(
             total += client.completed();
         }
     }
-    let mean = if means.is_empty() { 0.0 } else { means.iter().sum::<f64>() / means.len() as f64 };
-    let std = if stds.is_empty() { 0.0 } else { stds.iter().sum::<f64>() / stds.len() as f64 };
+    let mean = if means.is_empty() {
+        0.0
+    } else {
+        means.iter().sum::<f64>() / means.len() as f64
+    };
+    let std = if stds.is_empty() {
+        0.0
+    } else {
+        stds.iter().sum::<f64>() / stds.len() as f64
+    };
     (mean, std, total)
 }
 
@@ -225,7 +242,11 @@ pub fn run_smartchain(
     let config = NodeConfig {
         variant,
         persistence,
-        sig_mode: if signatures { SigMode::Parallel } else { SigMode::None },
+        sig_mode: if signatures {
+            SigMode::Parallel
+        } else {
+            SigMode::None
+        },
         ordering: OrderingConfig { max_batch: 512 },
         execute_ns: 8_000,
         reply_size: 380,
@@ -261,7 +282,13 @@ pub fn run_smartchain(
         lat_mean /= count as f64;
         lat_std /= count as f64;
     }
-    RunResult { throughput, std_dev, latency: lat_mean, latency_std: lat_std, total }
+    RunResult {
+        throughput,
+        std_dev,
+        latency: lat_mean,
+        latency_std: lat_std,
+        total,
+    }
 }
 
 /// Runs the Tendermint model (Table II row).
@@ -270,7 +297,10 @@ pub fn run_tendermint(n: usize, scale: Scale, seed: u64) -> RunResult {
     let clients = workload_clients(n, scale);
     let minters = authorized_minters(clients.iter().copied());
     let peers: Vec<NodeId> = (0..n).collect();
-    let config = TmConfig { max_block: 4000, ..TmConfig::default() };
+    let config = TmConfig {
+        max_block: 4000,
+        ..TmConfig::default()
+    };
     let mut actors: Vec<Box<dyn Actor<TmMsg>>> = Vec::new();
     for i in 0..n {
         let mut app = SmartCoinApp::from_genesis_data(&minters);
@@ -304,7 +334,13 @@ pub fn run_tendermint(n: usize, scale: Scale, seed: u64) -> RunResult {
     let (throughput, std_dev) = trimmed_mean(node.meter().samples());
     let total = node.meter().total();
     let (latency, latency_std, _) = client_latency::<TmMsg>(&cluster, &client_nodes);
-    RunResult { throughput, std_dev, latency, latency_std, total }
+    RunResult {
+        throughput,
+        std_dev,
+        latency,
+        latency_std,
+        total,
+    }
 }
 
 /// Runs the Fabric model (Table II row). Fabric's server-side ceiling is far
@@ -350,7 +386,13 @@ pub fn run_fabric(n: usize, scale: Scale, seed: u64) -> RunResult {
     let (throughput, std_dev) = trimmed_mean(node.meter().samples());
     let total = node.meter().total();
     let (latency, latency_std, _) = client_latency::<FabMsg>(&cluster, &client_nodes);
-    RunResult { throughput, std_dev, latency, latency_std, total }
+    RunResult {
+        throughput,
+        std_dev,
+        latency,
+        latency_std,
+        total,
+    }
 }
 
 /// Formats a throughput cell like the paper's tables.

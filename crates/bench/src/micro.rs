@@ -1,0 +1,43 @@
+//! Minimal micro-benchmark harness (the workspace builds without external
+//! crates, so criterion is out). Wall-clock timing with a measured-iteration
+//! loop and median-of-samples reporting; good enough to spot order-of-magnitude
+//! regressions in the hot paths the `benches/` targets cover.
+
+use std::time::Instant;
+
+/// Runs `f` repeatedly and reports the median per-iteration time.
+///
+/// Calibrates an iteration count targeting ~50ms per sample, takes `samples`
+/// samples, prints `name: <median> ns/iter (min .. max)`.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up + calibrate.
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_millis() < 20 {
+        f();
+        calib_iters += 1;
+    }
+    let per_iter = (start.elapsed().as_nanos() as u64 / calib_iters.max(1)).max(1);
+    let iters = (50_000_000 / per_iter).clamp(1, 1_000_000);
+    let samples = 7usize;
+    let mut times: Vec<u64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        times.push(t.elapsed().as_nanos() as u64 / iters);
+    }
+    times.sort_unstable();
+    println!(
+        "{name}: {} ns/iter (min {} .. max {}, {iters} iters/sample)",
+        times[samples / 2],
+        times[0],
+        times[samples - 1]
+    );
+}
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -19,8 +19,6 @@
 //! # Ok::<(), smartchain_codec::DecodeError>(())
 //! ```
 
-use bytes::{Buf, BufMut};
-
 /// Error returned when decoding malformed input.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
@@ -64,7 +62,28 @@ pub trait Encode {
         self.encode(&mut out);
         out
     }
+
+    /// Exact length of the canonical encoding in bytes.
+    ///
+    /// This is the single source of truth for wire sizes: simulator NIC
+    /// models derive message sizes from it instead of keeping hand-rolled
+    /// per-variant estimates in sync with the encoders. The default
+    /// materializes the encoding; cheap types override it.
+    fn encoded_len(&self) -> usize {
+        self.to_vec().len()
+    }
 }
+
+/// Exact encoded length of `value` (see [`Encode::encoded_len`]).
+pub fn encoded_len<T: Encode + ?Sized>(value: &T) -> usize {
+    value.encoded_len()
+}
+
+/// Per-message transport framing (length prefix + type/auth overhead) that
+/// the simulator's NIC model charges on top of [`Encode::encoded_len`].
+/// One shared constant so every message enum's `wire_size` is
+/// `FRAME_BYTES + encoded_len` — no per-variant hand-rolled estimates.
+pub const FRAME_BYTES: usize = 8;
 
 /// A value that can be decoded from its canonical encoding.
 pub trait Decode: Sized {
@@ -104,17 +123,16 @@ macro_rules! impl_int {
     ($($ty:ty),*) => {$(
         impl Encode for $ty {
             fn encode(&self, out: &mut Vec<u8>) {
-                out.put_slice(&self.to_le_bytes());
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$ty>()
             }
         }
         impl Decode for $ty {
             fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
                 let bytes = take(input, std::mem::size_of::<$ty>())?;
-                let mut buf = bytes;
-                Ok(<$ty>::from_le_bytes(
-                    buf.copy_to_bytes(std::mem::size_of::<$ty>()).as_ref().try_into()
-                        .expect("sized read"),
-                ))
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized read")))
             }
         }
     )*};
@@ -125,6 +143,9 @@ impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64);
 impl Encode for bool {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -142,6 +163,9 @@ impl Encode for usize {
     fn encode(&self, out: &mut Vec<u8>) {
         (*self as u64).encode(out);
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Decode for usize {
@@ -153,7 +177,10 @@ impl Decode for usize {
 
 impl<const N: usize> Encode for [u8; N] {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.put_slice(self);
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        N
     }
 }
 
@@ -177,7 +204,10 @@ fn decode_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
 impl Encode for Vec<u8> {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u32).encode(out);
-        out.put_slice(self);
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -191,13 +221,19 @@ impl Decode for Vec<u8> {
 impl Encode for [u8] {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len() as u32).encode(out);
-        out.put_slice(self);
+        out.extend_from_slice(self);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
 impl Encode for String {
     fn encode(&self, out: &mut Vec<u8>) {
         self.as_bytes().encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -221,6 +257,9 @@ macro_rules! impl_vec_like {
                 for item in self {
                     item.encode(out);
                 }
+            }
+            fn encoded_len(&self) -> usize {
+                4 + self.iter().map(Encode::encoded_len).sum::<usize>()
             }
         }
         impl Decode for Vec<$ty> {
@@ -251,6 +290,11 @@ pub fn encode_seq<T: Encode>(items: &[T], out: &mut Vec<u8>) {
     }
 }
 
+/// Encoded length of a sequence written by [`encode_seq`].
+pub fn seq_encoded_len<T: Encode>(items: &[T]) -> usize {
+    4 + items.iter().map(Encode::encoded_len).sum::<usize>()
+}
+
 /// Decodes a sequence written by [`encode_seq`].
 ///
 /// # Errors
@@ -279,6 +323,9 @@ impl<T: Encode> Encode for Option<T> {
             }
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
 }
 
 impl<T: Decode> Decode for Option<T> {
@@ -299,6 +346,11 @@ macro_rules! impl_tuple {
                 let ($($name,)+) = self;
                 $($name.encode(out);)+
             }
+            fn encoded_len(&self) -> usize {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                0 $(+ $name.encoded_len())+
+            }
         }
         impl<$($name: Decode),+> Decode for ($($name,)+) {
             fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
@@ -317,7 +369,34 @@ impl_tuple!(A, B, C, D, E);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    use smartchain_sim::rng::SimRng;
+
+    /// Seeded generator helpers standing in for proptest (the workspace
+    /// builds without external crates).
+    struct Gen(SimRng);
+
+    impl Gen {
+        fn new(seed: u64) -> Gen {
+            Gen(SimRng::seed_from_u64(seed))
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+            let len = self.0.gen_range(max_len as u64 + 1) as usize;
+            self.0.gen_bytes(len)
+        }
+
+        fn string(&mut self, max_len: usize) -> String {
+            let len = self.0.gen_range(max_len as u64 + 1);
+            (0..len)
+                .map(|_| char::from_u32((self.0.gen_range(0xd7ff)) as u32).unwrap_or('x'))
+                .collect()
+        }
+    }
 
     #[test]
     fn ints_roundtrip() {
@@ -389,35 +468,82 @@ mod tests {
         assert!(input.is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn prop_bytes_roundtrip(data: Vec<u8>) {
+    #[test]
+    fn prop_bytes_roundtrip() {
+        let mut g = Gen::new(1);
+        for _ in 0..256 {
+            let data = g.bytes(512);
             let bytes = to_bytes(&data);
-            prop_assert_eq!(from_bytes::<Vec<u8>>(&bytes).unwrap(), data);
+            assert_eq!(from_bytes::<Vec<u8>>(&bytes).unwrap(), data);
         }
+    }
 
-        #[test]
-        fn prop_strings_roundtrip(s: String) {
+    #[test]
+    fn prop_strings_roundtrip() {
+        let mut g = Gen::new(2);
+        for _ in 0..256 {
+            let s = g.string(128);
             let bytes = to_bytes(&s);
-            prop_assert_eq!(from_bytes::<String>(&bytes).unwrap(), s);
+            assert_eq!(from_bytes::<String>(&bytes).unwrap(), s);
         }
+    }
 
-        #[test]
-        fn prop_tuples_roundtrip(a: u64, b: Vec<u8>, c: Option<u32>) {
-            let v = (a, b, c);
+    #[test]
+    fn prop_tuples_roundtrip() {
+        let mut g = Gen::new(3);
+        for _ in 0..256 {
+            let c = if g.next_u64().is_multiple_of(2) {
+                None
+            } else {
+                Some(g.next_u64() as u32)
+            };
+            let v = (g.next_u64(), g.bytes(64), c);
             let bytes = to_bytes(&v);
-            prop_assert_eq!(from_bytes::<(u64, Vec<u8>, Option<u32>)>(&bytes).unwrap(), v);
+            assert_eq!(
+                from_bytes::<(u64, Vec<u8>, Option<u32>)>(&bytes).unwrap(),
+                v
+            );
         }
+    }
 
-        #[test]
-        fn prop_u64_vecs_roundtrip(v: Vec<u64>) {
+    #[test]
+    fn prop_u64_vecs_roundtrip() {
+        let mut g = Gen::new(4);
+        for _ in 0..256 {
+            let len = (g.next_u64() as usize) % 64;
+            let v: Vec<u64> = (0..len).map(|_| g.next_u64()).collect();
             let bytes = to_bytes(&v);
-            prop_assert_eq!(from_bytes::<Vec<u64>>(&bytes).unwrap(), v);
+            assert_eq!(from_bytes::<Vec<u64>>(&bytes).unwrap(), v);
         }
+    }
 
-        #[test]
-        fn prop_decode_never_panics(data: Vec<u8>) {
-            // Decoding arbitrary junk must return an error, never panic.
+    #[test]
+    fn encoded_len_matches_materialized_encoding() {
+        let mut g = Gen::new(6);
+        for _ in 0..256 {
+            let tup = (g.next_u64(), g.bytes(64), g.string(32));
+            assert_eq!(tup.encoded_len(), tup.to_vec().len());
+            let opt = if g.next_u64().is_multiple_of(2) {
+                None
+            } else {
+                Some(g.bytes(16))
+            };
+            assert_eq!(opt.encoded_len(), opt.to_vec().len());
+            let v: Vec<u64> = (0..(g.next_u64() % 8)).map(|_| g.next_u64()).collect();
+            assert_eq!(v.encoded_len(), v.to_vec().len());
+            let arr = [7u8; 33];
+            assert_eq!(arr.encoded_len(), arr.to_vec().len());
+            assert_eq!(true.encoded_len(), 1);
+            assert_eq!(3usize.encoded_len(), 8);
+        }
+    }
+
+    #[test]
+    fn prop_decode_never_panics() {
+        // Decoding arbitrary junk must return an error, never panic.
+        let mut g = Gen::new(5);
+        for _ in 0..1024 {
+            let data = g.bytes(96);
             let _ = from_bytes::<(u64, Vec<u8>, String)>(&data);
             let _ = from_bytes::<Vec<u64>>(&data);
             let _ = from_bytes::<Option<Vec<u8>>>(&data);

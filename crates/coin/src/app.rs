@@ -28,7 +28,12 @@ impl SmartCoinApp {
     /// Creates the service with the given authorized minters (from the
     /// genesis block's app data).
     pub fn new(minters: Vec<PublicKey>) -> SmartCoinApp {
-        SmartCoinApp { utxos: BTreeMap::new(), minters, executed: 0, rejected: 0 }
+        SmartCoinApp {
+            utxos: BTreeMap::new(),
+            minters,
+            executed: 0,
+            rejected: 0,
+        }
     }
 
     /// Decodes the minter list from genesis app data (see
@@ -134,7 +139,13 @@ impl SmartCoinApp {
         let mut coins = Vec::with_capacity(outputs.len());
         for (i, output) in outputs.iter().enumerate() {
             let id = coin_id(request.client, request.seq, i as u32);
-            self.utxos.insert(id, Coin { owner: output.owner, value: output.value });
+            self.utxos.insert(
+                id,
+                Coin {
+                    owner: output.owner,
+                    value: output.value,
+                },
+            );
             coins.push(id);
         }
         self.executed += 1;
@@ -179,7 +190,13 @@ impl Application for SmartCoinApp {
         self.utxos = entries
             .into_iter()
             .map(|(id, owner, value)| {
-                (id, Coin { owner: PublicKey::from_wire(&owner), value })
+                (
+                    id,
+                    Coin {
+                        owner: PublicKey::from_wire(&owner),
+                        value,
+                    },
+                )
             })
             .collect();
         self.minters = minters.iter().map(PublicKey::from_wire).collect();
@@ -208,7 +225,12 @@ mod tests {
     fn signed_request(sk: &SecretKey, client: u64, seq: u64, tx: &CoinTx) -> Request {
         let payload = to_bytes(tx);
         let sig = sk.sign(&Request::sign_payload(client, seq, &payload));
-        Request { client, seq, payload, signature: Some((sk.public_key(), sig)) }
+        Request {
+            client,
+            seq,
+            payload,
+            signature: Some((sk.public_key(), sig)),
+        }
     }
 
     fn setup() -> (SmartCoinApp, SecretKey, SecretKey) {
@@ -222,7 +244,10 @@ mod tests {
     fn mint_and_spend_happy_path() {
         let (mut app, minter, user) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: minter.public_key(), value: 100 }],
+            outputs: vec![Output {
+                owner: minter.public_key(),
+                value: 100,
+            }],
         };
         let req = signed_request(&minter, 10, 0, &mint);
         let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
@@ -234,8 +259,14 @@ mod tests {
         let spend = CoinTx::Spend {
             inputs: coins,
             outputs: vec![
-                Output { owner: user.public_key(), value: 60 },
-                Output { owner: minter.public_key(), value: 40 },
+                Output {
+                    owner: user.public_key(),
+                    value: 60,
+                },
+                Output {
+                    owner: minter.public_key(),
+                    value: 40,
+                },
             ],
         };
         let req = signed_request(&minter, 10, 1, &spend);
@@ -250,11 +281,19 @@ mod tests {
     fn non_minter_cannot_mint() {
         let (mut app, _minter, user) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: user.public_key(), value: 5 }],
+            outputs: vec![Output {
+                owner: user.public_key(),
+                value: 5,
+            }],
         };
         let req = signed_request(&user, 11, 0, &mint);
         let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
-        assert_eq!(result, TxResult::Rejected { reason: RejectReason::NotAMinter });
+        assert_eq!(
+            result,
+            TxResult::Rejected {
+                reason: RejectReason::NotAMinter
+            }
+        );
         assert_eq!(app.total_value(), 0);
     }
 
@@ -262,19 +301,32 @@ mod tests {
     fn cannot_spend_others_coins() {
         let (mut app, minter, user) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: minter.public_key(),
+                value: 10,
+            }],
         };
         let req = signed_request(&minter, 10, 0, &mint);
         let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
-        let TxResult::Created { coins } = result else { panic!() };
+        let TxResult::Created { coins } = result else {
+            panic!()
+        };
         // The user tries to spend the minter's coin.
         let theft = CoinTx::Spend {
             inputs: coins,
-            outputs: vec![Output { owner: user.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: user.public_key(),
+                value: 10,
+            }],
         };
         let req = signed_request(&user, 11, 0, &theft);
         let result: TxResult = from_bytes(&app.execute(&req)).unwrap();
-        assert_eq!(result, TxResult::Rejected { reason: RejectReason::NotOwner });
+        assert_eq!(
+            result,
+            TxResult::Rejected {
+                reason: RejectReason::NotOwner
+            }
+        );
         assert_eq!(app.balance(&minter.public_key()), 10);
     }
 
@@ -282,7 +334,10 @@ mod tests {
     fn double_spend_rejected() {
         let (mut app, minter, user) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: minter.public_key(),
+                value: 10,
+            }],
         };
         let req = signed_request(&minter, 10, 0, &mint);
         let TxResult::Created { coins } = from_bytes(&app.execute(&req)).unwrap() else {
@@ -290,7 +345,10 @@ mod tests {
         };
         let spend = CoinTx::Spend {
             inputs: coins.clone(),
-            outputs: vec![Output { owner: user.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: user.public_key(),
+                value: 10,
+            }],
         };
         let req1 = signed_request(&minter, 10, 1, &spend);
         let r1: TxResult = from_bytes(&app.execute(&req1)).unwrap();
@@ -298,7 +356,12 @@ mod tests {
         // Second spend of the same input.
         let req2 = signed_request(&minter, 10, 2, &spend);
         let r2: TxResult = from_bytes(&app.execute(&req2)).unwrap();
-        assert_eq!(r2, TxResult::Rejected { reason: RejectReason::UnknownInput });
+        assert_eq!(
+            r2,
+            TxResult::Rejected {
+                reason: RejectReason::UnknownInput
+            }
+        );
         assert_eq!(app.total_value(), 10);
     }
 
@@ -306,7 +369,10 @@ mod tests {
     fn cannot_create_value_from_nothing() {
         let (mut app, minter, user) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: minter.public_key(),
+                value: 10,
+            }],
         };
         let req = signed_request(&minter, 10, 0, &mint);
         let TxResult::Created { coins } = from_bytes(&app.execute(&req)).unwrap() else {
@@ -314,22 +380,43 @@ mod tests {
         };
         let inflate = CoinTx::Spend {
             inputs: coins,
-            outputs: vec![Output { owner: user.public_key(), value: 11 }],
+            outputs: vec![Output {
+                owner: user.public_key(),
+                value: 11,
+            }],
         };
         let req = signed_request(&minter, 10, 1, &inflate);
         let r: TxResult = from_bytes(&app.execute(&req)).unwrap();
-        assert_eq!(r, TxResult::Rejected { reason: RejectReason::ValueMismatch });
+        assert_eq!(
+            r,
+            TxResult::Rejected {
+                reason: RejectReason::ValueMismatch
+            }
+        );
     }
 
     #[test]
     fn unsigned_requests_rejected() {
         let (mut app, minter, _) = setup();
         let mint = CoinTx::Mint {
-            outputs: vec![Output { owner: minter.public_key(), value: 10 }],
+            outputs: vec![Output {
+                owner: minter.public_key(),
+                value: 10,
+            }],
         };
-        let req = Request { client: 1, seq: 0, payload: to_bytes(&mint), signature: None };
+        let req = Request {
+            client: 1,
+            seq: 0,
+            payload: to_bytes(&mint),
+            signature: None,
+        };
         let r: TxResult = from_bytes(&app.execute(&req)).unwrap();
-        assert_eq!(r, TxResult::Rejected { reason: RejectReason::Unsigned });
+        assert_eq!(
+            r,
+            TxResult::Rejected {
+                reason: RejectReason::Unsigned
+            }
+        );
     }
 
     #[test]
@@ -337,8 +424,14 @@ mod tests {
         let (mut app, minter, user) = setup();
         let mint = CoinTx::Mint {
             outputs: vec![
-                Output { owner: minter.public_key(), value: 7 },
-                Output { owner: user.public_key(), value: 3 },
+                Output {
+                    owner: minter.public_key(),
+                    value: 7,
+                },
+                Output {
+                    owner: user.public_key(),
+                    value: 3,
+                },
             ],
         };
         let req = signed_request(&minter, 10, 0, &mint);
@@ -351,7 +444,10 @@ mod tests {
         assert_eq!(restored.total_value(), 10);
         // The minter list travels with the snapshot.
         let mint2 = CoinTx::Mint {
-            outputs: vec![Output { owner: user.public_key(), value: 1 }],
+            outputs: vec![Output {
+                owner: user.public_key(),
+                value: 1,
+            }],
         };
         let req2 = signed_request(&minter, 10, 1, &mint2);
         let r: TxResult = from_bytes(&restored.execute(&req2)).unwrap();
@@ -382,12 +478,18 @@ mod tests {
         for seq in 0..10u64 {
             let tx = if seq % 2 == 0 {
                 CoinTx::Mint {
-                    outputs: vec![Output { owner: user.public_key(), value: seq }],
+                    outputs: vec![Output {
+                        owner: user.public_key(),
+                        value: seq,
+                    }],
                 }
             } else {
                 CoinTx::Spend {
                     inputs: vec![coin_id(10, seq - 1, 0)],
-                    outputs: vec![Output { owner: minter.public_key(), value: seq - 1 }],
+                    outputs: vec![Output {
+                        owner: minter.public_key(),
+                        value: seq - 1,
+                    }],
                 }
             };
             let req = signed_request(if seq % 2 == 0 { &minter } else { &user }, 10, seq, &tx);

@@ -79,8 +79,13 @@ impl Encode for CoinTx {
 impl Decode for CoinTx {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         match u8::decode(input)? {
-            0 => Ok(CoinTx::Mint { outputs: decode_seq(input)? }),
-            1 => Ok(CoinTx::Spend { inputs: decode_seq(input)?, outputs: decode_seq(input)? }),
+            0 => Ok(CoinTx::Mint {
+                outputs: decode_seq(input)?,
+            }),
+            1 => Ok(CoinTx::Spend {
+                inputs: decode_seq(input)?,
+                outputs: decode_seq(input)?,
+            }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
     }
@@ -136,7 +141,9 @@ impl Encode for TxResult {
 impl Decode for TxResult {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         match u8::decode(input)? {
-            0 => Ok(TxResult::Created { coins: decode_seq(input)? }),
+            0 => Ok(TxResult::Created {
+                coins: decode_seq(input)?,
+            }),
             1 => {
                 let reason = match u8::decode(input)? {
                     0 => RejectReason::NotAMinter,
@@ -166,12 +173,23 @@ mod tests {
     #[test]
     fn tx_codec_roundtrip() {
         let txs = vec![
-            CoinTx::Mint { outputs: vec![Output { owner: pk(1), value: 100 }] },
+            CoinTx::Mint {
+                outputs: vec![Output {
+                    owner: pk(1),
+                    value: 100,
+                }],
+            },
             CoinTx::Spend {
                 inputs: vec![coin_id(1, 2, 0), coin_id(1, 3, 1)],
                 outputs: vec![
-                    Output { owner: pk(2), value: 60 },
-                    Output { owner: pk(1), value: 40 },
+                    Output {
+                        owner: pk(2),
+                        value: 60,
+                    },
+                    Output {
+                        owner: pk(1),
+                        value: 40,
+                    },
                 ],
             },
         ];
@@ -184,8 +202,12 @@ mod tests {
     #[test]
     fn result_codec_roundtrip() {
         let results = vec![
-            TxResult::Created { coins: vec![coin_id(1, 0, 0)] },
-            TxResult::Rejected { reason: RejectReason::NotOwner },
+            TxResult::Created {
+                coins: vec![coin_id(1, 0, 0)],
+            },
+            TxResult::Rejected {
+                reason: RejectReason::NotOwner,
+            },
         ];
         for r in results {
             let bytes = smartchain_codec::to_bytes(&r);
@@ -204,10 +226,18 @@ mod tests {
     fn tx_sizes_match_paper_scale() {
         // Paper: MINT ≈ 180 B, SPEND ≈ 310 B (request side, with signature
         // overhead added by the Request wrapper).
-        let mint = CoinTx::Mint { outputs: vec![Output { owner: pk(1), value: 10 }] };
+        let mint = CoinTx::Mint {
+            outputs: vec![Output {
+                owner: pk(1),
+                value: 10,
+            }],
+        };
         let spend = CoinTx::Spend {
             inputs: vec![coin_id(1, 0, 0)],
-            outputs: vec![Output { owner: pk(2), value: 10 }],
+            outputs: vec![Output {
+                owner: pk(2),
+                value: 10,
+            }],
         };
         let mint_len = smartchain_codec::to_bytes(&mint).len();
         let spend_len = smartchain_codec::to_bytes(&spend).len();

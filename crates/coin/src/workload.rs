@@ -43,11 +43,18 @@ impl CoinFactory {
     /// Creates the workload; clients mint `mints_per_client` coins then
     /// spend them.
     pub fn new(mints_per_client: u64) -> CoinFactory {
-        CoinFactory { mints_per_client, mint_pad: 180, spend_pad: 310, keys: HashMap::new() }
+        CoinFactory {
+            mints_per_client,
+            mint_pad: 180,
+            spend_pad: 310,
+            keys: HashMap::new(),
+        }
     }
 
     fn key_for(&mut self, client: u64) -> &SecretKey {
-        self.keys.entry(client).or_insert_with(|| client_key(client))
+        self.keys
+            .entry(client)
+            .or_insert_with(|| client_key(client))
     }
 
     /// The recipient address a client spends to (its "peer").
@@ -64,7 +71,10 @@ impl RequestFactory for CoinFactory {
         let (tx, pad) = if seq < self.mints_per_client {
             (
                 CoinTx::Mint {
-                    outputs: vec![Output { owner: sk.public_key(), value: 1 }],
+                    outputs: vec![Output {
+                        owner: sk.public_key(),
+                        value: 1,
+                    }],
                 },
                 self.mint_pad,
             )
@@ -75,7 +85,10 @@ impl RequestFactory for CoinFactory {
             (
                 CoinTx::Spend {
                     inputs: vec![input],
-                    outputs: vec![Output { owner: Self::peer_address(client), value: 1 }],
+                    outputs: vec![Output {
+                        owner: Self::peer_address(client),
+                        value: 1,
+                    }],
                 },
                 self.spend_pad,
             )
@@ -85,7 +98,12 @@ impl RequestFactory for CoinFactory {
             payload.resize(pad, 0);
         }
         let sig = sk.sign(&Request::sign_payload(client, seq, &payload));
-        Request { client, seq, payload, signature: Some((sk.public_key(), sig)) }
+        Request {
+            client,
+            seq,
+            payload,
+            signature: Some((sk.public_key(), sig)),
+        }
     }
 }
 
@@ -144,7 +162,15 @@ mod tests {
         let mut f = CoinFactory::new(1);
         let mint = f.make(1, 0);
         let spend = f.make(1, 1);
-        assert!(mint.wire_size() >= 180 && mint.wire_size() < 350, "{}", mint.wire_size());
-        assert!(spend.wire_size() >= 310 && spend.wire_size() < 480, "{}", spend.wire_size());
+        assert!(
+            mint.wire_size() >= 180 && mint.wire_size() < 350,
+            "{}",
+            mint.wire_size()
+        );
+        assert!(
+            spend.wire_size() >= 310 && spend.wire_size() < 480,
+            "{}",
+            spend.wire_size()
+        );
     }
 }

@@ -53,7 +53,14 @@ pub struct Instance {
 impl Instance {
     /// Creates the instance for replica `me` under `view`, with `leader`
     /// leading epoch 0 (the current regency's leader).
-    pub fn new(id: u64, me: ReplicaId, view: View, secret: SecretKey, leader: ReplicaId, epoch: u32) -> Instance {
+    pub fn new(
+        id: u64,
+        me: ReplicaId,
+        view: View,
+        secret: SecretKey,
+        leader: ReplicaId,
+        epoch: u32,
+    ) -> Instance {
         Instance {
             id,
             me,
@@ -164,7 +171,11 @@ impl Instance {
         }
         let mut out = Vec::new();
         match msg {
-            ConsensusMsg::Propose { instance, epoch, value } => {
+            ConsensusMsg::Propose {
+                instance,
+                epoch,
+                value,
+            } => {
                 debug_assert_eq!(instance, self.id);
                 if epoch != self.epoch || from != self.leader {
                     return (out, None); // stale epoch or usurper
@@ -195,7 +206,12 @@ impl Instance {
                     return self.try_decide(hash, &mut out);
                 }
             }
-            ConsensusMsg::Write { instance, epoch, value_hash, signature } => {
+            ConsensusMsg::Write {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => {
                 debug_assert_eq!(instance, self.id);
                 if epoch != self.epoch {
                     return (out, None);
@@ -214,7 +230,12 @@ impl Instance {
                     return self.try_decide(value_hash, &mut out);
                 }
             }
-            ConsensusMsg::Accept { instance, epoch, value_hash, signature } => {
+            ConsensusMsg::Accept {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => {
                 debug_assert_eq!(instance, self.id);
                 if epoch != self.epoch {
                     return (out, None);
@@ -238,7 +259,11 @@ impl Instance {
             ConsensusMsg::FetchValue { instance } => {
                 return (self.serve_fetch(from, instance), None);
             }
-            ConsensusMsg::ValueReply { instance, epoch: _, value } => {
+            ConsensusMsg::ValueReply {
+                instance,
+                epoch: _,
+                value,
+            } => {
                 debug_assert_eq!(instance, self.id);
                 let hash = sha256::digest(&value);
                 if self.value.is_none() {
@@ -262,7 +287,8 @@ impl Instance {
     }
 
     fn sign_write(&self, hash: &Hash) -> Signature {
-        self.secret.sign(&write_sign_payload(self.id, self.epoch, hash))
+        self.secret
+            .sign(&write_sign_payload(self.id, self.epoch, hash))
     }
 
     /// Records a WRITE vote; returns true when this replica's own ACCEPT
@@ -334,7 +360,9 @@ impl Instance {
                 // value, and at least one of those is correct and reachable.
                 if !self.fetch_requested {
                     self.fetch_requested = true;
-                    out.push(Output::Broadcast(ConsensusMsg::FetchValue { instance: self.id }));
+                    out.push(Output::Broadcast(ConsensusMsg::FetchValue {
+                        instance: self.id,
+                    }));
                 }
                 (std::mem::take(out), None)
             }
@@ -346,7 +374,11 @@ impl Instance {
         match &self.value {
             Some((value, _)) => vec![Output::Send(
                 to,
-                ConsensusMsg::ValueReply { instance: self.id, epoch: self.epoch, value: value.clone() },
+                ConsensusMsg::ValueReply {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value: value.clone(),
+                },
             )],
             None => Vec::new(),
         }
@@ -367,7 +399,10 @@ mod tests {
             let secrets: Vec<SecretKey> = (0..n)
                 .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 50; 32]))
                 .collect();
-            let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+            let view = View {
+                id: 0,
+                members: secrets.iter().map(|s| s.public_key()).collect(),
+            };
             let instances = (0..n)
                 .map(|i| Instance::new(7, i, view.clone(), secrets[i].clone(), 0, 0))
                 .collect();
@@ -375,13 +410,16 @@ mod tests {
         }
 
         /// Delivers outputs until quiescence; returns decisions per replica.
-        fn run(&mut self, initial: Vec<(ReplicaId, Output<ConsensusMsg>)>) -> Vec<Option<Decision>> {
+        fn run(
+            &mut self,
+            initial: Vec<(ReplicaId, Output<ConsensusMsg>)>,
+        ) -> Vec<Option<Decision>> {
             let n = self.instances.len();
             let mut decisions: Vec<Option<Decision>> = vec![None; n];
             let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = Vec::new();
             let push = |q: &mut Vec<(ReplicaId, ReplicaId, ConsensusMsg)>,
-                            from: ReplicaId,
-                            out: Output<ConsensusMsg>| match out {
+                        from: ReplicaId,
+                        out: Output<ConsensusMsg>| match out {
                 Output::Broadcast(m) => {
                     for to in 0..n {
                         if to != from {
@@ -420,7 +458,9 @@ mod tests {
         }
         let decisions = net.run(init);
         for (i, d) in decisions.iter().enumerate() {
-            let d = d.as_ref().unwrap_or_else(|| panic!("replica {i} did not decide"));
+            let d = d
+                .as_ref()
+                .unwrap_or_else(|| panic!("replica {i} did not decide"));
             assert_eq!(d.value, b"batch-1");
             assert_eq!(d.instance, 7);
             assert!(d.proof.accepts.len() >= 3);
@@ -450,7 +490,11 @@ mod tests {
         // A PROPOSE arriving from a non-leader is also ignored.
         let (outs, dec) = net.instances[2].on_message(
             1,
-            ConsensusMsg::Propose { instance: 7, epoch: 0, value: b"evil".to_vec() },
+            ConsensusMsg::Propose {
+                instance: 7,
+                epoch: 0,
+                value: b"evil".to_vec(),
+            },
         );
         assert!(outs.is_empty());
         assert!(dec.is_none());
@@ -460,12 +504,13 @@ mod tests {
     fn equivocating_leader_cannot_cause_conflicting_decisions() {
         // Leader sends value A to replicas {1}, value B to {2, 3}.
         let mut net = Net::new(4);
-        let prop = |v: &[u8]| ConsensusMsg::Propose { instance: 7, epoch: 0, value: v.to_vec() };
-        let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = vec![
-            (0, 1, prop(b"A")),
-            (0, 2, prop(b"B")),
-            (0, 3, prop(b"B")),
-        ];
+        let prop = |v: &[u8]| ConsensusMsg::Propose {
+            instance: 7,
+            epoch: 0,
+            value: v.to_vec(),
+        };
+        let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> =
+            vec![(0, 1, prop(b"A")), (0, 2, prop(b"B")), (0, 3, prop(b"B"))];
         let mut decisions: Vec<Option<Decision>> = vec![None; 4];
         while let Some((from, to, msg)) = queue.pop() {
             let (outs, dec) = net.instances[to].on_message(from, msg);
@@ -497,7 +542,11 @@ mod tests {
         net.instances[1].advance_epoch(2, 2);
         let (outs, _) = net.instances[1].on_message(
             0,
-            ConsensusMsg::Propose { instance: 7, epoch: 0, value: b"old".to_vec() },
+            ConsensusMsg::Propose {
+                instance: 7,
+                epoch: 0,
+                value: b"old".to_vec(),
+            },
         );
         assert!(outs.is_empty());
     }
@@ -510,7 +559,12 @@ mod tests {
         for _ in 0..10 {
             let (outs, _) = net.instances[1].on_message(
                 2,
-                ConsensusMsg::Write { instance: 7, epoch: 0, value_hash: h, signature: sig },
+                ConsensusMsg::Write {
+                    instance: 7,
+                    epoch: 0,
+                    value_hash: h,
+                    signature: sig,
+                },
             );
             // A single write from one replica never produces an accept.
             assert!(outs.is_empty());
@@ -527,7 +581,12 @@ mod tests {
         for from in [0usize, 1, 2, 3] {
             let (outs, _) = net.instances[1].on_message(
                 from,
-                ConsensusMsg::Write { instance: 7, epoch: 0, value_hash: h, signature: sig },
+                ConsensusMsg::Write {
+                    instance: 7,
+                    epoch: 0,
+                    value_hash: h,
+                    signature: sig,
+                },
             );
             assert!(outs.is_empty(), "forged write accepted");
         }
@@ -542,7 +601,12 @@ mod tests {
         for from in [1usize, 2, 3] {
             let (_, dec) = net.instances[0].on_message(
                 from,
-                ConsensusMsg::Accept { instance: 7, epoch: 0, value_hash: h, signature: sig },
+                ConsensusMsg::Accept {
+                    instance: 7,
+                    epoch: 0,
+                    value_hash: h,
+                    signature: sig,
+                },
             );
             assert!(dec.is_none());
         }
@@ -556,7 +620,11 @@ mod tests {
         let value = b"late-value".to_vec();
         let h = sha256::digest(&value);
         // Build three genuine accepts by letting 0,1,2 run the protocol.
-        let prop = ConsensusMsg::Propose { instance: 7, epoch: 0, value: value.clone() };
+        let prop = ConsensusMsg::Propose {
+            instance: 7,
+            epoch: 0,
+            value: value.clone(),
+        };
         let mut msgs: Vec<(ReplicaId, ConsensusMsg)> = Vec::new();
         for r in 0..3usize {
             let (outs, _) = net.instances[r].on_message(0, prop.clone());
@@ -586,7 +654,11 @@ mod tests {
                 }
             }
         }
-        assert!(accepts.len() >= 3, "need an accept quorum, got {}", accepts.len());
+        assert!(
+            accepts.len() >= 3,
+            "need an accept quorum, got {}",
+            accepts.len()
+        );
         // Deliver accepts to replica 3, which never saw the proposal.
         let mut fetch_broadcast = false;
         for (from, m) in accepts.iter().take(3) {

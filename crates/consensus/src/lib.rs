@@ -66,9 +66,7 @@ mod tests {
 
     fn view(n: usize) -> View {
         let members = (0..n)
-            .map(|i| {
-                SecretKey::from_seed(Backend::Sim, &[i as u8 + 1; 32]).public_key()
-            })
+            .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 1; 32]).public_key())
             .collect();
         View { id: 0, members }
     }
@@ -81,7 +79,7 @@ mod tests {
             assert_eq!(v.f(), f, "n={n}");
             assert_eq!(v.quorum(), q, "n={n}");
             // Quorum intersection: two quorums intersect in >= f+1 replicas.
-            assert!(2 * v.quorum() >= v.n() + v.f() + 1, "n={n}");
+            assert!(2 * v.quorum() > v.n() + v.f(), "n={n}");
         }
     }
 

@@ -70,16 +70,11 @@ impl ConsensusMsg {
         }
     }
 
-    /// Estimated wire size in bytes (message framing + payload), used by the
-    /// simulator's NIC model.
+    /// Wire size in bytes (transport framing + canonical encoding), used by
+    /// the simulator's NIC model. Derived from the [`Encode`] output so the
+    /// encoder is the single source of truth.
     pub fn wire_size(&self) -> usize {
-        match self {
-            ConsensusMsg::Propose { value, .. } => 24 + value.len(),
-            ConsensusMsg::Write { .. } => 24 + 32 + 65,
-            ConsensusMsg::Accept { .. } => 24 + 32 + 65,
-            ConsensusMsg::FetchValue { .. } => 16,
-            ConsensusMsg::ValueReply { value, .. } => 24 + value.len(),
-        }
+        smartchain_codec::FRAME_BYTES + self.encoded_len()
     }
 }
 
@@ -98,20 +93,34 @@ pub fn accept_sign_payload(instance: u64, epoch: u32, value_hash: &Hash) -> Vec<
 impl Encode for ConsensusMsg {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            ConsensusMsg::Propose { instance, epoch, value } => {
+            ConsensusMsg::Propose {
+                instance,
+                epoch,
+                value,
+            } => {
                 0u8.encode(out);
                 instance.encode(out);
                 epoch.encode(out);
                 value.encode(out);
             }
-            ConsensusMsg::Write { instance, epoch, value_hash, signature } => {
+            ConsensusMsg::Write {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => {
                 1u8.encode(out);
                 instance.encode(out);
                 epoch.encode(out);
                 value_hash.encode(out);
                 signature.to_wire().encode(out);
             }
-            ConsensusMsg::Accept { instance, epoch, value_hash, signature } => {
+            ConsensusMsg::Accept {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => {
                 2u8.encode(out);
                 instance.encode(out);
                 epoch.encode(out);
@@ -122,12 +131,34 @@ impl Encode for ConsensusMsg {
                 3u8.encode(out);
                 instance.encode(out);
             }
-            ConsensusMsg::ValueReply { instance, epoch, value } => {
+            ConsensusMsg::ValueReply {
+                instance,
+                epoch,
+                value,
+            } => {
                 4u8.encode(out);
                 instance.encode(out);
                 epoch.encode(out);
                 value.encode(out);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        // Composed per field so sizing a Propose never copies its value.
+        1 + match self {
+            ConsensusMsg::Propose {
+                instance,
+                epoch,
+                value,
+            }
+            | ConsensusMsg::ValueReply {
+                instance,
+                epoch,
+                value,
+            } => instance.encoded_len() + epoch.encoded_len() + value.encoded_len(),
+            ConsensusMsg::Write { .. } | ConsensusMsg::Accept { .. } => 8 + 4 + 32 + 65,
+            ConsensusMsg::FetchValue { instance } => instance.encoded_len(),
         }
     }
 }
@@ -152,7 +183,9 @@ impl Decode for ConsensusMsg {
                 value_hash: <[u8; 32]>::decode(input)?,
                 signature: Signature::from_wire(&<[u8; 65]>::decode(input)?),
             }),
-            3 => Ok(ConsensusMsg::FetchValue { instance: u64::decode(input)? }),
+            3 => Ok(ConsensusMsg::FetchValue {
+                instance: u64::decode(input)?,
+            }),
             4 => Ok(ConsensusMsg::ValueReply {
                 instance: u64::decode(input)?,
                 epoch: u32::decode(input)?,
@@ -184,7 +217,11 @@ mod tests {
     fn messages_roundtrip() {
         let sk = SecretKey::from_seed(Backend::Sim, &[1u8; 32]);
         let msgs = vec![
-            ConsensusMsg::Propose { instance: 3, epoch: 1, value: vec![1, 2, 3] },
+            ConsensusMsg::Propose {
+                instance: 3,
+                epoch: 1,
+                value: vec![1, 2, 3],
+            },
             ConsensusMsg::Write {
                 instance: 3,
                 epoch: 1,
@@ -198,12 +235,49 @@ mod tests {
                 signature: sk.sign(b"x"),
             },
             ConsensusMsg::FetchValue { instance: 9 },
-            ConsensusMsg::ValueReply { instance: 9, epoch: 0, value: vec![] },
+            ConsensusMsg::ValueReply {
+                instance: 9,
+                epoch: 0,
+                value: vec![],
+            },
         ];
         for m in msgs {
             let bytes = to_bytes(&m);
             let back: ConsensusMsg = from_bytes(&bytes).unwrap();
             assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn encoded_len_override_matches_encoding() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[2u8; 32]);
+        let msgs = vec![
+            ConsensusMsg::Propose {
+                instance: 1,
+                epoch: 2,
+                value: vec![9; 100],
+            },
+            ConsensusMsg::Write {
+                instance: 1,
+                epoch: 2,
+                value_hash: [1u8; 32],
+                signature: sk.sign(b"w"),
+            },
+            ConsensusMsg::Accept {
+                instance: 1,
+                epoch: 2,
+                value_hash: [1u8; 32],
+                signature: sk.sign(b"a"),
+            },
+            ConsensusMsg::FetchValue { instance: 5 },
+            ConsensusMsg::ValueReply {
+                instance: 5,
+                epoch: 0,
+                value: vec![1],
+            },
+        ];
+        for m in msgs {
+            assert_eq!(m.encoded_len(), to_bytes(&m).len(), "{m:?}");
         }
     }
 
@@ -217,8 +291,16 @@ mod tests {
 
     #[test]
     fn wire_size_tracks_value() {
-        let small = ConsensusMsg::Propose { instance: 0, epoch: 0, value: vec![0; 10] };
-        let big = ConsensusMsg::Propose { instance: 0, epoch: 0, value: vec![0; 10_000] };
+        let small = ConsensusMsg::Propose {
+            instance: 0,
+            epoch: 0,
+            value: vec![0; 10],
+        };
+        let big = ConsensusMsg::Propose {
+            instance: 0,
+            epoch: 0,
+            value: vec![0; 10_000],
+        };
         assert!(big.wire_size() > small.wire_size() + 9_000);
     }
 }

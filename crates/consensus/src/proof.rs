@@ -58,10 +58,10 @@ impl DecisionProof {
         valid >= view.quorum()
     }
 
-    /// Estimated wire size (for the simulator and for block storage
-    /// accounting).
+    /// Wire size (for the simulator and for block storage accounting) —
+    /// the canonical encoding's exact length.
     pub fn wire_size(&self) -> usize {
-        16 + 32 + self.accepts.len() * (8 + 65)
+        self.encoded_len()
     }
 }
 
@@ -76,6 +76,13 @@ impl Encode for DecisionProof {
             .map(|(r, s)| (*r as u64, s.to_wire()))
             .collect();
         encode_seq(&entries, out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.instance.encoded_len()
+            + self.epoch.encoded_len()
+            + self.value_hash.encoded_len()
+            + 4
+            + self.accepts.len() * (8 + 65)
     }
 }
 
@@ -146,6 +153,13 @@ impl Encode for WriteCertificate {
             .collect();
         encode_seq(&entries, out);
     }
+    fn encoded_len(&self) -> usize {
+        self.instance.encoded_len()
+            + self.epoch.encoded_len()
+            + self.value_hash.encoded_len()
+            + 4
+            + self.writes.len() * (8 + 65)
+    }
 }
 
 impl Decode for WriteCertificate {
@@ -175,7 +189,10 @@ mod tests {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 10; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         (secrets, view)
     }
 
@@ -241,7 +258,10 @@ mod tests {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + offset; 32]))
             .collect();
-        let view = View { id: 1, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 1,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         (secrets, view)
     }
 
@@ -274,5 +294,24 @@ mod tests {
             ..cert
         };
         assert!(!wrong_domain.verify(&view));
+    }
+}
+
+#[cfg(test)]
+mod wire_len_tests {
+    use super::*;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    #[test]
+    fn encoded_len_override_matches_encoding() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[4u8; 32]);
+        let proof = DecisionProof {
+            instance: 9,
+            epoch: 2,
+            value_hash: [6u8; 32],
+            accepts: vec![(0, sk.sign(b"a")), (2, sk.sign(b"b"))],
+        };
+        assert_eq!(proof.encoded_len(), proof.to_vec().len());
+        assert_eq!(proof.wire_size(), proof.to_vec().len());
     }
 }

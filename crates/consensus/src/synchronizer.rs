@@ -25,7 +25,7 @@ use crate::proof::WriteCertificate;
 use crate::{ReplicaId, View};
 use smartchain_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
 use smartchain_crypto::sha256;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A replica's locked value, reported in STOPDATA.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +46,13 @@ impl Encode for LockedReport {
         self.epoch.encode(out);
         self.value.encode(out);
         self.cert.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.instance.encoded_len()
+            + self.epoch.encoded_len()
+            + self.value.encoded_len()
+            + self.cert.encoded_len()
     }
 }
 
@@ -73,6 +80,10 @@ impl Encode for StopData {
     fn encode(&self, out: &mut Vec<u8>) {
         self.last_decided.encode(out);
         self.locked.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.last_decided.encoded_len() + self.locked.encoded_len()
     }
 }
 
@@ -116,26 +127,10 @@ pub enum SyncMsg {
 }
 
 impl SyncMsg {
-    /// Estimated wire size in bytes.
+    /// Wire size in bytes, derived from the canonical [`Encode`] output
+    /// (plus shared transport framing) — see `ConsensusMsg::wire_size`.
     pub fn wire_size(&self) -> usize {
-        match self {
-            SyncMsg::Stop { .. } => 12,
-            SyncMsg::StopData { data, .. } => {
-                20 + data.locked.as_ref().map_or(0, |l| l.value.len() + l.cert.writes.len() * 73 + 52)
-            }
-            SyncMsg::Sync { reports, adopted, .. } => {
-                16 + adopted.as_ref().map_or(0, |(_, v)| v.len() + 8)
-                    + reports
-                        .iter()
-                        .map(|(_, d)| {
-                            20 + d
-                                .locked
-                                .as_ref()
-                                .map_or(0, |l| l.value.len() + l.cert.writes.len() * 73 + 52)
-                        })
-                        .sum::<usize>()
-            }
-        }
+        smartchain_codec::FRAME_BYTES + self.encoded_len()
     }
 }
 
@@ -151,7 +146,11 @@ impl Encode for SyncMsg {
                 regency.encode(out);
                 data.encode(out);
             }
-            SyncMsg::Sync { regency, reports, adopted } => {
+            SyncMsg::Sync {
+                regency,
+                reports,
+                adopted,
+            } => {
                 2u8.encode(out);
                 regency.encode(out);
                 encode_seq(reports, out);
@@ -166,12 +165,33 @@ impl Encode for SyncMsg {
             }
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SyncMsg::Stop { regency } => regency.encoded_len(),
+            SyncMsg::StopData { regency, data } => regency.encoded_len() + data.encoded_len(),
+            SyncMsg::Sync {
+                regency,
+                reports,
+                adopted,
+            } => {
+                regency.encoded_len()
+                    + smartchain_codec::seq_encoded_len(reports)
+                    + 1
+                    + adopted
+                        .as_ref()
+                        .map_or(0, |(i, v)| i.encoded_len() + v.encoded_len())
+            }
+        }
+    }
 }
 
 impl Decode for SyncMsg {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         match u8::decode(input)? {
-            0 => Ok(SyncMsg::Stop { regency: u32::decode(input)? }),
+            0 => Ok(SyncMsg::Stop {
+                regency: u32::decode(input)?,
+            }),
             1 => Ok(SyncMsg::StopData {
                 regency: u32::decode(input)?,
                 data: StopData::decode(input)?,
@@ -231,7 +251,11 @@ pub struct Synchronizer {
     /// Regency we are currently stopped at (awaiting SYNC), if any.
     stopped_at: Option<u32>,
     stops: HashMap<u32, HashSet<ReplicaId>>,
-    stopdata: HashMap<u32, HashMap<ReplicaId, StopData>>,
+    /// Per-regency STOPDATA reports. The inner map is ordered so the SYNC
+    /// message's report list (and thus its bytes on the wire) is identical
+    /// on every run — a randomized-hash order here made simulations drift
+    /// between identically-seeded runs.
+    stopdata: HashMap<u32, BTreeMap<ReplicaId, StopData>>,
     synced: HashSet<u32>,
 }
 
@@ -303,7 +327,7 @@ impl Synchronizer {
             actions.extend(self.record_stop(self.me, regency));
             return actions;
         }
-        if count >= 2 * f + 1 && self.stopped_at.map_or(true, |s| s < regency) {
+        if count > 2 * f && self.stopped_at.is_none_or(|s| s < regency) {
             self.stopped_at = Some(regency);
             actions.push(SyncAction::ProvideStopData {
                 regency,
@@ -323,9 +347,11 @@ impl Synchronizer {
         match msg {
             SyncMsg::Stop { regency } => self.record_stop(from, regency),
             SyncMsg::StopData { regency, data } => self.on_stopdata(from, regency, data),
-            SyncMsg::Sync { regency, reports, adopted } => {
-                self.on_sync(from, regency, reports, adopted)
-            }
+            SyncMsg::Sync {
+                regency,
+                reports,
+                adopted,
+            } => self.on_sync(from, regency, reports, adopted),
         }
     }
 
@@ -343,10 +369,8 @@ impl Synchronizer {
         entry.insert(from, data);
         if entry.len() >= self.view.reconfig_quorum() && !self.synced.contains(&regency) {
             self.synced.insert(regency);
-            let reports: Vec<(u64, StopData)> = entry
-                .iter()
-                .map(|(r, d)| (*r as u64, d.clone()))
-                .collect();
+            let reports: Vec<(u64, StopData)> =
+                entry.iter().map(|(r, d)| (*r as u64, d.clone())).collect();
             let adopted = Self::choose(&reports);
             let mut actions = vec![SyncAction::Broadcast(SyncMsg::Sync {
                 regency,
@@ -428,7 +452,10 @@ mod tests {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 100; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         let syncs = (0..n).map(|i| Synchronizer::new(i, view.clone())).collect();
         (secrets, view, syncs)
     }
@@ -494,16 +521,19 @@ mod tests {
         // f+1 = 2 replicas time out; the rest join via the amplification rule.
         let (_, _, mut syncs) = setup(4);
         let queue = trigger_change(&mut syncs, &[1, 2]);
-        let installs = deliver_all(
-            &mut syncs,
-            queue,
-            |_| StopData { last_decided: 9, locked: None },
-        );
+        let installs = deliver_all(&mut syncs, queue, |_| StopData {
+            last_decided: 9,
+            locked: None,
+        });
         for (i, acts) in installs.iter().enumerate() {
             assert!(
                 acts.iter().any(|a| matches!(
                     a,
-                    SyncAction::Install { regency: 1, leader: 1, adopt: None }
+                    SyncAction::Install {
+                        regency: 1,
+                        leader: 1,
+                        adopt: None
+                    }
                 )),
                 "replica {i} did not install regency 1: {acts:?}"
             );
@@ -552,7 +582,12 @@ mod tests {
             writes: (0..3).map(|r| (r, secrets[r].sign(&payload))).collect(),
         };
         assert!(cert.verify(&view));
-        let locked = LockedReport { instance: 5, epoch: 0, value: value.clone(), cert };
+        let locked = LockedReport {
+            instance: 5,
+            epoch: 0,
+            value: value.clone(),
+            cert,
+        };
 
         let queue = trigger_change(&mut syncs, &[2, 3]);
         // A possibly-decided value is locked at a full quorum (2f+1 = 3) of
@@ -566,7 +601,9 @@ mod tests {
         });
         for (i, acts) in installs.iter().enumerate() {
             let adopted = acts.iter().find_map(|a| match a {
-                SyncAction::Install { regency: 1, adopt, .. } => Some(adopt.clone()),
+                SyncAction::Install {
+                    regency: 1, adopt, ..
+                } => Some(adopt.clone()),
                 _ => None,
             });
             assert_eq!(
@@ -591,7 +628,12 @@ mod tests {
             writes: vec![(3, secrets[3].sign(&payload))],
         };
         assert!(!bad_cert.verify(&view));
-        let locked = LockedReport { instance: 5, epoch: 0, value, cert: bad_cert };
+        let locked = LockedReport {
+            instance: 5,
+            epoch: 0,
+            value,
+            cert: bad_cert,
+        };
 
         let queue = trigger_change(&mut syncs, &[2, 0]);
         let locked_for = locked.clone();
@@ -615,7 +657,11 @@ mod tests {
         let (_, _, mut syncs) = setup(4);
         let actions = syncs[0].on_message(
             3, // leader of regency 1 is replica 1, not 3
-            SyncMsg::Sync { regency: 1, reports: Vec::new(), adopted: None },
+            SyncMsg::Sync {
+                regency: 1,
+                reports: Vec::new(),
+                adopted: None,
+            },
         );
         assert!(actions.is_empty());
         assert_eq!(syncs[0].regency(), 0);
@@ -626,11 +672,23 @@ mod tests {
         let (_, _, mut syncs) = setup(4);
         // Leader 1 claims adoption of a value not justified by any report.
         let reports: Vec<(u64, StopData)> = (0..3u64)
-            .map(|r| (r, StopData { last_decided: 0, locked: None }))
+            .map(|r| {
+                (
+                    r,
+                    StopData {
+                        last_decided: 0,
+                        locked: None,
+                    },
+                )
+            })
             .collect();
         let actions = syncs[0].on_message(
             1,
-            SyncMsg::Sync { regency: 1, reports, adopted: Some((5, b"bogus".to_vec())) },
+            SyncMsg::Sync {
+                regency: 1,
+                reports,
+                adopted: Some((5, b"bogus".to_vec())),
+            },
         );
         assert!(actions.is_empty());
         assert_eq!(syncs[0].regency(), 0);
@@ -642,11 +700,20 @@ mod tests {
             SyncMsg::Stop { regency: 3 },
             SyncMsg::StopData {
                 regency: 3,
-                data: StopData { last_decided: 8, locked: None },
+                data: StopData {
+                    last_decided: 8,
+                    locked: None,
+                },
             },
             SyncMsg::Sync {
                 regency: 3,
-                reports: vec![(0, StopData { last_decided: 8, locked: None })],
+                reports: vec![(
+                    0,
+                    StopData {
+                        last_decided: 8,
+                        locked: None,
+                    },
+                )],
                 adopted: Some((9, vec![1, 2, 3])),
             },
         ];
@@ -654,6 +721,61 @@ mod tests {
             let bytes = smartchain_codec::to_bytes(&m);
             let back: SyncMsg = smartchain_codec::from_bytes(&bytes).unwrap();
             assert_eq!(back, m);
+        }
+    }
+}
+#[cfg(test)]
+mod wire_len_tests {
+    use super::*;
+    use crate::proof::WriteCertificate;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    /// The compositional `encoded_len` overrides must stay exact.
+    #[test]
+    fn encoded_len_override_matches_encoding() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[3u8; 32]);
+        let cert = WriteCertificate {
+            instance: 4,
+            epoch: 1,
+            value_hash: [5u8; 32],
+            writes: vec![(0, sk.sign(b"w")), (1, sk.sign(b"x"))],
+        };
+        let locked = LockedReport {
+            instance: 4,
+            epoch: 1,
+            value: vec![7; 40],
+            cert: cert.clone(),
+        };
+        let data = StopData {
+            last_decided: 3,
+            locked: Some(locked.clone()),
+        };
+        let msgs = vec![
+            SyncMsg::Stop { regency: 2 },
+            SyncMsg::StopData {
+                regency: 2,
+                data: data.clone(),
+            },
+            SyncMsg::Sync {
+                regency: 2,
+                reports: vec![
+                    (0, data.clone()),
+                    (
+                        1,
+                        StopData {
+                            last_decided: 1,
+                            locked: None,
+                        },
+                    ),
+                ],
+                adopted: Some((4, vec![7; 40])),
+            },
+        ];
+        assert_eq!(cert.encoded_len(), cert.to_vec().len());
+        assert_eq!(locked.encoded_len(), locked.to_vec().len());
+        assert_eq!(data.encoded_len(), data.to_vec().len());
+        for m in msgs {
+            assert_eq!(m.encoded_len(), m.to_vec().len());
         }
     }
 }

@@ -127,11 +127,17 @@ pub fn verify_chain(genesis: &Genesis, blocks: &[Block]) -> Result<AuditReport, 
     let mut view = genesis.view.clone();
     let mut prev_hash = genesis.hash();
     let mut last_reconfig = 0u64;
+    // `expected` is the *block number*, which the chain must carry
+    // explicitly — not an enumerate() index.
     let mut expected = 1u64;
+    #[allow(clippy::explicit_counter_loop)]
     for block in blocks {
         let number = block.header.number;
         if number != expected {
-            return Err(AuditError::BadNumber { expected, found: number });
+            return Err(AuditError::BadNumber {
+                expected,
+                found: number,
+            });
         }
         if block.header.hash_last_block != prev_hash {
             return Err(AuditError::BrokenLink { number });
@@ -150,7 +156,12 @@ pub fn verify_chain(genesis: &Genesis, blocks: &[Block]) -> Result<AuditReport, 
                     return Err(AuditError::NoAuthority { number });
                 }
             }
-            BlockBody::Reconfiguration { tx, proof, new_view, .. } => {
+            BlockBody::Reconfiguration {
+                tx,
+                proof,
+                new_view,
+                ..
+            } => {
                 if !tx.verify(&view) {
                     return Err(AuditError::BadReconfig { number });
                 }
@@ -181,18 +192,13 @@ pub fn verify_chain(genesis: &Genesis, blocks: &[Block]) -> Result<AuditReport, 
 /// suspect chain forks (diverges from) the reference at or after
 /// `fork_point`, yet both pass naive linkage checks — used in tests to show
 /// that linkage alone does not prevent forks but authority checks do.
-pub fn is_link_valid_fork(
-    genesis: &Genesis,
-    reference: &[Block],
-    suspect: &[Block],
-) -> bool {
+pub fn is_link_valid_fork(genesis: &Genesis, reference: &[Block], suspect: &[Block]) -> bool {
     // Linkage-only check of the suspect chain.
     let mut prev = genesis.hash();
     let mut expected = 1u64;
+    #[allow(clippy::explicit_counter_loop)]
     for b in suspect {
-        if b.header.number != expected
-            || b.header.hash_last_block != prev
-            || !b.commitments_valid()
+        if b.header.number != expected || b.header.hash_last_block != prev || !b.commitments_valid()
         {
             return false;
         }
@@ -246,7 +252,12 @@ mod tests {
                 checkpoint_period: 100,
                 app_data: Vec::new(),
             };
-            Harness { stores, genesis, chain: Vec::new(), view }
+            Harness {
+                stores,
+                genesis,
+                chain: Vec::new(),
+                view,
+            }
         }
 
         fn prev_hash(&self) -> Hash {
@@ -287,10 +298,17 @@ mod tests {
                     let idx = self
                         .stores
                         .iter()
-                        .position(|s| s.certified_key_for(self.view.id).consensus
-                            == self.view.members[i].consensus)
+                        .position(|s| {
+                            s.certified_key_for(self.view.id).consensus
+                                == self.view.members[i].consensus
+                        })
                         .expect("store for member");
-                    (i, self.stores[idx].consensus_for_view(self.view.id).sign(&payload))
+                    (
+                        i,
+                        self.stores[idx]
+                            .consensus_for_view(self.view.id)
+                            .sign(&payload),
+                    )
                 })
                 .collect();
             let proof = DecisionProof {
@@ -305,19 +323,18 @@ mod tests {
                 proof,
                 results: vec![vec![0]],
             };
-            let mut block = Block::build(
-                number,
-                self.last_reconfig(),
-                0,
-                self.prev_hash(),
-                body,
-            );
+            let mut block = Block::build(number, self.last_reconfig(), 0, self.prev_hash(), body);
             // Strong certificate too.
             let cert_payload = persist_sign_payload(number, &block.header.hash());
             block.certificate = Certificate {
                 signatures: (0..self.view.quorum())
                     .map(|i| {
-                        (i, self.stores[i].consensus_for_view(self.view.id).sign(&cert_payload))
+                        (
+                            i,
+                            self.stores[i]
+                                .consensus_for_view(self.view.id)
+                                .sign(&cert_payload),
+                        )
                     })
                     .collect(),
             };
@@ -344,7 +361,11 @@ mod tests {
                     }
                 })
                 .collect();
-            let tx = ReconfigTx { new_view_id, op, votes };
+            let tx = ReconfigTx {
+                new_view_id,
+                op,
+                votes,
+            };
             assert!(tx.verify(&self.view));
             let new_view = tx.apply(&self.view);
             let tx_bytes = smartchain_codec::to_bytes(&tx);
@@ -355,7 +376,14 @@ mod tests {
                 epoch: 0,
                 value_hash,
                 accepts: (0..self.view.quorum())
-                    .map(|i| (i, self.stores[i].consensus_for_view(self.view.id).sign(&payload)))
+                    .map(|i| {
+                        (
+                            i,
+                            self.stores[i]
+                                .consensus_for_view(self.view.id)
+                                .sign(&payload),
+                        )
+                    })
                     .collect(),
             };
             let body = BlockBody::Reconfiguration {
@@ -364,18 +392,17 @@ mod tests {
                 proof,
                 new_view: new_view.clone(),
             };
-            let mut block = Block::build(
-                number,
-                self.last_reconfig(),
-                0,
-                self.prev_hash(),
-                body,
-            );
+            let mut block = Block::build(number, self.last_reconfig(), 0, self.prev_hash(), body);
             let cert_payload = persist_sign_payload(number, &block.header.hash());
             block.certificate = Certificate {
                 signatures: (0..self.view.quorum())
                     .map(|i| {
-                        (i, self.stores[i].consensus_for_view(self.view.id).sign(&cert_payload))
+                        (
+                            i,
+                            self.stores[i]
+                                .consensus_for_view(self.view.id)
+                                .sign(&cert_payload),
+                        )
                     })
                     .collect(),
             };
@@ -481,14 +508,24 @@ mod tests {
         // compromised-from-the-start member (node 2). That is 2 < quorum 3.
         let mut fork = fork_base;
         let number = 2u64;
-        let requests = vec![Request { client: 66, seq: 0, payload: vec![6, 6], signature: None }];
+        let requests = vec![Request {
+            client: 66,
+            seq: 0,
+            payload: vec![6, 6],
+            signature: None,
+        }];
         let value_hash = sha256::digest(&smartchain_smr::types::encode_batch(&requests));
         let payload = accept_sign_payload(number, 0, &value_hash);
         let accepts = vec![
             (2usize, h.stores[2].consensus_for_view(0).sign(&payload)),
             (3usize, h.stores[3].consensus_for_view(0).sign(&payload)),
         ];
-        let proof = DecisionProof { instance: number, epoch: 0, value_hash, accepts };
+        let proof = DecisionProof {
+            instance: number,
+            epoch: 0,
+            value_hash,
+            accepts,
+        };
         let body = BlockBody::Transactions {
             consensus_id: number,
             requests,
@@ -524,7 +561,10 @@ mod tests {
         let mut forged = Block::build(2, 1, 0, h.chain[0].header.hash(), body);
         forged.header.last_reconfig = 1;
         // Rebuild to keep commitments valid while keeping the bad pointer.
-        let hdr = crate::block::BlockHeader { last_reconfig: 1, ..forged.header };
+        let hdr = crate::block::BlockHeader {
+            last_reconfig: 1,
+            ..forged.header
+        };
         forged.header = hdr;
         h.chain[1] = forged;
         assert_eq!(
@@ -562,7 +602,10 @@ mod tests {
         let c0 = h.genesis.view.members[0].cert;
         h.genesis.view.members[0].cert = h.genesis.view.members[1].cert;
         h.genesis.view.members[1].cert = c0;
-        assert_eq!(verify_chain(&h.genesis, &h.chain), Err(AuditError::BadGenesis));
+        assert_eq!(
+            verify_chain(&h.genesis, &h.chain),
+            Err(AuditError::BadGenesis)
+        );
     }
 
     #[test]
@@ -585,13 +628,23 @@ mod tests {
         // No reconfiguration at all: keys never rotate, so view-0 keys stay
         // authoritative forever. Nodes 1, 2, 3 become compromised later.
         let number = 2u64;
-        let requests = vec![Request { client: 66, seq: 0, payload: vec![6, 6], signature: None }];
+        let requests = vec![Request {
+            client: 66,
+            seq: 0,
+            payload: vec![6, 6],
+            signature: None,
+        }];
         let value_hash = sha256::digest(&smartchain_smr::types::encode_batch(&requests));
         let payload = accept_sign_payload(number, 0, &value_hash);
         let accepts = (1..4usize)
             .map(|i| (i, h.stores[i].consensus_for_view(0).sign(&payload)))
             .collect();
-        let proof = DecisionProof { instance: number, epoch: 0, value_hash, accepts };
+        let proof = DecisionProof {
+            instance: number,
+            epoch: 0,
+            value_hash,
+            accepts,
+        };
         let body = BlockBody::Transactions {
             consensus_id: number,
             requests,

@@ -13,7 +13,7 @@
 //!   proof in the body).
 
 use crate::view_keys::CertifiedKey;
-use smartchain_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
+use smartchain_codec::{decode_seq, encode_seq, seq_encoded_len, Decode, DecodeError, Encode};
 use smartchain_consensus::proof::DecisionProof;
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{PublicKey, Signature};
@@ -69,6 +69,10 @@ impl Encode for ViewInfo {
         self.id.encode(out);
         encode_seq(&self.members, out);
     }
+
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + seq_encoded_len(&self.members)
+    }
 }
 
 impl Decode for ViewInfo {
@@ -96,6 +100,10 @@ impl Encode for Genesis {
         self.view.encode(out);
         self.checkpoint_period.encode(out);
         self.app_data.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.view.encoded_len() + self.checkpoint_period.encoded_len() + self.app_data.encoded_len()
     }
 }
 
@@ -152,6 +160,10 @@ impl Encode for BlockHeader {
         self.hash_results.encode(out);
         self.hash_last_block.encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        3 * 8 + 3 * 32
+    }
 }
 
 impl Decode for BlockHeader {
@@ -204,12 +216,21 @@ impl Encode for ReconfigOp {
             }
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ReconfigOp::Join { joiner } => joiner.encoded_len(),
+            ReconfigOp::Leave { .. } | ReconfigOp::Exclude { .. } => 33,
+        }
+    }
 }
 
 impl Decode for ReconfigOp {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         match u8::decode(input)? {
-            0 => Ok(ReconfigOp::Join { joiner: CertifiedKey::decode(input)? }),
+            0 => Ok(ReconfigOp::Join {
+                joiner: CertifiedKey::decode(input)?,
+            }),
             1 => Ok(ReconfigOp::Leave {
                 leaver: PublicKey::from_wire(&<[u8; 33]>::decode(input)?),
             }),
@@ -238,6 +259,10 @@ impl Encode for ReconfigVote {
         (self.voter as u64).encode(out);
         self.new_key.encode(out);
         self.signature.to_wire().encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.new_key.encoded_len() + 65
     }
 }
 
@@ -339,7 +364,10 @@ impl ReconfigTx {
         if let ReconfigOp::Join { joiner } = &self.op {
             members.push(*joiner);
         }
-        ViewInfo { id: self.new_view_id, members }
+        ViewInfo {
+            id: self.new_view_id,
+            members,
+        }
     }
 }
 
@@ -348,6 +376,10 @@ impl Encode for ReconfigTx {
         self.new_view_id.encode(out);
         self.op.encode(out);
         encode_seq(&self.votes, out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.new_view_id.encoded_len() + self.op.encoded_len() + seq_encoded_len(&self.votes)
     }
 }
 
@@ -399,13 +431,19 @@ impl BlockBody {
     /// evidence.
     pub fn transactions_bytes(&self) -> Vec<u8> {
         match self {
-            BlockBody::Transactions { consensus_id, requests, .. } => {
+            BlockBody::Transactions {
+                consensus_id,
+                requests,
+                ..
+            } => {
                 let mut out = Vec::new();
                 consensus_id.encode(&mut out);
                 encode_seq(requests, &mut out);
                 out
             }
-            BlockBody::Reconfiguration { consensus_id, tx, .. } => {
+            BlockBody::Reconfiguration {
+                consensus_id, tx, ..
+            } => {
                 let mut out = Vec::new();
                 consensus_id.encode(&mut out);
                 tx.encode(&mut out);
@@ -438,19 +476,56 @@ impl BlockBody {
 impl Encode for BlockBody {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            BlockBody::Transactions { consensus_id, requests, proof, results } => {
+            BlockBody::Transactions {
+                consensus_id,
+                requests,
+                proof,
+                results,
+            } => {
                 0u8.encode(out);
                 consensus_id.encode(out);
                 encode_seq(requests, out);
                 proof.encode(out);
                 encode_seq(results, out);
             }
-            BlockBody::Reconfiguration { consensus_id, tx, proof, new_view } => {
+            BlockBody::Reconfiguration {
+                consensus_id,
+                tx,
+                proof,
+                new_view,
+            } => {
                 1u8.encode(out);
                 consensus_id.encode(out);
                 tx.encode(out);
                 proof.encode(out);
                 new_view.encode(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            BlockBody::Transactions {
+                consensus_id,
+                requests,
+                proof,
+                results,
+            } => {
+                consensus_id.encoded_len()
+                    + seq_encoded_len(requests)
+                    + proof.encoded_len()
+                    + seq_encoded_len(results)
+            }
+            BlockBody::Reconfiguration {
+                consensus_id,
+                tx,
+                proof,
+                new_view,
+            } => {
+                consensus_id.encoded_len()
+                    + tx.encoded_len()
+                    + proof.encoded_len()
+                    + new_view.encoded_len()
             }
         }
     }
@@ -537,6 +612,10 @@ impl Encode for Certificate {
             .collect();
         encode_seq(&entries, out);
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.signatures.len() * (8 + 65)
+    }
 }
 
 impl Decode for Certificate {
@@ -579,7 +658,11 @@ impl Block {
             hash_results: body.results_root(),
             hash_last_block,
         };
-        Block { header, body, certificate: Certificate::default() }
+        Block {
+            header,
+            body,
+            certificate: Certificate::default(),
+        }
     }
 
     /// Header/body consistency: the commitment hashes match the body.
@@ -602,9 +685,10 @@ impl Block {
         merkle::verify(&header.hash_results, result, proof)
     }
 
-    /// Approximate serialized size (for the simulator's disk accounting).
+    /// Exact serialized size (for the simulator's disk accounting),
+    /// computed without materializing the encoding.
     pub fn wire_size(&self) -> usize {
-        smartchain_codec::to_bytes(self).len()
+        self.encoded_len()
     }
 }
 
@@ -613,6 +697,10 @@ impl Encode for Block {
         self.header.encode(out);
         self.body.encode(out);
         self.certificate.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.header.encoded_len() + self.body.encoded_len() + self.certificate.encoded_len()
     }
 }
 
@@ -651,16 +739,70 @@ mod tests {
     }
 
     fn dummy_proof() -> DecisionProof {
-        DecisionProof { instance: 1, epoch: 0, value_hash: [0u8; 32], accepts: Vec::new() }
+        DecisionProof {
+            instance: 1,
+            epoch: 0,
+            value_hash: [0u8; 32],
+            accepts: Vec::new(),
+        }
     }
 
     fn tx_body() -> BlockBody {
         BlockBody::Transactions {
             consensus_id: 1,
-            requests: vec![Request { client: 1, seq: 0, payload: vec![1, 2], signature: None }],
+            requests: vec![Request {
+                client: 1,
+                seq: 0,
+                payload: vec![1, 2],
+                signature: None,
+            }],
             proof: dummy_proof(),
             results: vec![vec![9]],
         }
+    }
+
+    /// The compositional `encoded_len` overrides must stay exact — they are
+    /// the NIC/disk models' size source and must never drift from encode().
+    #[test]
+    fn encoded_len_overrides_match_encoding() {
+        let st = stores(4);
+        let view = view_info(&st, 1);
+        let vote = ReconfigVote {
+            voter: 2,
+            new_key: st[2].certified_key_for(1),
+            signature: st[2].permanent().sign(b"v"),
+        };
+        let tx = ReconfigTx {
+            new_view_id: 1,
+            op: ReconfigOp::Join {
+                joiner: st[0].certified_key_for(1),
+            },
+            votes: vec![vote.clone()],
+        };
+        let genesis = Genesis {
+            view: view.clone(),
+            checkpoint_period: 10,
+            app_data: vec![1, 2, 3],
+        };
+        let body = tx_body();
+        let block = Block::build(1, 0, 0, [7u8; 32], body.clone());
+        let cert = Certificate {
+            signatures: vec![(0, st[0].consensus().sign(b"c"))],
+        };
+        fn check<T: Encode + ?Sized>(v: &T, what: &str) {
+            assert_eq!(v.encoded_len(), v.to_vec().len(), "{what}");
+        }
+        check(&view, "ViewInfo");
+        check(&genesis, "Genesis");
+        check(&block.header, "BlockHeader");
+        check(&body, "BlockBody");
+        check(&block, "Block");
+        check(&cert, "Certificate");
+        check(&vote, "ReconfigVote");
+        check(&tx, "ReconfigTx");
+        check(&tx.op, "ReconfigOp");
+        check(&st[0].certified_key_for(1), "CertifiedKey");
+        assert_eq!(block.wire_size(), smartchain_codec::to_bytes(&block).len());
     }
 
     #[test]
@@ -676,11 +818,26 @@ mod tests {
         let h = base.hash();
         let variants = [
             BlockHeader { number: 2, ..base },
-            BlockHeader { last_reconfig: 1, ..base },
-            BlockHeader { last_checkpoint: 1, ..base },
-            BlockHeader { hash_transactions: [9u8; 32], ..base },
-            BlockHeader { hash_results: [9u8; 32], ..base },
-            BlockHeader { hash_last_block: [9u8; 32], ..base },
+            BlockHeader {
+                last_reconfig: 1,
+                ..base
+            },
+            BlockHeader {
+                last_checkpoint: 1,
+                ..base
+            },
+            BlockHeader {
+                hash_transactions: [9u8; 32],
+                ..base
+            },
+            BlockHeader {
+                hash_results: [9u8; 32],
+                ..base
+            },
+            BlockHeader {
+                hash_last_block: [9u8; 32],
+                ..base
+            },
         ];
         for v in variants {
             assert_ne!(v.hash(), h);
@@ -713,11 +870,17 @@ mod tests {
         let block = Block::build(1, 0, 0, [0u8; 32], tx_body());
         let payload = persist_sign_payload(1, &block.header.hash());
         let sign = |i: usize| (i, ks[i].consensus().sign(&payload));
-        let full = Certificate { signatures: (0..4).map(sign).collect() };
+        let full = Certificate {
+            signatures: (0..4).map(sign).collect(),
+        };
         assert!(full.verify(&block.header, &view));
-        let quorum = Certificate { signatures: (0..3).map(sign).collect() };
+        let quorum = Certificate {
+            signatures: (0..3).map(sign).collect(),
+        };
         assert!(quorum.verify(&block.header, &view));
-        let sub = Certificate { signatures: (0..2).map(sign).collect() };
+        let sub = Certificate {
+            signatures: (0..2).map(sign).collect(),
+        };
         assert!(!sub.verify(&block.header, &view));
     }
 
@@ -730,7 +893,9 @@ mod tests {
         let payload = persist_sign_payload(1, &block.header.hash());
         // Signatures with view-0 keys must not verify under view 1.
         let cert = Certificate {
-            signatures: (0..3).map(|i| (i, ks[i].consensus().sign(&payload))).collect(),
+            signatures: (0..3)
+                .map(|i| (i, ks[i].consensus().sign(&payload)))
+                .collect(),
         };
         assert!(cert.verify(&block.header, &view0));
         assert!(!cert.verify(&block.header, &view1));
@@ -750,10 +915,18 @@ mod tests {
             .map(|i| {
                 let new_key = ks[i].certified_key_for(1);
                 let payload = vote_payload(1, &op, &new_key);
-                ReconfigVote { voter: i, new_key, signature: ks[i].permanent().sign(&payload) }
+                ReconfigVote {
+                    voter: i,
+                    new_key,
+                    signature: ks[i].permanent().sign(&payload),
+                }
             })
             .collect();
-        let tx = ReconfigTx { new_view_id: 1, op, votes };
+        let tx = ReconfigTx {
+            new_view_id: 1,
+            op,
+            votes,
+        };
         assert!(tx.verify(&current));
         let next = tx.apply(&current);
         assert_eq!(next.id, 1);
@@ -768,15 +941,25 @@ mod tests {
     fn reconfig_tx_subquorum_rejected() {
         let ks = stores(4);
         let current = view_info(&ks, 0);
-        let op = ReconfigOp::Leave { leaver: ks[3].permanent_public() };
+        let op = ReconfigOp::Leave {
+            leaver: ks[3].permanent_public(),
+        };
         let votes: Vec<ReconfigVote> = (0..2)
             .map(|i| {
                 let new_key = ks[i].certified_key_for(1);
                 let payload = vote_payload(1, &op, &new_key);
-                ReconfigVote { voter: i, new_key, signature: ks[i].permanent().sign(&payload) }
+                ReconfigVote {
+                    voter: i,
+                    new_key,
+                    signature: ks[i].permanent().sign(&payload),
+                }
             })
             .collect();
-        let tx = ReconfigTx { new_view_id: 1, op, votes };
+        let tx = ReconfigTx {
+            new_view_id: 1,
+            op,
+            votes,
+        };
         assert!(!tx.verify(&current), "2 < n-f = 3 votes");
     }
 
@@ -784,16 +967,26 @@ mod tests {
     fn reconfig_leave_removes_member() {
         let ks = stores(4);
         let current = view_info(&ks, 0);
-        let op = ReconfigOp::Leave { leaver: ks[2].permanent_public() };
+        let op = ReconfigOp::Leave {
+            leaver: ks[2].permanent_public(),
+        };
         let votes: Vec<ReconfigVote> = [0usize, 1, 3]
             .iter()
             .map(|&i| {
                 let new_key = ks[i].certified_key_for(1);
                 let payload = vote_payload(1, &op, &new_key);
-                ReconfigVote { voter: i, new_key, signature: ks[i].permanent().sign(&payload) }
+                ReconfigVote {
+                    voter: i,
+                    new_key,
+                    signature: ks[i].permanent().sign(&payload),
+                }
             })
             .collect();
-        let tx = ReconfigTx { new_view_id: 1, op, votes };
+        let tx = ReconfigTx {
+            new_view_id: 1,
+            op,
+            votes,
+        };
         assert!(tx.verify(&current));
         let next = tx.apply(&current);
         assert_eq!(next.n(), 3);
@@ -808,13 +1001,19 @@ mod tests {
             SecretKey::from_seed(Backend::Sim, &[222u8; 32]),
             Backend::Sim,
         );
-        let op = ReconfigOp::Leave { leaver: ks[3].permanent_public() };
+        let op = ReconfigOp::Leave {
+            leaver: ks[3].permanent_public(),
+        };
         let mut votes: Vec<ReconfigVote> = [0usize, 1]
             .iter()
             .map(|&i| {
                 let new_key = ks[i].certified_key_for(1);
                 let payload = vote_payload(1, &op, &new_key);
-                ReconfigVote { voter: i, new_key, signature: ks[i].permanent().sign(&payload) }
+                ReconfigVote {
+                    voter: i,
+                    new_key,
+                    signature: ks[i].permanent().sign(&payload),
+                }
             })
             .collect();
         // The outsider pretends to be voter 2.
@@ -825,7 +1024,11 @@ mod tests {
             new_key: fake_key,
             signature: outsider.permanent().sign(&payload),
         });
-        let tx = ReconfigTx { new_view_id: 1, op, votes };
+        let tx = ReconfigTx {
+            new_view_id: 1,
+            op,
+            votes,
+        };
         assert!(!tx.verify(&current));
     }
 
@@ -838,7 +1041,10 @@ mod tests {
             app_data: vec![1, 2, 3],
         };
         assert_eq!(g.hash(), g.clone().hash());
-        let g2 = Genesis { checkpoint_period: 101, ..g.clone() };
+        let g2 = Genesis {
+            checkpoint_period: 101,
+            ..g.clone()
+        };
         assert_ne!(g.hash(), g2.hash());
     }
 }
@@ -862,7 +1068,12 @@ mod merkle_result_tests {
                     signature: None,
                 })
                 .collect(),
-            proof: DecisionProof { instance: 1, epoch: 0, value_hash: [0u8; 32], accepts: vec![] },
+            proof: DecisionProof {
+                instance: 1,
+                epoch: 0,
+                value_hash: [0u8; 32],
+                accepts: vec![],
+            },
             results,
         }
     }
@@ -873,7 +1084,10 @@ mod merkle_result_tests {
         let block = Block::build(1, 0, 0, [0u8; 32], body(results.clone()));
         for (i, result) in results.iter().enumerate() {
             let proof = block.prove_result(i);
-            assert!(Block::verify_result(&block.header, result, &proof), "result {i}");
+            assert!(
+                Block::verify_result(&block.header, result, &proof),
+                "result {i}"
+            );
             assert!(!Block::verify_result(&block.header, b"forged", &proof));
         }
     }

@@ -7,12 +7,12 @@ use crate::block::{Genesis, ViewInfo};
 use crate::node::{app_payload, ChainMsg, ChainNode, NodeConfig};
 use crate::view_keys::KeyStore;
 use smartchain_crypto::keys::{Backend, PublicKey, SecretKey};
+use smartchain_sim::hw::HwSpec;
+use smartchain_sim::{Actor, Cluster, NodeId, Time};
 use smartchain_smr::app::Application;
 use smartchain_smr::client::{ClientActor, ClientConfig, RequestFactory};
 use smartchain_smr::ordering::{SmrEnvelope, SmrMsg};
 use smartchain_smr::types::{Reply, Request};
-use smartchain_sim::hw::HwSpec;
-use smartchain_sim::{Actor, Cluster, NodeId, Time};
 use std::collections::HashMap;
 
 impl SmrEnvelope for ChainMsg {
@@ -61,9 +61,15 @@ pub struct NodeSchedule {
     pub leave_at: Option<Time>,
 }
 
+/// Constructor for per-client request factories.
+type FactoryMaker = Box<dyn Fn() -> Box<dyn RequestFactory>>;
+
+/// Constructor for application instances (receives the genesis app data).
+type AppMaker<A> = Box<dyn Fn(&[u8]) -> A>;
+
 /// Builder for a SmartChain simulation cluster.
 pub struct ChainClusterBuilder<A: Application> {
-    make_app: Box<dyn Fn(&[u8]) -> A>,
+    make_app: AppMaker<A>,
     genesis_members: usize,
     extra_nodes: Vec<NodeSchedule>,
     node_config: NodeConfig,
@@ -74,7 +80,7 @@ pub struct ChainClusterBuilder<A: Application> {
     client_actors: usize,
     logical_per_actor: u32,
     requests_per_client: Option<u64>,
-    client_factory: Box<dyn Fn() -> Box<dyn RequestFactory>>,
+    client_factory: FactoryMaker,
     durable_quorum: bool,
     key_seed: u8,
     exclusion: Option<(Time, usize)>,
@@ -185,7 +191,6 @@ impl<A: Application> ChainClusterBuilder<A> {
         self.backend = backend;
         self
     }
-
 
     /// Builds the cluster.
     pub fn build(self) -> ChainCluster {
@@ -327,6 +332,9 @@ impl ChainCluster {
 
     /// Total requests completed across all clients.
     pub fn total_completed(&self) -> u64 {
-        self.client_nodes.iter().map(|&c| self.client(c).completed()).sum()
+        self.client_nodes
+            .iter()
+            .map(|&c| self.client(c).completed())
+            .sum()
     }
 }

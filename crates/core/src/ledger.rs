@@ -8,11 +8,35 @@ use smartchain_crypto::Hash;
 use smartchain_storage::RecordLog;
 use std::io;
 
+/// Tag framing the record that anchors a checkpoint-based fast-forward
+/// (see [`Ledger::install_checkpoint_anchor`]).
+const ANCHOR_TAG: &[u8; 8] = b"SCANCHOR";
+
+fn anchor_record(covered: u64, anchor: &Hash) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 32);
+    out.extend_from_slice(ANCHOR_TAG);
+    out.extend_from_slice(&covered.to_le_bytes());
+    out.extend_from_slice(anchor);
+    out
+}
+
+fn parse_anchor(record: &[u8]) -> Option<(u64, Hash)> {
+    if record.len() != 48 || &record[..8] != ANCHOR_TAG {
+        return None;
+    }
+    let covered = u64::from_le_bytes(record[8..16].try_into().ok()?);
+    let mut anchor = Hash::default();
+    anchor.copy_from_slice(&record[16..48]);
+    Some((covered, anchor))
+}
+
 /// A chain of blocks rooted in a genesis configuration.
 ///
 /// Record 0 of the underlying log is the encoded genesis; record `i` is
-/// block `i`. The ledger keeps lightweight tail state (`last hash`, counters)
-/// in memory and can be fully rebuilt from the log on recovery.
+/// block `i` (or, after a checkpoint-based fast-forward, an anchor marker /
+/// padding for the summarized prefix). The ledger keeps lightweight tail
+/// state (`last hash`, counters) in memory and can be fully rebuilt from
+/// the log on recovery.
 pub struct Ledger<L: RecordLog> {
     log: L,
     genesis: Genesis,
@@ -43,31 +67,22 @@ impl<L: RecordLog> Ledger<L> {
     /// # Errors
     ///
     /// Fails on storage errors or if the log contains a different genesis.
-    pub fn open(mut log: L, genesis: Genesis) -> io::Result<Ledger<L>> {
-        if log.is_empty() {
-            log.append(&to_bytes(&genesis))?;
-            log.sync()?;
-            let h = genesis.hash();
-            return Ok(Ledger {
-                log,
-                genesis,
-                next_number: 1,
-                last_block_hash: h,
-                last_reconfig: 0,
-                last_checkpoint: 0,
-                amendments: Vec::new(),
-            });
-        }
-        // Recover: verify genesis match, then walk blocks to rebuild state.
-        let stored: Genesis = log
-            .read(0)?
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing genesis"))
-            .and_then(|bytes| {
-                from_bytes(&bytes)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-            })?;
-        if stored != genesis {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "genesis mismatch"));
+    pub fn open(log: L, genesis: Genesis) -> io::Result<Ledger<L>> {
+        if !log.is_empty() {
+            // Recovering an existing log: it must belong to this genesis.
+            let stored: Genesis = log
+                .read(0)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing genesis"))
+                .and_then(|bytes| {
+                    from_bytes(&bytes)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                })?;
+            if stored != genesis {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "genesis mismatch",
+                ));
+            }
         }
         let mut ledger = Ledger {
             log,
@@ -78,20 +93,8 @@ impl<L: RecordLog> Ledger<L> {
             last_checkpoint: 0,
             amendments: Vec::new(),
         };
-        ledger.last_block_hash = ledger.genesis.hash();
-        let len = ledger.log.len();
-        for i in 1..len {
-            if let Some(bytes) = ledger.log.read(i)? {
-                if let Ok(block) = from_bytes::<Block>(&bytes) {
-                    ledger.next_number = block.header.number + 1;
-                    ledger.last_block_hash = block.header.hash();
-                    if matches!(block.body, BlockBody::Reconfiguration { .. }) {
-                        ledger.last_reconfig = block.header.number;
-                    }
-                    ledger.last_checkpoint = block.header.last_checkpoint;
-                }
-            }
-        }
+        // One recovery scan for both fresh opens and crash reloads.
+        ledger.reload()?;
         Ok(ledger)
     }
 
@@ -151,14 +154,23 @@ impl<L: RecordLog> Ledger<L> {
         if block.header.number != self.next_number {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("expected block {}, got {}", self.next_number, block.header.number),
+                format!(
+                    "expected block {}, got {}",
+                    self.next_number, block.header.number
+                ),
             ));
         }
         if block.header.hash_last_block != self.last_block_hash {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, "parent hash mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "parent hash mismatch",
+            ));
         }
         if !block.commitments_valid() {
-            return Err(io::Error::new(io::ErrorKind::InvalidInput, "commitment hash mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "commitment hash mismatch",
+            ));
         }
         self.log.append(&to_bytes(block))?;
         self.last_block_hash = block.header.hash();
@@ -238,6 +250,105 @@ impl<L: RecordLog> Ledger<L> {
     /// Number of certificate amendments applied (test/diagnostic hook).
     pub fn amendment_count(&self) -> usize {
         self.amendments.len()
+    }
+
+    /// The underlying log (e.g. a durability engine, for policy queries).
+    pub fn log(&self) -> &L {
+        &self.log
+    }
+
+    /// Mutable access to the underlying log (e.g. to drive a durability
+    /// engine's group-commit flush point).
+    pub fn log_mut(&mut self) -> &mut L {
+        &mut self.log
+    }
+
+    /// Re-derives the in-memory tail state from the log — used after a
+    /// (simulated) crash dropped the log's non-durable suffix. Volatile
+    /// certificate amendments are discarded; if even the genesis record is
+    /// gone (∞-persistence), it is rewritten so the chain can regrow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn reload(&mut self) -> io::Result<()> {
+        self.amendments.clear();
+        self.next_number = 1;
+        self.last_block_hash = self.genesis.hash();
+        self.last_reconfig = 0;
+        self.last_checkpoint = 0;
+        if self.log.is_empty() {
+            self.log.append(&to_bytes(&self.genesis))?;
+            self.log.sync()?;
+            return Ok(());
+        }
+        for i in 1..self.log.len() {
+            if let Some(bytes) = self.log.read(i)? {
+                if let Some((covered, anchor)) = parse_anchor(&bytes) {
+                    self.next_number = covered + 1;
+                    self.last_block_hash = anchor;
+                    self.last_checkpoint = self.last_checkpoint.max(covered);
+                } else if let Ok(block) = from_bytes::<Block>(&bytes) {
+                    self.next_number = block.header.number + 1;
+                    self.last_block_hash = block.header.hash();
+                    if matches!(block.body, BlockBody::Reconfiguration { .. }) {
+                        self.last_reconfig = block.header.number;
+                    }
+                    self.last_checkpoint = block.header.last_checkpoint;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hash that a block chaining onto block `number` must carry: the
+    /// block's header hash, or — when record `number` is a checkpoint
+    /// anchor from an earlier fast-forward — the anchored hash itself.
+    pub fn chain_hash_at(&self, number: u64) -> Option<Hash> {
+        if number == 0 {
+            return Some(self.genesis.hash());
+        }
+        if number >= self.next_number {
+            return None;
+        }
+        if let Some(block) = self.block(number).ok().flatten() {
+            return Some(block.header.hash());
+        }
+        match self.log.read(number) {
+            Ok(Some(bytes)) => parse_anchor(&bytes)
+                .filter(|(covered, _)| *covered == number)
+                .map(|(_, anchor)| anchor),
+            _ => None,
+        }
+    }
+
+    /// Fast-forwards an (almost) empty chain through a checkpoint received
+    /// via state transfer: blocks 1..=`covered` are summarized by a snapshot
+    /// the caller installed into the application, and `anchor` is the hash
+    /// of block `covered`, so block `covered + 1` can chain onto it.
+    ///
+    /// The log is padded so record index == block number stays true for the
+    /// suffix; record `covered` holds an anchor marker that survives
+    /// restarts (reload re-derives the tail from it even if the whole
+    /// suffix was lost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn install_checkpoint_anchor(&mut self, covered: u64, anchor: Hash) -> io::Result<()> {
+        if covered < self.next_number {
+            return Ok(()); // we already have (at least) that prefix
+        }
+        while self.log.len() < covered {
+            self.log.append(&[])?;
+        }
+        if self.log.len() == covered {
+            self.log.append(&anchor_record(covered, &anchor))?;
+        }
+        self.next_number = covered + 1;
+        self.last_block_hash = anchor;
+        self.last_checkpoint = self.last_checkpoint.max(covered);
+        Ok(())
     }
 
     /// Consumes the ledger, returning the underlying log (crash simulation
@@ -363,10 +474,20 @@ mod tests {
         let block = ledger.build_next(tx_body(1));
         ledger.append(&block).unwrap();
         let header: BlockHeader = block.header;
-        let ks = KeyStore::new(SecretKey::from_seed(Backend::Sim, &[130u8; 32]), Backend::Sim);
-        let sig = ks.consensus().sign(&persist_sign_payload(1, &header.hash()));
+        let ks = KeyStore::new(
+            SecretKey::from_seed(Backend::Sim, &[130u8; 32]),
+            Backend::Sim,
+        );
+        let sig = ks
+            .consensus()
+            .sign(&persist_sign_payload(1, &header.hash()));
         ledger
-            .set_certificate(1, Certificate { signatures: vec![(0, sig)] })
+            .set_certificate(
+                1,
+                Certificate {
+                    signatures: vec![(0, sig)],
+                },
+            )
             .unwrap();
         let read_back = ledger.block(1).unwrap().unwrap();
         assert_eq!(read_back.certificate.signatures.len(), 1);

@@ -14,5 +14,7 @@ pub mod audit;
 pub mod block;
 pub mod harness;
 pub mod ledger;
+pub mod messages;
 pub mod node;
+pub mod pipeline;
 pub mod view_keys;

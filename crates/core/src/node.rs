@@ -1,191 +1,45 @@
-//! The SMARTCHAIN replica (paper §V, Algorithm 1) as a simulation actor.
+//! The SMARTCHAIN replica (paper §V, Algorithm 1) as a simulation actor —
+//! the *spine* of the staged commit pipeline.
 //!
-//! Responsibilities on top of the ordering core:
+//! This module keeps only what every stage shares: the actor's state
+//! ([`ChainNode`], [`MemberState`]), its configuration, event dispatch, and
+//! the routing of ordering-core outputs. The stages themselves live in
+//! [`crate::pipeline`]:
 //!
-//! * **blockchain layer** — every ordered batch becomes a block: transactions
-//!   and decision proof are written to the chain, the batch executes, results
-//!   are written, and `closeBlock` seals the header with one synchronous disk
-//!   write (Algorithm 1 lines 16-29);
-//! * **persistence variants** — weak (1-Persistence: reply after the local
-//!   header sync) and strong (0-Persistence: an extra PERSIST round collects
-//!   a quorum of header signatures into a certificate before replying,
-//!   §V-C / Fig. 3);
-//! * **chain-linked checkpoints** — a snapshot every `z` blocks, stored
-//!   outside the chain, referenced by later headers (§V-B3);
-//! * **state transfer** — snapshot + block suffix from peers (joins,
-//!   recoveries, lagging replicas);
-//! * **decentralized reconfiguration** — join/leave/exclude via signed vote
-//!   certificates ordered through consensus, with per-view consensus-key
-//!   rotation (the forgetting protocol, §V-D).
+//! * verify — batched client-signature checks ([`crate::pipeline::verify`]);
+//! * execute/produce — ordered batches become blocks
+//!   ([`crate::pipeline::produce`]);
+//! * persist — the persistence ladder behind a
+//!   [`smartchain_storage::DurabilityEngine`], plus the strong variant's
+//!   PERSIST certificate round ([`crate::pipeline::persist`]);
+//! * checkpoints ([`crate::pipeline::checkpoint`]), state transfer
+//!   ([`crate::pipeline::state_transfer`]) and decentralized
+//!   reconfiguration ([`crate::pipeline::reconfig`]).
 
-use crate::block::{
-    persist_sign_payload, vote_payload, Block, BlockBody, Certificate, Genesis, ReconfigOp,
-    ReconfigTx, ReconfigVote, ViewInfo,
-};
+use crate::block::{Block, Genesis, ViewInfo};
 use crate::ledger::Ledger;
-use crate::view_keys::{CertifiedKey, KeyStore};
-use smartchain_codec::{from_bytes, Decode, DecodeError, Encode};
+use crate::pipeline::verify::VerifyStage;
+use crate::pipeline::{
+    KIND_HEADER, KIND_MASK, KIND_VERIFY, TOKEN_EXCLUDE, TOKEN_JOIN, TOKEN_LEAVE, TOKEN_PROGRESS,
+};
+use crate::view_keys::KeyStore;
 use smartchain_consensus::messages::ConsensusMsg;
 use smartchain_consensus::ReplicaId;
-use smartchain_crypto::keys::{PublicKey, Signature};
-use smartchain_crypto::Hash;
-use smartchain_smr::app::Application;
-use smartchain_smr::ordering::{CoreOutput, OrderedBatch, OrderingConfig, OrderingCore, SmrMsg};
-use smartchain_smr::types::{Reply, Request};
+use smartchain_crypto::keys::PublicKey;
 use smartchain_sim::metrics::ThroughputMeter;
 use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, MILLI};
-use smartchain_storage::mem::MemLog;
+use smartchain_smr::app::Application;
+use smartchain_smr::ordering::{CoreOutput, OrderedBatch, OrderingConfig, OrderingCore, SmrMsg};
+use smartchain_smr::types::Request;
+use smartchain_storage::DurabilityEngine;
 use std::collections::{HashMap, VecDeque};
 
+pub use crate::messages::ChainMsg;
+pub use crate::pipeline::persist::{OpenBlock, Persistence, Variant};
+pub use crate::pipeline::{
+    app_payload, exclude_vote_payload, unwrap_app_payload, verify_envelope_signature,
+};
 pub use smartchain_smr::actor::{client_id, client_node, SigMode};
-
-/// Where blocks are persisted (the paper's persistence ladder, §V-C).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Persistence {
-    /// Memory only (∞-Persistence).
-    Memory,
-    /// Asynchronous writes (λ-Persistence).
-    Async,
-    /// Synchronous header writes (0/1-Persistence depending on variant).
-    Sync,
-}
-
-/// Weak (1-Persistence) or strong (0-Persistence, PERSIST phase) variant.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Variant {
-    /// Reply after the local synchronous write.
-    Weak,
-    /// Reply after a quorum certificate over the header is assembled.
-    Strong,
-}
-
-/// Messages exchanged by SmartChain nodes (a superset of the SMR messages).
-#[derive(Clone, Debug)]
-pub enum ChainMsg {
-    /// Ordering/SMR traffic.
-    Smr(SmrMsg),
-    /// PERSIST-phase signature share (strong variant).
-    Persist {
-        /// Block number being certified.
-        block: u64,
-        /// Hash of the block header.
-        header_hash: Hash,
-        /// Signature with the sender's consensus key.
-        signature: Signature,
-    },
-    /// Request for state from `from_block` onward.
-    StateReq {
-        /// First block the requester is missing.
-        from_block: u64,
-    },
-    /// State transfer reply.
-    StateRep {
-        /// Application snapshot (bytes) and the block it covers.
-        snapshot: Option<(u64, Vec<u8>)>,
-        /// Block suffix after the snapshot.
-        blocks: Vec<Block>,
-        /// Modeled wire size (1 GB states are modeled, not materialized).
-        modeled_size: u64,
-        /// Only one designated replica sends the full state; the rest send
-        /// hash-sized acknowledgements (PBFT-style optimization).
-        full: bool,
-    },
-    /// A prospective member asks to join — or a member asks to leave
-    /// (paper Fig. 5a, step 1; §V-D leave flow).
-    JoinAsk {
-        /// The asker's certified consensus key for the next view.
-        joiner: CertifiedKey,
-    },
-    /// A member's signed acceptance (step 2).
-    JoinVote {
-        /// The vote (carries the voter's new consensus key).
-        vote: ReconfigVote,
-        /// The operation being voted for.
-        op: ReconfigOp,
-        /// The view id the vote creates.
-        new_view_id: u64,
-        /// Current view (so the asker learns the membership).
-        current_view: ViewInfo,
-    },
-    /// Tells a just-admitted member it is part of `view` (triggers its
-    /// state transfer).
-    Welcome {
-        /// The view that now includes the recipient.
-        view: ViewInfo,
-    },
-}
-
-impl ChainMsg {
-    /// Estimated wire size in bytes for the simulator.
-    pub fn wire_size(&self) -> usize {
-        match self {
-            ChainMsg::Smr(m) => m.wire_size(),
-            ChainMsg::Persist { .. } => 8 + 32 + 65 + 16,
-            ChainMsg::StateReq { .. } => 16,
-            ChainMsg::StateRep { modeled_size, .. } => (*modeled_size as usize).max(64),
-            ChainMsg::JoinAsk { .. } => 180,
-            ChainMsg::JoinVote { current_view, .. } => 260 + current_view.n() * 140,
-            ChainMsg::Welcome { view } => 20 + view.n() * 140,
-        }
-    }
-}
-
-/// Request payload envelope markers (first byte of every ordered payload).
-const PAYLOAD_APP: u8 = 0;
-const PAYLOAD_RECONFIG: u8 = 1;
-const PAYLOAD_EXCLUDE_VOTE: u8 = 2;
-
-/// Wraps an application payload for ordering through a SmartChain node.
-pub fn app_payload(bytes: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(bytes.len() + 1);
-    out.push(PAYLOAD_APP);
-    out.extend_from_slice(bytes);
-    out
-}
-
-/// Extracts the application bytes from an envelope (`None` for protocol
-/// payloads).
-pub fn unwrap_app_payload(payload: &[u8]) -> Option<&[u8]> {
-    match payload.first() {
-        Some(&PAYLOAD_APP) => Some(&payload[1..]),
-        _ => None,
-    }
-}
-
-fn reconfig_payload(tx: &ReconfigTx) -> Vec<u8> {
-    let mut out = vec![PAYLOAD_RECONFIG];
-    tx.encode(&mut out);
-    out
-}
-
-/// Builds the ordered payload for one member's exclude vote (paper Fig. 5b).
-pub fn exclude_vote_payload(target: &PublicKey, vote: &ReconfigVote) -> Vec<u8> {
-    let mut out = vec![PAYLOAD_EXCLUDE_VOTE];
-    target.to_wire().encode(&mut out);
-    vote.encode(&mut out);
-    out
-}
-
-/// Verifies a request's client signature, accounting for the app envelope:
-/// clients sign `(client, seq, app_payload)`; the envelope byte is added by
-/// the transport wrapper afterwards.
-pub fn verify_envelope_signature(req: &Request) -> bool {
-    match unwrap_app_payload(&req.payload) {
-        Some(inner) => match &req.signature {
-            None => true,
-            Some((key, sig)) => {
-                key.verify(&Request::sign_payload(req.client, req.seq, inner), sig)
-            }
-        },
-        None => req.verify_signature(),
-    }
-}
-
-fn parse_exclude_vote(mut input: &[u8]) -> Result<(PublicKey, ReconfigVote), DecodeError> {
-    let target = PublicKey::from_wire(&<[u8; 33]>::decode(&mut input)?);
-    let vote = ReconfigVote::decode(&mut input)?;
-    Ok((target, vote))
-}
 
 /// SmartChain node configuration.
 #[derive(Clone, Copy, Debug)]
@@ -235,66 +89,90 @@ impl Default for NodeConfig {
     }
 }
 
-const TOKEN_PROGRESS: u64 = 1;
-const TOKEN_JOIN: u64 = 2;
-const TOKEN_LEAVE: u64 = 3;
-const TOKEN_EXCLUDE: u64 = 4;
-const KIND_SHIFT: u64 = 56;
-const KIND_VERIFY: u64 = 1 << KIND_SHIFT;
-const KIND_HEADER: u64 = 2 << KIND_SHIFT;
-const KIND_MASK: u64 = 0xff << KIND_SHIFT;
-
-/// A block mid-pipeline (executed, awaiting persistence/certificate).
-struct OpenBlock {
-    number: u64,
-    header_hash: Hash,
-    replies: Vec<Reply>,
-    cert: Vec<(ReplicaId, Signature)>,
-    header_synced: bool,
-}
-
-struct MemberState {
+/// Per-membership state (exists while the node is an active consortium
+/// member). Fields are crate-visible: the pipeline stage modules operate on
+/// them directly.
+pub(crate) struct MemberState {
     /// Bumped whenever the ordering core is replaced (view change, state
     /// transfer); outputs minted by an older core must be discarded.
-    generation: u64,
+    pub(crate) generation: u64,
     /// A reconfiguration decided in the same batch as application
     /// transactions waits here until the open block completes — rotating
     /// the view keys mid-PERSIST would orphan the in-flight certificate.
-    pending_reconfig: Option<(u64, ReconfigTx, smartchain_consensus::proof::DecisionProof)>,
-    view: ViewInfo,
-    core: OrderingCore,
-    ledger: Ledger<MemLog>,
-    snapshot: Option<(u64, Vec<u8>)>,
-    delivery_queue: VecDeque<OrderedBatch>,
-    open: Option<OpenBlock>,
-    persist_stash: HashMap<u64, Vec<(ReplicaId, Hash, Signature)>>,
-    exclude_votes: HashMap<PublicKey, Vec<ReconfigVote>>,
-    verifying: HashMap<u64, Request>,
-    timer_armed: bool,
-    delivered_at_arm: u64,
-    next_token: u64,
-    syncing: bool,
+    pub(crate) pending_reconfig: Option<(
+        u64,
+        crate::block::ReconfigTx,
+        smartchain_consensus::proof::DecisionProof,
+    )>,
+    pub(crate) view: ViewInfo,
+    pub(crate) core: OrderingCore,
+    /// The chain, persisted through the configured durability engine.
+    pub(crate) ledger: Ledger<Box<dyn DurabilityEngine>>,
+    pub(crate) snapshot: Option<(u64, Vec<u8>)>,
+    pub(crate) delivery_queue: VecDeque<OrderedBatch>,
+    pub(crate) open: Option<OpenBlock>,
+    pub(crate) persist_stash: HashMap<
+        u64,
+        Vec<(
+            ReplicaId,
+            smartchain_crypto::Hash,
+            smartchain_crypto::keys::Signature,
+        )>,
+    >,
+    pub(crate) exclude_votes: HashMap<PublicKey, Vec<crate::block::ReconfigVote>>,
+    /// The batched verify stage (stage 1 of the pipeline).
+    pub(crate) verify: VerifyStage,
+    pub(crate) timer_armed: bool,
+    pub(crate) delivered_at_arm: u64,
+    pub(crate) next_token: u64,
+    pub(crate) syncing: bool,
+}
+
+impl MemberState {
+    pub(crate) fn new(
+        view: ViewInfo,
+        core: OrderingCore,
+        ledger: Ledger<Box<dyn DurabilityEngine>>,
+    ) -> MemberState {
+        MemberState {
+            generation: 0,
+            pending_reconfig: None,
+            view,
+            core,
+            ledger,
+            snapshot: None,
+            delivery_queue: VecDeque::new(),
+            open: None,
+            persist_stash: HashMap::new(),
+            exclude_votes: HashMap::new(),
+            verify: VerifyStage::new(),
+            timer_armed: false,
+            delivered_at_arm: 0,
+            next_token: 100,
+            syncing: false,
+        }
+    }
 }
 
 /// The SmartChain replica actor.
 pub struct ChainNode<A: Application> {
-    directory: HashMap<PublicKey, NodeId>,
-    keys: KeyStore,
-    config: NodeConfig,
-    genesis: Genesis,
-    app: A,
-    member: Option<MemberState>,
+    pub(crate) directory: HashMap<PublicKey, NodeId>,
+    pub(crate) keys: KeyStore,
+    pub(crate) config: NodeConfig,
+    pub(crate) genesis: Genesis,
+    pub(crate) app: A,
+    pub(crate) member: Option<MemberState>,
     /// Vote collection for our own join/leave request.
-    own_votes: HashMap<u64, Vec<ReconfigVote>>,
-    own_submitted: std::collections::HashSet<u64>,
-    own_view_seen: Option<ViewInfo>,
-    join_at: Option<Time>,
-    leave_at: Option<Time>,
-    exclude_at: Option<(Time, PublicKey)>,
-    protocol_seq: u64,
-    meter: ThroughputMeter,
-    committed_log: Vec<(Time, u64)>,
-    checkpoint_log: Vec<(Time, u64)>,
+    pub(crate) own_votes: HashMap<u64, Vec<crate::block::ReconfigVote>>,
+    pub(crate) own_submitted: std::collections::HashSet<u64>,
+    pub(crate) own_view_seen: Option<ViewInfo>,
+    pub(crate) join_at: Option<Time>,
+    pub(crate) leave_at: Option<Time>,
+    pub(crate) exclude_at: Option<(Time, PublicKey)>,
+    pub(crate) protocol_seq: u64,
+    pub(crate) meter: ThroughputMeter,
+    pub(crate) committed_log: Vec<(Time, u64)>,
+    pub(crate) checkpoint_log: Vec<(Time, u64)>,
 }
 
 impl<A: Application> ChainNode<A> {
@@ -327,8 +205,13 @@ impl<A: Application> ChainNode<A> {
             committed_log: Vec::new(),
             checkpoint_log: Vec::new(),
         };
-        if genesis.view.position_of(&node.keys.permanent_public()).is_some() {
-            node.become_genesis_member();
+        if genesis
+            .view
+            .position_of(&node.keys.permanent_public())
+            .is_some()
+        {
+            let view = node.genesis.view.clone();
+            node.activate_member(view, 0);
         }
         node
     }
@@ -370,9 +253,14 @@ impl<A: Application> ChainNode<A> {
 
     /// Ordering diagnostics: (last_delivered, pending, regency, leader).
     pub fn ordering_status(&self) -> Option<(u64, usize, u32, usize)> {
-        self.member
-            .as_ref()
-            .map(|m| (m.core.last_delivered(), m.core.pending_len(), m.core.regency(), m.core.leader()))
+        self.member.as_ref().map(|m| {
+            (
+                m.core.last_delivered(),
+                m.core.pending_len(),
+                m.core.regency(),
+                m.core.leader(),
+            )
+        })
     }
 
     /// The application.
@@ -393,54 +281,28 @@ impl<A: Application> ChainNode<A> {
         &self.genesis
     }
 
-    fn become_genesis_member(&mut self) {
-        let view = self.genesis.view.clone();
-        self.keys.rotate_to(view.id);
-        let me = view
-            .position_of(&self.keys.permanent_public())
-            .expect("genesis member");
-        let core = OrderingCore::new(
-            me,
-            view.to_consensus_view(),
-            self.keys.consensus().clone(),
-            self.config.ordering,
-            0,
-        );
-        let ledger =
-            Ledger::open(MemLog::new(), self.genesis.clone()).expect("memory ledger opens");
-        self.member = Some(MemberState {
-            generation: 0,
-            pending_reconfig: None,
-            view,
-            core,
-            ledger,
-            snapshot: None,
-            delivery_queue: VecDeque::new(),
-            open: None,
-            persist_stash: HashMap::new(),
-            exclude_votes: HashMap::new(),
-            verifying: HashMap::new(),
-            timer_armed: false,
-            delivered_at_arm: 0,
-            next_token: 100,
-            syncing: false,
-        });
+    /// Persistence-engine accounting: `(records, syncs)` at the engine level
+    /// (distinct from the simulator's device accounting).
+    pub fn engine_stats(&self) -> Option<smartchain_storage::wal::FlushStats> {
+        self.member.as_ref().map(|m| m.ledger.log().stats())
     }
 
-    fn node_of(&self, view: &ViewInfo, replica: ReplicaId) -> Option<NodeId> {
+    pub(crate) fn node_of(&self, view: &ViewInfo, replica: ReplicaId) -> Option<NodeId> {
         view.members
             .get(replica)
             .and_then(|m| self.directory.get(&m.permanent))
             .copied()
     }
 
-    fn my_replica_id(&self) -> Option<ReplicaId> {
+    pub(crate) fn my_replica_id(&self) -> Option<ReplicaId> {
         let pk = self.keys.permanent_public();
         self.member.as_ref().and_then(|m| m.view.position_of(&pk))
     }
 
-    fn send_to_members(&self, msg: &ChainMsg, ctx: &mut Ctx<'_, ChainMsg>) {
-        let Some(m) = self.member.as_ref() else { return };
+    pub(crate) fn send_to_members(&self, msg: &ChainMsg, ctx: &mut Ctx<'_, ChainMsg>) {
+        let Some(m) = self.member.as_ref() else {
+            return;
+        };
         let me = self.my_replica_id();
         for r in 0..m.view.n() {
             if Some(r) == me {
@@ -452,7 +314,11 @@ impl<A: Application> ChainNode<A> {
         }
     }
 
-    fn handle_core_outputs(&mut self, outputs: Vec<CoreOutput>, ctx: &mut Ctx<'_, ChainMsg>) {
+    pub(crate) fn handle_core_outputs(
+        &mut self,
+        outputs: Vec<CoreOutput>,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
         let generation_at_entry = self.member.as_ref().map(|m| m.generation);
         for out in outputs {
             // A view change mid-loop replaces the core; everything the old
@@ -490,9 +356,11 @@ impl<A: Application> ChainNode<A> {
         self.arm_progress_timer(ctx);
     }
 
-    fn arm_progress_timer(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+    pub(crate) fn arm_progress_timer(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
         let timeout = self.config.progress_timeout;
-        let Some(m) = self.member.as_mut() else { return };
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
         if !m.timer_armed && m.core.pending_len() > 0 {
             m.timer_armed = true;
             m.delivered_at_arm = m.core.last_delivered();
@@ -500,738 +368,32 @@ impl<A: Application> ChainNode<A> {
         }
     }
 
-    fn pump_deliveries(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+    pub(crate) fn pump_deliveries(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
         loop {
             let batch = {
-                let Some(m) = self.member.as_mut() else { return };
+                let Some(m) = self.member.as_mut() else {
+                    return;
+                };
                 if m.open.is_some() {
                     return; // Algorithm 1 processes blocks sequentially
                 }
-                let Some(batch) = m.delivery_queue.pop_front() else { return };
+                let Some(batch) = m.delivery_queue.pop_front() else {
+                    return;
+                };
                 batch
             };
             self.start_block(batch, ctx);
         }
     }
 
-    /// Algorithm 1 lines 16-29 (and 37-48 for reconfigurations).
-    fn start_block(&mut self, batch: OrderedBatch, ctx: &mut Ctx<'_, ChainMsg>) {
-        let mut app_requests = Vec::new();
-        let mut reconfig_tx: Option<ReconfigTx> = None;
-        for req in batch.requests {
-            match req.payload.first() {
-                Some(&PAYLOAD_RECONFIG) => {
-                    if reconfig_tx.is_none() {
-                        if let Ok(tx) = from_bytes::<ReconfigTx>(&req.payload[1..]) {
-                            reconfig_tx = Some(tx);
-                        }
-                    }
-                }
-                Some(&PAYLOAD_EXCLUDE_VOTE) => {
-                    if let Ok((target, vote)) = parse_exclude_vote(&req.payload[1..]) {
-                        if let Some(m) = self.member.as_mut() {
-                            // Tally only authentic votes from current members.
-                            let op = ReconfigOp::Exclude { target };
-                            let payload = vote_payload(m.view.id + 1, &op, &vote.new_key);
-                            let authentic = m
-                                .view
-                                .members
-                                .get(vote.voter)
-                                .is_some_and(|member| {
-                                    member.permanent == vote.new_key.permanent
-                                        && member.permanent.verify(&payload, &vote.signature)
-                                });
-                            if !authentic {
-                                continue;
-                            }
-                            let entry = m.exclude_votes.entry(target).or_default();
-                            if !entry.iter().any(|v| v.voter == vote.voter) {
-                                entry.push(vote);
-                            }
-                            let threshold = m.view.n() - m.view.f();
-                            if reconfig_tx.is_none() && entry.len() >= threshold {
-                                let votes = m.exclude_votes.remove(&target).unwrap_or_default();
-                                reconfig_tx = Some(ReconfigTx {
-                                    new_view_id: m.view.id + 1,
-                                    op: ReconfigOp::Exclude { target },
-                                    votes,
-                                });
-                            }
-                        }
-                    }
-                }
-                _ => app_requests.push(req),
-            }
-        }
-        if !app_requests.is_empty() {
-            self.make_tx_block(batch.instance, app_requests, &batch.proof, ctx);
-        }
-        if let Some(tx) = reconfig_tx {
-            // If the tx block above is still mid-pipeline (fsync/PERSIST),
-            // defer the reconfiguration until it completes: the view-key
-            // rotation must not invalidate an in-flight certificate.
-            let open = self.member.as_ref().is_some_and(|m| m.open.is_some());
-            if open {
-                if let Some(m) = self.member.as_mut() {
-                    m.pending_reconfig = Some((batch.instance, tx, batch.proof.clone()));
-                }
-            } else {
-                self.make_reconfig_block(batch.instance, tx, &batch.proof, ctx);
-            }
-        }
-    }
-
-    fn make_tx_block(
-        &mut self,
-        consensus_id: u64,
-        requests: Vec<Request>,
-        proof: &smartchain_consensus::proof::DecisionProof,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        let count = requests.len();
-        self.meter.record(ctx.now(), count as u64);
-        self.committed_log.push((ctx.now(), count as u64));
-        let mut exec_cost = self.config.execute_ns * count as Time;
-        if self.config.sig_mode == SigMode::Sequential {
-            // The paper's sequential mode verifies inside the state machine.
-            exec_cost += ctx.hw().cpu.verify_ns * count as Time;
-        }
-        ctx.charge(exec_cost);
-        let mut results = Vec::with_capacity(count);
-        let mut replies = Vec::with_capacity(count);
-        let me = self.my_replica_id().unwrap_or(0);
-        for req in &requests {
-            if self.config.sig_mode == SigMode::Sequential && !verify_envelope_signature(req) {
-                results.push(Vec::new());
-                continue; // forged transaction dropped at execution
-            }
-            let app_result = match unwrap_app_payload(&req.payload) {
-                Some(bytes) => {
-                    let inner = Request {
-                        client: req.client,
-                        seq: req.seq,
-                        payload: bytes.to_vec(),
-                        signature: req.signature,
-                    };
-                    self.app.execute(&inner)
-                }
-                None => Vec::new(),
-            };
-            let mut result = app_result;
-            // Pad to the modeled reply size (the paper's replies are
-            // 270-380 bytes); longer app results are kept as-is.
-            if result.len() < self.config.reply_size {
-                result.resize(self.config.reply_size.max(8), 0);
-            }
-            replies.push(Reply {
-                client: req.client,
-                seq: req.seq,
-                result: result.clone(),
-                replica: me,
-            });
-            results.push(result);
-        }
-        let Some(m) = self.member.as_mut() else { return };
-        let body = BlockBody::Transactions { consensus_id, requests, proof: proof.clone(), results };
-        let block = m.ledger.build_next(body);
-        let number = block.header.number;
-        let header_hash = block.header.hash();
-        let size = block.wire_size();
-        ctx.charge(ctx.hw().cpu.hash_time(size));
-        m.ledger.append(&block).expect("memory ledger append");
-        m.open = Some(OpenBlock {
-            number,
-            header_hash,
-            replies,
-            cert: Vec::new(),
-            header_synced: false,
-        });
-        match self.config.persistence {
-            Persistence::Sync => {
-                let token = KIND_HEADER | number;
-                ctx.disk_write(size, true, token);
-            }
-            Persistence::Async => {
-                ctx.disk_write(size, false, 0);
-                self.header_done(number, ctx);
-            }
-            Persistence::Memory => self.header_done(number, ctx),
-        }
-    }
-
-    fn make_reconfig_block(
-        &mut self,
-        consensus_id: u64,
-        tx: ReconfigTx,
-        proof: &smartchain_consensus::proof::DecisionProof,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        let Some(m) = self.member.as_mut() else { return };
-        if !tx.verify(&m.view) {
-            return;
-        }
-        let new_view = tx.apply(&m.view);
-        let body = BlockBody::Reconfiguration {
-            consensus_id,
-            tx: tx.clone(),
-            proof: proof.clone(),
-            new_view: new_view.clone(),
-        };
-        let block = m.ledger.build_next(body);
-        let size = block.wire_size();
-        ctx.charge(ctx.hw().cpu.hash_time(size));
-        m.ledger.append(&block).expect("memory ledger append");
-        let height = m.ledger.height();
-        if self.config.persistence != Persistence::Memory {
-            ctx.disk_write(size, self.config.persistence == Persistence::Sync, 0);
-        }
-        let my_pk = self.keys.permanent_public();
-        let am_member = new_view.position_of(&my_pk).is_some();
-        if let ReconfigOp::Join { joiner } = &tx.op {
-            if let Some(&node) = self.directory.get(&joiner.permanent) {
-                if joiner.permanent != my_pk {
-                    let msg = ChainMsg::Welcome { view: new_view.clone() };
-                    let size = msg.wire_size();
-                    ctx.send(node, msg, size);
-                }
-            }
-        }
-        if am_member {
-            self.keys.rotate_to(new_view.id);
-            let me = new_view.position_of(&my_pk).expect("member");
-            let m = self.member.as_mut().expect("active");
-            m.generation += 1;
-            m.view = new_view;
-            m.core = OrderingCore::new(
-                me,
-                m.view.to_consensus_view(),
-                self.keys.consensus().clone(),
-                self.config.ordering,
-                height.max(consensus_id),
-            );
-            m.persist_stash.clear();
-            m.exclude_votes.clear();
-            // Requests admitted before the view change (e.g. duplicate
-            // reconfiguration submissions) are dropped with the old core;
-            // clients retransmit if still relevant. The duplicate filter is
-            // rebuilt from the chain so retransmissions of already-delivered
-            // requests are not re-decided.
-            self.reseed_dedup_from_ledger();
-        } else {
-            // We left (or were excluded): deactivate, but only after the
-            // reconfiguration is installed (the paper requires departing
-            // replicas to keep serving until the new view is in place).
-            self.member = None;
-        }
-    }
-
-    fn header_done(&mut self, number: u64, ctx: &mut Ctx<'_, ChainMsg>) {
-        let variant = self.config.variant;
-        {
-            let Some(m) = self.member.as_mut() else { return };
-            let Some(open) = m.open.as_mut() else { return };
-            if open.number != number {
+    pub(crate) fn submit_to_core(&mut self, req: Request, ctx: &mut Ctx<'_, ChainMsg>) {
+        let outs = {
+            let Some(m) = self.member.as_mut() else {
                 return;
-            }
-            open.header_synced = true;
-        }
-        match variant {
-            Variant::Weak => self.finish_block(ctx),
-            Variant::Strong => {
-                let (header_hash, me) = {
-                    let m = self.member.as_ref().expect("active");
-                    let open = m.open.as_ref().expect("open");
-                    (open.header_hash, self.my_replica_id())
-                };
-                ctx.charge(ctx.hw().cpu.sign_ns);
-                let payload = persist_sign_payload(number, &header_hash);
-                let signature = self.keys.consensus().sign(&payload);
-                if let Some(me) = me {
-                    let m = self.member.as_mut().expect("active");
-                    let open = m.open.as_mut().expect("open");
-                    open.cert.push((me, signature));
-                    if let Some(stash) = m.persist_stash.remove(&number) {
-                        for (r, h, sig) in stash {
-                            if h == header_hash && !open.cert.iter().any(|(rr, _)| *rr == r) {
-                                open.cert.push((r, sig));
-                            }
-                        }
-                    }
-                }
-                let msg = ChainMsg::Persist { block: number, header_hash, signature };
-                self.send_to_members(&msg, ctx);
-                self.check_certificate(ctx);
-            }
-        }
-    }
-
-    fn on_persist(
-        &mut self,
-        from_node: NodeId,
-        block: u64,
-        header_hash: Hash,
-        signature: Signature,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        let sender = {
-            let Some(m) = self.member.as_ref() else { return };
-            (0..m.view.n()).find(|&r| self.node_of(&m.view, r) == Some(from_node))
-        };
-        let Some(sender) = sender else { return };
-        // PERSIST shares are full signatures (they end up in the publicly
-        // verifiable certificate), so the verification costs the real thing.
-        ctx.charge(ctx.hw().cpu.verify_ns);
-        let valid = {
-            let m = self.member.as_ref().expect("active");
-            let payload = persist_sign_payload(block, &header_hash);
-            m.view
-                .members
-                .get(sender)
-                .is_some_and(|mem| mem.consensus.verify(&payload, &signature))
-        };
-        if !valid {
-            return;
-        }
-        let Some(m) = self.member.as_mut() else { return };
-        match m.open.as_mut() {
-            Some(open) if open.number == block && open.header_hash == header_hash => {
-                if !open.cert.iter().any(|(r, _)| *r == sender) {
-                    open.cert.push((sender, signature));
-                }
-                self.check_certificate(ctx);
-            }
-            _ => {
-                m.persist_stash
-                    .entry(block)
-                    .or_default()
-                    .push((sender, header_hash, signature));
-            }
-        }
-    }
-
-    fn check_certificate(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        let ready = {
-            let Some(m) = self.member.as_ref() else { return };
-            let Some(open) = m.open.as_ref() else { return };
-            open.header_synced && open.cert.len() >= m.view.quorum()
-        };
-        if !ready {
-            return;
-        }
-        let m = self.member.as_mut().expect("active");
-        let open = m.open.as_ref().expect("open");
-        let number = open.number;
-        let cert = Certificate { signatures: open.cert.clone() };
-        let cert_size = 16 + cert.signatures.len() * 73;
-        m.ledger.set_certificate(number, cert).expect("memory ledger");
-        if self.config.persistence != Persistence::Memory {
-            // Asynchronous write: recoverable after a full crash (§V-C).
-            ctx.disk_write(cert_size, false, 0);
-        }
-        self.finish_block(ctx);
-    }
-
-    fn finish_block(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        let (number, replies) = {
-            let Some(m) = self.member.as_mut() else { return };
-            let Some(open) = m.open.take() else { return };
-            (open.number, open.replies)
-        };
-        for reply in replies {
-            let node = client_node(reply.client);
-            let size = reply.wire_size();
-            ctx.send(node, ChainMsg::Smr(SmrMsg::Reply(reply)), size);
-        }
-        // A reconfiguration deferred behind this block applies now, before
-        // any further deliveries.
-        if let Some((cid, tx, proof)) = self.member.as_mut().and_then(|m| m.pending_reconfig.take())
-        {
-            self.make_reconfig_block(cid, tx, &proof, ctx);
-        }
-        let z = self.genesis.checkpoint_period;
-        if z > 0 {
-            // Optionally offset the trigger per replica so snapshot stalls
-            // never align cluster-wide (paper §VI; Dura-SMaRt §II-C2).
-            let offset = if self.config.stagger_checkpoints {
-                let (me, n) = self
-                    .member
-                    .as_ref()
-                    .map(|m| (self.my_replica_id().unwrap_or(0) as u64, m.view.n() as u64))
-                    .unwrap_or((0, 1));
-                me * z / n.max(1)
-            } else {
-                0
             };
-            if (number + offset) % z == 0 {
-                self.take_checkpoint(number, ctx);
-            }
-        }
-        self.pump_deliveries(ctx);
-    }
-
-    fn state_size(&self) -> u64 {
-        if self.config.state_size > 0 {
-            self.config.state_size
-        } else {
-            self.app.take_snapshot().len() as u64
-        }
-    }
-
-    fn take_checkpoint(&mut self, covered_block: u64, ctx: &mut Ctx<'_, ChainMsg>) {
-        self.checkpoint_log.push((ctx.now(), covered_block));
-        let size = self.state_size();
-        ctx.charge(self.config.snapshot_ns_per_byte * size);
-        let snapshot = self.app.take_snapshot();
-        if self.config.persistence != Persistence::Memory {
-            ctx.disk_write(size as usize, false, 0);
-        }
-        if let Some(m) = self.member.as_mut() {
-            m.snapshot = Some((covered_block, snapshot));
-            m.ledger.set_last_checkpoint(covered_block);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // State transfer
-    // ------------------------------------------------------------------
-
-    fn start_state_transfer(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        let from_block = {
-            let Some(m) = self.member.as_mut() else { return };
-            if m.syncing {
-                return;
-            }
-            m.syncing = true;
-            m.ledger.height() + 1
+            m.core.submit(req)
         };
-        let msg = ChainMsg::StateReq { from_block };
-        self.send_to_members(&msg, ctx);
-    }
-
-    fn serve_state_request(
-        &mut self,
-        from_node: NodeId,
-        from_block: u64,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        let Some(m) = self.member.as_ref() else { return };
-        if m.syncing {
-            return;
-        }
-        let me = self.my_replica_id().unwrap_or(usize::MAX);
-        // The highest-id member other than the requester ships the full
-        // state: picking the *leader* (id 0) would wedge its NIC behind a
-        // multi-second transfer and stall ordering cluster-wide.
-        let requester_id = (0..m.view.n()).find(|&r| self.node_of(&m.view, r) == Some(from_node));
-        let candidate = if requester_id == Some(m.view.n() - 1) {
-            m.view.n().saturating_sub(2)
-        } else {
-            m.view.n() - 1
-        };
-        let full = me == candidate;
-        let snapshot = m.snapshot.clone();
-        let snap_covered = snapshot.as_ref().map(|(b, _)| *b).unwrap_or(0);
-        // Ship only what the requester is missing: the snapshot (if it
-        // covers part of the gap) plus blocks after max(snapshot, what the
-        // requester already has). Re-shipping from block 1 on every catch-up
-        // round would make a lagging replica chase the chain forever.
-        let start = (snap_covered + 1).max(from_block.max(1));
-        let snapshot = if snap_covered + 1 > from_block { snapshot } else { None };
-        let blocks = m.ledger.blocks_from(start).unwrap_or_default();
-        let blocks_size: usize = blocks.iter().map(Block::wire_size).sum();
-        let modeled = if full {
-            let snap_size = if snapshot.is_some() { self.state_size() } else { 0 };
-            snap_size + blocks_size as u64
-        } else {
-            64
-        };
-        if full && self.config.persistence != Persistence::Memory {
-            ctx.disk_read(modeled as usize, 0);
-        }
-        let msg = ChainMsg::StateRep {
-            snapshot: if full { snapshot } else { None },
-            blocks: if full { blocks } else { Vec::new() },
-            modeled_size: modeled,
-            full,
-        };
-        let size = msg.wire_size();
-        ctx.send(from_node, msg, size);
-    }
-
-    fn install_state(
-        &mut self,
-        snapshot: Option<(u64, Vec<u8>)>,
-        blocks: Vec<Block>,
-        modeled_size: u64,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        {
-            let Some(m) = self.member.as_ref() else { return };
-            if !m.syncing {
-                return;
-            }
-        }
-        ctx.charge(self.config.install_ns_per_byte * modeled_size);
-        if let Some((covered, state)) = snapshot {
-            self.app.install_snapshot(&state);
-            if let Some(m) = self.member.as_mut() {
-                m.snapshot = Some((covered, state));
-                m.ledger.set_last_checkpoint(covered);
-            }
-        }
-        let mut new_view: Option<ViewInfo> = None;
-        for block in blocks {
-            let skip = self
-                .member
-                .as_ref()
-                .is_some_and(|m| block.header.number <= m.ledger.height());
-            if skip {
-                continue;
-            }
-            match &block.body {
-                BlockBody::Transactions { requests, .. } => {
-                    for req in requests {
-                        if let Some(m) = self.member.as_mut() {
-                            m.core.note_delivered(req.client, req.seq);
-                        }
-                        if let Some(bytes) = unwrap_app_payload(&req.payload) {
-                            let inner = Request {
-                                client: req.client,
-                                seq: req.seq,
-                                payload: bytes.to_vec(),
-                                signature: req.signature,
-                            };
-                            let _ = self.app.execute(&inner);
-                        }
-                    }
-                }
-                BlockBody::Reconfiguration { new_view: v, .. } => {
-                    new_view = Some(v.clone());
-                }
-            }
-            if let Some(m) = self.member.as_mut() {
-                let _ = m.ledger.append(&block);
-            }
-        }
-        if let Some(v) = new_view {
-            let my_pk = self.keys.permanent_public();
-            if v.position_of(&my_pk).is_some() {
-                self.keys.rotate_to(v.id);
-                let height = self.member.as_ref().map(|m| m.ledger.height()).unwrap_or(0);
-                if let Some(m) = self.member.as_mut() {
-                    let me = v.position_of(&my_pk).expect("member");
-                    m.generation += 1;
-                    m.view = v;
-                    m.core = OrderingCore::new(
-                        me,
-                        m.view.to_consensus_view(),
-                        self.keys.consensus().clone(),
-                        self.config.ordering,
-                        height,
-                    );
-                }
-                self.reseed_dedup_from_ledger();
-            } else {
-                self.member = None;
-                return;
-            }
-        }
-        if let Some(m) = self.member.as_mut() {
-            let height = m.ledger.height();
-            m.core.fast_forward(height);
-            m.syncing = false;
-        }
-    }
-
-    /// Rebuilds the ordering core's duplicate filter from the whole local
-    /// chain (used whenever a fresh core is paired with replayed history).
-    fn reseed_dedup_from_ledger(&mut self) {
-        let Some(m) = self.member.as_mut() else { return };
-        let blocks = m.ledger.blocks_from(1).unwrap_or_default();
-        for block in &blocks {
-            if let BlockBody::Transactions { requests, .. } = &block.body {
-                for req in requests {
-                    m.core.note_delivered(req.client, req.seq);
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Decentralized reconfiguration (client side)
-    // ------------------------------------------------------------------
-
-    fn ask_to_join(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        if self.member.is_some() {
-            return;
-        }
-        let joiner = self.keys.certified_key_for(self.genesis.view.id + 1);
-        let msg = ChainMsg::JoinAsk { joiner };
-        for member in &self.genesis.view.members.clone() {
-            if member.permanent == self.keys.permanent_public() {
-                continue;
-            }
-            if let Some(&node) = self.directory.get(&member.permanent) {
-                ctx.send(node, msg.clone(), msg.wire_size());
-            }
-        }
-    }
-
-    /// Schedules this member to advocate excluding `target` at time `at`
-    /// (paper Fig. 5b: each member submits a signed remove transaction; a
-    /// quorum of n−f such transactions produces the new view).
-    pub fn schedule_exclusion(&mut self, at: Time, target: PublicKey) {
-        self.exclude_at = Some((at, target));
-    }
-
-    /// Submits this member's exclude vote through the ordering protocol.
-    fn submit_exclude_vote(&mut self, target: PublicKey, ctx: &mut Ctx<'_, ChainMsg>) {
-        let (new_view_id, me, members) = {
-            let Some(m) = self.member.as_ref() else { return };
-            if m.view.position_of(&target).is_none() {
-                return; // target already gone
-            }
-            let Some(me) = self.my_replica_id() else { return };
-            (m.view.id + 1, me, m.view.members.clone())
-        };
-        let op = ReconfigOp::Exclude { target };
-        let new_key = self.keys.certified_key_for(new_view_id);
-        let payload = vote_payload(new_view_id, &op, &new_key);
-        ctx.charge(ctx.hw().cpu.sign_ns * 2);
-        let vote = ReconfigVote {
-            voter: me,
-            new_key,
-            signature: self.keys.permanent().sign(&payload),
-        };
-        self.protocol_seq += 1;
-        let request = Request {
-            client: client_id(ctx.id(), 0xFFFE),
-            seq: self.protocol_seq,
-            payload: exclude_vote_payload(&target, &vote),
-            signature: None,
-        };
-        // Order it like any client request (including through ourselves).
-        let msg = ChainMsg::Smr(SmrMsg::Request(request.clone()));
-        for member in &members {
-            if let Some(&node) = self.directory.get(&member.permanent) {
-                if node == ctx.id() {
-                    self.admit(request.clone(), ctx);
-                } else {
-                    ctx.send(node, msg.clone(), msg.wire_size());
-                }
-            }
-        }
-    }
-
-    fn ask_to_leave(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        let Some(m) = self.member.as_ref() else { return };
-        let joiner = self.keys.certified_key_for(m.view.id + 1);
-        let msg = ChainMsg::JoinAsk { joiner };
-        self.send_to_members(&msg, ctx);
-    }
-
-    /// Handles a JoinAsk: a non-member asker wants in; a member asker wants
-    /// out. Either way, vote with our new key for the next view.
-    fn on_join_ask(&mut self, from_node: NodeId, joiner: CertifiedKey, ctx: &mut Ctx<'_, ChainMsg>) {
-        let (new_view_id, op, me, current_view) = {
-            let Some(m) = self.member.as_ref() else { return };
-            let Some(me) = self.my_replica_id() else { return };
-            let new_view_id = m.view.id + 1;
-            let op = if m.view.position_of(&joiner.permanent).is_some() {
-                ReconfigOp::Leave { leaver: joiner.permanent }
-            } else {
-                // Admission policy hook: accept-all (the paper leaves the
-                // policy to the application: PoW, certification, stake...).
-                if !joiner.verify(new_view_id) {
-                    return; // badly certified joiner key
-                }
-                ReconfigOp::Join { joiner }
-            };
-            (new_view_id, op, me, m.view.clone())
-        };
-        ctx.charge(ctx.hw().cpu.sign_ns * 2);
-        let new_key = self.keys.certified_key_for(new_view_id);
-        let payload = vote_payload(new_view_id, &op, &new_key);
-        let vote = ReconfigVote {
-            voter: me,
-            new_key,
-            signature: self.keys.permanent().sign(&payload),
-        };
-        let msg = ChainMsg::JoinVote { vote, op, new_view_id, current_view };
-        let size = msg.wire_size();
-        ctx.send(from_node, msg, size);
-    }
-
-    /// Collects votes for our own join/leave; submits the reconfiguration
-    /// transaction once a quorum (n−f of the current view) is reached.
-    fn on_join_vote(
-        &mut self,
-        vote: ReconfigVote,
-        op: ReconfigOp,
-        new_view_id: u64,
-        current_view: ViewInfo,
-        ctx: &mut Ctx<'_, ChainMsg>,
-    ) {
-        let my_pk = self.keys.permanent_public();
-        let mine = match &op {
-            ReconfigOp::Join { joiner } => joiner.permanent == my_pk && self.member.is_none(),
-            ReconfigOp::Leave { leaver } => *leaver == my_pk && self.member.is_some(),
-            ReconfigOp::Exclude { .. } => false,
-        };
-        if !mine {
-            return;
-        }
-        self.own_view_seen = Some(current_view.clone());
-        let votes = self.own_votes.entry(new_view_id).or_default();
-        if votes.iter().any(|v| v.voter == vote.voter) {
-            return;
-        }
-        votes.push(vote);
-        let needed = current_view.n() - current_view.f();
-        if votes.len() >= needed && !self.own_submitted.contains(&new_view_id) {
-            self.own_submitted.insert(new_view_id);
-            let tx = ReconfigTx { new_view_id, op, votes: votes.clone() };
-            self.protocol_seq += 1;
-            let request = Request {
-                client: client_id(ctx.id(), 0xFFFF),
-                seq: self.protocol_seq,
-                payload: reconfig_payload(&tx),
-                signature: None,
-            };
-            let msg = ChainMsg::Smr(SmrMsg::Request(request));
-            for member in &current_view.members {
-                if let Some(&node) = self.directory.get(&member.permanent) {
-                    ctx.send(node, msg.clone(), msg.wire_size());
-                }
-            }
-        }
-    }
-
-    fn admit(&mut self, req: Request, ctx: &mut Ctx<'_, ChainMsg>) {
-        let sig_mode = self.config.sig_mode;
-        let Some(m) = self.member.as_mut() else { return };
-        if m.syncing {
-            return;
-        }
-        match sig_mode {
-            SigMode::None => {
-                let outs = m.core.submit(req);
-                self.handle_core_outputs(outs, ctx);
-            }
-            SigMode::Sequential => {
-                // Verified at execution time, inside the state machine.
-                let outs = m.core.submit(req);
-                self.handle_core_outputs(outs, ctx);
-            }
-            SigMode::Parallel => {
-                ctx.charge(ctx.hw().cpu.pool_dispatch_ns);
-                let delay = ctx.pool_charge(ctx.hw().cpu.verify_ns, 1);
-                m.next_token += 1;
-                let token = KIND_VERIFY | m.next_token;
-                m.verifying.insert(token, req);
-                ctx.op_after(delay, token);
-            }
-        }
+        self.handle_core_outputs(outs, ctx);
     }
 }
 
@@ -1251,14 +413,20 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
             }
             Event::Timer { token: TOKEN_JOIN } => self.ask_to_join(ctx),
             Event::Timer { token: TOKEN_LEAVE } => self.ask_to_leave(ctx),
-            Event::Timer { token: TOKEN_EXCLUDE } => {
+            Event::Timer {
+                token: TOKEN_EXCLUDE,
+            } => {
                 if let Some((_, target)) = self.exclude_at {
                     self.submit_exclude_vote(target, ctx);
                 }
             }
-            Event::Timer { token: TOKEN_PROGRESS } => {
+            Event::Timer {
+                token: TOKEN_PROGRESS,
+            } => {
                 let outs = {
-                    let Some(m) = self.member.as_mut() else { return };
+                    let Some(m) = self.member.as_mut() else {
+                        return;
+                    };
                     m.timer_armed = false;
                     if m.core.last_delivered() == m.delivered_at_arm && m.core.pending_len() > 0 {
                         m.core.on_progress_timeout()
@@ -1275,18 +443,7 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
             Event::Timer { .. } => {}
             Event::OpDone { token } => match token & KIND_MASK {
                 KIND_HEADER => self.header_done(token & !KIND_MASK, ctx),
-                KIND_VERIFY => {
-                    let req = self.member.as_mut().and_then(|m| m.verifying.remove(&token));
-                    if let Some(req) = req {
-                        if verify_envelope_signature(&req) {
-                            let outs = {
-                                let Some(m) = self.member.as_mut() else { return };
-                                m.core.submit(req)
-                            };
-                            self.handle_core_outputs(outs, ctx);
-                        }
-                    }
-                }
+                KIND_VERIFY => self.on_verify_done(token, ctx),
                 _ => {}
             },
             Event::Message { from, msg } => {
@@ -1295,7 +452,9 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                     ChainMsg::Smr(SmrMsg::Request(req)) => self.admit(req, ctx),
                     ChainMsg::Smr(inner) => {
                         let handled = {
-                            let Some(m) = self.member.as_ref() else { return };
+                            let Some(m) = self.member.as_ref() else {
+                                return;
+                            };
                             if m.syncing {
                                 None
                             } else {
@@ -1315,103 +474,56 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                         };
                         self.handle_core_outputs(outs, ctx);
                     }
-                    ChainMsg::Persist { block, header_hash, signature } => {
+                    ChainMsg::Persist {
+                        block,
+                        header_hash,
+                        signature,
+                    } => {
                         self.on_persist(from, block, header_hash, signature, ctx);
                     }
                     ChainMsg::StateReq { from_block } => {
                         self.serve_state_request(from, from_block, ctx);
                     }
-                    ChainMsg::StateRep { snapshot, blocks, modeled_size, full } => {
+                    ChainMsg::StateRep {
+                        snapshot,
+                        snapshot_anchor,
+                        blocks,
+                        modeled_size,
+                        full,
+                    } => {
                         if full {
-                            self.install_state(snapshot, blocks, modeled_size, ctx);
+                            self.install_state(
+                                snapshot,
+                                snapshot_anchor,
+                                blocks,
+                                modeled_size,
+                                ctx,
+                            );
                         }
                     }
                     ChainMsg::JoinAsk { joiner } => self.on_join_ask(from, joiner, ctx),
-                    ChainMsg::JoinVote { vote, op, new_view_id, current_view } => {
+                    ChainMsg::JoinVote {
+                        vote,
+                        op,
+                        new_view_id,
+                        current_view,
+                    } => {
                         self.on_join_vote(vote, op, new_view_id, current_view, ctx);
                     }
-                    ChainMsg::Welcome { view } => {
-                        if self.member.is_none()
-                            && view.position_of(&self.keys.permanent_public()).is_some()
-                        {
-                            self.keys.rotate_to(view.id);
-                            let me = view
-                                .position_of(&self.keys.permanent_public())
-                                .expect("member");
-                            let core = OrderingCore::new(
-                                me,
-                                view.to_consensus_view(),
-                                self.keys.consensus().clone(),
-                                self.config.ordering,
-                                0,
-                            );
-                            let ledger = Ledger::open(MemLog::new(), self.genesis.clone())
-                                .expect("memory ledger opens");
-                            self.member = Some(MemberState {
-                                generation: 0,
-                                pending_reconfig: None,
-                                view,
-                                core,
-                                ledger,
-                                snapshot: None,
-                                delivery_queue: VecDeque::new(),
-                                open: None,
-                                persist_stash: HashMap::new(),
-                                exclude_votes: HashMap::new(),
-                                verifying: HashMap::new(),
-                                timer_armed: false,
-                                delivered_at_arm: 0,
-                                next_token: 100,
-                                syncing: false,
-                            });
-                            self.start_state_transfer(ctx);
-                        }
-                    }
+                    ChainMsg::Welcome { view } => self.on_welcome(view, ctx),
                 }
             }
             Event::Crash => {
-                // Volatile state is lost; the ledger below the sync horizon
-                // survives (the MemLog stands in for the disk).
-            }
-            Event::Recover => {
-                self.app.reset();
-                let replay = {
-                    let Some(m) = self.member.as_mut() else { return };
-                    m.delivery_queue.clear();
-                    m.open = None;
-                    m.persist_stash.clear();
-                    m.verifying.clear();
-                    m.timer_armed = false;
-                    m.syncing = false;
-                    m.ledger.blocks_from(1).unwrap_or_default()
-                };
-                let mut replayed = 0u64;
-                for block in &replay {
-                    if let BlockBody::Transactions { requests, .. } = &block.body {
-                        for req in requests {
-                            if let Some(m) = self.member.as_mut() {
-                                m.core.note_delivered(req.client, req.seq);
-                            }
-                            if let Some(bytes) = unwrap_app_payload(&req.payload) {
-                                let inner = Request {
-                                    client: req.client,
-                                    seq: req.seq,
-                                    payload: bytes.to_vec(),
-                                    signature: req.signature,
-                                };
-                                let _ = self.app.execute(&inner);
-                                replayed += 1;
-                            }
-                        }
-                    }
-                }
-                ctx.charge(self.config.execute_ns * replayed);
+                // Volatile state is lost. The durability engine decides what
+                // the "disk" keeps: everything flushed under group commit,
+                // the explicitly-synced prefix under λ-persistence, nothing
+                // under ∞-persistence (§V-C — this is the ladder's whole
+                // point, observable at recovery).
                 if let Some(m) = self.member.as_mut() {
-                    let height = m.ledger.height();
-                    m.core.fast_forward(height);
+                    m.ledger.log_mut().simulate_crash();
                 }
-                self.start_state_transfer(ctx);
             }
+            Event::Recover => self.recover_from_ledger(ctx),
         }
     }
 }

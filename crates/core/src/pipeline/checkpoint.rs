@@ -1,0 +1,70 @@
+//! Side stage — chain-linked checkpoints (§V-B3): a snapshot every `z`
+//! blocks, stored outside the chain, referenced by later headers.
+//!
+//! With `stagger_checkpoints` (paper §VI / Dura-SMaRt's sequential
+//! checkpoints) replica `r` snapshots at an offset of `r·z/n` blocks, so the
+//! whole cluster never stalls at once — the mechanism behind the shallow
+//! (vs. catastrophic) Fig. 7 dips.
+
+use crate::messages::ChainMsg;
+use crate::node::ChainNode;
+use crate::pipeline::persist::Persistence;
+use smartchain_sim::Ctx;
+use smartchain_smr::app::Application;
+
+impl<A: Application> ChainNode<A> {
+    /// Modeled application state size (configured, else the real snapshot).
+    pub(crate) fn state_size(&self) -> u64 {
+        if self.config.state_size > 0 {
+            self.config.state_size
+        } else {
+            self.app.take_snapshot().len() as u64
+        }
+    }
+
+    /// Called by the persist stage when block `number` completes: takes a
+    /// checkpoint if the (possibly staggered) period elapsed.
+    pub(crate) fn maybe_checkpoint(&mut self, number: u64, ctx: &mut Ctx<'_, ChainMsg>) {
+        let z = self.genesis.checkpoint_period;
+        if z == 0 {
+            return;
+        }
+        // Optionally offset the trigger per replica so snapshot stalls
+        // never align cluster-wide (paper §VI; Dura-SMaRt §II-C2).
+        let offset = if self.config.stagger_checkpoints {
+            let (me, n) = self
+                .member
+                .as_ref()
+                .map(|m| (self.my_replica_id().unwrap_or(0) as u64, m.view.n() as u64))
+                .unwrap_or((0, 1));
+            me * z / n.max(1)
+        } else {
+            0
+        };
+        if (number + offset).is_multiple_of(z) {
+            self.take_checkpoint(number, ctx);
+        }
+    }
+
+    /// Serializes the application state (stalling the sequential lane for
+    /// the modeled duration), records the snapshot, and lets the ledger
+    /// truncate its replay obligation.
+    pub(crate) fn take_checkpoint(&mut self, covered_block: u64, ctx: &mut Ctx<'_, ChainMsg>) {
+        self.checkpoint_log.push((ctx.now(), covered_block));
+        // Serialize once; the modeled size falls back to the real length.
+        let snapshot = self.app.take_snapshot();
+        let size = if self.config.state_size > 0 {
+            self.config.state_size
+        } else {
+            snapshot.len() as u64
+        };
+        ctx.charge(self.config.snapshot_ns_per_byte * size);
+        if self.config.persistence != Persistence::Memory {
+            ctx.disk_write(size as usize, false, 0);
+        }
+        if let Some(m) = self.member.as_mut() {
+            m.snapshot = Some((covered_block, snapshot));
+            m.ledger.set_last_checkpoint(covered_block);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Stage 3 — EXECUTE: an ordered batch becomes a block (Algorithm 1,
+//! lines 16-29; reconfigurations, lines 37-48).
+//!
+//! The stage sorts a decided batch into application transactions, exclude
+//! votes (tallied here, where total order makes the tally deterministic)
+//! and reconfiguration transactions; executes the application payload;
+//! seals the block; and hands it to the persist stage. A reconfiguration
+//! that shares a batch with application traffic is deferred until the open
+//! block clears the persist stage — rotating view keys mid-PERSIST would
+//! orphan the in-flight certificate.
+
+use crate::block::{vote_payload, BlockBody, ReconfigOp, ReconfigTx};
+use crate::messages::ChainMsg;
+use crate::node::ChainNode;
+use crate::pipeline::persist::{OpenBlock, Persistence};
+use crate::pipeline::{
+    unwrap_app_payload, verify_envelope_signature, PAYLOAD_EXCLUDE_VOTE, PAYLOAD_RECONFIG,
+};
+use smartchain_codec::from_bytes;
+use smartchain_sim::{Ctx, Time};
+use smartchain_smr::actor::SigMode;
+use smartchain_smr::app::Application;
+use smartchain_smr::ordering::{OrderedBatch, OrderingCore};
+use smartchain_smr::types::{Reply, Request};
+
+impl<A: Application> ChainNode<A> {
+    /// Stage entry (Algorithm 1 lines 16-29, and 37-48 for
+    /// reconfigurations): split one ordered batch and produce block(s).
+    pub(crate) fn start_block(&mut self, batch: OrderedBatch, ctx: &mut Ctx<'_, ChainMsg>) {
+        let mut app_requests = Vec::new();
+        let mut reconfig_tx: Option<ReconfigTx> = None;
+        for req in batch.requests {
+            match req.payload.first() {
+                Some(&PAYLOAD_RECONFIG) => {
+                    if reconfig_tx.is_none() {
+                        if let Ok(tx) = from_bytes::<ReconfigTx>(&req.payload[1..]) {
+                            reconfig_tx = Some(tx);
+                        }
+                    }
+                }
+                Some(&PAYLOAD_EXCLUDE_VOTE) => {
+                    if let Some(tx) =
+                        self.tally_exclude_vote(&req.payload[1..], reconfig_tx.is_some())
+                    {
+                        reconfig_tx = Some(tx);
+                    }
+                }
+                _ => app_requests.push(req),
+            }
+        }
+        if !app_requests.is_empty() {
+            self.make_tx_block(batch.instance, app_requests, &batch.proof, ctx);
+        }
+        if let Some(tx) = reconfig_tx {
+            // If the tx block above is still mid-pipeline (fsync/PERSIST),
+            // defer the reconfiguration until it completes: the view-key
+            // rotation must not invalidate an in-flight certificate.
+            let open = self.member.as_ref().is_some_and(|m| m.open.is_some());
+            if open {
+                if let Some(m) = self.member.as_mut() {
+                    m.pending_reconfig = Some((batch.instance, tx, batch.proof.clone()));
+                }
+            } else {
+                self.make_reconfig_block(batch.instance, tx, &batch.proof, ctx);
+            }
+        }
+    }
+
+    /// Tallies one ordered exclude vote; returns the reconfiguration once a
+    /// quorum of n−f members advocated the same exclusion (paper Fig. 5b).
+    fn tally_exclude_vote(
+        &mut self,
+        payload: &[u8],
+        already_reconfiguring: bool,
+    ) -> Option<ReconfigTx> {
+        let (target, vote) = crate::pipeline::parse_exclude_vote(payload).ok()?;
+        let m = self.member.as_mut()?;
+        // Tally only authentic votes from current members.
+        let op = ReconfigOp::Exclude { target };
+        let payload = vote_payload(m.view.id + 1, &op, &vote.new_key);
+        let authentic = m.view.members.get(vote.voter).is_some_and(|member| {
+            member.permanent == vote.new_key.permanent
+                && member.permanent.verify(&payload, &vote.signature)
+        });
+        if !authentic {
+            return None;
+        }
+        let entry = m.exclude_votes.entry(target).or_default();
+        if !entry.iter().any(|v| v.voter == vote.voter) {
+            entry.push(vote);
+        }
+        let threshold = m.view.n() - m.view.f();
+        if !already_reconfiguring && entry.len() >= threshold {
+            let votes = m.exclude_votes.remove(&target).unwrap_or_default();
+            return Some(ReconfigTx {
+                new_view_id: m.view.id + 1,
+                op: ReconfigOp::Exclude { target },
+                votes,
+            });
+        }
+        None
+    }
+
+    /// Executes application requests and seals a transaction block, handing
+    /// it to the persist stage.
+    pub(crate) fn make_tx_block(
+        &mut self,
+        consensus_id: u64,
+        requests: Vec<Request>,
+        proof: &smartchain_consensus::proof::DecisionProof,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
+        let count = requests.len();
+        self.meter.record(ctx.now(), count as u64);
+        self.committed_log.push((ctx.now(), count as u64));
+        let mut exec_cost = self.config.execute_ns * count as Time;
+        if self.config.sig_mode == SigMode::Sequential {
+            // The paper's sequential mode verifies inside the state machine.
+            exec_cost += ctx.hw().cpu.verify_ns * count as Time;
+        }
+        ctx.charge(exec_cost);
+        let mut results = Vec::with_capacity(count);
+        let mut replies = Vec::with_capacity(count);
+        let me = self.my_replica_id().unwrap_or(0);
+        for req in &requests {
+            if self.config.sig_mode == SigMode::Sequential && !verify_envelope_signature(req) {
+                results.push(Vec::new());
+                continue; // forged transaction dropped at execution
+            }
+            let app_result = match unwrap_app_payload(&req.payload) {
+                Some(bytes) => {
+                    let inner = Request {
+                        client: req.client,
+                        seq: req.seq,
+                        payload: bytes.to_vec(),
+                        signature: req.signature,
+                    };
+                    self.app.execute(&inner)
+                }
+                None => Vec::new(),
+            };
+            let mut result = app_result;
+            // Pad to the modeled reply size (the paper's replies are
+            // 270-380 bytes); longer app results are kept as-is.
+            if result.len() < self.config.reply_size {
+                result.resize(self.config.reply_size.max(8), 0);
+            }
+            replies.push(Reply {
+                client: req.client,
+                seq: req.seq,
+                result: result.clone(),
+                replica: me,
+            });
+            results.push(result);
+        }
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
+        let body = BlockBody::Transactions {
+            consensus_id,
+            requests,
+            proof: proof.clone(),
+            results,
+        };
+        let block = m.ledger.build_next(body);
+        let number = block.header.number;
+        let header_hash = block.header.hash();
+        let size = block.wire_size();
+        ctx.charge(ctx.hw().cpu.hash_time(size));
+        m.ledger.append(&block).expect("ledger append");
+        m.open = Some(OpenBlock {
+            number,
+            header_hash,
+            replies,
+            cert: Vec::new(),
+            header_synced: false,
+        });
+        self.persist_block(number, size, ctx);
+    }
+
+    /// Applies a verified reconfiguration: seals the block, installs the new
+    /// view (or deactivates), rotates the consensus keys (the forgetting
+    /// protocol, §V-D) and rebuilds the ordering core.
+    pub(crate) fn make_reconfig_block(
+        &mut self,
+        consensus_id: u64,
+        tx: ReconfigTx,
+        proof: &smartchain_consensus::proof::DecisionProof,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
+        if !tx.verify(&m.view) {
+            return;
+        }
+        let new_view = tx.apply(&m.view);
+        let body = BlockBody::Reconfiguration {
+            consensus_id,
+            tx: tx.clone(),
+            proof: proof.clone(),
+            new_view: new_view.clone(),
+        };
+        let block = m.ledger.build_next(body);
+        let size = block.wire_size();
+        ctx.charge(ctx.hw().cpu.hash_time(size));
+        m.ledger.append(&block).expect("ledger append");
+        let height = m.ledger.height();
+        if self.config.persistence != Persistence::Memory {
+            ctx.disk_write(size, self.config.persistence == Persistence::Sync, 0);
+        }
+        // Reconfiguration blocks commit through the engine immediately: the
+        // view change must not depend on a later group-commit point (and a
+        // failed sync must not rotate the view keys).
+        m.ledger.log_mut().flush().expect("durability engine flush");
+        let my_pk = self.keys.permanent_public();
+        let am_member = new_view.position_of(&my_pk).is_some();
+        if let ReconfigOp::Join { joiner } = &tx.op {
+            if let Some(&node) = self.directory.get(&joiner.permanent) {
+                if joiner.permanent != my_pk {
+                    let msg = ChainMsg::Welcome {
+                        view: new_view.clone(),
+                    };
+                    let size = msg.wire_size();
+                    ctx.send(node, msg, size);
+                }
+            }
+        }
+        if am_member {
+            self.keys.rotate_to(new_view.id);
+            let me = new_view.position_of(&my_pk).expect("member");
+            let m = self.member.as_mut().expect("active");
+            m.generation += 1;
+            m.view = new_view;
+            m.core = OrderingCore::new(
+                me,
+                m.view.to_consensus_view(),
+                self.keys.consensus().clone(),
+                self.config.ordering,
+                height.max(consensus_id),
+            );
+            m.persist_stash.clear();
+            m.exclude_votes.clear();
+            // Requests admitted before the view change (e.g. duplicate
+            // reconfiguration submissions) are dropped with the old core;
+            // clients retransmit if still relevant. The duplicate filter is
+            // rebuilt from the chain so retransmissions of already-delivered
+            // requests are not re-decided.
+            self.reseed_dedup_from_ledger();
+        } else {
+            // We left (or were excluded): deactivate, but only after the
+            // reconfiguration is installed (the paper requires departing
+            // replicas to keep serving until the new view is in place).
+            self.member = None;
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Side stage — state transfer: snapshot + block suffix from peers (joins,
+//! recoveries, lagging replicas), and crash recovery from the local ledger.
+//!
+//! Only one designated replica ships the full state; the rest send
+//! hash-sized acknowledgements (the PBFT optimization). The shipper is the
+//! highest-id member other than the requester — never the leader, whose NIC
+//! would wedge behind a multi-second transfer and stall ordering
+//! cluster-wide.
+
+use crate::block::{Block, BlockBody, ViewInfo};
+use crate::messages::ChainMsg;
+use crate::node::ChainNode;
+use crate::pipeline::persist::Persistence;
+use crate::pipeline::unwrap_app_payload;
+use smartchain_sim::{Ctx, NodeId};
+use smartchain_smr::app::Application;
+use smartchain_smr::ordering::OrderingCore;
+use smartchain_smr::types::Request;
+
+impl<A: Application> ChainNode<A> {
+    /// Asks the membership for everything after our chain tip.
+    pub(crate) fn start_state_transfer(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        let from_block = {
+            let Some(m) = self.member.as_mut() else {
+                return;
+            };
+            if m.syncing {
+                return;
+            }
+            m.syncing = true;
+            m.ledger.height() + 1
+        };
+        let msg = ChainMsg::StateReq { from_block };
+        self.send_to_members(&msg, ctx);
+    }
+
+    /// Serves a peer's state request (fully, if we are the designated
+    /// shipper; as an acknowledgement otherwise).
+    pub(crate) fn serve_state_request(
+        &mut self,
+        from_node: NodeId,
+        from_block: u64,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
+        let Some(m) = self.member.as_ref() else {
+            return;
+        };
+        if m.syncing {
+            return;
+        }
+        let me = self.my_replica_id().unwrap_or(usize::MAX);
+        // The highest-id member other than the requester ships the full
+        // state: picking the *leader* (id 0) would wedge its NIC behind a
+        // multi-second transfer and stall ordering cluster-wide.
+        let requester_id = (0..m.view.n()).find(|&r| self.node_of(&m.view, r) == Some(from_node));
+        let candidate = if requester_id == Some(m.view.n() - 1) {
+            m.view.n().saturating_sub(2)
+        } else {
+            m.view.n() - 1
+        };
+        let full = me == candidate;
+        let snapshot = m.snapshot.clone();
+        let snap_covered = snapshot.as_ref().map(|(b, _)| *b).unwrap_or(0);
+        // Ship only what the requester is missing: the snapshot (if it
+        // covers part of the gap) plus blocks after max(snapshot, what the
+        // requester already has). Re-shipping from block 1 on every catch-up
+        // round would make a lagging replica chase the chain forever.
+        let start = (snap_covered + 1).max(from_block.max(1));
+        let snapshot = if snap_covered + 1 > from_block {
+            snapshot
+        } else {
+            None
+        };
+        // The hash of the snapshot's covered block lets the requester chain
+        // the shipped suffix onto the summarized prefix (anchor-aware: the
+        // shipper itself may have joined through a fast-forward, in which
+        // case record `covered` is an anchor marker rather than a block).
+        let snapshot_anchor = snapshot
+            .as_ref()
+            .and_then(|(covered, _)| m.ledger.chain_hash_at(*covered));
+        let blocks = m.ledger.blocks_from(start).unwrap_or_default();
+        let blocks_size: usize = blocks.iter().map(Block::wire_size).sum();
+        let modeled = if full {
+            let snap_size = if snapshot.is_some() {
+                self.state_size()
+            } else {
+                0
+            };
+            snap_size + blocks_size as u64
+        } else {
+            64
+        };
+        if full && self.config.persistence != Persistence::Memory {
+            ctx.disk_read(modeled as usize, 0);
+        }
+        let msg = ChainMsg::StateRep {
+            snapshot: if full { snapshot } else { None },
+            snapshot_anchor: if full { snapshot_anchor } else { None },
+            blocks: if full { blocks } else { Vec::new() },
+            modeled_size: modeled,
+            full,
+        };
+        let size = msg.wire_size();
+        ctx.send(from_node, msg, size);
+    }
+
+    /// Installs a full state reply: snapshot, then block replay, then view
+    /// catch-up.
+    pub(crate) fn install_state(
+        &mut self,
+        snapshot: Option<(u64, Vec<u8>)>,
+        snapshot_anchor: Option<smartchain_crypto::Hash>,
+        blocks: Vec<Block>,
+        modeled_size: u64,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
+        {
+            let Some(m) = self.member.as_ref() else {
+                return;
+            };
+            if !m.syncing {
+                return;
+            }
+        }
+        ctx.charge(self.config.install_ns_per_byte * modeled_size);
+        if let Some((covered, state)) = snapshot {
+            self.app.install_snapshot(&state);
+            if let Some(m) = self.member.as_mut() {
+                if covered > m.ledger.height() {
+                    // The snapshot summarizes blocks we never had: fast-
+                    // forward the ledger through it so the shipped suffix
+                    // chains on. (The dedup filter for requests inside the
+                    // summarized prefix is rebuilt lazily from client
+                    // retransmissions — see ROADMAP open items.)
+                    if let Some(anchor) = snapshot_anchor {
+                        m.ledger
+                            .install_checkpoint_anchor(covered, anchor)
+                            .expect("checkpoint anchor installs");
+                    }
+                }
+                m.snapshot = Some((covered, state));
+                m.ledger.set_last_checkpoint(covered);
+            }
+        }
+        let mut new_view: Option<ViewInfo> = None;
+        for block in blocks {
+            let skip = self
+                .member
+                .as_ref()
+                .is_some_and(|m| block.header.number <= m.ledger.height());
+            if skip {
+                continue;
+            }
+            match &block.body {
+                BlockBody::Transactions { requests, .. } => {
+                    for req in requests {
+                        if let Some(m) = self.member.as_mut() {
+                            m.core.note_delivered(req.client, req.seq);
+                        }
+                        if let Some(bytes) = unwrap_app_payload(&req.payload) {
+                            let inner = Request {
+                                client: req.client,
+                                seq: req.seq,
+                                payload: bytes.to_vec(),
+                                signature: req.signature,
+                            };
+                            let _ = self.app.execute(&inner);
+                        }
+                    }
+                }
+                BlockBody::Reconfiguration { new_view: v, .. } => {
+                    new_view = Some(v.clone());
+                }
+            }
+            if let Some(m) = self.member.as_mut() {
+                let _ = m.ledger.append(&block);
+            }
+        }
+        if let Some(v) = new_view {
+            let my_pk = self.keys.permanent_public();
+            if v.position_of(&my_pk).is_some() {
+                self.keys.rotate_to(v.id);
+                let height = self.member.as_ref().map(|m| m.ledger.height()).unwrap_or(0);
+                if let Some(m) = self.member.as_mut() {
+                    let me = v.position_of(&my_pk).expect("member");
+                    m.generation += 1;
+                    m.view = v;
+                    m.core = OrderingCore::new(
+                        me,
+                        m.view.to_consensus_view(),
+                        self.keys.consensus().clone(),
+                        self.config.ordering,
+                        height,
+                    );
+                }
+                self.reseed_dedup_from_ledger();
+            } else {
+                self.member = None;
+                return;
+            }
+        }
+        if let Some(m) = self.member.as_mut() {
+            let height = m.ledger.height();
+            m.core.fast_forward(height);
+            m.syncing = false;
+        }
+    }
+
+    /// Rebuilds the ordering core's duplicate filter from the whole local
+    /// chain (used whenever a fresh core is paired with replayed history).
+    pub(crate) fn reseed_dedup_from_ledger(&mut self) {
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
+        let blocks = m.ledger.blocks_from(1).unwrap_or_default();
+        for block in &blocks {
+            if let BlockBody::Transactions { requests, .. } = &block.body {
+                for req in requests {
+                    m.core.note_delivered(req.client, req.seq);
+                }
+            }
+        }
+    }
+
+    /// Crash recovery: volatile pipeline state is gone; reinstall the last
+    /// durable snapshot (if any), replay the surviving ledger suffix into
+    /// the application, fast-forward the core, and fetch the lost tail from
+    /// peers.
+    pub(crate) fn recover_from_ledger(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        self.app.reset();
+        let replay = {
+            let Some(m) = self.member.as_mut() else {
+                return;
+            };
+            m.delivery_queue.clear();
+            m.open = None;
+            m.persist_stash.clear();
+            m.verify.clear();
+            m.timer_armed = false;
+            m.syncing = false;
+            // The crash dropped the engine's non-durable suffix; re-derive
+            // the chain tail from what actually survived. This is where the
+            // persistence ladder becomes observable: a Sync replica replays
+            // almost everything locally, an Async/Memory replica must fetch
+            // the lost suffix from its peers.
+            m.ledger.reload().expect("ledger reload");
+            // Checkpoints only reach the disk on the non-Memory rungs
+            // (take_checkpoint); under ∞-persistence the snapshot was RAM
+            // and died with it.
+            if self.config.persistence == Persistence::Memory {
+                m.snapshot = None;
+            } else if let Some((covered, _)) = m.snapshot {
+                m.ledger.set_last_checkpoint(covered);
+            }
+            m.ledger.blocks_from(1).unwrap_or_default()
+        };
+        // A surviving snapshot restores the (possibly anchor-summarized)
+        // prefix; blocks it covers must not re-execute on top of it.
+        let mut replay_from = 1u64;
+        if let Some((covered, state)) = self.member.as_ref().and_then(|m| m.snapshot.clone()) {
+            self.app.install_snapshot(&state);
+            replay_from = covered + 1;
+        }
+        let mut replayed = 0u64;
+        for block in &replay {
+            if let BlockBody::Transactions { requests, .. } = &block.body {
+                for req in requests {
+                    if let Some(m) = self.member.as_mut() {
+                        m.core.note_delivered(req.client, req.seq);
+                    }
+                    if block.header.number < replay_from {
+                        continue; // state already inside the snapshot
+                    }
+                    if let Some(bytes) = unwrap_app_payload(&req.payload) {
+                        let inner = Request {
+                            client: req.client,
+                            seq: req.seq,
+                            payload: bytes.to_vec(),
+                            signature: req.signature,
+                        };
+                        let _ = self.app.execute(&inner);
+                        replayed += 1;
+                    }
+                }
+            }
+        }
+        ctx.charge(self.config.execute_ns * replayed);
+        if let Some(m) = self.member.as_mut() {
+            let height = m.ledger.height();
+            m.core.fast_forward(height);
+        }
+        self.start_state_transfer(ctx);
+    }
+}

@@ -47,6 +47,10 @@ impl Encode for CertifiedKey {
         self.consensus.to_wire().encode(out);
         self.cert.to_wire().encode(out);
     }
+
+    fn encoded_len(&self) -> usize {
+        33 + 33 + 65
+    }
 }
 
 impl Decode for CertifiedKey {
@@ -82,7 +86,12 @@ impl KeyStore {
     /// consensus key.
     pub fn new(permanent: SecretKey, backend: Backend) -> KeyStore {
         let consensus = Self::derive(&permanent, backend, 0);
-        KeyStore { permanent, backend, view_id: 0, consensus }
+        KeyStore {
+            permanent,
+            backend,
+            view_id: 0,
+            consensus,
+        }
     }
 
     fn derive(permanent: &SecretKey, backend: Backend, view_id: u64) -> SecretKey {

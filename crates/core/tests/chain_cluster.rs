@@ -7,9 +7,9 @@ use smartchain_core::audit::verify_chain;
 use smartchain_core::block::BlockBody;
 use smartchain_core::harness::{ChainClusterBuilder, NodeSchedule};
 use smartchain_core::node::{NodeConfig, Persistence, Variant};
+use smartchain_sim::{MILLI, SECOND};
 use smartchain_smr::app::CounterApp;
 use smartchain_smr::ordering::OrderingConfig;
-use smartchain_sim::{MILLI, SECOND};
 
 fn builder(n: usize) -> ChainClusterBuilder<CounterApp> {
     ChainClusterBuilder::new(n, |_| CounterApp::new()).node_config(NodeConfig {
@@ -45,7 +45,10 @@ fn strong_variant_attaches_certificates() {
         ordering: OrderingConfig { max_batch: 8 },
         ..NodeConfig::default()
     };
-    let mut cluster = builder(4).node_config(config).clients(1, 2, Some(10)).build();
+    let mut cluster = builder(4)
+        .node_config(config)
+        .clients(1, 2, Some(10))
+        .build();
     cluster.run_until(30 * SECOND);
     assert_eq!(cluster.total_completed(), 20);
     let node = cluster.node::<CounterApp>(0);
@@ -84,17 +87,105 @@ fn memory_and_async_persistence_still_order_correctly() {
             ordering: OrderingConfig { max_batch: 8 },
             ..NodeConfig::default()
         };
-        let mut cluster = builder(4).node_config(config).clients(1, 2, Some(10)).build();
+        let mut cluster = builder(4)
+            .node_config(config)
+            .clients(1, 2, Some(10))
+            .build();
         cluster.run_until(30 * SECOND);
         assert_eq!(cluster.total_completed(), 20, "{persistence:?}");
     }
+}
+
+/// A node joining *after* the cluster checkpointed receives a snapshot plus
+/// a block suffix it has no prefix for: the ledger must fast-forward through
+/// the checkpoint anchor and chain the suffix on, and the joiner must keep
+/// up with the live chain afterwards (paper Fig. 7's join scenario).
+#[test]
+fn node_joins_after_checkpoint_and_catches_up() {
+    let config = NodeConfig {
+        ordering: OrderingConfig { max_batch: 8 },
+        ..NodeConfig::default()
+    };
+    let mut cluster = builder(4)
+        .node_config(config)
+        .checkpoint_period(8)
+        .clients(1, 4, Some(400))
+        .extra_node(NodeSchedule {
+            join_at: Some(4 * SECOND),
+            leave_at: None,
+        })
+        .build();
+    cluster.run_until(30 * SECOND);
+    let h0 = cluster.node::<CounterApp>(0).height().expect("active");
+    let joiner = cluster.node::<CounterApp>(4);
+    assert!(joiner.is_active(), "joiner must be active");
+    assert!(!joiner.is_syncing(), "state transfer must complete");
+    let h4 = joiner.height().expect("active");
+    assert!(
+        h0.saturating_sub(h4) <= 2,
+        "joiner keeps up with the chain after a snapshot-anchored transfer (h0={h0}, h4={h4})"
+    );
+    // The joiner's suffix matches the cluster's chain block for block.
+    let suffix = joiner
+        .chain()
+        .iter()
+        .map(|b| (b.header.number, b.header.hash()))
+        .collect::<Vec<_>>();
+    assert!(!suffix.is_empty(), "joiner holds a suffix");
+    let full = cluster.node::<CounterApp>(0).chain();
+    for (number, hash) in suffix {
+        let reference = full.iter().find(|b| b.header.number == number);
+        assert_eq!(
+            reference.map(|b| b.header.hash()),
+            Some(hash),
+            "joiner's block {number} matches the cluster's"
+        );
+    }
+}
+
+/// A joiner whose ledger was fast-forwarded through a checkpoint anchor
+/// later crashes: recovery must reinstall the covering snapshot before
+/// replaying the suffix, or its application state silently loses the
+/// summarized prefix while its chain looks intact.
+#[test]
+fn anchored_joiner_recovers_correct_app_state_after_crash() {
+    let config = NodeConfig {
+        ordering: OrderingConfig { max_batch: 8 },
+        ..NodeConfig::default()
+    };
+    let mut cluster = builder(4)
+        .node_config(config)
+        .checkpoint_period(8)
+        .clients(1, 4, Some(400))
+        .extra_node(NodeSchedule {
+            join_at: Some(4 * SECOND),
+            leave_at: None,
+        })
+        .build();
+    cluster.sim().crash(4, 12 * SECOND);
+    cluster.sim().recover(4, 14 * SECOND);
+    cluster.run_until(40 * SECOND);
+    let joiner = cluster.node::<CounterApp>(4);
+    assert!(joiner.is_active() && !joiner.is_syncing());
+    // Application state agrees with the cluster for every client the
+    // workload used (CounterApp: per-client payload sums).
+    let reference = cluster.node::<CounterApp>(0).app().clone();
+    let recovered = cluster.node::<CounterApp>(4).app().clone();
+    assert_eq!(
+        recovered.totals(),
+        reference.totals(),
+        "recovered joiner's application state must match the cluster"
+    );
 }
 
 #[test]
 fn node_joins_through_decentralized_protocol() {
     let mut cluster = builder(4)
         .clients(1, 2, Some(400))
-        .extra_node(NodeSchedule { join_at: Some(2 * SECOND), leave_at: None })
+        .extra_node(NodeSchedule {
+            join_at: Some(2 * SECOND),
+            leave_at: None,
+        })
         .build();
     cluster.run_until(20 * SECOND);
     // The joiner (node 4) became an active member.
@@ -104,7 +195,11 @@ fn node_joins_through_decentralized_protocol() {
     assert_eq!(view.n(), 5, "view grew to 5 members");
     assert_eq!(view.id, 1, "one reconfiguration happened");
     // Original members agree.
-    let v0 = cluster.node::<CounterApp>(0).view().expect("active").clone();
+    let v0 = cluster
+        .node::<CounterApp>(0)
+        .view()
+        .expect("active")
+        .clone();
     assert_eq!(v0.id, 1);
     assert_eq!(v0.n(), 5);
     // The chain contains exactly one reconfiguration block, and it audits.
@@ -123,7 +218,10 @@ fn node_joins_through_decentralized_protocol() {
 fn joiner_catches_up_via_state_transfer() {
     let mut cluster = builder(4)
         .clients(1, 2, Some(400))
-        .extra_node(NodeSchedule { join_at: Some(3 * SECOND), leave_at: None })
+        .extra_node(NodeSchedule {
+            join_at: Some(3 * SECOND),
+            leave_at: None,
+        })
         .build();
     cluster.run_until(30 * SECOND);
     let joiner = cluster.node::<CounterApp>(4);
@@ -141,13 +239,20 @@ fn member_leaves_through_decentralized_protocol() {
     // that joins then leaves.
     let mut cluster2 = builder(4)
         .clients(1, 2, Some(400))
-        .extra_node(NodeSchedule { join_at: Some(2 * SECOND), leave_at: Some(8 * SECOND) })
+        .extra_node(NodeSchedule {
+            join_at: Some(2 * SECOND),
+            leave_at: Some(8 * SECOND),
+        })
         .build();
     cluster.run_until(1);
     cluster2.run_until(30 * SECOND);
     let ex_member = cluster2.node::<CounterApp>(4);
     assert!(!ex_member.is_active(), "node 4 left the consortium");
-    let v0 = cluster2.node::<CounterApp>(0).view().expect("active").clone();
+    let v0 = cluster2
+        .node::<CounterApp>(0)
+        .view()
+        .expect("active")
+        .clone();
     assert_eq!(v0.n(), 4, "membership back to 4");
     assert_eq!(v0.id, 2, "two reconfigurations (join + leave)");
     let chain = cluster2.node::<CounterApp>(0).chain();
@@ -224,7 +329,11 @@ fn member_excluded_by_group_vote() {
         .exclude_member(2 * SECOND, 3)
         .build();
     cluster.run_until(20 * SECOND);
-    let v0 = cluster.node::<CounterApp>(0).view().expect("active").clone();
+    let v0 = cluster
+        .node::<CounterApp>(0)
+        .view()
+        .expect("active")
+        .clone();
     assert_eq!(v0.id, 1, "one reconfiguration");
     assert_eq!(v0.n(), 3, "membership shrank to 3");
     assert!(
@@ -280,7 +389,10 @@ fn staggered_checkpoints_reduce_stall() {
     // The leader's own snapshot stall is unavoidable in both modes, so the
     // worst client-visible latency stays in the same band; the mechanism's
     // guarantee is that snapshots never align cluster-wide (checked below).
-    assert!(aligned > 0.05 && staggered > 0.05, "stalls visible in both modes");
+    assert!(
+        aligned > 0.05 && staggered > 0.05,
+        "stalls visible in both modes"
+    );
 }
 
 /// The staggering mechanism itself: with it, no two replicas snapshot the
@@ -323,7 +435,10 @@ fn staggered_checkpoints_never_align() {
     );
 
     let staggered = checkpoint_blocks(true);
-    assert!(staggered.iter().all(|c| !c.is_empty()), "all replicas checkpoint");
+    assert!(
+        staggered.iter().all(|c| !c.is_empty()),
+        "all replicas checkpoint"
+    );
     for a in 0..4 {
         for b in (a + 1)..4 {
             let overlap = staggered[a].iter().any(|x| staggered[b].contains(x));
@@ -380,7 +495,10 @@ fn strong_variant_join_under_traffic_keeps_progress() {
     let mut cluster = builder(4)
         .node_config(config)
         .clients(2, 4, Some(300))
-        .extra_node(NodeSchedule { join_at: Some(100 * smartchain_sim::MILLI), leave_at: None })
+        .extra_node(NodeSchedule {
+            join_at: Some(100 * smartchain_sim::MILLI),
+            leave_at: None,
+        })
         .build();
     cluster.run_until(60 * SECOND);
     assert_eq!(

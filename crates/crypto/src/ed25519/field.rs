@@ -4,6 +4,11 @@
 //! classic representation from the "ref10" family of implementations: limb
 //! products fit comfortably in `u128` and carries are cheap.
 
+// Field/scalar arithmetic uses the literature's method names (`add`, `mul`,
+// `sub`, `neg`) by value, and fixed-index loops that mirror the constant-time
+// word-by-word algorithms they implement.
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+
 /// 2^51 - 1: mask for one limb.
 const MASK: u64 = (1u64 << 51) - 1;
 
@@ -59,7 +64,7 @@ impl Fe {
         }
         let ge_p = (q[4] >> 51) & 1; // 1 iff value >= p
         q[4] &= MASK; // q is now (value + 19) mod 2^255, limbs all < 2^51
-        // Pack the five 51-bit limbs into four 64-bit words.
+                      // Pack the five 51-bit limbs into four 64-bit words.
         let mut w = [
             q[0] | (q[1] << 51),
             (q[1] >> 13) | (q[2] << 38),
@@ -158,8 +163,10 @@ impl Fe {
         let b4_19 = b[4] * 19;
 
         let t0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
-        let mut t1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
-        let mut t2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut t1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut t2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
         let mut t3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
         let mut t4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
 

@@ -56,7 +56,12 @@ impl SigningKey {
         let mut prefix = [0u8; 32];
         prefix.copy_from_slice(&digest[32..]);
         let public = Point::basepoint().mul(&scalar).compress();
-        SigningKey { seed: *seed, scalar, prefix, public }
+        SigningKey {
+            seed: *seed,
+            scalar,
+            prefix,
+            public,
+        }
     }
 
     /// The corresponding 32-byte public key.

@@ -20,7 +20,12 @@ pub struct Point {
 impl Point {
     /// The neutral element (0, 1).
     pub fn identity() -> Point {
-        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
     }
 
     /// The standard base point B (with y = 4/5 and x even).
@@ -41,7 +46,12 @@ impl Point {
         let f = dd.sub(c);
         let g = dd.add(c);
         let h = b.add(a);
-        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Point doubling.
@@ -53,12 +63,22 @@ impl Point {
         let e = h.sub(self.x.add(self.y).square());
         let g = a.sub(b);
         let f = c.add(g);
-        Point { x: e.mul(f), y: g.mul(h), z: f.mul(g), t: e.mul(h) }
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
     }
 
     /// Additive inverse.
     pub fn neg(&self) -> Point {
-        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+        Point {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
     }
 
     /// Scalar multiplication `[k]P` via 4-bit windowed double-and-add.
@@ -126,7 +146,12 @@ impl Point {
             x = x.neg();
         }
         let t = x.mul(y);
-        Some(Point { x, y, z: Fe::ONE, t })
+        Some(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t,
+        })
     }
 
     /// Equality in the group (projective comparison).

@@ -6,6 +6,11 @@
 //! obviously correct, and cheap relative to the curve operations that dominate
 //! signing and verification.
 
+// Field/scalar arithmetic uses the literature's method names (`add`, `mul`,
+// `sub`, `neg`) by value, and fixed-index loops that mirror the constant-time
+// word-by-word algorithms they implement.
+#![allow(clippy::should_implement_trait, clippy::needless_range_loop)]
+
 /// The group order L as four little-endian 64-bit words.
 const L: [u64; 4] = [
     0x5812631a5cf5d3ed,
@@ -125,9 +130,7 @@ impl Scalar {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = prod[i + j] as u128
-                    + (self.0[i] as u128) * (rhs.0[j] as u128)
-                    + carry;
+                let cur = prod[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }

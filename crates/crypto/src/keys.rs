@@ -71,7 +71,10 @@ impl PublicKey {
     pub fn from_wire(wire: &[u8; 33]) -> PublicKey {
         let mut bytes = [0u8; 32];
         bytes.copy_from_slice(&wire[1..]);
-        PublicKey { backend_tag: wire[0], bytes }
+        PublicKey {
+            backend_tag: wire[0],
+            bytes,
+        }
     }
 
     /// Verifies `sig` over `msg`.
@@ -121,7 +124,10 @@ impl Signature {
     pub fn from_wire(wire: &[u8; 65]) -> Signature {
         let mut bytes = [0u8; 64];
         bytes.copy_from_slice(&wire[1..]);
-        Signature { backend_tag: wire[0], bytes }
+        Signature {
+            backend_tag: wire[0],
+            bytes,
+        }
     }
 }
 
@@ -151,10 +157,11 @@ impl SecretKey {
         }
     }
 
-    /// Generates a fresh key from OS/user-provided randomness.
-    pub fn generate(backend: Backend, rng: &mut impl rand::RngCore) -> SecretKey {
+    /// Generates a fresh key from caller-provided entropy: `fill` receives a
+    /// zeroed 32-byte seed buffer and must fill it with OS/user randomness.
+    pub fn generate(backend: Backend, fill: impl FnOnce(&mut [u8; 32])) -> SecretKey {
         let mut seed = [0u8; 32];
-        rng.fill_bytes(&mut seed);
+        fill(&mut seed);
         SecretKey::from_seed(backend, &seed)
     }
 

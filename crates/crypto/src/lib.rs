@@ -46,7 +46,7 @@ pub fn hex(bytes: &[u8]) -> String {
 
 /// Parses lowercase/uppercase hex into bytes; `None` on bad input.
 pub fn unhex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())

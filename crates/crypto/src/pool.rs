@@ -6,9 +6,15 @@
 //! SMaRtCoin's throughput. This module provides the same facility for real
 //! (wall-clock) deployments; the discrete-event simulator models the pool's
 //! *virtual-time* behaviour separately in `smartchain-sim`.
+//!
+//! Built on a std-only MPMC work queue (mutex + condvar): workers block on
+//! [`JobQueue::pop`], producers fan jobs in with [`JobQueue::push`], and the
+//! queue closing is the shutdown signal.
 
 use crate::keys::{PublicKey, Signature};
-use crossbeam::channel;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// One verification job.
@@ -17,6 +23,47 @@ struct Job {
     public: PublicKey,
     msg: Vec<u8>,
     sig: Signature,
+}
+
+/// A minimal multi-producer multi-consumer queue (std has only MPSC).
+struct JobQueue {
+    state: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut st = self.state.lock().expect("pool queue lock");
+        st.0.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a job is available; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("pool queue lock");
+        loop {
+            if let Some(job) = st.0.pop_front() {
+                return Some(job);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.ready.wait(st).expect("pool queue lock");
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("pool queue lock");
+        st.1 = true;
+        self.ready.notify_all();
+    }
 }
 
 /// A fixed-size pool of verification workers.
@@ -36,8 +83,8 @@ struct Job {
 /// assert!(results.iter().all(|&ok| ok));
 /// ```
 pub struct VerifyPool {
-    senders: channel::Sender<Job>,
-    results_rx: channel::Receiver<(usize, bool)>,
+    jobs: Arc<JobQueue>,
+    results_rx: mpsc::Receiver<(usize, bool)>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -57,14 +104,14 @@ impl VerifyPool {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> VerifyPool {
         assert!(workers > 0, "pool needs at least one worker");
-        let (job_tx, job_rx) = channel::unbounded::<Job>();
-        let (res_tx, res_rx) = channel::unbounded::<(usize, bool)>();
+        let jobs = Arc::new(JobQueue::new());
+        let (res_tx, res_rx) = mpsc::channel::<(usize, bool)>();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let rx = job_rx.clone();
+            let queue = Arc::clone(&jobs);
             let tx = res_tx.clone();
             handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
+                while let Some(job) = queue.pop() {
                     let ok = job.public.verify(&job.msg, &job.sig);
                     if tx.send((job.index, ok)).is_err() {
                         break;
@@ -72,7 +119,14 @@ impl VerifyPool {
                 }
             }));
         }
-        VerifyPool { senders: job_tx, results_rx: res_rx, workers: handles }
+        // res_tx drops here: each worker holds its own clone, so the channel
+        // closes — and recv() fails fast — iff every worker died.
+        drop(res_tx);
+        VerifyPool {
+            jobs,
+            results_rx: res_rx,
+            workers: handles,
+        }
     }
 
     /// Number of worker threads.
@@ -84,9 +138,12 @@ impl VerifyPool {
     pub fn verify_batch(&self, batch: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<bool> {
         let n = batch.len();
         for (index, (public, msg, sig)) in batch.iter().enumerate() {
-            self.senders
-                .send(Job { index, public: *public, msg: msg.clone(), sig: *sig })
-                .expect("workers alive while pool exists");
+            self.jobs.push(Job {
+                index,
+                public: *public,
+                msg: msg.clone(),
+                sig: *sig,
+            });
         }
         let mut results = vec![false; n];
         for _ in 0..n {
@@ -98,17 +155,55 @@ impl VerifyPool {
         }
         results
     }
+
+    /// Verifies a batch of [`VerifyItem`]s, keeping each item's tag with its
+    /// verdict — the wall-clock backend of the pipeline's verify stage.
+    /// Consumes the items, so messages move into the worker jobs uncopied.
+    pub fn verify_tagged<T>(&self, batch: Vec<VerifyItem<T>>) -> Vec<(T, bool)> {
+        let n = batch.len();
+        let mut tags = Vec::with_capacity(n);
+        for (index, item) in batch.into_iter().enumerate() {
+            tags.push(item.tag);
+            self.jobs.push(Job {
+                index,
+                public: item.public,
+                msg: item.msg,
+                sig: item.sig,
+            });
+        }
+        let mut results = vec![false; n];
+        for _ in 0..n {
+            let (index, ok) = self
+                .results_rx
+                .recv()
+                .expect("workers alive while pool exists");
+            results[index] = ok;
+        }
+        tags.into_iter().zip(results).collect()
+    }
 }
 
 impl Drop for VerifyPool {
     fn drop(&mut self) {
-        // Closing the channel stops the workers.
-        let (empty_tx, _) = channel::unbounded();
-        self.senders = empty_tx;
+        self.jobs.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
+}
+
+/// A signature check carrying an arbitrary tag through the verify stage
+/// (e.g. the request the signature belongs to).
+#[derive(Clone, Debug)]
+pub struct VerifyItem<T> {
+    /// Caller's payload, returned with the verdict.
+    pub tag: T,
+    /// Claimed signer.
+    pub public: PublicKey,
+    /// Signed message bytes.
+    pub msg: Vec<u8>,
+    /// The signature to check.
+    pub sig: Signature,
 }
 
 /// Verifies a batch sequentially — the baseline the pool is compared against.
@@ -168,6 +263,28 @@ mod tests {
         for _ in 0..3 {
             let b = batch(8);
             assert!(pool.verify_batch(&b).iter().all(|&ok| ok));
+        }
+    }
+
+    #[test]
+    fn tagged_batch_keeps_tag_with_verdict() {
+        let sk = SecretKey::from_seed(Backend::Sim, &[12u8; 32]);
+        let pool = VerifyPool::new(2);
+        let mut items: Vec<VerifyItem<usize>> = (0..8usize)
+            .map(|i| {
+                let msg = vec![i as u8];
+                VerifyItem {
+                    tag: i,
+                    public: sk.public_key(),
+                    sig: sk.sign(&msg),
+                    msg,
+                }
+            })
+            .collect();
+        items[5].msg = vec![0xff]; // breaks item 5 only
+        let out = pool.verify_tagged(items);
+        for (tag, ok) in out {
+            assert_eq!(ok, tag != 5, "tag {tag}");
         }
     }
 }

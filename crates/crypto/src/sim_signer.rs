@@ -17,9 +17,8 @@
 //! simulation; the type names and module docs are deliberately loud about it.
 
 use crate::sha256;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 fn registry() -> &'static RwLock<HashMap<[u8; 32], [u8; 32]>> {
     static REGISTRY: OnceLock<RwLock<HashMap<[u8; 32], [u8; 32]>>> = OnceLock::new();
@@ -45,8 +44,14 @@ impl SimSecret {
     /// Derives the key from a seed and registers it for verification.
     pub fn from_seed(seed: &[u8; 32]) -> SimSecret {
         let public = sha256::digest_parts(&[b"simpk", seed]);
-        registry().write().insert(public, *seed);
-        SimSecret { seed: *seed, public }
+        registry()
+            .write()
+            .expect("registry lock")
+            .insert(public, *seed);
+        SimSecret {
+            seed: *seed,
+            public,
+        }
     }
 
     /// The corresponding public key.
@@ -71,7 +76,7 @@ pub fn verify(public: &[u8; 32], msg: &[u8], sig: &[u8; 64]) -> bool {
     if &sig[32..] != public.as_slice() {
         return false;
     }
-    let seed = match registry().read().get(public) {
+    let seed = match registry().read().expect("registry lock").get(public) {
         Some(seed) => *seed,
         None => return false,
     };

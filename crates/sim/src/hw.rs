@@ -136,7 +136,11 @@ impl HwSpec {
     /// bandwidth) so protocol logic tests do not depend on the cost model.
     pub fn test_fast() -> HwSpec {
         HwSpec {
-            nic: NicModel { bandwidth_bps: 100_000_000_000, propagation_ns: 1000, jitter_ns: 0 },
+            nic: NicModel {
+                bandwidth_bps: 100_000_000_000,
+                propagation_ns: 1000,
+                jitter_ns: 0,
+            },
             disk: DiskModel {
                 sync_latency_ns: 2000,
                 write_bandwidth: 10_000_000_000,

@@ -20,9 +20,9 @@
 
 pub mod hw;
 pub mod metrics;
+pub mod rng;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SimRng;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -155,7 +155,7 @@ pub struct Sim<M> {
     queue: BinaryHeap<Scheduled<M>>,
     nodes: Vec<NodeState>,
     spec: hw::HwSpec,
-    rng: StdRng,
+    rng: SimRng,
     drop_prob: f64,
     cut_links: HashSet<(NodeId, NodeId)>,
     delivered_messages: u64,
@@ -192,7 +192,7 @@ impl<M> Sim<M> {
             queue: BinaryHeap::new(),
             nodes,
             spec,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             drop_prob: 0.0,
             cut_links: HashSet::new(),
             delivered_messages: 0,
@@ -287,7 +287,7 @@ impl<'a, M> Ctx<'a, M> {
     }
 
     /// Deterministic per-run randomness.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.sim.rng
     }
 
@@ -339,7 +339,7 @@ impl<'a, M> Ctx<'a, M> {
             return;
         }
         let jitter = if nic.jitter_ns > 0 {
-            self.sim.rng.gen_range(0..nic.jitter_ns)
+            self.sim.rng.gen_range(nic.jitter_ns)
         } else {
             0
         };
@@ -372,7 +372,9 @@ impl<'a, M> Ctx<'a, M> {
     /// writes.
     pub fn disk_write(&mut self, size: usize, sync: bool, token: u64) {
         let node = self.node;
-        let start = self.sim.nodes[node].disk_free_at.max(self.sim.now + self.charged);
+        let start = self.sim.nodes[node]
+            .disk_free_at
+            .max(self.sim.now + self.charged);
         let disk = &self.sim.spec.disk;
         let dur = disk.write_time(size, sync);
         let end = start + dur;
@@ -388,7 +390,9 @@ impl<'a, M> Ctx<'a, M> {
     /// [`Event::OpDone`] and `token`.
     pub fn disk_read(&mut self, size: usize, token: u64) {
         let node = self.node;
-        let start = self.sim.nodes[node].disk_free_at.max(self.sim.now + self.charged);
+        let start = self.sim.nodes[node]
+            .disk_free_at
+            .max(self.sim.now + self.charged);
         let dur = self.sim.spec.disk.read_time(size);
         let end = start + dur;
         self.sim.nodes[node].disk_free_at = end;
@@ -456,7 +460,11 @@ impl<M> Cluster<M> {
             match kind {
                 Kind::Crash { node } => {
                     self.sim.nodes[node].crashed = true;
-                    let mut ctx = Ctx { sim: &mut self.sim, node, charged: 0 };
+                    let mut ctx = Ctx {
+                        sim: &mut self.sim,
+                        node,
+                        charged: 0,
+                    };
                     self.actors[node].on_event(Event::Crash, &mut ctx);
                 }
                 Kind::Recover { node } => {
@@ -486,7 +494,11 @@ impl<M> Cluster<M> {
         if self.sim.nodes[node].busy_until > self.sim.now {
             let at = self.sim.nodes[node].busy_until;
             let kind = match event {
-                Event::Message { from, msg } => Kind::Deliver { from, to: node, msg },
+                Event::Message { from, msg } => Kind::Deliver {
+                    from,
+                    to: node,
+                    msg,
+                },
                 Event::Timer { token } => Kind::Timer { node, token },
                 Event::OpDone { token } => Kind::OpDone { node, token },
                 Event::Start => Kind::Start { node },
@@ -496,7 +508,11 @@ impl<M> Cluster<M> {
             self.sim.push(at, kind);
             return;
         }
-        let mut ctx = Ctx { sim: &mut self.sim, node, charged: 0 };
+        let mut ctx = Ctx {
+            sim: &mut self.sim,
+            node,
+            charged: 0,
+        };
         self.actors[node].on_event(event, &mut ctx);
         let charged = ctx.charged;
         if charged > 0 {
@@ -533,7 +549,9 @@ mod tests {
         fn on_event(&mut self, event: Event<Ping>, ctx: &mut Ctx<'_, Ping>) {
             match event {
                 Event::Start => ctx.send(self.peer, Ping::Ping(0), 100),
-                Event::Message { msg: Ping::Pong(n), .. } => {
+                Event::Message {
+                    msg: Ping::Pong(n), ..
+                } => {
                     self.log.borrow_mut().push((ctx.now(), n));
                     if n < self.count {
                         ctx.send(self.peer, Ping::Ping(n + 1), 100);
@@ -548,7 +566,11 @@ mod tests {
 
     impl Actor<Ping> for Ponger {
         fn on_event(&mut self, event: Event<Ping>, ctx: &mut Ctx<'_, Ping>) {
-            if let Event::Message { from, msg: Ping::Ping(n) } = event {
+            if let Event::Message {
+                from,
+                msg: Ping::Ping(n),
+            } = event
+            {
                 ctx.charge(10 * MICRO);
                 ctx.send(from, Ping::Pong(n), 100);
             }
@@ -563,7 +585,11 @@ mod tests {
     fn ping_pong_roundtrips() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let actors: Vec<Box<dyn Actor<Ping>>> = vec![
-            Box::new(Pinger { peer: 1, log: Rc::clone(&log), count: 5 }),
+            Box::new(Pinger {
+                peer: 1,
+                log: Rc::clone(&log),
+                count: 5,
+            }),
             Box::new(Ponger),
         ];
         let mut cluster = Cluster::new(actors, spec(), 1);
@@ -580,7 +606,11 @@ mod tests {
         let run = |seed| {
             let log = Rc::new(RefCell::new(Vec::new()));
             let actors: Vec<Box<dyn Actor<Ping>>> = vec![
-                Box::new(Pinger { peer: 1, log: Rc::clone(&log), count: 20 }),
+                Box::new(Pinger {
+                    peer: 1,
+                    log: Rc::clone(&log),
+                    count: 20,
+                }),
                 Box::new(Ponger),
             ];
             let mut cluster = Cluster::new(actors, spec(), seed);
@@ -595,11 +625,15 @@ mod tests {
     fn crash_stops_delivery_and_recover_resumes() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let actors: Vec<Box<dyn Actor<Ping>>> = vec![
-            Box::new(Pinger { peer: 1, log: Rc::clone(&log), count: 1000 }),
+            Box::new(Pinger {
+                peer: 1,
+                log: Rc::clone(&log),
+                count: 1000,
+            }),
             Box::new(Ponger),
         ];
         let mut cluster = Cluster::new(actors, spec(), 3);
-        cluster.sim().crash(1, 1 * MILLI);
+        cluster.sim().crash(1, MILLI);
         cluster.run_until(10 * MILLI);
         let after_crash = log.borrow().len();
         cluster.run_until(20 * MILLI);
@@ -611,7 +645,11 @@ mod tests {
     fn cut_link_blocks_messages() {
         let log = Rc::new(RefCell::new(Vec::new()));
         let actors: Vec<Box<dyn Actor<Ping>>> = vec![
-            Box::new(Pinger { peer: 1, log: Rc::clone(&log), count: 10 }),
+            Box::new(Pinger {
+                peer: 1,
+                log: Rc::clone(&log),
+                count: 10,
+            }),
             Box::new(Ponger),
         ];
         let mut cluster = Cluster::new(actors, spec(), 3);
@@ -649,12 +687,14 @@ mod tests {
         let handled = Rc::new(RefCell::new(0));
         let actors: Vec<Box<dyn Actor<Ping>>> = vec![
             Box::new(Spammer { peer: 1 }),
-            Box::new(Busy { handled: Rc::clone(&handled) }),
+            Box::new(Busy {
+                handled: Rc::clone(&handled),
+            }),
         ];
         let mut cluster = Cluster::new(actors, spec(), 5);
         cluster.run_until(50 * MILLI);
         let n = *handled.borrow();
-        assert!(n >= 45 && n <= 55, "expected ~50 handled, got {n}");
+        assert!((45..=55).contains(&n), "expected ~50 handled, got {n}");
     }
 
     #[test]
@@ -700,8 +740,9 @@ mod pool_tests {
             }
         }
         let drain = Rc::new(RefCell::new(0));
-        let actors: Vec<Box<dyn Actor<Nothing>>> =
-            vec![Box::new(PoolUser { drain: Rc::clone(&drain) })];
+        let actors: Vec<Box<dyn Actor<Nothing>>> = vec![Box::new(PoolUser {
+            drain: Rc::clone(&drain),
+        })];
         let mut cluster = Cluster::new(actors, hw::HwSpec::test_fast(), 1);
         cluster.run_to_quiescence();
         // test_fast has 4 pool workers.
@@ -724,8 +765,9 @@ mod pool_tests {
             }
         }
         let drains = Rc::new(RefCell::new(Vec::new()));
-        let actors: Vec<Box<dyn Actor<Nothing>>> =
-            vec![Box::new(TwoBatches { drains: Rc::clone(&drains) })];
+        let actors: Vec<Box<dyn Actor<Nothing>>> = vec![Box::new(TwoBatches {
+            drains: Rc::clone(&drains),
+        })];
         let mut cluster = Cluster::new(actors, hw::HwSpec::test_fast(), 1);
         cluster.run_to_quiescence();
         let d = drains.borrow();

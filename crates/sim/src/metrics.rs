@@ -23,7 +23,10 @@ impl ThroughputMeter {
     /// Creates a meter sampling every `window` operations (the paper uses
     /// 10_000).
     pub fn new(window: u64) -> ThroughputMeter {
-        ThroughputMeter { window: window.max(1), ..ThroughputMeter::default() }
+        ThroughputMeter {
+            window: window.max(1),
+            ..ThroughputMeter::default()
+        }
     }
 
     /// Registers `count` operations committed at time `at`.

@@ -274,11 +274,7 @@ impl<A: Application> ReplicaActor<A> {
         }
         // One synchronous write covers every queued batch (group commit).
         let total: usize = self.wal_queue.iter().map(|(b, _)| *b).sum();
-        let replies: Vec<Reply> = self
-            .wal_queue
-            .drain(..)
-            .flat_map(|(_, r)| r)
-            .collect();
+        let replies: Vec<Reply> = self.wal_queue.drain(..).flat_map(|(_, r)| r).collect();
         let token = self.fresh_token(KIND_DISK);
         ctx.disk_write(total, true, token);
         self.gated_replies.insert(token, replies);
@@ -288,8 +284,9 @@ impl<A: Application> ReplicaActor<A> {
     fn send_replies(&mut self, replies: Vec<Reply>, ctx: &mut Ctx<'_, SmrMsg>) {
         for reply in replies {
             let node = client_node(reply.client);
-            let size = reply.wire_size();
-            ctx.send(node, SmrMsg::Reply(reply), size);
+            let msg = SmrMsg::Reply(reply);
+            let size = msg.wire_size();
+            ctx.send(node, msg, size);
         }
     }
 
@@ -351,7 +348,9 @@ impl<A: Application> Actor<SmrMsg> for ReplicaActor<A> {
                     SmrMsg::Reply(_) => {}
                 }
             }
-            Event::Timer { token: TOKEN_PROGRESS } => {
+            Event::Timer {
+                token: TOKEN_PROGRESS,
+            } => {
                 self.timer_armed = false;
                 if self.core.last_delivered() == self.delivered_at_arm
                     && self.core.pending_len() > 0
@@ -405,6 +404,8 @@ impl<A: Application> Actor<SmrMsg> for ReplicaActor<A> {
 
 #[cfg(test)]
 mod tests {
+    // Replica ids double as vector indices throughout these tests.
+    #![allow(clippy::needless_range_loop)]
     use super::*;
     use crate::app::CounterApp;
     use crate::client::{ClientActor, ClientConfig, CounterFactory};
@@ -421,7 +422,10 @@ mod tests {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 70; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         let peers: Vec<NodeId> = (0..n).collect();
         let mut actors: Vec<Box<dyn Actor<SmrMsg>>> = Vec::new();
         for i in 0..n {
@@ -451,8 +455,7 @@ mod tests {
         Cluster::new(actors, HwSpec::test_fast(), 42)
     }
 
-    fn replica<'a>(cluster: &'a mut Cluster<SmrMsg>, id: usize) -> &'a ReplicaActor<CounterApp> {
-
+    fn replica(cluster: &mut Cluster<SmrMsg>, id: usize) -> &ReplicaActor<CounterApp> {
         cluster
             .actor(id)
             .as_any()
@@ -467,24 +470,32 @@ mod tests {
         let r0 = replica(&mut cluster, 0);
         // 2 client actors x 2 logical clients x 25 requests.
         assert_eq!(r0.meter().total(), 100);
-        assert_eq!(r0.core().last_delivered() > 0, true);
+        assert!(r0.core().last_delivered() > 0);
     }
 
     #[test]
     fn all_replicas_agree_on_totals() {
         let mut cluster = build_cluster(4, 2, 20, ReplicaConfig::default());
         cluster.run_until(30 * SECOND);
-        let totals: Vec<u64> = (0..4).map(|i| replica(&mut cluster, i).meter().total()).collect();
+        let totals: Vec<u64> = (0..4)
+            .map(|i| replica(&mut cluster, i).meter().total())
+            .collect();
         assert!(totals.iter().all(|&t| t == totals[0]), "{totals:?}");
     }
 
     #[test]
     fn sequential_signatures_verified_and_accepted() {
-        let config = ReplicaConfig { sig_mode: SigMode::Sequential, ..ReplicaConfig::default() };
+        let config = ReplicaConfig {
+            sig_mode: SigMode::Sequential,
+            ..ReplicaConfig::default()
+        };
         let secrets: Vec<SecretKey> = (0..4)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 70; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         let peers: Vec<NodeId> = (0..4).collect();
         let mut actors: Vec<Box<dyn Actor<SmrMsg>>> = Vec::new();
         for i in 0..4 {
@@ -516,11 +527,17 @@ mod tests {
 
     #[test]
     fn parallel_signatures_also_complete() {
-        let config = ReplicaConfig { sig_mode: SigMode::Parallel, ..ReplicaConfig::default() };
+        let config = ReplicaConfig {
+            sig_mode: SigMode::Parallel,
+            ..ReplicaConfig::default()
+        };
         let secrets: Vec<SecretKey> = (0..4)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 70; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         let peers: Vec<NodeId> = (0..4).collect();
         let mut actors: Vec<Box<dyn Actor<SmrMsg>>> = Vec::new();
         for i in 0..4 {
@@ -563,17 +580,27 @@ mod tests {
         let r0 = replica(&mut cluster, 0);
         assert_eq!(r0.meter().total(), 20);
         for i in 0..4 {
-            assert!(cluster.sim_ref().disk_syncs(i) > 0, "replica {i} never synced");
+            assert!(
+                cluster.sim_ref().disk_syncs(i) > 0,
+                "replica {i} never synced"
+            );
         }
     }
 
     #[test]
     fn leader_crash_recovers_liveness() {
         let mut cluster = build_cluster(4, 1, 30, ReplicaConfig::default());
-        cluster.sim().crash(0, 1 * MILLI);
+        cluster.sim().crash(0, MILLI);
         cluster.run_until(60 * SECOND);
         let r1 = replica(&mut cluster, 1);
-        assert_eq!(r1.meter().total(), 60, "progress must resume after leader change");
-        assert!(r1.core().regency() >= 1, "a leader change must have happened");
+        assert_eq!(
+            r1.meter().total(),
+            60,
+            "progress must resume after leader change"
+        );
+        assert!(
+            r1.core().regency() >= 1,
+            "a leader change must have happened"
+        );
     }
 }

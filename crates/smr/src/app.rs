@@ -39,6 +39,11 @@ impl CounterApp {
     pub fn sum(&self, client: u64) -> u64 {
         self.sums.get(&client).copied().unwrap_or(0)
     }
+
+    /// All per-client sums (replica-state comparison in tests).
+    pub fn totals(&self) -> &std::collections::BTreeMap<u64, u64> {
+        &self.sums
+    }
 }
 
 impl Application for CounterApp {
@@ -77,7 +82,12 @@ mod tests {
     use super::*;
 
     fn req(client: u64, seq: u64, payload: Vec<u8>) -> Request {
-        Request { client, seq, payload, signature: None }
+        Request {
+            client,
+            seq,
+            payload,
+            signature: None,
+        }
     }
 
     #[test]

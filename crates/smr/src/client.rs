@@ -13,7 +13,7 @@ use crate::types::{Reply, Request};
 use smartchain_crypto::keys::{Backend, SecretKey};
 use smartchain_sim::metrics::LatencyMeter;
 use smartchain_sim::{Actor, Ctx, Event, NodeId, Time, MILLI, SECOND};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Builds application requests for a workload.
 pub trait RequestFactory: Send {
@@ -30,7 +30,10 @@ pub struct CounterFactory {
 impl CounterFactory {
     /// Creates a factory; `signed` controls request signatures.
     pub fn new(signed: bool) -> CounterFactory {
-        CounterFactory { signed, keys: HashMap::new() }
+        CounterFactory {
+            signed,
+            keys: HashMap::new(),
+        }
     }
 }
 
@@ -49,7 +52,12 @@ impl RequestFactory for CounterFactory {
         } else {
             None
         };
-        Request { client, seq, payload, signature }
+        Request {
+            client,
+            seq,
+            payload,
+            signature,
+        }
     }
 }
 
@@ -99,7 +107,10 @@ pub struct ClientActor<M = SmrMsg> {
     config: ClientConfig,
     factory: Box<dyn RequestFactory>,
     next_seq: HashMap<u64, u64>,
-    outstanding: HashMap<(u64, u64), Outstanding>,
+    /// In-flight requests, ordered by (client, seq) so the retransmit scan
+    /// walks them deterministically (hash order would vary run to run and
+    /// break seeded reproducibility).
+    outstanding: BTreeMap<(u64, u64), Outstanding>,
     latency: LatencyMeter,
     completed: u64,
 }
@@ -121,7 +132,7 @@ impl<M: SmrEnvelope> ClientActor<M> {
             config,
             factory,
             next_seq: HashMap::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             latency: LatencyMeter::new(),
             completed: 0,
         }
@@ -168,7 +179,11 @@ impl<M: SmrEnvelope> ClientActor<M> {
         }
         self.outstanding.insert(
             (logical, this_seq),
-            Outstanding { request, sent_at: ctx.now(), replies: HashMap::new() },
+            Outstanding {
+                request,
+                sent_at: ctx.now(),
+                replies: HashMap::new(),
+            },
         );
     }
 

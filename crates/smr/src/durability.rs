@@ -1,27 +1,35 @@
 //! Real-storage durable delivery (the non-simulated counterpart of the
-//! Dura-SMaRt pipeline): decided batches are appended to a group-commit log
-//! on actual files, snapshots are cut every `checkpoint_period` batches, and
-//! recovery replays snapshot + suffix. The `quickstart` example and the
-//! integration tests exercise this against real disks.
+//! Dura-SMaRt pipeline): decided batches are appended to a durability engine
+//! — group-commit WAL on actual files by default — snapshots are cut every
+//! `checkpoint_period` batches, and recovery replays snapshot + suffix. The
+//! `quickstart` example and the integration tests exercise this against real
+//! disks.
+//!
+//! The persistence policy is pluggable: [`DurableApp::open`] uses the
+//! paper's 0/1-Persistence group-commit engine, while
+//! [`DurableApp::open_with_engine`] accepts any [`DurabilityEngine`] — the
+//! same trait the simulated `ChainNode` routes its persistence ladder
+//! through, so both deployments share one durability implementation.
 
 use crate::app::Application;
 use crate::types::{decode_batch, encode_batch, Request};
+use smartchain_storage::engine::{AsyncEngine, GroupCommitEngine, MemoryEngine};
 use smartchain_storage::log::FileLog;
 use smartchain_storage::snapshot::{Snapshot, SnapshotStore};
-use smartchain_storage::wal::BatchingWriter;
-use smartchain_storage::{RecordLog, SyncPolicy};
+use smartchain_storage::wal::FlushStats;
+use smartchain_storage::{DurabilityEngine, RecordLog, SyncPolicy};
 use std::io;
 use std::path::Path;
 
 /// A durable, checkpointed application host.
 ///
 /// Wraps an [`Application`] with a write-ahead batch log and snapshot store:
-/// every delivered batch is logged durably before (or while) executing, and
-/// every `checkpoint_period` batches the application state is snapshotted and
-/// the log truncated.
+/// every delivered batch is logged through the engine before (or while)
+/// executing, and every `checkpoint_period` batches the application state is
+/// snapshotted and the log truncated.
 pub struct DurableApp<A: Application> {
     app: A,
-    writer: BatchingWriter<FileLog>,
+    engine: Box<dyn DurabilityEngine>,
     snapshots: SnapshotStore,
     checkpoint_period: u64,
     batches_applied: u64,
@@ -31,12 +39,14 @@ impl<A: Application> std::fmt::Debug for DurableApp<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableApp")
             .field("batches_applied", &self.batches_applied)
+            .field("policy", &self.engine.policy())
             .finish_non_exhaustive()
     }
 }
 
 impl<A: Application> DurableApp<A> {
-    /// Opens (or recovers) a durable app rooted at `dir`.
+    /// Opens (or recovers) a durable app rooted at `dir` with the default
+    /// group-commit (0/1-Persistence) engine over a [`FileLog`].
     ///
     /// On recovery the newest snapshot is installed and the logged suffix is
     /// replayed, restoring exactly the pre-crash state.
@@ -44,11 +54,54 @@ impl<A: Application> DurableApp<A> {
     /// # Errors
     ///
     /// Propagates storage failures.
-    pub fn open(mut app: A, dir: impl AsRef<Path>, checkpoint_period: u64) -> io::Result<Self> {
+    pub fn open(app: A, dir: impl AsRef<Path>, checkpoint_period: u64) -> io::Result<Self> {
+        Self::open_with_policy(app, dir, checkpoint_period, SyncPolicy::Sync)
+    }
+
+    /// Opens with an explicit persistence-ladder rung: [`SyncPolicy::Sync`]
+    /// (group commit), [`SyncPolicy::Async`] (λ-persistence), or
+    /// [`SyncPolicy::None`] (log kept but treated as volatile).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn open_with_policy(
+        app: A,
+        dir: impl AsRef<Path>,
+        checkpoint_period: u64,
+        policy: SyncPolicy,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
+        if policy == SyncPolicy::None {
+            // ∞-persistence: nothing survives a restart — start from empty
+            // storage instead of silently replaying a stale log/snapshot.
+            let _ = std::fs::remove_file(dir.join("batches.log"));
+            let _ = std::fs::remove_dir_all(dir.join("snapshots"));
+        }
+        // The engine layer owns sync decisions; the file itself is async.
         let log = FileLog::open(dir.join("batches.log"), SyncPolicy::Async)?;
+        let engine: Box<dyn DurabilityEngine> = match policy {
+            SyncPolicy::Sync => Box::new(GroupCommitEngine::new(log)),
+            SyncPolicy::Async => Box::new(AsyncEngine::new(log)),
+            SyncPolicy::None => Box::new(MemoryEngine::new(log)),
+        };
         let snapshots = SnapshotStore::open(dir.join("snapshots"))?;
+        Self::open_with_engine(app, engine, snapshots, checkpoint_period)
+    }
+
+    /// Opens over a caller-provided engine (dependency injection for tests
+    /// and alternative backends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn open_with_engine(
+        mut app: A,
+        engine: Box<dyn DurabilityEngine>,
+        snapshots: SnapshotStore,
+        checkpoint_period: u64,
+    ) -> io::Result<Self> {
         // Recover: snapshot first, then replay the log suffix.
         let mut batches_applied = 0u64;
         app.reset();
@@ -56,8 +109,9 @@ impl<A: Application> DurableApp<A> {
             app.install_snapshot(&snap.state);
             batches_applied = snap.covered_block;
         }
-        for index in batches_applied..log.len() {
-            if let Some(record) = log.read(index)? {
+        let replay_from = batches_applied;
+        for index in replay_from..engine.len() {
+            if let Some(record) = engine.read(index)? {
                 if let Ok(requests) = decode_batch(&record) {
                     for request in &requests {
                         let _ = app.execute(request);
@@ -68,7 +122,7 @@ impl<A: Application> DurableApp<A> {
         }
         Ok(DurableApp {
             app,
-            writer: BatchingWriter::new(log),
+            engine,
             snapshots,
             checkpoint_period: checkpoint_period.max(1),
             batches_applied,
@@ -81,12 +135,14 @@ impl<A: Application> DurableApp<A> {
     ///
     /// Propagates storage failures; the batch is not considered applied then.
     pub fn apply_batch(&mut self, requests: &[Request]) -> io::Result<Vec<Vec<u8>>> {
-        // Log first (write-ahead), then execute.
-        self.writer.submit(encode_batch(requests));
-        self.writer.flush()?;
+        // Log first (write-ahead), then execute. `flush` is the policy's
+        // commit point: one coalesced fsync under group commit, a no-op on
+        // the weaker rungs.
+        self.engine.append(&encode_batch(requests))?;
+        self.engine.flush()?;
         let results = requests.iter().map(|r| self.app.execute(r)).collect();
         self.batches_applied += 1;
-        if self.batches_applied % self.checkpoint_period == 0 {
+        if self.batches_applied.is_multiple_of(self.checkpoint_period) {
             self.checkpoint()?;
         }
         Ok(results)
@@ -104,7 +160,7 @@ impl<A: Application> DurableApp<A> {
         };
         self.snapshots.install(&snap)?;
         let upto = self.batches_applied;
-        self.writer.inner_mut().truncate_prefix(upto)?;
+        self.engine.truncate_prefix(upto)?;
         Ok(())
     }
 
@@ -117,6 +173,17 @@ impl<A: Application> DurableApp<A> {
     pub fn app(&self) -> &A {
         &self.app
     }
+
+    /// The engine's persistence policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.engine.policy()
+    }
+
+    /// Engine write/sync accounting (group-commit coalescing shows up here
+    /// as `records` outpacing `syncs`).
+    pub fn engine_stats(&self) -> FlushStats {
+        self.engine.stats()
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +192,12 @@ mod tests {
     use crate::app::CounterApp;
 
     fn req(client: u64, seq: u64, add: u8) -> Request {
-        Request { client, seq, payload: vec![add], signature: None }
+        Request {
+            client,
+            seq,
+            payload: vec![add],
+            signature: None,
+        }
     }
 
     fn tmp(name: &str) -> std::path::PathBuf {
@@ -166,5 +238,48 @@ mod tests {
         let d = DurableApp::open(CounterApp::new(), &dir, 2).unwrap();
         assert_eq!(d.app().sum(1), 5);
         assert_eq!(d.batches_applied(), 5);
+    }
+
+    #[test]
+    fn group_commit_engine_syncs_once_per_batch() {
+        let dir = tmp("stats");
+        let mut d = DurableApp::open(CounterApp::new(), &dir, 100).unwrap();
+        for i in 0..4u64 {
+            d.apply_batch(&[req(1, i, 1)]).unwrap();
+        }
+        let stats = d.engine_stats();
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.syncs, 4, "sequential batches: one commit point each");
+        assert_eq!(d.policy(), SyncPolicy::Sync);
+    }
+
+    #[test]
+    fn none_policy_is_volatile_across_restarts() {
+        let dir = tmp("volatile");
+        {
+            let mut d =
+                DurableApp::open_with_policy(CounterApp::new(), &dir, 100, SyncPolicy::None)
+                    .unwrap();
+            d.apply_batch(&[req(1, 0, 9)]).unwrap();
+            assert_eq!(d.app().sum(1), 9);
+        }
+        // ∞-persistence: a restart starts from nothing.
+        let d =
+            DurableApp::open_with_policy(CounterApp::new(), &dir, 100, SyncPolicy::None).unwrap();
+        assert_eq!(d.app().sum(1), 0, "no state may survive the volatile rung");
+        assert_eq!(d.batches_applied(), 0);
+    }
+
+    #[test]
+    fn async_policy_skips_syncs() {
+        let dir = tmp("async");
+        let mut d =
+            DurableApp::open_with_policy(CounterApp::new(), &dir, 100, SyncPolicy::Async).unwrap();
+        for i in 0..4u64 {
+            d.apply_batch(&[req(1, i, 1)]).unwrap();
+        }
+        let stats = d.engine_stats();
+        assert_eq!(stats.records, 4);
+        assert_eq!(stats.syncs, 0, "λ-persistence never fsyncs on the ack path");
     }
 }

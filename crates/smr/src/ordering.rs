@@ -4,6 +4,7 @@
 //! regency-based leader changes.
 
 use crate::types::{decode_batch, encode_batch, Request};
+use smartchain_codec::{Decode, DecodeError, Encode};
 use smartchain_consensus::instance::{Decision, Instance};
 use smartchain_consensus::messages::{ConsensusMsg, Output};
 use smartchain_consensus::synchronizer::{StopData, SyncAction, SyncMsg, Synchronizer};
@@ -30,13 +31,54 @@ pub enum SmrMsg {
 }
 
 impl SmrMsg {
-    /// Estimated wire size in bytes.
+    /// Wire size in bytes (transport framing + canonical encoding), derived
+    /// from the [`Encode`] output — the encoder is the single source of
+    /// truth for the simulator's NIC model.
     pub fn wire_size(&self) -> usize {
+        smartchain_codec::FRAME_BYTES + self.encoded_len()
+    }
+}
+
+impl Encode for SmrMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            SmrMsg::Request(r) => 4 + r.wire_size(),
-            SmrMsg::Consensus(c) => 4 + c.wire_size(),
-            SmrMsg::Sync(s) => 4 + s.wire_size(),
-            SmrMsg::Reply(r) => 4 + r.wire_size(),
+            SmrMsg::Request(r) => {
+                0u8.encode(out);
+                r.encode(out);
+            }
+            SmrMsg::Consensus(c) => {
+                1u8.encode(out);
+                c.encode(out);
+            }
+            SmrMsg::Sync(s) => {
+                2u8.encode(out);
+                s.encode(out);
+            }
+            SmrMsg::Reply(r) => {
+                3u8.encode(out);
+                r.encode(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SmrMsg::Request(r) => r.encoded_len(),
+            SmrMsg::Consensus(c) => c.encoded_len(),
+            SmrMsg::Sync(s) => s.encoded_len(),
+            SmrMsg::Reply(r) => r.encoded_len(),
+        }
+    }
+}
+
+impl Decode for SmrMsg {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(SmrMsg::Request(crate::types::Request::decode(input)?)),
+            1 => Ok(SmrMsg::Consensus(ConsensusMsg::decode(input)?)),
+            2 => Ok(SmrMsg::Sync(SyncMsg::decode(input)?)),
+            3 => Ok(SmrMsg::Reply(crate::types::Reply::decode(input)?)),
+            d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
     }
 }
@@ -299,7 +341,9 @@ impl OrderingCore {
             return Vec::new();
         }
         if instance_id > self.last_delivered + INSTANCE_WINDOW {
-            return vec![CoreOutput::NeedStateTransfer { observed_instance: instance_id }];
+            return vec![CoreOutput::NeedStateTransfer {
+                observed_instance: instance_id,
+            }];
         }
         let mut outputs = Vec::new();
         let inst = self.instance_entry(instance_id);
@@ -328,10 +372,8 @@ impl OrderingCore {
         // Release contiguous decisions in order.
         while let Some(d) = self.undelivered.remove(&(self.last_delivered + 1)) {
             self.last_delivered = d.instance;
-            let requests = match decode_batch(&d.value) {
-                Ok(reqs) => reqs,
-                Err(_) => Vec::new(), // malformed batch decided: deliver empty
-            };
+            // A malformed decided batch delivers empty.
+            let requests = decode_batch(&d.value).unwrap_or_default();
             // Dedup against already-delivered requests and drop them from
             // our own pending pool.
             let mut fresh = Vec::with_capacity(requests.len());
@@ -405,11 +447,14 @@ impl OrderingCore {
             .map(Self::net)
             .collect();
         // The broadcast does not loop back; handle our own proposal.
-        let (outs, decision) = inst.on_message(me, ConsensusMsg::Propose {
-            instance: next,
-            epoch: regency,
-            value,
-        });
+        let (outs, decision) = inst.on_message(
+            me,
+            ConsensusMsg::Propose {
+                instance: next,
+                epoch: regency,
+                value,
+            },
+        );
         outputs.extend(outs.into_iter().map(Self::net));
         if let Some(d) = decision {
             outputs.extend(self.on_decision(d));
@@ -438,7 +483,10 @@ impl OrderingCore {
                         });
                     let msg = self.synchronizer.make_stopdata(
                         regency,
-                        StopData { last_decided: self.last_delivered, locked },
+                        StopData {
+                            last_decided: self.last_delivered,
+                            locked,
+                        },
                     );
                     if leader == self.me {
                         let actions = self.synchronizer.on_message(self.me, msg);
@@ -447,7 +495,11 @@ impl OrderingCore {
                         outputs.push(CoreOutput::Send(leader, SmrMsg::Sync(msg)));
                     }
                 }
-                SyncAction::Install { regency, leader, adopt } => {
+                SyncAction::Install {
+                    regency,
+                    leader,
+                    adopt,
+                } => {
                     let next = self.last_delivered + 1;
                     let inst = self.instance_entry(next);
                     inst.advance_epoch(regency, leader);
@@ -468,11 +520,18 @@ impl OrderingCore {
                             self.proposed.insert(next, regency);
                             let me = self.me;
                             let inst = self.instance_entry(next);
-                            let mut outs: Vec<CoreOutput> =
-                                inst.propose(value.clone()).into_iter().map(Self::net).collect();
+                            let mut outs: Vec<CoreOutput> = inst
+                                .propose(value.clone())
+                                .into_iter()
+                                .map(Self::net)
+                                .collect();
                             let (more, decision) = inst.on_message(
                                 me,
-                                ConsensusMsg::Propose { instance: next, epoch: regency, value },
+                                ConsensusMsg::Propose {
+                                    instance: next,
+                                    epoch: regency,
+                                    value,
+                                },
                             );
                             outs.extend(more.into_iter().map(Self::net));
                             if let Some(d) = decision {
@@ -499,6 +558,8 @@ impl OrderingCore {
 
 #[cfg(test)]
 mod tests {
+    // Replica ids double as vector indices throughout these tests.
+    #![allow(clippy::needless_range_loop)]
     use super::*;
     use smartchain_crypto::keys::Backend;
 
@@ -506,7 +567,10 @@ mod tests {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 30; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         (0..n)
             .map(|i| {
                 OrderingCore::new(
@@ -521,7 +585,12 @@ mod tests {
     }
 
     fn req(client: u64, seq: u64) -> Request {
-        Request { client, seq, payload: vec![client as u8, seq as u8], signature: None }
+        Request {
+            client,
+            seq,
+            payload: vec![client as u8, seq as u8],
+            signature: None,
+        }
     }
 
     /// Synchronously routes all outputs until quiescence; collects deliveries
@@ -535,9 +604,9 @@ mod tests {
         let mut delivered: Vec<Vec<OrderedBatch>> = vec![Vec::new(); n];
         let mut queue: VecDeque<(ReplicaId, ReplicaId, SmrMsg)> = VecDeque::new();
         let handle = |from: ReplicaId,
-                          out: CoreOutput,
-                          queue: &mut VecDeque<(ReplicaId, ReplicaId, SmrMsg)>,
-                          delivered: &mut Vec<Vec<OrderedBatch>>| {
+                      out: CoreOutput,
+                      queue: &mut VecDeque<(ReplicaId, ReplicaId, SmrMsg)>,
+                      delivered: &mut Vec<Vec<OrderedBatch>>| {
             match out {
                 CoreOutput::Broadcast(m) => {
                     for to in 0..n {
@@ -701,9 +770,12 @@ mod tests {
                 signature: sig,
             }),
         );
-        assert!(outs
-            .iter()
-            .any(|o| matches!(o, CoreOutput::NeedStateTransfer { observed_instance: 100 })));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            CoreOutput::NeedStateTransfer {
+                observed_instance: 100
+            }
+        )));
     }
 
     #[test]
@@ -725,5 +797,41 @@ mod tests {
         assert!(outs
             .iter()
             .all(|o| !matches!(o, CoreOutput::NeedStateTransfer { .. })));
+    }
+}
+
+#[cfg(test)]
+mod wire_len_tests {
+    use super::*;
+    use crate::types::{Reply, Request};
+
+    #[test]
+    fn encoded_len_override_matches_encoding() {
+        let msgs = vec![
+            SmrMsg::Request(Request {
+                client: 1,
+                seq: 2,
+                payload: vec![1; 30],
+                signature: None,
+            }),
+            SmrMsg::Consensus(ConsensusMsg::Propose {
+                instance: 1,
+                epoch: 0,
+                value: vec![2; 50],
+            }),
+            SmrMsg::Reply(Reply {
+                client: 1,
+                seq: 2,
+                result: vec![3; 10],
+                replica: 0,
+            }),
+        ];
+        for m in msgs {
+            assert_eq!(m.encoded_len(), m.to_vec().len());
+            assert_eq!(
+                m.wire_size(),
+                smartchain_codec::FRAME_BYTES + m.to_vec().len()
+            );
+        }
     }
 }

@@ -40,12 +40,19 @@ impl ViewChangeCommand {
     /// Signs a new command with the manager's key.
     pub fn new(manager: &SecretKey, new_view_id: u64, members: Vec<PublicKey>) -> Self {
         let signature = manager.sign(&command_payload(new_view_id, &members));
-        ViewChangeCommand { new_view_id, members, signature }
+        ViewChangeCommand {
+            new_view_id,
+            members,
+            signature,
+        }
     }
 
     /// Verifies the administrative signature.
     pub fn verify(&self, manager: &PublicKey) -> bool {
-        manager.verify(&command_payload(self.new_view_id, &self.members), &self.signature)
+        manager.verify(
+            &command_payload(self.new_view_id, &self.members),
+            &self.signature,
+        )
     }
 
     /// Wraps the command as an ordered request payload (marker byte 0xVM).
@@ -122,7 +129,10 @@ mod tests {
         let manager = SecretKey::from_seed(Backend::Sim, &[170u8; 32]);
         let impostor = SecretKey::from_seed(Backend::Sim, &[171u8; 32]);
         let cmd = ViewChangeCommand::new(&impostor, 1, keys(5));
-        assert!(!cmd.verify(&manager.public_key()), "impostor command must fail");
+        assert!(
+            !cmd.verify(&manager.public_key()),
+            "impostor command must fail"
+        );
         // Tampering with the member list also breaks the signature.
         let mut cmd = ViewChangeCommand::new(&manager, 1, keys(5));
         cmd.members.pop();
@@ -146,7 +156,12 @@ mod tests {
 
     #[test]
     fn app_payloads_not_mistaken_for_commands() {
-        let req = Request { client: 1, seq: 0, payload: vec![0u8, 1, 2], signature: None };
+        let req = Request {
+            client: 1,
+            seq: 0,
+            payload: vec![0u8, 1, 2],
+            signature: None,
+        };
         assert!(ViewChangeCommand::from_request(&req).is_none());
     }
 }

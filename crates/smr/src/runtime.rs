@@ -1,5 +1,5 @@
 //! A real-time, in-process deployment of the SMR stack: one OS thread per
-//! replica, crossbeam channels as the (authenticated) point-to-point links,
+//! replica, std mpsc channels as the (authenticated) point-to-point links,
 //! wall-clock progress timeouts, and real durable storage through
 //! [`DurableApp`].
 //!
@@ -12,20 +12,18 @@ use crate::app::Application;
 use crate::durability::DurableApp;
 use crate::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
 use crate::types::{Reply, Request};
-use crossbeam::channel::{self, Receiver, Sender};
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{Backend, SecretKey};
-use std::collections::HashMap;
+use smartchain_crypto::pool::{VerifyItem, VerifyPool};
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Messages on the internal links.
 enum Wire {
-    Peer {
-        from: ReplicaId,
-        msg: SmrMsg,
-    },
+    Peer { from: ReplicaId, msg: SmrMsg },
     Client(Request),
     Shutdown,
 }
@@ -43,6 +41,10 @@ pub struct RuntimeConfig {
     pub storage_dir: Option<PathBuf>,
     /// Checkpoint period in batches.
     pub checkpoint_period: u64,
+    /// Worker threads in each replica's signature-verification pool (the
+    /// pipeline's verify stage; client requests are checked in batches off
+    /// the ordering thread).
+    pub verify_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -53,6 +55,7 @@ impl Default for RuntimeConfig {
             progress_timeout: Duration::from_millis(500),
             storage_dir: None,
             checkpoint_period: 128,
+            verify_workers: 2,
         }
     }
 }
@@ -90,15 +93,18 @@ impl LocalCluster {
         let secrets: Vec<SecretKey> = (0..n)
             .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 200; 32]))
             .collect();
-        let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
         let root = config.storage_dir.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!("smartchain-runtime-{}", std::process::id()))
         });
-        let (reply_tx, reply_rx) = channel::unbounded::<Reply>();
+        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
         let mut inboxes = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = channel::unbounded::<Wire>();
+            let (tx, rx) = mpsc::channel::<Wire>();
             inboxes.push(tx);
             receivers.push(rx);
         }
@@ -108,16 +114,32 @@ impl LocalCluster {
                 me,
                 view.clone(),
                 secrets[me].clone(),
-                OrderingConfig { max_batch: config.max_batch },
+                OrderingConfig {
+                    max_batch: config.max_batch,
+                },
                 0,
             );
-            let mut durable =
-                DurableApp::open(make_app(), root.join(format!("replica-{me}")), config.checkpoint_period)?;
+            let mut durable = DurableApp::open(
+                make_app(),
+                root.join(format!("replica-{me}")),
+                config.checkpoint_period,
+            )?;
             let peers = inboxes.clone();
             let replies = reply_tx.clone();
             let timeout = config.progress_timeout;
+            let verify_workers = config.verify_workers.max(1);
             handles.push(std::thread::spawn(move || {
-                replica_loop(me, &mut core, &mut durable, rx, &peers, &replies, timeout);
+                let pool = VerifyPool::new(verify_workers);
+                replica_loop(
+                    me,
+                    &mut core,
+                    &mut durable,
+                    rx,
+                    &peers,
+                    &replies,
+                    timeout,
+                    &pool,
+                );
             }));
         }
         Ok(LocalCluster {
@@ -133,7 +155,7 @@ impl LocalCluster {
     /// Crashes a replica (closes its inbox; its thread exits). For testing
     /// fault tolerance of the live cluster.
     pub fn kill_replica(&mut self, replica: ReplicaId) {
-        let (dead_tx, _) = channel::unbounded();
+        let (dead_tx, _) = mpsc::channel();
         if let Some(slot) = self.inboxes.get_mut(replica) {
             let old = std::mem::replace(slot, dead_tx);
             let _ = old.send(Wire::Shutdown);
@@ -146,11 +168,7 @@ impl LocalCluster {
     ///
     /// Returns `TimedOut` if no quorum of matching replies arrives in
     /// `deadline`.
-    pub fn execute(
-        &mut self,
-        payload: Vec<u8>,
-        deadline: Duration,
-    ) -> std::io::Result<Vec<u8>> {
+    pub fn execute(&mut self, payload: Vec<u8>, deadline: Duration) -> std::io::Result<Vec<u8>> {
         self.next_seq += 1;
         let request = Request {
             client: self.client_id,
@@ -158,6 +176,23 @@ impl LocalCluster {
             payload,
             signature: None,
         };
+        self.execute_request(request, deadline)
+    }
+
+    /// Submits a pre-built request (e.g. a client-signed one, exercising the
+    /// replicas' batched verify stage) and waits for `f+1` matching replies.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` if no quorum of matching replies arrives in
+    /// `deadline` — which is also what a rejected (forged) request looks
+    /// like, since replicas drop it before ordering.
+    pub fn execute_request(
+        &mut self,
+        request: Request,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<u8>> {
+        self.next_seq = self.next_seq.max(request.seq);
         for inbox in &self.inboxes {
             let _ = inbox.send(Wire::Client(request.clone()));
         }
@@ -171,7 +206,7 @@ impl LocalCluster {
                     std::io::Error::new(std::io::ErrorKind::TimedOut, "no reply quorum")
                 })?;
             match self.replies.recv_timeout(remaining) {
-                Ok(reply) if reply.seq == self.next_seq => {
+                Ok(reply) if reply.seq == request.seq && reply.client == request.client => {
                     let set = tally.entry(reply.result.clone()).or_default();
                     set.insert(reply.replica);
                     if set.len() >= needed {
@@ -200,6 +235,41 @@ impl LocalCluster {
     }
 }
 
+/// Batched verify stage (wall-clock backend): checks every signed request in
+/// `batch` on the pool lanes at once and feeds the survivors to the order
+/// stage. Unsigned requests pass through (signature-free deployments).
+fn verify_and_submit(
+    core: &mut OrderingCore,
+    pool: &VerifyPool,
+    batch: Vec<Request>,
+) -> Vec<CoreOutput> {
+    let mut checks = Vec::new();
+    let mut passed = Vec::new();
+    for (i, request) in batch.iter().enumerate() {
+        match &request.signature {
+            Some((key, sig)) => checks.push(VerifyItem {
+                tag: i,
+                public: *key,
+                msg: Request::sign_payload(request.client, request.seq, &request.payload),
+                sig: *sig,
+            }),
+            None => passed.push(i),
+        }
+    }
+    passed.extend(
+        pool.verify_tagged(checks)
+            .into_iter()
+            .filter_map(|(i, ok)| ok.then_some(i)),
+    );
+    passed.sort_unstable(); // keep arrival order among survivors
+    let mut outputs = Vec::new();
+    for i in passed {
+        outputs.extend(core.submit(batch[i].clone()));
+    }
+    outputs
+}
+
+#[allow(clippy::too_many_arguments)]
 fn replica_loop<A: Application>(
     me: ReplicaId,
     core: &mut OrderingCore,
@@ -208,19 +278,45 @@ fn replica_loop<A: Application>(
     peers: &[Sender<Wire>],
     replies: &Sender<Reply>,
     timeout: Duration,
+    pool: &VerifyPool,
 ) {
     let mut last_progress = std::time::Instant::now();
+    // Non-client messages encountered while draining a verify batch wait
+    // here and are processed before blocking on the channel again.
+    let mut backlog: VecDeque<Wire> = VecDeque::new();
     loop {
-        let outputs = match rx.recv_timeout(timeout) {
+        let event = match backlog.pop_front() {
+            Some(wire) => Ok(wire),
+            None => rx.recv_timeout(timeout),
+        };
+        let outputs = match event {
             Ok(Wire::Peer { from, msg }) => core.on_message(from, msg),
-            Ok(Wire::Client(request)) => core.submit(request),
+            Ok(Wire::Client(request)) => {
+                // Drain whatever else already queued so one pool dispatch
+                // covers the whole burst (the verify stage's group commit).
+                let mut batch = vec![request];
+                while batch.len() < 512 {
+                    match rx.try_recv() {
+                        Ok(Wire::Client(r)) => batch.push(r),
+                        Ok(other) => {
+                            backlog.push_back(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                verify_and_submit(core, pool, batch)
+            }
             Ok(Wire::Shutdown) => return,
-            Err(channel::RecvTimeoutError::Timeout) => {
+            Err(mpsc::RecvTimeoutError::Timeout) => {
                 if core.pending_len() > 0 && last_progress.elapsed() >= timeout {
                     if std::env::var("SC_RT_DEBUG").is_ok() {
                         eprintln!(
                             "[rt] replica {me} timeout: regency={} leader={} pending={} ld={}",
-                            core.regency(), core.leader(), core.pending_len(), core.last_delivered()
+                            core.regency(),
+                            core.leader(),
+                            core.pending_len(),
+                            core.last_delivered()
                         );
                     }
                     core.on_progress_timeout()
@@ -228,7 +324,7 @@ fn replica_loop<A: Application>(
                     Vec::new()
                 }
             }
-            Err(channel::RecvTimeoutError::Disconnected) => return,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
         // Outputs must hit the wire in emission order (a SYNC must precede
         // the re-proposal it enables).
@@ -237,7 +333,10 @@ fn replica_loop<A: Application>(
                 CoreOutput::Broadcast(msg) => {
                     for (r, peer) in peers.iter().enumerate() {
                         if r != me {
-                            let _ = peer.send(Wire::Peer { from: me, msg: msg.clone() });
+                            let _ = peer.send(Wire::Peer {
+                                from: me,
+                                msg: msg.clone(),
+                            });
                         }
                     }
                 }
@@ -291,9 +390,13 @@ mod tests {
         };
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("boot");
         // Counter adds payload bytes; replies carry the running sum.
-        let r1 = cluster.execute(vec![5], Duration::from_secs(10)).expect("op 1");
+        let r1 = cluster
+            .execute(vec![5], Duration::from_secs(10))
+            .expect("op 1");
         assert_eq!(u64::from_le_bytes(r1[..8].try_into().unwrap()), 5);
-        let r2 = cluster.execute(vec![7], Duration::from_secs(10)).expect("op 2");
+        let r2 = cluster
+            .execute(vec![7], Duration::from_secs(10))
+            .expect("op 2");
         assert_eq!(u64::from_le_bytes(r2[..8].try_into().unwrap()), 12);
         cluster.shutdown();
     }
@@ -306,12 +409,68 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut cluster = LocalCluster::start(config.clone(), CounterApp::new).expect("boot");
-        cluster.execute(vec![9], Duration::from_secs(10)).expect("op");
+        cluster
+            .execute(vec![9], Duration::from_secs(10))
+            .expect("op");
         cluster.shutdown();
         // Reboot on the same directories: the durable logs replay.
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("reboot");
-        let r = cluster.execute(vec![1], Duration::from_secs(10)).expect("op after reboot");
-        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 10, "9 + 1 across restart");
+        let r = cluster
+            .execute(vec![1], Duration::from_secs(10))
+            .expect("op after reboot");
+        assert_eq!(
+            u64::from_le_bytes(r[..8].try_into().unwrap()),
+            10,
+            "9 + 1 across restart"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn signed_requests_verified_in_pool_batches() {
+        let config = RuntimeConfig {
+            storage_dir: Some(fresh_dir("signed")),
+            ..RuntimeConfig::default()
+        };
+        let mut cluster = LocalCluster::start(config, CounterApp::new).expect("boot");
+        let sk = SecretKey::from_seed(Backend::Sim, &[99u8; 32]);
+        let client = 0xC0FFEE;
+        // A correctly signed request executes.
+        let payload = vec![6u8];
+        let sig = sk.sign(&Request::sign_payload(client, 1, &payload));
+        let request = Request {
+            client,
+            seq: 1,
+            payload,
+            signature: Some((sk.public_key(), sig)),
+        };
+        let r = cluster
+            .execute_request(request, Duration::from_secs(10))
+            .expect("signed op");
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 6);
+        // A forged one (signature over different bytes) dies in the verify
+        // stage: no replica orders it, so no reply quorum ever forms.
+        let bad_sig = sk.sign(b"not the request");
+        let forged = Request {
+            client,
+            seq: 2,
+            payload: vec![100u8],
+            signature: Some((sk.public_key(), bad_sig)),
+        };
+        let err = cluster.execute_request(forged, Duration::from_millis(700));
+        assert!(err.is_err(), "forged request must not execute");
+        // The cluster is still live afterwards.
+        let sig = sk.sign(&Request::sign_payload(client, 3, &[1u8]));
+        let request = Request {
+            client,
+            seq: 3,
+            payload: vec![1u8],
+            signature: Some((sk.public_key(), sig)),
+        };
+        let r = cluster
+            .execute_request(request, Duration::from_secs(10))
+            .expect("post-forgery op");
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 7);
         cluster.shutdown();
     }
 
@@ -322,9 +481,13 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("boot");
-        cluster.execute(vec![1], Duration::from_secs(10)).expect("warm-up");
+        cluster
+            .execute(vec![1], Duration::from_secs(10))
+            .expect("warm-up");
         cluster.kill_replica(3);
-        let r = cluster.execute(vec![2], Duration::from_secs(10)).expect("op with f crashed");
+        let r = cluster
+            .execute(vec![2], Duration::from_secs(10))
+            .expect("op with f crashed");
         assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 3);
         cluster.shutdown();
     }
@@ -337,9 +500,13 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("boot");
-        cluster.execute(vec![1], Duration::from_secs(10)).expect("warm-up");
+        cluster
+            .execute(vec![1], Duration::from_secs(10))
+            .expect("warm-up");
         cluster.kill_replica(0); // the initial leader
-        let r = cluster.execute(vec![4], Duration::from_secs(20)).expect("op after leader death");
+        let r = cluster
+            .execute(vec![4], Duration::from_secs(20))
+            .expect("op after leader death");
         assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), 5);
         cluster.shutdown();
     }

@@ -34,9 +34,10 @@ impl Request {
     pub fn verify_signature(&self) -> bool {
         match &self.signature {
             None => true,
-            Some((key, sig)) => {
-                key.verify(&Request::sign_payload(self.client, self.seq, &self.payload), sig)
-            }
+            Some((key, sig)) => key.verify(
+                &Request::sign_payload(self.client, self.seq, &self.payload),
+                sig,
+            ),
         }
     }
 
@@ -45,9 +46,10 @@ impl Request {
         (self.client, self.seq)
     }
 
-    /// Estimated wire size in bytes.
+    /// Wire size in bytes — the canonical encoding's exact length (requests
+    /// travel nested inside framed messages, so no framing is added here).
     pub fn wire_size(&self) -> usize {
-        24 + self.payload.len() + if self.signature.is_some() { 98 } else { 1 }
+        self.encoded_len()
     }
 }
 
@@ -65,6 +67,14 @@ impl Encode for Request {
             }
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len()
+            + self.seq.encoded_len()
+            + self.payload.encoded_len()
+            + 1
+            + if self.signature.is_some() { 33 + 65 } else { 0 }
+    }
 }
 
 impl Decode for Request {
@@ -81,7 +91,12 @@ impl Decode for Request {
             }
             d => return Err(DecodeError::BadDiscriminant(d as u32)),
         };
-        Ok(Request { client, seq, payload, signature })
+        Ok(Request {
+            client,
+            seq,
+            payload,
+            signature,
+        })
     }
 }
 
@@ -99,9 +114,9 @@ pub struct Reply {
 }
 
 impl Reply {
-    /// Estimated wire size in bytes.
+    /// Wire size in bytes — the canonical encoding's exact length.
     pub fn wire_size(&self) -> usize {
-        28 + self.result.len()
+        self.encoded_len()
     }
 }
 
@@ -111,6 +126,10 @@ impl Encode for Reply {
         self.seq.encode(out);
         self.result.encode(out);
         (self.replica as u64).encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.client.encoded_len() + self.seq.encoded_len() + self.result.encoded_len() + 8
     }
 }
 
@@ -148,13 +167,19 @@ pub fn decode_batch(mut value: &[u8]) -> Result<Vec<Request>, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartchain_codec::Encode;
     use smartchain_crypto::keys::{Backend, SecretKey};
 
     fn signed_request(seed: u8, client: u64, seq: u64) -> Request {
         let sk = SecretKey::from_seed(Backend::Sim, &[seed; 32]);
         let payload = vec![seed; 50];
         let sig = sk.sign(&Request::sign_payload(client, seq, &payload));
-        Request { client, seq, payload, signature: Some((sk.public_key(), sig)) }
+        Request {
+            client,
+            seq,
+            payload,
+            signature: Some((sk.public_key(), sig)),
+        }
     }
 
     #[test]
@@ -179,7 +204,12 @@ mod tests {
 
     #[test]
     fn unsigned_request_verifies_trivially() {
-        let req = Request { client: 1, seq: 1, payload: vec![1], signature: None };
+        let req = Request {
+            client: 1,
+            seq: 1,
+            payload: vec![1],
+            signature: None,
+        };
         assert!(req.verify_signature());
     }
 
@@ -197,9 +227,46 @@ mod tests {
 
     #[test]
     fn reply_roundtrip() {
-        let reply = Reply { client: 3, seq: 9, result: vec![1, 2], replica: 2 };
+        let reply = Reply {
+            client: 3,
+            seq: 9,
+            result: vec![1, 2],
+            replica: 2,
+        };
         let bytes = smartchain_codec::to_bytes(&reply);
-        assert_eq!(smartchain_codec::from_bytes::<Reply>(&bytes).unwrap(), reply);
+        assert_eq!(
+            smartchain_codec::from_bytes::<Reply>(&bytes).unwrap(),
+            reply
+        );
+    }
+
+    #[test]
+    fn encoded_len_override_matches_encoding() {
+        let signed = signed_request(1, 10, 3);
+        let unsigned = Request {
+            client: 1,
+            seq: 1,
+            payload: vec![1, 2, 3],
+            signature: None,
+        };
+        let reply = Reply {
+            client: 3,
+            seq: 9,
+            result: vec![1, 2],
+            replica: 2,
+        };
+        assert_eq!(
+            signed.encoded_len(),
+            smartchain_codec::to_bytes(&signed).len()
+        );
+        assert_eq!(
+            unsigned.encoded_len(),
+            smartchain_codec::to_bytes(&unsigned).len()
+        );
+        assert_eq!(
+            reply.encoded_len(),
+            smartchain_codec::to_bytes(&reply).len()
+        );
     }
 
     #[test]

@@ -2,18 +2,41 @@
 //! interleavings, duplicate deliveries, and adversarial drop schedules, all
 //! replicas deliver identical request sequences (safety), and with no drops
 //! everything submitted is eventually delivered (liveness under synchrony).
+//!
+//! Randomized schedules come from a seeded splitmix64 generator so every run
+//! exercises the same 48 cases without an external property-testing crate.
 
-use proptest::prelude::*;
+// Replica ids double as vector indices throughout.
+#![allow(clippy::needless_range_loop)]
+
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{Backend, SecretKey};
 use smartchain_smr::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
 use smartchain_smr::types::Request;
 
+use smartchain_sim::rng::SimRng;
+
+/// Seeded schedule generator over the simulator's RNG (no external crates).
+struct Gen(SimRng);
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(SimRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
 fn make_cluster(n: usize, max_batch: usize) -> Vec<OrderingCore> {
     let secrets: Vec<SecretKey> = (0..n)
         .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 40; 32]))
         .collect();
-    let view = View { id: 0, members: secrets.iter().map(|s| s.public_key()).collect() };
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
     (0..n)
         .map(|i| {
             OrderingCore::new(
@@ -48,22 +71,21 @@ fn pump_randomized(
     let n = cores.len();
     let mut delivered: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
     let mut queue: Vec<(ReplicaId, ReplicaId, SmrMsg)> = Vec::new();
-    let handle =
-        |from: ReplicaId, out: CoreOutput, queue: &mut Vec<(ReplicaId, ReplicaId, SmrMsg)>,
-         delivered: &mut Vec<Vec<(u64, u64)>>| match out {
-            CoreOutput::Broadcast(m) => {
-                for to in 0..n {
-                    if to != from {
-                        queue.push((from, to, m.clone()));
-                    }
+    let handle = |from: ReplicaId,
+                  out: CoreOutput,
+                  queue: &mut Vec<(ReplicaId, ReplicaId, SmrMsg)>,
+                  delivered: &mut Vec<Vec<(u64, u64)>>| match out {
+        CoreOutput::Broadcast(m) => {
+            for to in 0..n {
+                if to != from {
+                    queue.push((from, to, m.clone()));
                 }
             }
-            CoreOutput::Send(to, m) => queue.push((from, to, m)),
-            CoreOutput::Deliver(b) => {
-                delivered[from].extend(b.requests.iter().map(Request::id))
-            }
-            CoreOutput::NeedStateTransfer { .. } => {}
-        };
+        }
+        CoreOutput::Send(to, m) => queue.push((from, to, m)),
+        CoreOutput::Deliver(b) => delivered[from].extend(b.requests.iter().map(Request::id)),
+        CoreOutput::NeedStateTransfer { .. } => {}
+    };
     for (r, request) in submissions {
         for out in cores[r].submit(request) {
             handle(r, out, &mut queue, &mut delivered);
@@ -86,19 +108,17 @@ fn pump_randomized(
     delivered
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// SAFETY: any delivery order, any drops — delivered sequences are
-    /// prefix-compatible across replicas and contain no duplicates.
-    #[test]
-    fn prop_no_divergence_under_drops(
-        order in proptest::collection::vec(any::<u8>(), 64),
-        drop_mask in proptest::collection::vec(prop::bool::weighted(0.10), 64),
-        clients in 1u64..5,
-        reqs in 1u64..5,
-        max_batch in 1usize..6,
-    ) {
+/// SAFETY: any delivery order, any drops — delivered sequences are
+/// prefix-compatible across replicas and contain no duplicates.
+#[test]
+fn prop_no_divergence_under_drops() {
+    let mut g = Gen::new(0xa1);
+    for case in 0..48 {
+        let order: Vec<u8> = (0..64).map(|_| g.next_u64() as u8).collect();
+        let drop_mask: Vec<bool> = (0..64).map(|_| g.next_u64().is_multiple_of(10)).collect();
+        let clients = 1 + g.next_u64() % 4;
+        let reqs = 1 + g.next_u64() % 4;
+        let max_batch = 1 + (g.next_u64() as usize) % 5;
         let mut cores = make_cluster(4, max_batch);
         let mut submissions = Vec::new();
         for c in 0..clients {
@@ -114,28 +134,33 @@ proptest! {
             // No duplicates within a replica.
             let mut seen = std::collections::HashSet::new();
             for id in &delivered[a] {
-                prop_assert!(seen.insert(*id), "replica {a} delivered {id:?} twice");
+                assert!(
+                    seen.insert(*id),
+                    "case {case}: replica {a} delivered {id:?} twice"
+                );
             }
             // Prefix compatibility between replicas.
             for b in (a + 1)..4 {
                 let common = delivered[a].len().min(delivered[b].len());
-                prop_assert_eq!(
+                assert_eq!(
                     &delivered[a][..common],
                     &delivered[b][..common],
-                    "replicas {} and {} diverge", a, b
+                    "case {case}: replicas {a} and {b} diverge"
                 );
             }
         }
     }
+}
 
-    /// LIVENESS (no drops): everything submitted is delivered everywhere.
-    #[test]
-    fn prop_all_delivered_without_drops(
-        order in proptest::collection::vec(any::<u8>(), 64),
-        clients in 1u64..5,
-        reqs in 1u64..5,
-        max_batch in 1usize..6,
-    ) {
+/// LIVENESS (no drops): everything submitted is delivered everywhere.
+#[test]
+fn prop_all_delivered_without_drops() {
+    let mut g = Gen::new(0xa2);
+    for case in 0..48 {
+        let order: Vec<u8> = (0..64).map(|_| g.next_u64() as u8).collect();
+        let clients = 1 + g.next_u64() % 4;
+        let reqs = 1 + g.next_u64() % 4;
+        let max_batch = 1 + (g.next_u64() as usize) % 5;
         let mut cores = make_cluster(4, max_batch);
         let mut submissions = Vec::new();
         for c in 0..clients {
@@ -149,15 +174,16 @@ proptest! {
         let no_drops = vec![false];
         let delivered = pump_randomized(&mut cores, submissions, &order, &no_drops);
         for r in 0..4 {
-            prop_assert_eq!(
+            assert_eq!(
                 delivered[r].len(),
                 expected,
-                "replica {} delivered {} of {}", r, delivered[r].len(), expected
+                "case {case}: replica {r} delivered {} of {expected}",
+                delivered[r].len()
             );
         }
         // And in the identical order.
         for r in 1..4 {
-            prop_assert_eq!(&delivered[r], &delivered[0]);
+            assert_eq!(&delivered[r], &delivered[0], "case {case}");
         }
     }
 }

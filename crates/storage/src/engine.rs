@@ -1,0 +1,405 @@
+//! The `DurabilityEngine`: one interface over the paper's persistence ladder
+//! (§V-C), consumed by both the simulated `ChainNode` and the real-disk
+//! `smr::durability::DurableApp`.
+//!
+//! The paper's observation is that *where* a commit becomes durable — never
+//! (∞-Persistence), eventually (λ-Persistence), or before the reply
+//! (0/1-Persistence) — is a pluggable policy, orthogonal to consensus. This
+//! module makes the policy a value:
+//!
+//! | backend | ladder rung | append | flush |
+//! |---|---|---|---|
+//! | [`MemoryEngine`] | ∞-Persistence | heap only | no-op |
+//! | [`AsyncEngine`] | λ-Persistence | buffered write | no-op (OS flushes eventually) |
+//! | [`GroupCommitEngine`] | 0/1-Persistence | queued in a [`BatchingWriter`] | one fsync for everything queued |
+//!
+//! Every engine is also a [`RecordLog`], so a `Ledger` (or any other
+//! log-structured consumer) can sit directly on top of one and inherit its
+//! durability level. [`RecordLog::sync`] always means "really force it" —
+//! that is what recovery code calls — while [`DurabilityEngine::flush`] is
+//! the *policy* commit point the pipeline's persist stage drives.
+
+use crate::wal::{BatchingWriter, FlushStats};
+use crate::{RecordLog, SyncPolicy};
+use std::io;
+
+/// How a single append should be accounted by a caller that models device
+/// time itself (the simulator): how many bytes move, and whether the policy
+/// demands a synchronous flush before acknowledging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WritePlan {
+    /// Payload bytes the device will absorb.
+    pub bytes: usize,
+    /// True when the policy requires an fsync before the ack.
+    pub sync: bool,
+}
+
+/// A persistence policy over an append-only record log.
+///
+/// Object-safe: the pipeline holds `Box<dyn DurabilityEngine>` and swaps
+/// backends per configuration (the Persistence × Variant matrix).
+pub trait DurabilityEngine: RecordLog {
+    /// The ladder rung this engine implements.
+    fn policy(&self) -> SyncPolicy;
+
+    /// Cost plan for appending `bytes` bytes under this policy (what a
+    /// virtual-time disk should charge).
+    fn plan(&self, bytes: usize) -> WritePlan {
+        WritePlan {
+            bytes,
+            sync: self.policy() == SyncPolicy::Sync,
+        }
+    }
+
+    /// Drives the policy's commit point: a group-commit engine coalesces
+    /// everything queued into one device sync; the other rungs do nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    fn flush(&mut self) -> io::Result<()>;
+
+    /// Records that reached stable storage (survive a crash).
+    fn durable_len(&self) -> u64;
+
+    /// Append/sync accounting (the group-commit coalescing proof lives in
+    /// `records` vs `syncs`).
+    fn stats(&self) -> FlushStats;
+}
+
+/// Builds the engine for a [`SyncPolicy`] over heap-backed storage (the
+/// simulator's stand-in for a disk).
+pub fn engine_for(policy: SyncPolicy) -> Box<dyn DurabilityEngine> {
+    match policy {
+        SyncPolicy::None => Box::new(MemoryEngine::new(crate::mem::MemLog::new())),
+        SyncPolicy::Async => Box::new(AsyncEngine::new(crate::mem::MemLog::new())),
+        SyncPolicy::Sync => Box::new(GroupCommitEngine::new(crate::mem::MemLog::new())),
+    }
+}
+
+impl RecordLog for Box<dyn DurabilityEngine> {
+    fn append(&mut self, record: &[u8]) -> io::Result<u64> {
+        (**self).append(record)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        (**self).sync()
+    }
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
+        (**self).read(index)
+    }
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
+        (**self).truncate_prefix(upto)
+    }
+    fn simulate_crash(&mut self) {
+        (**self).simulate_crash()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ∞-Persistence
+// ---------------------------------------------------------------------------
+
+/// Heap-only persistence: appends are cheap and nothing survives a crash.
+#[derive(Debug)]
+pub struct MemoryEngine<L: RecordLog> {
+    log: L,
+    stats: FlushStats,
+}
+
+impl<L: RecordLog> MemoryEngine<L> {
+    /// Wraps `log`; it is treated as volatile regardless of its real medium.
+    pub fn new(log: L) -> MemoryEngine<L> {
+        MemoryEngine {
+            log,
+            stats: FlushStats::default(),
+        }
+    }
+
+    /// The wrapped log.
+    pub fn inner(&self) -> &L {
+        &self.log
+    }
+
+    /// Consumes the engine, returning the wrapped log.
+    pub fn into_inner(self) -> L {
+        self.log
+    }
+}
+
+impl<L: RecordLog> RecordLog for MemoryEngine<L> {
+    fn append(&mut self, record: &[u8]) -> io::Result<u64> {
+        self.stats.records += 1;
+        self.log.append(record)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        // ∞-Persistence: there is no stable storage to force anything onto.
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.log.len()
+    }
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
+        self.log.read(index)
+    }
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
+        self.log.truncate_prefix(upto)
+    }
+    fn simulate_crash(&mut self) {
+        // The engine never syncs the device, so a crash takes everything.
+        self.log.simulate_crash();
+    }
+}
+
+impl<L: RecordLog> DurabilityEngine for MemoryEngine<L> {
+    fn policy(&self) -> SyncPolicy {
+        SyncPolicy::None
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn durable_len(&self) -> u64 {
+        0
+    }
+    fn stats(&self) -> FlushStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// λ-Persistence
+// ---------------------------------------------------------------------------
+
+/// Asynchronous writes: appends reach the log (page cache) immediately but
+/// are only forced to stable storage when someone explicitly calls
+/// [`RecordLog::sync`] — the policy itself never does. A crash loses the
+/// unsynced suffix, exactly the paper's external-durability anomaly.
+#[derive(Debug)]
+pub struct AsyncEngine<L: RecordLog> {
+    log: L,
+    stats: FlushStats,
+    synced_upto: u64,
+}
+
+impl<L: RecordLog> AsyncEngine<L> {
+    /// Wraps `log` (opened async; this layer never syncs on its own).
+    pub fn new(log: L) -> AsyncEngine<L> {
+        let synced_upto = log.len();
+        AsyncEngine {
+            log,
+            stats: FlushStats::default(),
+            synced_upto,
+        }
+    }
+
+    /// The wrapped log.
+    pub fn inner(&self) -> &L {
+        &self.log
+    }
+
+    /// Consumes the engine, returning the wrapped log.
+    pub fn into_inner(self) -> L {
+        self.log
+    }
+}
+
+impl<L: RecordLog> RecordLog for AsyncEngine<L> {
+    fn append(&mut self, record: &[u8]) -> io::Result<u64> {
+        self.stats.records += 1;
+        self.log.append(record)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        // An *explicit* force (recovery preparation, shutdown). The policy
+        // itself never calls this.
+        self.log.sync()?;
+        self.stats.syncs += 1;
+        self.synced_upto = self.log.len();
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.log.len()
+    }
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
+        self.log.read(index)
+    }
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
+        self.log.truncate_prefix(upto)
+    }
+    fn simulate_crash(&mut self) {
+        self.log.simulate_crash();
+    }
+}
+
+impl<L: RecordLog> DurabilityEngine for AsyncEngine<L> {
+    fn policy(&self) -> SyncPolicy {
+        SyncPolicy::Async
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        // λ-Persistence: the OS flushes "within λ"; the ack never waits.
+        Ok(())
+    }
+    fn durable_len(&self) -> u64 {
+        self.synced_upto
+    }
+    fn stats(&self) -> FlushStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 0/1-Persistence
+// ---------------------------------------------------------------------------
+
+/// Group-commit WAL: appends queue in a [`BatchingWriter`]; [`flush`]
+/// (the commit point the persist stage drives) writes everything queued and
+/// issues exactly one device sync — N appends between flushes cost one fsync,
+/// the Dura-SMaRt coalescing that buys the paper its 3.6×.
+///
+/// [`flush`]: DurabilityEngine::flush
+#[derive(Debug)]
+pub struct GroupCommitEngine<L: RecordLog> {
+    writer: BatchingWriter<L>,
+}
+
+impl<L: RecordLog> GroupCommitEngine<L> {
+    /// Wraps a log opened with [`SyncPolicy::Async`] — this layer issues
+    /// the syncs itself, one per flush.
+    pub fn new(log: L) -> GroupCommitEngine<L> {
+        GroupCommitEngine {
+            writer: BatchingWriter::new(log),
+        }
+    }
+
+    /// The wrapped log.
+    pub fn inner(&self) -> &L {
+        self.writer.inner()
+    }
+
+    /// Consumes the engine, returning the wrapped log. Queued records that
+    /// were never flushed are dropped — exactly what a crash would do.
+    pub fn into_inner(self) -> L {
+        self.writer.into_inner()
+    }
+}
+
+impl<L: RecordLog> RecordLog for GroupCommitEngine<L> {
+    fn append(&mut self, record: &[u8]) -> io::Result<u64> {
+        let index = self.writer.inner().len() + self.writer.pending().len() as u64;
+        self.writer.submit(record.to_vec());
+        Ok(index)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.flush()
+    }
+    fn len(&self) -> u64 {
+        self.writer.inner().len() + self.writer.pending().len() as u64
+    }
+    fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
+        let inner_len = self.writer.inner().len();
+        if index < inner_len {
+            return self.writer.inner().read(index);
+        }
+        Ok(self
+            .writer
+            .pending()
+            .get((index - inner_len) as usize)
+            .cloned())
+    }
+    fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
+        self.writer.inner_mut().truncate_prefix(upto)
+    }
+    fn simulate_crash(&mut self) {
+        // Queued records were never written; the device keeps its synced
+        // prefix only.
+        self.writer.discard_pending();
+        self.writer.inner_mut().simulate_crash();
+    }
+}
+
+impl<L: RecordLog> DurabilityEngine for GroupCommitEngine<L> {
+    fn policy(&self) -> SyncPolicy {
+        SyncPolicy::Sync
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+    fn durable_len(&self) -> u64 {
+        self.writer.inner().len()
+    }
+    fn stats(&self) -> FlushStats {
+        self.writer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemLog;
+
+    #[test]
+    fn memory_engine_reports_nothing_durable() {
+        let mut e = MemoryEngine::new(MemLog::new());
+        e.append(b"a").unwrap();
+        e.sync().unwrap();
+        assert_eq!(e.durable_len(), 0);
+        assert_eq!(e.stats().syncs, 0);
+        assert_eq!(e.policy(), SyncPolicy::None);
+    }
+
+    #[test]
+    fn async_engine_acks_before_durability() {
+        let mut e = AsyncEngine::new(MemLog::new());
+        e.append(b"a").unwrap();
+        e.flush().unwrap(); // the policy commit point does NOT sync
+        assert_eq!(e.len(), 1);
+        assert_eq!(
+            e.durable_len(),
+            0,
+            "ack precedes durability in λ-persistence"
+        );
+        e.sync().unwrap(); // explicit force
+        assert_eq!(e.durable_len(), 1);
+    }
+
+    #[test]
+    fn group_commit_coalesces_to_one_sync() {
+        let mut e = GroupCommitEngine::new(MemLog::new());
+        for i in 0..10u8 {
+            e.append(&[i]).unwrap();
+        }
+        assert_eq!(e.durable_len(), 0);
+        e.flush().unwrap();
+        assert_eq!(e.durable_len(), 10);
+        assert_eq!(
+            e.stats(),
+            FlushStats {
+                records: 10,
+                syncs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn group_commit_reads_queued_records() {
+        let mut e = GroupCommitEngine::new(MemLog::new());
+        e.append(b"flushed").unwrap();
+        e.flush().unwrap();
+        e.append(b"queued").unwrap();
+        assert_eq!(e.read(0).unwrap().unwrap(), b"flushed");
+        assert_eq!(
+            e.read(1).unwrap().unwrap(),
+            b"queued",
+            "pending records stay readable"
+        );
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn plans_follow_policy() {
+        assert!(engine_for(SyncPolicy::Sync).plan(100).sync);
+        assert!(!engine_for(SyncPolicy::Async).plan(100).sync);
+        assert!(!engine_for(SyncPolicy::None).plan(100).sync);
+    }
+}

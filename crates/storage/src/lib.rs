@@ -10,16 +10,22 @@
 //!   Dura-SMaRt "parallel logging" trick that buys the paper its 3.6×
 //!   ([`wal`]);
 //! * a **snapshot store** with atomic install, used by checkpoints
-//!   ([`snapshot`]).
+//!   ([`snapshot`]);
+//! * the **[`DurabilityEngine`]** ([`engine`]) — the persistence ladder
+//!   (∞/λ/0-1) as a pluggable policy, consumed by both the simulated
+//!   `ChainNode` and the real-disk `DurableApp`.
 //!
 //! Everything works against the [`RecordLog`] trait so the discrete-event
 //! simulator can substitute virtual-time disks with identical semantics.
 
 pub mod crc32;
+pub mod engine;
 pub mod log;
 pub mod mem;
 pub mod snapshot;
 pub mod wal;
+
+pub use engine::{DurabilityEngine, WritePlan};
 
 use std::io;
 
@@ -76,4 +82,11 @@ pub trait RecordLog: Send {
     ///
     /// Propagates I/O failures from the underlying device.
     fn truncate_prefix(&mut self, upto: u64) -> io::Result<()>;
+
+    /// Simulated power loss: drop everything that never reached stable
+    /// storage. Heap-backed logs ([`mem::MemLog`]) discard their unsynced
+    /// suffix; real files ignore this — the operating system already
+    /// provides the semantics, and [`log::FileLog::open`] recovers the
+    /// longest valid prefix.
+    fn simulate_crash(&mut self) {}
 }

@@ -68,7 +68,14 @@ impl FileLog {
         // Truncate any torn tail so future appends start clean.
         file.set_len(pos as u64)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(FileLog { file, path, policy, offsets, prefix_dropped, tail: pos as u64 })
+        Ok(FileLog {
+            file,
+            path,
+            policy,
+            offsets,
+            prefix_dropped,
+            tail: pos as u64,
+        })
     }
 
     /// The file this log lives in.

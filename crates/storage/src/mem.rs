@@ -66,6 +66,10 @@ impl RecordLog for MemLog {
         }
         Ok(())
     }
+
+    fn simulate_crash(&mut self) {
+        self.crash_to_last_sync();
+    }
 }
 
 #[cfg(test)]

@@ -77,19 +77,31 @@ impl SnapshotStore {
             Err(e) => return Err(e),
         }
         if data.len() < 24 || &data[..4] != b"SCSN" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot header"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad snapshot header",
+            ));
         }
         let covered_block = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes"));
         let state_len = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes")) as usize;
         if data.len() != 20 + state_len + 4 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot length"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad snapshot length",
+            ));
         }
         let state = data[20..20 + state_len].to_vec();
         let crc = u32::from_le_bytes(data[20 + state_len..].try_into().expect("4 bytes"));
         if crate::crc32::checksum(&state) != crc {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "snapshot crc mismatch"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot crc mismatch",
+            ));
         }
-        Ok(Some(Snapshot { covered_block, state }))
+        Ok(Some(Snapshot {
+            covered_block,
+            state,
+        }))
     }
 }
 
@@ -115,7 +127,10 @@ mod tests {
     #[test]
     fn install_load_roundtrip() {
         let s = store();
-        let snap = Snapshot { covered_block: 42, state: vec![1, 2, 3, 4] };
+        let snap = Snapshot {
+            covered_block: 42,
+            state: vec![1, 2, 3, 4],
+        };
         s.install(&snap).unwrap();
         assert_eq!(s.load().unwrap(), Some(snap));
     }
@@ -123,15 +138,27 @@ mod tests {
     #[test]
     fn newer_snapshot_replaces_older() {
         let s = store();
-        s.install(&Snapshot { covered_block: 1, state: vec![1] }).unwrap();
-        s.install(&Snapshot { covered_block: 2, state: vec![2] }).unwrap();
+        s.install(&Snapshot {
+            covered_block: 1,
+            state: vec![1],
+        })
+        .unwrap();
+        s.install(&Snapshot {
+            covered_block: 2,
+            state: vec![2],
+        })
+        .unwrap();
         assert_eq!(s.load().unwrap().unwrap().covered_block, 2);
     }
 
     #[test]
     fn corruption_detected() {
         let s = store();
-        s.install(&Snapshot { covered_block: 7, state: vec![9u8; 100] }).unwrap();
+        s.install(&Snapshot {
+            covered_block: 7,
+            state: vec![9u8; 100],
+        })
+        .unwrap();
         let path = s.current_path();
         let mut data = fs::read(&path).unwrap();
         data[50] ^= 0x01;

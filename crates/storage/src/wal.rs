@@ -11,9 +11,8 @@
 //! whatever else is in flight.
 
 use crate::{RecordLog, SyncPolicy};
-use parking_lot::{Condvar, Mutex};
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Shared {
     state: Mutex<State>,
@@ -51,7 +50,10 @@ impl<L: RecordLog> std::fmt::Debug for GroupCommitLog<L> {
 
 impl<L: RecordLog> Clone for GroupCommitLog<L> {
     fn clone(&self) -> Self {
-        GroupCommitLog { inner: Arc::clone(&self.inner), shared: Arc::clone(&self.shared) }
+        GroupCommitLog {
+            inner: Arc::clone(&self.inner),
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -84,7 +86,7 @@ impl<L: RecordLog> GroupCommitLog<L> {
     pub fn append_durable(&self, record: &[u8]) -> io::Result<u64> {
         let my_index;
         {
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().expect("wal state lock");
             if let Some(err) = &st.failed {
                 return Err(io::Error::other(err.clone()));
             }
@@ -96,7 +98,7 @@ impl<L: RecordLog> GroupCommitLog<L> {
             // Try to become the flusher.
             let to_flush: Vec<Vec<u8>>;
             {
-                let mut st = self.shared.state.lock();
+                let mut st = self.shared.state.lock().expect("wal state lock");
                 if let Some(err) = &st.failed {
                     return Err(io::Error::other(err.clone()));
                 }
@@ -104,7 +106,7 @@ impl<L: RecordLog> GroupCommitLog<L> {
                     return Ok(my_index);
                 }
                 if st.flush_in_progress {
-                    self.shared.flushed.wait(&mut st);
+                    let _st = self.shared.flushed.wait(st).expect("wal state lock");
                     continue;
                 }
                 st.flush_in_progress = true;
@@ -112,13 +114,13 @@ impl<L: RecordLog> GroupCommitLog<L> {
             }
             // Perform the coalesced write outside the state lock.
             let result = (|| -> io::Result<()> {
-                let mut log = self.inner.lock();
+                let mut log = self.inner.lock().expect("wal log lock");
                 for rec in &to_flush {
                     log.append(rec)?;
                 }
                 log.sync()
             })();
-            let mut st = self.shared.state.lock();
+            let mut st = self.shared.state.lock().expect("wal state lock");
             st.flush_in_progress = false;
             match result {
                 Ok(()) => {
@@ -140,7 +142,11 @@ impl<L: RecordLog> GroupCommitLog<L> {
 
     /// Number of durable records.
     pub fn durable_len(&self) -> u64 {
-        self.shared.state.lock().durable_upto
+        self.shared
+            .state
+            .lock()
+            .expect("wal state lock")
+            .durable_upto
     }
 
     /// Reads a durable record.
@@ -149,12 +155,12 @@ impl<L: RecordLog> GroupCommitLog<L> {
     ///
     /// Propagates device read errors.
     pub fn read(&self, index: u64) -> io::Result<Option<Vec<u8>>> {
-        self.inner.lock().read(index)
+        self.inner.lock().expect("wal log lock").read(index)
     }
 
     /// Access the wrapped log (e.g. for truncation after checkpoints).
     pub fn with_inner<R>(&self, f: impl FnOnce(&mut L) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.inner.lock().expect("wal log lock"))
     }
 }
 
@@ -177,12 +183,20 @@ pub struct BatchingWriter<L: RecordLog> {
     log: L,
     pending: Vec<Vec<u8>>,
     stats: FlushStats,
+    /// Records appended to the log but not yet covered by a sync (a failed
+    /// flush leaves them here so a retry syncs without re-appending).
+    unsynced: bool,
 }
 
 impl<L: RecordLog> BatchingWriter<L> {
     /// Wraps a log (opened with [`SyncPolicy::Async`] or equivalent).
     pub fn new(log: L) -> BatchingWriter<L> {
-        BatchingWriter { log, pending: Vec::new(), stats: FlushStats::default() }
+        BatchingWriter {
+            log,
+            pending: Vec::new(),
+            stats: FlushStats::default(),
+            unsynced: false,
+        }
     }
 
     /// Queues a record for the next flush.
@@ -194,19 +208,46 @@ impl<L: RecordLog> BatchingWriter<L> {
     ///
     /// # Errors
     ///
-    /// Propagates device errors; queued records stay queued on failure.
+    /// Propagates device errors. Records that reached the log before the
+    /// failure are *not* re-queued (re-appending them on retry would
+    /// duplicate them); the failed record and everything after it stay
+    /// queued, and an un-synced append is synced by the next flush.
     pub fn flush(&mut self) -> io::Result<()> {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && !self.unsynced {
             return Ok(());
         }
+        let mut appended = 0usize;
+        let mut append_err = None;
         for rec in &self.pending {
-            self.log.append(rec)?;
+            match self.log.append(rec) {
+                Ok(_) => appended += 1,
+                Err(e) => {
+                    append_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.stats.records += appended as u64;
+        self.pending.drain(..appended);
+        self.unsynced = self.unsynced || appended > 0;
+        if let Some(e) = append_err {
+            return Err(e);
         }
         self.log.sync()?;
-        self.stats.records += self.pending.len() as u64;
+        self.unsynced = false;
         self.stats.syncs += 1;
-        self.pending.clear();
         Ok(())
+    }
+
+    /// Records queued for the next flush (not yet durable).
+    pub fn pending(&self) -> &[Vec<u8>] {
+        &self.pending
+    }
+
+    /// Drops all queued records without writing them — what a crash before
+    /// the flush point does.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
     }
 
     /// Cumulative write statistics.
@@ -247,12 +288,24 @@ mod tests {
             w.submit(vec![i]);
         }
         w.flush().unwrap();
-        assert_eq!(w.stats(), FlushStats { records: 10, syncs: 1 });
+        assert_eq!(
+            w.stats(),
+            FlushStats {
+                records: 10,
+                syncs: 1
+            }
+        );
         for i in 10..20u8 {
             w.submit(vec![i]);
         }
         w.flush().unwrap();
-        assert_eq!(w.stats(), FlushStats { records: 20, syncs: 2 });
+        assert_eq!(
+            w.stats(),
+            FlushStats {
+                records: 20,
+                syncs: 2
+            }
+        );
         assert_eq!(w.inner().len(), 20);
     }
 
@@ -261,6 +314,85 @@ mod tests {
         let mut w = BatchingWriter::new(MemLog::new());
         w.flush().unwrap();
         assert_eq!(w.stats(), FlushStats::default());
+    }
+
+    /// A device that fails on command, for retry-path tests.
+    struct FlakyLog {
+        inner: MemLog,
+        fail_next_append: bool,
+        fail_next_sync: bool,
+    }
+
+    impl RecordLog for FlakyLog {
+        fn append(&mut self, record: &[u8]) -> std::io::Result<u64> {
+            if self.fail_next_append {
+                self.fail_next_append = false;
+                return Err(std::io::Error::other("append failed"));
+            }
+            self.inner.append(record)
+        }
+        fn sync(&mut self) -> std::io::Result<()> {
+            if self.fail_next_sync {
+                self.fail_next_sync = false;
+                return Err(std::io::Error::other("sync failed"));
+            }
+            self.inner.sync()
+        }
+        fn len(&self) -> u64 {
+            self.inner.len()
+        }
+        fn read(&self, index: u64) -> std::io::Result<Option<Vec<u8>>> {
+            self.inner.read(index)
+        }
+        fn truncate_prefix(&mut self, upto: u64) -> std::io::Result<()> {
+            self.inner.truncate_prefix(upto)
+        }
+    }
+
+    #[test]
+    fn failed_sync_retries_without_duplicating_records() {
+        let log = FlakyLog {
+            inner: MemLog::new(),
+            fail_next_append: false,
+            fail_next_sync: true,
+        };
+        let mut w = BatchingWriter::new(log);
+        for i in 0..3u8 {
+            w.submit(vec![i]);
+        }
+        assert!(w.flush().is_err(), "first flush hits the sync failure");
+        // The records reached the log; the retry must only sync.
+        w.flush().unwrap();
+        assert_eq!(w.inner().len(), 3, "no record may be appended twice");
+        assert_eq!(
+            w.stats(),
+            FlushStats {
+                records: 3,
+                syncs: 1
+            }
+        );
+    }
+
+    #[test]
+    fn failed_append_retries_only_the_unwritten_suffix() {
+        let log = FlakyLog {
+            inner: MemLog::new(),
+            fail_next_append: false,
+            fail_next_sync: false,
+        };
+        let mut w = BatchingWriter::new(log);
+        w.submit(vec![0]);
+        w.flush().unwrap();
+        for i in 1..4u8 {
+            w.submit(vec![i]);
+        }
+        w.inner_mut().fail_next_append = true; // record 1's append fails
+        assert!(w.flush().is_err());
+        w.flush().unwrap();
+        assert_eq!(w.inner().len(), 4, "each record lands exactly once");
+        for i in 0..4u8 {
+            assert_eq!(w.inner().read(i as u64).unwrap().unwrap(), vec![i]);
+        }
     }
 
     #[test]

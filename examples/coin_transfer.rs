@@ -21,7 +21,10 @@ fn main() {
     let client_node = replicas; // first node after the replicas
     let wallets: Vec<u64> = (0..4).map(|slot| client_id(client_node, slot)).collect();
     let minters = authorized_minters(wallets.iter().copied());
-    let config = NodeConfig { sig_mode: SigMode::Parallel, ..NodeConfig::default() };
+    let config = NodeConfig {
+        sig_mode: SigMode::Parallel,
+        ..NodeConfig::default()
+    };
     let mut cluster = ChainClusterBuilder::new(replicas, SmartCoinApp::from_genesis_data)
         .node_config(config)
         .app_data(minters)
@@ -34,7 +37,11 @@ fn main() {
     let node = cluster.node::<SmartCoinApp>(0);
     let app = node.app();
     println!("utxos in the table     : {}", app.utxo_count());
-    println!("accepted / rejected    : {} / {}", app.executed(), app.rejected());
+    println!(
+        "accepted / rejected    : {} / {}",
+        app.executed(),
+        app.rejected()
+    );
     println!("total value minted     : {}", app.total_value());
     for (i, wallet) in wallets.iter().enumerate() {
         let pk = client_key(*wallet).public_key();
@@ -44,7 +51,11 @@ fn main() {
     // Value conservation across all replicas.
     for r in 1..replicas {
         let other = cluster.node::<SmartCoinApp>(r).app();
-        assert_eq!(other.total_value(), app.total_value(), "replica {r} diverged");
+        assert_eq!(
+            other.total_value(),
+            app.total_value(),
+            "replica {r} diverged"
+        );
     }
     println!("value conservation     : identical on all {replicas} replicas");
 

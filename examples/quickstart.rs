@@ -13,7 +13,10 @@ use smartchain::smr::app::CounterApp;
 
 fn main() {
     println!("== SmartChain quickstart: 4 replicas, strong persistence ==\n");
-    let config = NodeConfig { variant: Variant::Strong, ..NodeConfig::default() };
+    let config = NodeConfig {
+        variant: Variant::Strong,
+        ..NodeConfig::default()
+    };
     let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
         .node_config(config)
         .clients(2, 4, Some(50)) // 8 logical clients x 50 requests
@@ -47,7 +50,11 @@ fn main() {
     // Replicas agree bit-for-bit.
     let tip0 = chain.last().map(|b| b.header.hash());
     for r in 1..4 {
-        let tip = cluster.node::<CounterApp>(r).chain().last().map(|b| b.header.hash());
+        let tip = cluster
+            .node::<CounterApp>(r)
+            .chain()
+            .last()
+            .map(|b| b.header.hash());
         assert_eq!(tip, tip0, "replica {r} diverged");
     }
     println!("replica agreement  : all 4 replicas hold the same chain");

@@ -49,7 +49,11 @@ fn main() {
         "\naudit: OK — {} blocks, final view {} ({} members at the end)",
         report.blocks,
         report.final_view_id,
-        cluster.node::<CounterApp>(0).view().map(|v| v.n()).unwrap_or(0),
+        cluster
+            .node::<CounterApp>(0)
+            .view()
+            .map(|v| v.n())
+            .unwrap_or(0),
     );
     println!(
         "node 4: joined at 2s, left at 10s, active now: {}",

@@ -7,25 +7,44 @@
 //! durability via the PERSIST phase, and fork-safe decentralized
 //! reconfiguration through per-view consensus-key rotation.
 //!
-//! This facade re-exports the workspace crates:
+//! # Module map
 //!
-//! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), Merkle trees, verification pool
-//! * [`codec`] — deterministic binary encoding
-//! * [`storage`] — append-only logs, group-commit WAL, snapshots
-//! * [`sim`] — deterministic discrete-event simulator with hardware models
-//! * [`consensus`] — VP-Consensus and the Mod-SMaRt synchronizer
-//! * [`smr`] — total ordering, clients, the Dura-SMaRt durability layer
-//! * [`core`] — the SMARTCHAIN blockchain layer (the paper's contribution)
-//! * [`coin`] — SMaRtCoin, the UTXO digital-coin application
-//! * [`baselines`] — Tendermint- and Fabric-style comparator models
+//! The replica is an explicit **staged commit pipeline** — verify → order →
+//! execute → persist → reply — with every stage a separate module and every
+//! persistence rung a [`storage::DurabilityEngine`] backend:
+//!
+//! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), Merkle trees, and the
+//!   [`crypto::pool::VerifyPool`] powering the wall-clock verify stage.
+//! * [`codec`] — deterministic canonical encoding; [`codec::Encode`] is the
+//!   single source of truth for hashes, signatures, persistence *and* wire
+//!   sizes (`encoded_len`), so the NIC model never drifts from the encoders.
+//! * [`storage`] — the stable-storage substrate: CRC-framed logs
+//!   ([`storage::log::FileLog`]), group-commit WAL ([`storage::wal`]),
+//!   snapshots, and the [`storage::DurabilityEngine`] trait with the three
+//!   persistence-ladder backends (memory / async / group commit, §V-C).
+//! * [`sim`] — the deterministic discrete-event kernel with hardware models
+//!   (NIC, disk, CPU + verification-pool lanes) and a self-contained seeded
+//!   RNG ([`sim::rng`]); every run is reproducible bit-for-bit from its
+//!   seed (pinned by `tests/seed_regression.rs`).
+//! * [`consensus`] — VP-Consensus instances and the Mod-SMaRt
+//!   synchronizer.
+//! * [`smr`] — the total-order core, clients, the real-time threaded
+//!   runtime, and [`smr::durability::DurableApp`]: durable delivery over
+//!   any `DurabilityEngine` (group-commit `FileLog` by default).
+//! * [`core`] — the SMARTCHAIN layer (the paper's contribution):
+//!   blocks/ledger/audit, and the replica split into
+//!   [`core::node`] (the actor spine) plus [`core::pipeline`] (the stages:
+//!   verify, produce, persist, checkpoint, state transfer, reconfig).
+//! * [`coin`] — SMaRtCoin, the UTXO digital-coin application.
+//! * [`baselines`] — Tendermint- and Fabric-style comparator models.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use smartchain::core::harness::ChainClusterBuilder;
 //! use smartchain::core::audit::verify_chain;
-//! use smartchain::smr::app::CounterApp;
+//! use smartchain::core::harness::ChainClusterBuilder;
 //! use smartchain::sim::SECOND;
+//! use smartchain::smr::app::CounterApp;
 //!
 //! let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
 //!     .clients(1, 2, Some(10))

@@ -2,7 +2,6 @@
 //! the full replicated stack, under arbitrary interleavings of workloads,
 //! and the resulting ledgers always audit.
 
-use proptest::prelude::*;
 use smartchain::coin::workload::{authorized_minters, client_key, CoinFactory};
 use smartchain::coin::SmartCoinApp;
 use smartchain::core::audit::verify_chain;
@@ -46,38 +45,51 @@ fn run_coin_cluster(
         assert_eq!(other.total_value(), app.total_value(), "replica {r} value");
         assert_eq!(other.utxo_count(), app.utxo_count(), "replica {r} utxos");
     }
-    (app.total_value(), app.executed(), app.rejected(), chain.len())
+    (
+        app.total_value(),
+        app.executed(),
+        app.rejected(),
+        chain.len(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
-
-    /// Conservation: total value equals successful MINTs (each mints value
-    /// 1), regardless of workload shape, seed, or persistence variant.
-    #[test]
-    fn prop_value_conservation(
-        seed in 0u64..1000,
-        wallets in 1u32..5,
-        mints in 1u64..6,
-    ) {
+/// Conservation: total value equals successful MINTs (each mints value
+/// 1), regardless of workload shape, seed, or persistence variant.
+#[test]
+fn prop_value_conservation() {
+    // A fixed spread of seeds and workload shapes (8 cases, like the
+    // original proptest configuration, but pinned).
+    let cases: [(u64, u32, u64); 8] = [
+        (1, 1, 1),
+        (77, 2, 3),
+        (123, 3, 2),
+        (245, 4, 5),
+        (389, 1, 4),
+        (512, 2, 1),
+        (700, 3, 5),
+        (999, 4, 2),
+    ];
+    for (seed, wallets, mints) in cases {
         let requests = mints * 2; // mint phase then spend phase
         let (total, executed, rejected, blocks) =
             run_coin_cluster(seed, wallets, requests, mints, Variant::Weak);
         // Every request is a MINT of value 1 or a value-preserving SPEND.
-        prop_assert_eq!(total, wallets as u64 * mints);
-        prop_assert_eq!(executed, wallets as u64 * requests);
-        prop_assert_eq!(rejected, 0);
-        prop_assert!(blocks > 0);
+        assert_eq!(total, wallets as u64 * mints, "seed {seed}");
+        assert_eq!(executed, wallets as u64 * requests, "seed {seed}");
+        assert_eq!(rejected, 0, "seed {seed}");
+        assert!(blocks > 0, "seed {seed}");
     }
+}
 
-    /// The same workload through the strong variant produces the same
-    /// application state (persistence level must not affect semantics).
-    #[test]
-    fn prop_variant_agnostic_state(seed in 0u64..1000) {
+/// The same workload through the strong variant produces the same
+/// application state (persistence level must not affect semantics).
+#[test]
+fn prop_variant_agnostic_state() {
+    for seed in [3u64, 42, 617] {
         let weak = run_coin_cluster(seed, 2, 6, 3, Variant::Weak);
         let strong = run_coin_cluster(seed, 2, 6, 3, Variant::Strong);
-        prop_assert_eq!(weak.0, strong.0);
-        prop_assert_eq!(weak.1, strong.1);
+        assert_eq!(weak.0, strong.0, "seed {seed}");
+        assert_eq!(weak.1, strong.1, "seed {seed}");
     }
 }
 
@@ -96,17 +108,28 @@ fn double_spend_rejected_through_the_stack() {
             let sk = client_key(client);
             let tx = match seq {
                 0 => CoinTx::Mint {
-                    outputs: vec![Output { owner: sk.public_key(), value: 5 }],
+                    outputs: vec![Output {
+                        owner: sk.public_key(),
+                        value: 5,
+                    }],
                 },
                 // seq 1 and 2 both spend the coin minted at seq 0.
                 _ => CoinTx::Spend {
                     inputs: vec![coin_id(client, 0, 0)],
-                    outputs: vec![Output { owner: sk.public_key(), value: 5 }],
+                    outputs: vec![Output {
+                        owner: sk.public_key(),
+                        value: 5,
+                    }],
                 },
             };
             let payload = to_bytes(&tx);
             let sig = sk.sign(&Request::sign_payload(client, seq, &payload));
-            Request { client, seq, payload, signature: Some((sk.public_key(), sig)) }
+            Request {
+                client,
+                seq,
+                payload,
+                signature: Some((sk.public_key(), sig)),
+            }
         }
     }
 

@@ -3,6 +3,9 @@
 //! never diverge — every pair of chains is prefix-compatible and everything
 //! delivered audits.
 
+// Replica ids double as vector indices throughout.
+#![allow(clippy::needless_range_loop)]
+
 use smartchain::core::audit::verify_chain;
 use smartchain::core::harness::ChainClusterBuilder;
 use smartchain::core::node::NodeConfig;
@@ -25,7 +28,9 @@ fn drops_never_cause_divergence() {
     cluster.sim().set_drop_probability(0.05);
     cluster.run_until(120 * SECOND);
 
-    let chains: Vec<_> = (0..4).map(|r| cluster.node::<CounterApp>(r).chain()).collect();
+    let chains: Vec<_> = (0..4)
+        .map(|r| cluster.node::<CounterApp>(r).chain())
+        .collect();
     let genesis = cluster.node::<CounterApp>(0).genesis().clone();
     // Someone made progress despite the drops.
     assert!(
@@ -69,7 +74,10 @@ fn partitioned_minority_stalls_majority_continues() {
     assert_eq!(cluster.total_completed(), 80, "majority keeps serving");
     let h3 = cluster.node::<CounterApp>(3).height().unwrap_or(0);
     let h0 = cluster.node::<CounterApp>(0).height().unwrap_or(0);
-    assert!(h0 > h3, "isolated replica cannot keep up (h0={h0}, h3={h3})");
+    assert!(
+        h0 > h3,
+        "isolated replica cannot keep up (h0={h0}, h3={h3})"
+    );
     // Heal the partition: replica 3 must catch up via state transfer.
     for peer in [0usize, 1, 2] {
         cluster.sim().set_link(3, peer, true);
@@ -79,5 +87,8 @@ fn partitioned_minority_stalls_majority_continues() {
     cluster.run_until(120 * SECOND);
     let h3 = cluster.node::<CounterApp>(3).height().unwrap_or(0);
     let h0 = cluster.node::<CounterApp>(0).height().unwrap_or(0);
-    assert!(h0 - h3 <= 1, "replica 3 resyncs after healing (h0={h0}, h3={h3})");
+    assert!(
+        h0 - h3 <= 1,
+        "replica 3 resyncs after healing (h0={h0}, h3={h3})"
+    );
 }

@@ -87,18 +87,30 @@ fn full_crash_loses_async_suffix_but_not_synced_blocks() {
     use smartchain::smr::types::Request;
     use smartchain::storage::mem::MemLog;
 
-
     let stores: Vec<KeyStore> = (0..4)
-        .map(|i| KeyStore::new(SecretKey::from_seed(Backend::Sim, &[i as u8 + 77; 32]), Backend::Sim))
+        .map(|i| {
+            KeyStore::new(
+                SecretKey::from_seed(Backend::Sim, &[i as u8 + 77; 32]),
+                Backend::Sim,
+            )
+        })
         .collect();
     let genesis = Genesis {
-        view: ViewInfo { id: 0, members: stores.iter().map(|s| s.certified_key_for(0)).collect() },
+        view: ViewInfo {
+            id: 0,
+            members: stores.iter().map(|s| s.certified_key_for(0)).collect(),
+        },
         checkpoint_period: 100,
         app_data: Vec::new(),
     };
     let body = |i: u64| BlockBody::Transactions {
         consensus_id: i,
-        requests: vec![Request { client: 1, seq: i, payload: vec![i as u8], signature: None }],
+        requests: vec![Request {
+            client: 1,
+            seq: i,
+            payload: vec![i as u8],
+            signature: None,
+        }],
         proof: smartchain::consensus::proof::DecisionProof {
             instance: i,
             epoch: 0,
