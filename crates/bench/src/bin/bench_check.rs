@@ -1,0 +1,186 @@
+//! CI bench gate: runs the micro-bench medians and the deterministic
+//! α-pipeline scenario, compares them against the pinned baselines in
+//! `BENCH_BASELINE.json` (repo root), and fails on gross hot-path
+//! regressions.
+//!
+//! Two kinds of checks with very different tolerances:
+//!
+//! * **virtual-time** (the α scenario) — bit-for-bit deterministic, so the
+//!   band is tight-ish (±25%: intended scheduling changes legitimately move
+//!   the numbers; re-pin when they do) and α = 4 must *strictly* beat α = 1;
+//! * **wall-clock** (hash/codec medians) — CI machines vary wildly, so only
+//!   an 8× blow-up fails the gate.
+//!
+//! Re-pin by running `cargo run --release -p smartchain-bench --bin
+//! bench_check -- --print-baseline` and pasting the output.
+
+use smartchain_bench::micro::{alpha_pipeline_throughput, black_box, measure};
+use smartchain_crypto::sha256;
+use smartchain_smr::types::{decode_batch, encode_batch, Request};
+use std::collections::BTreeMap;
+
+/// Minimal parser for the flat `{"key": number}` baseline file — the
+/// workspace carries no JSON dependency, and the gate needs nothing more.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for part in text.split(',') {
+        let Some((key_part, value_part)) = part.split_once(':') else {
+            continue;
+        };
+        let key: String = key_part
+            .chars()
+            .filter(|c| !"\"{}\n\r\t ".contains(*c))
+            .collect();
+        let value: String = value_part
+            .chars()
+            .filter(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let (false, Ok(v)) = (key.is_empty(), value.parse::<f64>()) {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
+}
+
+struct Gate {
+    baseline: BTreeMap<String, f64>,
+    measured: BTreeMap<String, f64>,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    /// Deterministic metric: must sit within ±`band` of the pin.
+    fn band(&mut self, key: &str, value: f64, band: f64) {
+        self.measured.insert(key.to_string(), value);
+        let Some(&pin) = self.baseline.get(key) else {
+            self.failures.push(format!("{key}: no baseline pinned"));
+            return;
+        };
+        let (lo, hi) = (pin * (1.0 - band), pin * (1.0 + band));
+        let ok = value >= lo && value <= hi;
+        println!(
+            "{key}: {value} (pin {pin}, band ±{:.0}%) {}",
+            band * 100.0,
+            verdict(ok)
+        );
+        if !ok {
+            self.failures
+                .push(format!("{key}: {value} outside [{lo:.1}, {hi:.1}]"));
+        }
+    }
+
+    /// Wall-clock metric: only fails when `factor`× slower than the pin.
+    fn ceiling(&mut self, key: &str, value: f64, factor: f64) {
+        self.measured.insert(key.to_string(), value);
+        let Some(&pin) = self.baseline.get(key) else {
+            self.failures.push(format!("{key}: no baseline pinned"));
+            return;
+        };
+        let ok = value <= pin * factor;
+        println!(
+            "{key}: {value} ns (pin {pin} ns, ceiling {factor}x) {}",
+            verdict(ok)
+        );
+        if !ok {
+            self.failures
+                .push(format!("{key}: {value} ns > {factor}x pin of {pin} ns"));
+        }
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "ok"
+    } else {
+        "FAIL"
+    }
+}
+
+fn main() {
+    let print_baseline = std::env::args().any(|a| a == "--print-baseline");
+    let baseline = if print_baseline {
+        BTreeMap::new()
+    } else {
+        let path = baseline_path();
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        parse_baseline(&text)
+    };
+    let mut gate = Gate {
+        baseline,
+        measured: BTreeMap::new(),
+        failures: Vec::new(),
+    };
+
+    // Deterministic virtual-time scenario: pipelined consensus.
+    let a1 = alpha_pipeline_throughput(1, 10);
+    let a4 = alpha_pipeline_throughput(4, 10);
+    println!(
+        "alpha scenario: alpha=1 {:.1} batches/vsec, alpha=4 {:.1} batches/vsec",
+        a1.batches_per_vsec, a4.batches_per_vsec
+    );
+    if !print_baseline && a4.blocks <= a1.blocks {
+        gate.failures.push(format!(
+            "alpha=4 must strictly out-deliver alpha=1 (got {} vs {})",
+            a4.blocks, a1.blocks
+        ));
+    }
+    gate.measured
+        .insert("alpha1_blocks_10s".into(), a1.blocks as f64);
+    gate.measured
+        .insert("alpha4_blocks_10s".into(), a4.blocks as f64);
+    if !print_baseline {
+        gate.band("alpha1_blocks_10s", a1.blocks as f64, 0.25);
+        gate.band("alpha4_blocks_10s", a4.blocks as f64, 0.25);
+    }
+
+    // Wall-clock hot paths (gross-regression tripwires only).
+    let data = vec![7u8; 4096];
+    let (sha_ns, ..) = measure(|| {
+        black_box(sha256::digest(black_box(&data)));
+    });
+    let batch: Vec<Request> = (0..16)
+        .map(|i| Request {
+            client: i,
+            seq: 1,
+            payload: vec![i as u8; 64],
+            signature: None,
+        })
+        .collect();
+    let (codec_ns, ..) = measure(|| {
+        let bytes = encode_batch(black_box(&batch));
+        black_box(decode_batch(&bytes).unwrap());
+    });
+    gate.measured.insert("sha256_4k_ns".into(), sha_ns as f64);
+    gate.measured
+        .insert("batch_roundtrip_ns".into(), codec_ns as f64);
+    if !print_baseline {
+        gate.ceiling("sha256_4k_ns", sha_ns as f64, 8.0);
+        gate.ceiling("batch_roundtrip_ns", codec_ns as f64, 8.0);
+    }
+
+    if print_baseline {
+        println!("{{");
+        let entries: Vec<String> = gate
+            .measured
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        println!("{}", entries.join(",\n"));
+        println!("}}");
+        return;
+    }
+    if gate.failures.is_empty() {
+        println!("bench_check: all gates passed");
+    } else {
+        eprintln!("bench_check: {} gate(s) failed:", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

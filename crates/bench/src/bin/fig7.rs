@@ -38,7 +38,10 @@ fn main() {
         variant: Variant::Strong,
         persistence: Persistence::Sync,
         sig_mode: SigMode::Parallel,
-        ordering: OrderingConfig { max_batch: 512 },
+        ordering: OrderingConfig {
+            max_batch: 512,
+            ..OrderingConfig::default()
+        },
         execute_ns: 8_000,
         reply_size: 380,
         state_size: 100_000_000, // see module docs: scaled with the timeline

@@ -132,7 +132,10 @@ pub fn run_smr_coin(
         sig_mode,
         app_ledger,
         durability,
-        ordering: OrderingConfig { max_batch: 512 },
+        ordering: OrderingConfig {
+            max_batch: 512,
+            ..OrderingConfig::default()
+        },
         execute_ns: 8_000,
         // The naive app-level ledger serializes/link-hashes every
         // transaction inside the state machine (Java object serialization in
@@ -247,7 +250,10 @@ pub fn run_smartchain(
         } else {
             SigMode::None
         },
-        ordering: OrderingConfig { max_batch: 512 },
+        ordering: OrderingConfig {
+            max_batch: 512,
+            ..OrderingConfig::default()
+        },
         execute_ns: 8_000,
         reply_size: 380,
         ..NodeConfig::default()

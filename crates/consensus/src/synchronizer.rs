@@ -68,30 +68,49 @@ impl Decode for LockedReport {
 }
 
 /// Body of a STOPDATA message.
+///
+/// With a pipelined ordering core (α > 1) a replica may hold locked values
+/// for *several* in-flight instances at once, so the report carries a vector
+/// (ascending by instance, at most one entry per instance). The wire format
+/// uses a one-byte count, which is byte-identical to the former
+/// `Option<LockedReport>` encoding whenever at most one lock is reported —
+/// i.e. always at α = 1.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StopData {
     /// Highest consensus instance the sender has decided.
     pub last_decided: u64,
-    /// The sender's locked value for the open instance, if any.
-    pub locked: Option<LockedReport>,
+    /// The sender's locked values for its open instances (ascending).
+    pub locked: Vec<LockedReport>,
 }
 
 impl Encode for StopData {
     fn encode(&self, out: &mut Vec<u8>) {
         self.last_decided.encode(out);
-        self.locked.encode(out);
+        debug_assert!(self.locked.len() <= u8::MAX as usize);
+        (self.locked.len() as u8).encode(out);
+        for l in &self.locked {
+            l.encode(out);
+        }
     }
 
     fn encoded_len(&self) -> usize {
-        self.last_decided.encoded_len() + self.locked.encoded_len()
+        self.last_decided.encoded_len()
+            + 1
+            + self.locked.iter().map(Encode::encoded_len).sum::<usize>()
     }
 }
 
 impl Decode for StopData {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let last_decided = u64::decode(input)?;
+        let count = u8::decode(input)?;
+        let mut locked = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            locked.push(LockedReport::decode(input)?);
+        }
         Ok(StopData {
-            last_decided: u64::decode(input)?,
-            locked: Option::<LockedReport>::decode(input)?,
+            last_decided,
+            locked,
         })
     }
 }
@@ -117,12 +136,14 @@ pub enum SyncMsg {
         regency: u32,
         /// The STOPDATA reports the leader based its choice on.
         reports: Vec<(u64, StopData)>,
-        /// The locked `(instance, value)` the leader adopted (None = leader
-        /// free to propose fresh batches). The instance matters: only
-        /// replicas still open at that instance may adopt the value —
-        /// adopting it into a *later* instance would re-decide old content
-        /// and fork the history.
-        adopted: Option<(u64, Vec<u8>)>,
+        /// The locked `(instance, value)` pairs the leader adopted
+        /// (ascending by instance; empty = leader free to propose fresh
+        /// batches everywhere). The instances matter: only replicas still
+        /// open at a carried instance may adopt its value — adopting it into
+        /// a *later* instance would re-decide old content and fork the
+        /// history. Encoded with a one-byte count, byte-identical to the
+        /// former `Option` encoding for 0 or 1 entries (always at α = 1).
+        adopted: Vec<(u64, Vec<u8>)>,
     },
 }
 
@@ -154,13 +175,11 @@ impl Encode for SyncMsg {
                 2u8.encode(out);
                 regency.encode(out);
                 encode_seq(reports, out);
-                match adopted {
-                    None => 0u8.encode(out),
-                    Some((instance, value)) => {
-                        1u8.encode(out);
-                        instance.encode(out);
-                        value.encode(out);
-                    }
+                debug_assert!(adopted.len() <= u8::MAX as usize);
+                (adopted.len() as u8).encode(out);
+                for (instance, value) in adopted {
+                    instance.encode(out);
+                    value.encode(out);
                 }
             }
         }
@@ -179,8 +198,9 @@ impl Encode for SyncMsg {
                     + smartchain_codec::seq_encoded_len(reports)
                     + 1
                     + adopted
-                        .as_ref()
-                        .map_or(0, |(i, v)| i.encoded_len() + v.encoded_len())
+                        .iter()
+                        .map(|(i, v)| i.encoded_len() + v.encoded_len())
+                        .sum::<usize>()
             }
         }
     }
@@ -196,15 +216,20 @@ impl Decode for SyncMsg {
                 regency: u32::decode(input)?,
                 data: StopData::decode(input)?,
             }),
-            2 => Ok(SyncMsg::Sync {
-                regency: u32::decode(input)?,
-                reports: decode_seq(input)?,
-                adopted: match u8::decode(input)? {
-                    0 => None,
-                    1 => Some((u64::decode(input)?, Vec::<u8>::decode(input)?)),
-                    d => return Err(DecodeError::BadDiscriminant(d as u32)),
-                },
-            }),
+            2 => {
+                let regency = u32::decode(input)?;
+                let reports = decode_seq(input)?;
+                let count = u8::decode(input)?;
+                let mut adopted = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    adopted.push((u64::decode(input)?, Vec::<u8>::decode(input)?));
+                }
+                Ok(SyncMsg::Sync {
+                    regency,
+                    reports,
+                    adopted,
+                })
+            }
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
     }
@@ -226,17 +251,17 @@ pub enum SyncAction {
         /// The new leader to send it to.
         leader: ReplicaId,
     },
-    /// Install `regency` with `leader`; if `adopt` is set, replicas whose
-    /// open instance equals the carried instance must adopt (and the leader
-    /// re-propose) this value there.
+    /// Install `regency` with `leader`; replicas still open at a carried
+    /// instance must adopt (and the leader re-propose) the matching value
+    /// there.
     Install {
         /// The regency to install.
         regency: u32,
         /// Leader of the new regency.
         leader: ReplicaId,
-        /// Locked `(instance, value)` carried over from the previous
-        /// regency.
-        adopt: Option<(u64, Vec<u8>)>,
+        /// Locked `(instance, value)` pairs carried over from the previous
+        /// regency, ascending by instance.
+        adopt: Vec<(u64, Vec<u8>)>,
     },
 }
 
@@ -245,6 +270,12 @@ pub enum SyncAction {
 pub struct Synchronizer {
     me: ReplicaId,
     view: View,
+    /// Ordering-pipeline width the embedding runs at. Governs the
+    /// choice rule: α = 1 keeps the seed's single-slot rule (highest
+    /// `(instance, epoch)` lock wins, everything else dropped) bit-for-bit;
+    /// α > 1 adopts the best lock *per instance* so every in-flight
+    /// instance's possibly-decided value survives the change.
+    alpha: u64,
     regency: u32,
     /// Highest regency we have broadcast a STOP for.
     sent_stop_for: u32,
@@ -260,11 +291,14 @@ pub struct Synchronizer {
 }
 
 impl Synchronizer {
-    /// Creates the synchronizer at regency 0.
-    pub fn new(me: ReplicaId, view: View) -> Synchronizer {
+    /// Creates the synchronizer at regency 0 for an ordering pipeline of
+    /// width `alpha` (1 = the seed's one-instance-at-a-time behavior;
+    /// clamped to 255, the wire vectors' one-byte count limit).
+    pub fn new(me: ReplicaId, view: View, alpha: u64) -> Synchronizer {
         Synchronizer {
             me,
             view,
+            alpha: alpha.clamp(1, u8::MAX as u64),
             regency: 0,
             sent_stop_for: 0,
             stopped_at: None,
@@ -359,11 +393,8 @@ impl Synchronizer {
         if regency <= self.regency || self.leader_of(regency) != self.me {
             return Vec::new();
         }
-        // Validate an attached lock before counting it.
-        if let Some(locked) = &data.locked {
-            if !Self::lock_valid(&self.view, locked) {
-                return Vec::new();
-            }
+        if !Self::locks_well_formed(&self.view, &data) {
+            return Vec::new();
         }
         let entry = self.stopdata.entry(regency).or_default();
         entry.insert(from, data);
@@ -371,7 +402,7 @@ impl Synchronizer {
             self.synced.insert(regency);
             let reports: Vec<(u64, StopData)> =
                 entry.iter().map(|(r, d)| (*r as u64, d.clone())).collect();
-            let adopted = Self::choose(&reports);
+            let adopted = self.choose(&reports);
             let mut actions = vec![SyncAction::Broadcast(SyncMsg::Sync {
                 regency,
                 reports: reports.clone(),
@@ -390,15 +421,46 @@ impl Synchronizer {
             && locked.cert.value_hash == sha256::digest(&locked.value)
     }
 
-    /// The leader's (and validators') deterministic choice rule: the valid
-    /// lock with the highest `(instance, epoch)` wins, and the adoption is
-    /// pinned to that lock's instance.
-    fn choose(reports: &[(u64, StopData)]) -> Option<(u64, Vec<u8>)> {
-        reports
-            .iter()
-            .filter_map(|(_, d)| d.locked.as_ref())
-            .max_by_key(|l| (l.instance, l.epoch))
+    /// Every attached lock must verify, and the list must be strictly
+    /// ascending by instance (at most one lock per instance).
+    fn locks_well_formed(view: &View, data: &StopData) -> bool {
+        data.locked
+            .windows(2)
+            .all(|w| w[0].instance < w[1].instance)
+            && data.locked.iter().all(|l| Self::lock_valid(view, l))
+    }
+
+    /// The leader's (and validators') deterministic choice rule.
+    ///
+    /// At α = 1 (the seed behavior, kept bit-for-bit): the single valid lock
+    /// with the highest `(instance, epoch)` wins and everything else is
+    /// dropped. At α > 1: for *every* instance that any report locked, the
+    /// highest-epoch lock for that instance wins — any value that could have
+    /// decided at instance `i` is write-locked at a quorum, so it appears in
+    /// every `n−f` report set and is re-adopted at `i` (and only at `i`).
+    fn choose(&self, reports: &[(u64, StopData)]) -> Vec<(u64, Vec<u8>)> {
+        if self.alpha <= 1 {
+            return reports
+                .iter()
+                .flat_map(|(_, d)| d.locked.iter())
+                .max_by_key(|l| (l.instance, l.epoch))
+                .map(|l| vec![(l.instance, l.value.clone())])
+                .unwrap_or_default();
+        }
+        let mut best: BTreeMap<u64, &LockedReport> = BTreeMap::new();
+        for (_, d) in reports {
+            for l in &d.locked {
+                match best.get(&l.instance) {
+                    Some(b) if b.epoch >= l.epoch => {}
+                    _ => {
+                        best.insert(l.instance, l);
+                    }
+                }
+            }
+        }
+        best.into_values()
             .map(|l| (l.instance, l.value.clone()))
+            .collect()
     }
 
     fn on_sync(
@@ -406,31 +468,29 @@ impl Synchronizer {
         from: ReplicaId,
         regency: u32,
         reports: Vec<(u64, StopData)>,
-        adopted: Option<(u64, Vec<u8>)>,
+        adopted: Vec<(u64, Vec<u8>)>,
     ) -> Vec<SyncAction> {
         if regency <= self.regency || self.leader_of(regency) != from {
             return Vec::new();
         }
         // Re-validate the leader's choice: all locks must verify and the
-        // adopted value must equal the deterministic choice.
+        // adopted values must equal the deterministic choice.
         for (_, d) in &reports {
-            if let Some(locked) = &d.locked {
-                if !Self::lock_valid(&self.view, locked) {
-                    return Vec::new();
-                }
+            if !Self::locks_well_formed(&self.view, d) {
+                return Vec::new();
             }
         }
         if reports.len() < self.view.reconfig_quorum() {
             return Vec::new();
         }
-        let expected = Self::choose(&reports);
+        let expected = self.choose(&reports);
         if expected != adopted {
             return Vec::new();
         }
         self.install(regency, adopted)
     }
 
-    fn install(&mut self, regency: u32, adopt: Option<(u64, Vec<u8>)>) -> Vec<SyncAction> {
+    fn install(&mut self, regency: u32, adopt: Vec<(u64, Vec<u8>)>) -> Vec<SyncAction> {
         self.regency = regency;
         self.stopped_at = None;
         self.stops.retain(|r, _| *r > regency);
@@ -456,7 +516,9 @@ mod tests {
             id: 0,
             members: secrets.iter().map(|s| s.public_key()).collect(),
         };
-        let syncs = (0..n).map(|i| Synchronizer::new(i, view.clone())).collect();
+        let syncs = (0..n)
+            .map(|i| Synchronizer::new(i, view.clone(), 1))
+            .collect();
         (secrets, view, syncs)
     }
 
@@ -523,7 +585,7 @@ mod tests {
         let queue = trigger_change(&mut syncs, &[1, 2]);
         let installs = deliver_all(&mut syncs, queue, |_| StopData {
             last_decided: 9,
-            locked: None,
+            locked: Vec::new(),
         });
         for (i, acts) in installs.iter().enumerate() {
             assert!(
@@ -532,11 +594,16 @@ mod tests {
                     SyncAction::Install {
                         regency: 1,
                         leader: 1,
-                        adopt: None
+                        ..
                     }
                 )),
                 "replica {i} did not install regency 1: {acts:?}"
             );
+            for a in acts {
+                if let SyncAction::Install { adopt, .. } = a {
+                    assert!(adopt.is_empty(), "nothing was locked: {adopt:?}");
+                }
+            }
         }
         for s in &syncs {
             assert_eq!(s.regency(), 1);
@@ -597,7 +664,7 @@ mod tests {
         let locked_for = locked.clone();
         let installs = deliver_all(&mut syncs, queue, move |r| StopData {
             last_decided: 4,
-            locked: (r != 3).then(|| locked_for.clone()),
+            locked: (r != 3).then(|| locked_for.clone()).into_iter().collect(),
         });
         for (i, acts) in installs.iter().enumerate() {
             let adopted = acts.iter().find_map(|a| match a {
@@ -607,8 +674,8 @@ mod tests {
                 _ => None,
             });
             assert_eq!(
-                adopted.flatten(),
-                Some((5, value.clone())),
+                adopted,
+                Some(vec![(5, value.clone())]),
                 "replica {i} must adopt the locked value at its instance"
             );
         }
@@ -639,14 +706,14 @@ mod tests {
         let locked_for = locked.clone();
         let installs = deliver_all(&mut syncs, queue, move |r| StopData {
             last_decided: 4,
-            locked: (r == 3).then(|| locked_for.clone()),
+            locked: (r == 3).then(|| locked_for.clone()).into_iter().collect(),
         });
         // STOPDATA from replica 3 is rejected (invalid cert), but the other
         // three suffice for the n-f quorum and nothing is adopted.
         for acts in &installs {
             for a in acts {
                 if let SyncAction::Install { adopt, .. } = a {
-                    assert_eq!(adopt, &None);
+                    assert!(adopt.is_empty(), "forged lock adopted: {adopt:?}");
                 }
             }
         }
@@ -660,7 +727,7 @@ mod tests {
             SyncMsg::Sync {
                 regency: 1,
                 reports: Vec::new(),
-                adopted: None,
+                adopted: Vec::new(),
             },
         );
         assert!(actions.is_empty());
@@ -677,7 +744,7 @@ mod tests {
                     r,
                     StopData {
                         last_decided: 0,
-                        locked: None,
+                        locked: Vec::new(),
                     },
                 )
             })
@@ -687,7 +754,7 @@ mod tests {
             SyncMsg::Sync {
                 regency: 1,
                 reports,
-                adopted: Some((5, b"bogus".to_vec())),
+                adopted: vec![(5, b"bogus".to_vec())],
             },
         );
         assert!(actions.is_empty());
@@ -702,7 +769,7 @@ mod tests {
                 regency: 3,
                 data: StopData {
                     last_decided: 8,
-                    locked: None,
+                    locked: Vec::new(),
                 },
             },
             SyncMsg::Sync {
@@ -711,10 +778,10 @@ mod tests {
                     0,
                     StopData {
                         last_decided: 8,
-                        locked: None,
+                        locked: Vec::new(),
                     },
                 )],
-                adopted: Some((9, vec![1, 2, 3])),
+                adopted: vec![(9, vec![1, 2, 3]), (10, vec![4, 5])],
             },
         ];
         for m in msgs {
@@ -748,7 +815,7 @@ mod wire_len_tests {
         };
         let data = StopData {
             last_decided: 3,
-            locked: Some(locked.clone()),
+            locked: vec![locked.clone()],
         };
         let msgs = vec![
             SyncMsg::Stop { regency: 2 },
@@ -764,11 +831,11 @@ mod wire_len_tests {
                         1,
                         StopData {
                             last_decided: 1,
-                            locked: None,
+                            locked: Vec::new(),
                         },
                     ),
                 ],
-                adopted: Some((4, vec![7; 40])),
+                adopted: vec![(4, vec![7; 40])],
             },
         ];
         assert_eq!(cert.encoded_len(), cert.to_vec().len());

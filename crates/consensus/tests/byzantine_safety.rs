@@ -8,8 +8,13 @@
 
 use smartchain_consensus::instance::{Decision, Instance};
 use smartchain_consensus::messages::{ConsensusMsg, Output};
+use smartchain_consensus::proof::{write_sign_payload, WriteCertificate};
+use smartchain_consensus::synchronizer::{
+    LockedReport, StopData, SyncAction, SyncMsg, Synchronizer,
+};
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{Backend, SecretKey};
+use smartchain_crypto::sha256;
 
 use smartchain_sim::rng::SimRng;
 
@@ -117,6 +122,267 @@ fn equivocation_never_splits_decisions() {
                 d.proof.verify(&view),
                 "case {case}: decision proof must verify"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined (α > 1) view-change safety
+// ---------------------------------------------------------------------------
+
+fn sync_setup(n: usize, alpha: u64) -> (Vec<SecretKey>, View, Vec<Synchronizer>) {
+    let secrets: Vec<SecretKey> = (0..n)
+        .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 210; 32]))
+        .collect();
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
+    let syncs = (0..n)
+        .map(|i| Synchronizer::new(i, view.clone(), alpha))
+        .collect();
+    (secrets, view, syncs)
+}
+
+fn genuine_lock(
+    secrets: &[SecretKey],
+    signers: &[ReplicaId],
+    instance: u64,
+    epoch: u32,
+    value: &[u8],
+) -> LockedReport {
+    let h = sha256::digest(value);
+    let payload = write_sign_payload(instance, epoch, &h);
+    LockedReport {
+        instance,
+        epoch,
+        value: value.to_vec(),
+        cert: WriteCertificate {
+            instance,
+            epoch,
+            value_hash: h,
+            writes: signers
+                .iter()
+                .map(|&r| (r, secrets[r].sign(&payload)))
+                .collect(),
+        },
+    }
+}
+
+/// An installed adoption vector: `(instance, value)` pairs.
+type Adopted = Vec<(u64, Vec<u8>)>;
+
+/// Drives a full regency change with per-replica STOPDATA contents and
+/// returns each replica's adopted `(instance, value)` vector.
+fn run_change(
+    syncs: &mut [Synchronizer],
+    stopdata: impl Fn(ReplicaId) -> StopData,
+) -> Vec<Option<Adopted>> {
+    let n = syncs.len();
+    let mut adopted: Vec<Option<Adopted>> = vec![None; n];
+    let mut queue: Vec<(ReplicaId, ReplicaId, SyncMsg)> = Vec::new();
+    for r in [1usize, 2] {
+        for a in syncs[r].request_change() {
+            if let SyncAction::Broadcast(m) = a {
+                for peer in 0..n {
+                    if peer != r {
+                        queue.push((r, peer, m.clone()));
+                    }
+                }
+            }
+        }
+    }
+    while let Some((from, to, msg)) = queue.pop() {
+        for action in syncs[to].on_message(from, msg) {
+            match action {
+                SyncAction::Broadcast(m) => {
+                    for peer in 0..n {
+                        if peer != to {
+                            queue.push((to, peer, m.clone()));
+                        }
+                    }
+                }
+                SyncAction::Send(peer, m) => queue.push((to, peer, m)),
+                SyncAction::ProvideStopData { regency, leader } => {
+                    let msg = syncs[to].make_stopdata(regency, stopdata(to));
+                    queue.push((to, leader, msg));
+                }
+                SyncAction::Install { adopt, .. } => adopted[to] = Some(adopt),
+            }
+        }
+    }
+    adopted
+}
+
+/// With α = 4 in-flight instances, every instance's locked (possibly
+/// decided) value must be adopted at its OWN instance — the per-instance
+/// choice rule — and all correct replicas must adopt identical vectors.
+#[test]
+fn pipelined_view_change_adopts_every_locked_instance() {
+    let (secrets, _, mut syncs) = sync_setup(4, 4);
+    // Quorum-locked values at instances 5..=8, reported unevenly: replica 0
+    // holds locks for 5..=8, replica 1 for 5..=6, replica 2 for 7..=8,
+    // replica 3 for none. Any n−f = 3 reports still cover all four.
+    let locks: Vec<LockedReport> = (5..=8u64)
+        .map(|i| genuine_lock(&secrets, &[0, 1, 2], i, 0, format!("value-{i}").as_bytes()))
+        .collect();
+    let adopted = run_change(&mut syncs, |r| StopData {
+        last_decided: 4,
+        locked: match r {
+            0 => locks.clone(),
+            1 => locks[..2].to_vec(),
+            2 => locks[2..].to_vec(),
+            _ => Vec::new(),
+        },
+    });
+    let expected: Vec<(u64, Vec<u8>)> = (5..=8u64)
+        .map(|i| (i, format!("value-{i}").into_bytes()))
+        .collect();
+    for (r, a) in adopted.iter().enumerate() {
+        assert_eq!(
+            a.as_ref(),
+            Some(&expected),
+            "replica {r} must adopt every in-flight locked value at its instance"
+        );
+    }
+}
+
+/// A forged lock (sub-quorum certificate) for one pipelined instance
+/// invalidates only the reports carrying it; genuine locks at the other
+/// instances still survive, and the forged instance is adopted from the
+/// highest genuine epoch instead.
+#[test]
+fn pipelined_view_change_drops_forged_locks_keeps_genuine() {
+    let (secrets, view, mut syncs) = sync_setup(4, 4);
+    let good5 = genuine_lock(&secrets, &[0, 1, 2], 5, 0, b"good-5");
+    let good6 = genuine_lock(&secrets, &[0, 1, 3], 6, 1, b"good-6-epoch1");
+    let old6 = genuine_lock(&secrets, &[0, 1, 2], 6, 0, b"good-6-epoch0");
+    let forged7 = {
+        let mut l = genuine_lock(&secrets, &[3], 7, 0, b"forged-7");
+        assert!(!l.cert.verify(&view), "sub-quorum cert must not verify");
+        l.epoch = 0;
+        l
+    };
+    let adopted = run_change(&mut syncs, |r| StopData {
+        last_decided: 4,
+        locked: match r {
+            // Replica 3's report carries a forged lock: the whole report is
+            // rejected, but 0..2 suffice for the n−f quorum.
+            3 => vec![good5.clone(), forged7.clone()],
+            2 => vec![good5.clone(), old6.clone()],
+            _ => vec![good5.clone(), good6.clone()],
+        },
+    });
+    for (r, a) in adopted.iter().enumerate().take(3) {
+        let a = a
+            .as_ref()
+            .unwrap_or_else(|| panic!("replica {r} no install"));
+        assert_eq!(
+            a,
+            &vec![(5, b"good-5".to_vec()), (6, b"good-6-epoch1".to_vec()),],
+            "replica {r}: forged lock dropped, per-instance highest epoch wins"
+        );
+    }
+}
+
+/// A Byzantine new leader cannot smuggle a value to a different instance:
+/// followers recompute the per-instance choice from the reports and reject
+/// a SYNC whose adoption vector moves a locked value one slot over (the
+/// precise way pipelined histories would fork).
+#[test]
+fn pipelined_sync_with_shifted_adoption_rejected() {
+    let (secrets, _, mut syncs) = sync_setup(4, 4);
+    let lock = genuine_lock(&secrets, &[0, 1, 2], 5, 0, b"locked-at-5");
+    let reports: Vec<(u64, StopData)> = (0..3u64)
+        .map(|r| {
+            (
+                r,
+                StopData {
+                    last_decided: 4,
+                    locked: vec![lock.clone()],
+                },
+            )
+        })
+        .collect();
+    // Regency 1's leader is replica 1; it re-targets the value at instance 6.
+    let actions = syncs[0].on_message(
+        1,
+        SyncMsg::Sync {
+            regency: 1,
+            reports: reports.clone(),
+            adopted: vec![(6, b"locked-at-5".to_vec())],
+        },
+    );
+    assert!(actions.is_empty(), "shifted adoption must be rejected");
+    // The honest vector is accepted.
+    let actions = syncs[0].on_message(
+        1,
+        SyncMsg::Sync {
+            regency: 1,
+            reports,
+            adopted: vec![(5, b"locked-at-5".to_vec())],
+        },
+    );
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, SyncAction::Install { .. })));
+}
+
+/// Randomized: under arbitrary subsets of genuinely locked pipelined
+/// instances and arbitrary report distributions, the adoption vector every
+/// replica installs (a) is identical cluster-wide, (b) never moves a value
+/// across instances, and (c) contains every instance that any collected
+/// report locked.
+#[test]
+fn prop_pipelined_adoption_consistent() {
+    let mut g = Gen::new(0xc4);
+    for case in 0..24 {
+        let (secrets, _, mut syncs) = sync_setup(4, 8);
+        let mut locks: Vec<LockedReport> = Vec::new();
+        for i in 1..=6u64 {
+            if !g.next_u64().is_multiple_of(2) {
+                continue;
+            }
+            let epoch = (g.next_u64() % 2) as u32;
+            locks.push(genuine_lock(
+                &secrets,
+                &[0, 1, 2],
+                i,
+                epoch,
+                format!("case-{case}-v{i}-e{epoch}").as_bytes(),
+            ));
+        }
+        let mask: Vec<u64> = (0..4).map(|_| g.next_u64()).collect();
+        let adopted = run_change(&mut syncs, |r| StopData {
+            last_decided: 0,
+            locked: locks
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| r == 0 || mask[r] >> k & 1 == 1)
+                .map(|(_, l)| l.clone())
+                .collect(),
+        });
+        let reference = adopted
+            .iter()
+            .flatten()
+            .next()
+            .cloned()
+            .unwrap_or_else(|| panic!("case {case}: nobody installed"));
+        for (r, a) in adopted.iter().enumerate() {
+            let a = a
+                .as_ref()
+                .unwrap_or_else(|| panic!("case {case} replica {r}"));
+            assert_eq!(a, &reference, "case {case}: adoption vectors diverge");
+            for (instance, value) in a {
+                let lock = locks
+                    .iter()
+                    .find(|l| l.value == *value)
+                    .unwrap_or_else(|| panic!("case {case}: unknown value adopted"));
+                assert_eq!(
+                    lock.instance, *instance,
+                    "case {case}: value moved across instances"
+                );
+            }
         }
     }
 }

@@ -44,6 +44,10 @@ pub enum ChainMsg {
         /// Hash of the snapshot's covered block, so the receiver's ledger
         /// can chain the shipped suffix onto the summarized prefix.
         snapshot_anchor: Option<Hash>,
+        /// The ordering core's per-client dedup frontier at the snapshot's
+        /// covered block, so the receiver rejects retransmissions of
+        /// requests inside the summarized prefix.
+        snapshot_dedup: Vec<(u64, u64)>,
         /// Block suffix after the snapshot.
         blocks: Vec<Block>,
         /// Modeled wire size (1 GB states are modeled, not materialized).
@@ -116,6 +120,7 @@ impl Encode for ChainMsg {
             ChainMsg::StateRep {
                 snapshot,
                 snapshot_anchor,
+                snapshot_dedup,
                 blocks,
                 modeled_size,
                 full,
@@ -123,6 +128,7 @@ impl Encode for ChainMsg {
                 3u8.encode(out);
                 snapshot.encode(out);
                 snapshot_anchor.encode(out);
+                encode_seq(snapshot_dedup, out);
                 encode_seq(blocks, out);
                 modeled_size.encode(out);
                 full.encode(out);
@@ -164,12 +170,14 @@ impl Encode for ChainMsg {
             ChainMsg::StateRep {
                 snapshot,
                 snapshot_anchor,
+                snapshot_dedup,
                 blocks,
                 modeled_size,
                 full,
             } => {
                 snapshot.encoded_len()
                     + snapshot_anchor.encoded_len()
+                    + seq_encoded_len(snapshot_dedup)
                     + seq_encoded_len(blocks)
                     + modeled_size.encoded_len()
                     + full.encoded_len()
@@ -206,6 +214,7 @@ impl Decode for ChainMsg {
             3 => Ok(ChainMsg::StateRep {
                 snapshot: Option::<(u64, Vec<u8>)>::decode(input)?,
                 snapshot_anchor: Option::<Hash>::decode(input)?,
+                snapshot_dedup: decode_seq(input)?,
                 blocks: decode_seq(input)?,
                 modeled_size: u64::decode(input)?,
                 full: bool::decode(input)?,
@@ -258,6 +267,7 @@ mod tests {
         let m = ChainMsg::StateRep {
             snapshot: None,
             snapshot_anchor: None,
+            snapshot_dedup: Vec::new(),
             blocks: Vec::new(),
             modeled_size: 1_000_000_000,
             full: true,
@@ -266,6 +276,7 @@ mod tests {
         let ack = ChainMsg::StateRep {
             snapshot: None,
             snapshot_anchor: None,
+            snapshot_dedup: Vec::new(),
             blocks: Vec::new(),
             modeled_size: 0,
             full: false,
@@ -286,6 +297,7 @@ mod tests {
             ChainMsg::StateRep {
                 snapshot: Some((3, vec![1, 2])),
                 snapshot_anchor: Some([9u8; 32]),
+                snapshot_dedup: vec![(7, 3), (9, 1)],
                 blocks: Vec::new(),
                 modeled_size: 128,
                 full: true,

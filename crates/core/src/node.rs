@@ -18,9 +18,11 @@
 
 use crate::block::{Block, Genesis, ViewInfo};
 use crate::ledger::Ledger;
+use crate::pipeline::checkpoint::SnapshotState;
 use crate::pipeline::verify::VerifyStage;
 use crate::pipeline::{
-    KIND_HEADER, KIND_MASK, KIND_VERIFY, TOKEN_EXCLUDE, TOKEN_JOIN, TOKEN_LEAVE, TOKEN_PROGRESS,
+    KIND_HEADER, KIND_MASK, KIND_RECONFIG, KIND_SNAPSHOT, KIND_VERIFY, TOKEN_EXCLUDE, TOKEN_JOIN,
+    TOKEN_LEAVE, TOKEN_PROGRESS,
 };
 use crate::view_keys::KeyStore;
 use smartchain_consensus::messages::ConsensusMsg;
@@ -89,6 +91,17 @@ impl Default for NodeConfig {
     }
 }
 
+/// A decided reconfiguration whose block is written but whose view install
+/// waits for the block's synchronous-write completion (Sync rung): the
+/// reconfiguration must not take effect before its block is durable.
+pub(crate) struct ReconfigInstall {
+    pub(crate) consensus_id: u64,
+    pub(crate) new_view: ViewInfo,
+    pub(crate) height: u64,
+    /// Public key of a joining member to Welcome once installed.
+    pub(crate) joiner: Option<PublicKey>,
+}
+
 /// Per-membership state (exists while the node is an active consortium
 /// member). Fields are crate-visible: the pipeline stage modules operate on
 /// them directly.
@@ -97,20 +110,37 @@ pub(crate) struct MemberState {
     /// transfer); outputs minted by an older core must be discarded.
     pub(crate) generation: u64,
     /// A reconfiguration decided in the same batch as application
-    /// transactions waits here until the open block completes — rotating
-    /// the view keys mid-PERSIST would orphan the in-flight certificate.
+    /// transactions waits here until every open block completes — rotating
+    /// the view keys mid-PERSIST would orphan the in-flight certificates.
     pub(crate) pending_reconfig: Option<(
         u64,
         crate::block::ReconfigTx,
         smartchain_consensus::proof::DecisionProof,
     )>,
+    /// A reconfiguration block awaiting its synchronous write (Sync rung).
+    pub(crate) reconfig_install: Option<ReconfigInstall>,
     pub(crate) view: ViewInfo,
     pub(crate) core: OrderingCore,
     /// The chain, persisted through the configured durability engine.
     pub(crate) ledger: Ledger<Box<dyn DurabilityEngine>>,
-    pub(crate) snapshot: Option<(u64, Vec<u8>)>,
+    /// Most recent checkpoint snapshot (served to state transfers; its
+    /// crash durability is tracked by the two fields below).
+    pub(crate) snapshot: Option<SnapshotState>,
+    /// The previous snapshot, kept while the newer one's device write is
+    /// still in flight — what a crash falls back to. The paired time is
+    /// when *its own* write completed or completes (0 = durable;
+    /// `Time::MAX` = awaiting a superseded Sync fsync completion).
+    pub(crate) snapshot_fallback: Option<(SnapshotState, Time)>,
+    /// `Some(t)`: the current `snapshot`'s device write completes at virtual
+    /// time `t` (Async rung, modeled), or at the pending [`KIND_SNAPSHOT`]
+    /// completion (`t == Time::MAX`, Sync rung). A crash before completion
+    /// loses the snapshot.
+    pub(crate) snapshot_inflight: Option<Time>,
     pub(crate) delivery_queue: VecDeque<OrderedBatch>,
-    pub(crate) open: Option<OpenBlock>,
+    /// Blocks mid-pipeline (executed, awaiting persistence/certificate),
+    /// ascending by number; at most α at once. Durability obligations may
+    /// complete out of order, replies release strictly from the front.
+    pub(crate) open: VecDeque<OpenBlock>,
     pub(crate) persist_stash: HashMap<
         u64,
         Vec<(
@@ -137,12 +167,15 @@ impl MemberState {
         MemberState {
             generation: 0,
             pending_reconfig: None,
+            reconfig_install: None,
             view,
             core,
             ledger,
             snapshot: None,
+            snapshot_fallback: None,
+            snapshot_inflight: None,
             delivery_queue: VecDeque::new(),
-            open: None,
+            open: VecDeque::new(),
             persist_stash: HashMap::new(),
             exclude_votes: HashMap::new(),
             verify: VerifyStage::new(),
@@ -287,6 +320,25 @@ impl<A: Application> ChainNode<A> {
         self.member.as_ref().map(|m| m.ledger.log().stats())
     }
 
+    /// Covered block of this replica's current checkpoint snapshot, if any
+    /// (what a crash right now would recover from, plus any still-in-flight
+    /// write tracked separately).
+    pub fn snapshot_covered(&self) -> Option<u64> {
+        self.member
+            .as_ref()
+            .and_then(|m| m.snapshot.as_ref())
+            .map(|s| s.covered)
+    }
+
+    /// The ordering core's per-client duplicate filter frontier, sorted by
+    /// client id (diagnostics: dedup continuity across snapshots).
+    pub fn dedup_frontier(&self) -> Vec<(u64, u64)> {
+        self.member
+            .as_ref()
+            .map(|m| m.core.delivered_frontier())
+            .unwrap_or_default()
+    }
+
     pub(crate) fn node_of(&self, view: &ViewInfo, replica: ReplicaId) -> Option<NodeId> {
         view.members
             .get(replica)
@@ -346,7 +398,14 @@ impl<A: Application> ChainNode<A> {
                 }
                 CoreOutput::Deliver(batch) => {
                     if let Some(m) = self.member.as_mut() {
-                        m.delivery_queue.push_back(batch);
+                        // Once a reconfiguration is decided, batches the
+                        // outgoing view's core decides after it are void —
+                        // every correct replica cuts at the same instance,
+                        // and the requests are re-ordered under the new view
+                        // when clients retransmit.
+                        if m.pending_reconfig.is_none() && m.reconfig_install.is_none() {
+                            m.delivery_queue.push_back(batch);
+                        }
                     }
                     self.pump_deliveries(ctx);
                 }
@@ -369,13 +428,20 @@ impl<A: Application> ChainNode<A> {
     }
 
     pub(crate) fn pump_deliveries(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        // Up to α blocks ride the EXECUTE/PERSIST stages concurrently
+        // (α = 1 restores Algorithm 1's strictly sequential processing); a
+        // decided reconfiguration drains the pipeline before installing.
+        let max_open = self.config.ordering.alpha.max(1) as usize;
         loop {
             let batch = {
                 let Some(m) = self.member.as_mut() else {
                     return;
                 };
-                if m.open.is_some() {
-                    return; // Algorithm 1 processes blocks sequentially
+                if m.pending_reconfig.is_some() || m.reconfig_install.is_some() {
+                    return;
+                }
+                if m.open.len() >= max_open {
+                    return;
                 }
                 let Some(batch) = m.delivery_queue.pop_front() else {
                     return;
@@ -444,6 +510,8 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
             Event::OpDone { token } => match token & KIND_MASK {
                 KIND_HEADER => self.header_done(token & !KIND_MASK, ctx),
                 KIND_VERIFY => self.on_verify_done(token, ctx),
+                KIND_RECONFIG => self.finish_reconfig_install(ctx),
+                KIND_SNAPSHOT => self.snapshot_write_done(token & !KIND_MASK, ctx),
                 _ => {}
             },
             Event::Message { from, msg } => {
@@ -487,6 +555,7 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                     ChainMsg::StateRep {
                         snapshot,
                         snapshot_anchor,
+                        snapshot_dedup,
                         blocks,
                         modeled_size,
                         full,
@@ -495,6 +564,7 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                             self.install_state(
                                 snapshot,
                                 snapshot_anchor,
+                                snapshot_dedup,
                                 blocks,
                                 modeled_size,
                                 ctx,
@@ -519,8 +589,24 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                 // the explicitly-synced prefix under λ-persistence, nothing
                 // under ∞-persistence (§V-C — this is the ladder's whole
                 // point, observable at recovery).
+                let now = ctx.now();
                 if let Some(m) = self.member.as_mut() {
                     m.ledger.log_mut().simulate_crash();
+                    // A checkpoint snapshot whose device write was still in
+                    // flight dies with the crash; fall back to the previous
+                    // one if *its* write had completed by now.
+                    let current_durable = match m.snapshot_inflight.take() {
+                        None => true,
+                        Some(at) => at != Time::MAX && now >= at,
+                    };
+                    if !current_durable {
+                        m.snapshot = m
+                            .snapshot_fallback
+                            .take()
+                            .filter(|&(_, at)| at != Time::MAX && now >= at)
+                            .map(|(s, _)| s);
+                    }
+                    m.snapshot_fallback = None;
                 }
             }
             Event::Recover => self.recover_from_ledger(ctx),

@@ -5,12 +5,35 @@
 //! checkpoints) replica `r` snapshots at an offset of `r·z/n` blocks, so the
 //! whole cluster never stalls at once — the mechanism behind the shallow
 //! (vs. catastrophic) Fig. 7 dips.
+//!
+//! Snapshot *durability* is modeled, not assumed: the snapshot's device
+//! write is tracked while in flight, so a crash before completion falls
+//! back to the previous durable snapshot (Async rung: modeled completion
+//! time; Sync rung: an explicit fsync completion event). The snapshot also
+//! carries the ordering core's per-client dedup frontier, so a joiner
+//! anchored on it can reject retransmissions of requests inside the
+//! summarized prefix.
 
 use crate::messages::ChainMsg;
 use crate::node::ChainNode;
 use crate::pipeline::persist::Persistence;
-use smartchain_sim::Ctx;
+use crate::pipeline::KIND_SNAPSHOT;
+use smartchain_sim::{Ctx, Time};
 use smartchain_smr::app::Application;
+
+/// A checkpoint snapshot: the serialized application state, the block it
+/// covers, and the ordering core's duplicate-filter frontier at that block.
+#[derive(Clone, Debug)]
+pub(crate) struct SnapshotState {
+    /// Highest block the snapshot summarizes.
+    pub(crate) covered: u64,
+    /// Serialized application state.
+    pub(crate) state: Vec<u8>,
+    /// Per-client highest delivered sequence number at `covered` — shipped
+    /// with the snapshot so a snapshot-anchored joiner's dedup filter covers
+    /// the summarized prefix.
+    pub(crate) dedup: Vec<(u64, u64)>,
+}
 
 impl<A: Application> ChainNode<A> {
     /// Modeled application state size (configured, else the real snapshot).
@@ -22,8 +45,13 @@ impl<A: Application> ChainNode<A> {
         }
     }
 
-    /// Called by the persist stage when block `number` completes: takes a
-    /// checkpoint if the (possibly staggered) period elapsed.
+    /// Called by the produce stage right after block `number` executes:
+    /// takes a checkpoint if the (possibly staggered) period elapsed. The
+    /// trigger sits at EXECUTE time, not reply release, so the snapshot
+    /// captures the application state at exactly block `number` on every
+    /// replica — with α > 1 later blocks may otherwise already be executing,
+    /// and a release-time covered point would be a replica-local timing
+    /// artifact that diverges the `last_checkpoint` header field.
     pub(crate) fn maybe_checkpoint(&mut self, number: u64, ctx: &mut Ctx<'_, ChainMsg>) {
         let z = self.genesis.checkpoint_period;
         if z == 0 {
@@ -47,10 +75,22 @@ impl<A: Application> ChainNode<A> {
     }
 
     /// Serializes the application state (stalling the sequential lane for
-    /// the modeled duration), records the snapshot, and lets the ledger
-    /// truncate its replay obligation.
+    /// the modeled duration), records the snapshot together with the dedup
+    /// frontier, starts the device write the configured rung demands, and
+    /// lets the ledger truncate its replay obligation.
     pub(crate) fn take_checkpoint(&mut self, covered_block: u64, ctx: &mut Ctx<'_, ChainMsg>) {
         self.checkpoint_log.push((ctx.now(), covered_block));
+        // An earlier snapshot whose modeled (Async) write completed in the
+        // meantime is durable now — resolve it so the fallback chain below
+        // advances instead of pinning the very first snapshot forever.
+        if let Some(m) = self.member.as_mut() {
+            if let Some(at) = m.snapshot_inflight {
+                if at != Time::MAX && ctx.now() >= at {
+                    m.snapshot_inflight = None;
+                    m.snapshot_fallback = None;
+                }
+            }
+        }
         // Serialize once; the modeled size falls back to the real length.
         let snapshot = self.app.take_snapshot();
         let size = if self.config.state_size > 0 {
@@ -58,13 +98,88 @@ impl<A: Application> ChainNode<A> {
         } else {
             snapshot.len() as u64
         };
-        ctx.charge(self.config.snapshot_ns_per_byte * size);
-        if self.config.persistence != Persistence::Memory {
-            ctx.disk_write(size as usize, false, 0);
+        let serialize_ns = self.config.snapshot_ns_per_byte * size;
+        ctx.charge(serialize_ns);
+        // The in-flight window: when (in virtual time) the snapshot's device
+        // write completes. Memory rung never writes; Async completes after
+        // the modeled streaming write (an approximation that ignores disk
+        // queueing — buffered writes carry no completion event to wait on);
+        // Sync completes at the explicit fsync OpDone.
+        let inflight = match self.config.persistence {
+            Persistence::Memory => None,
+            Persistence::Async => {
+                ctx.disk_write(size as usize, false, 0);
+                Some(ctx.now() + serialize_ns + ctx.hw().disk.write_time(size as usize, false))
+            }
+            Persistence::Sync => {
+                ctx.disk_write(size as usize, true, KIND_SNAPSHOT | covered_block);
+                Some(Time::MAX)
+            }
+        };
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
+        // The frontier must describe exactly the snapshotted state: derive
+        // it from the chain (plus the summarized prefix carried by the
+        // previous snapshot — its dedup covers blocks up to its own covered
+        // block, so only the suffix after it needs scanning). The ordering
+        // core's own frontier can run ahead of execution — batches sitting
+        // in the delivery queue are already marked delivered there but are
+        // not in this snapshot.
+        let mut frontier: std::collections::BTreeMap<u64, u64> = m
+            .snapshot
+            .as_ref()
+            .map(|s| s.dedup.iter().copied().collect())
+            .unwrap_or_default();
+        let scan_from = m.snapshot.as_ref().map(|s| s.covered + 1).unwrap_or(1);
+        for block in m.ledger.blocks_from(scan_from).unwrap_or_default() {
+            if let crate::block::BlockBody::Transactions { requests, .. } = &block.body {
+                for req in requests {
+                    frontier
+                        .entry(req.client)
+                        .and_modify(|s| *s = (*s).max(req.seq))
+                        .or_insert(req.seq);
+                }
+            }
         }
+        let new = SnapshotState {
+            covered: covered_block,
+            state: snapshot,
+            dedup: frontier.into_iter().collect(),
+        };
+        // The superseded snapshot becomes the crash fallback, tagged with
+        // when its own write completed/completes (0 = already durable): a
+        // crash restores the newest snapshot whose write had finished, even
+        // if that snapshot was superseded mid-flight.
+        if let Some(prev) = m.snapshot.take() {
+            let prev_at = m.snapshot_inflight.take().unwrap_or(0);
+            let keep_old = m
+                .snapshot_fallback
+                .as_ref()
+                .is_some_and(|&(_, at)| at == 0 && prev_at == Time::MAX);
+            if !keep_old {
+                m.snapshot_fallback = Some((prev, prev_at));
+            }
+        }
+        m.snapshot = Some(new);
+        m.snapshot_inflight = inflight;
+        m.ledger.set_last_checkpoint(covered_block);
+    }
+
+    /// [`KIND_SNAPSHOT`] completion (Sync rung): the snapshot whose fsync
+    /// this was is durable. The token carries the covered block, so a
+    /// completion can only promote the snapshot it belongs to — the current
+    /// one, or a superseded one now serving as the crash fallback.
+    pub(crate) fn snapshot_write_done(&mut self, covered: u64, _ctx: &mut Ctx<'_, ChainMsg>) {
         if let Some(m) = self.member.as_mut() {
-            m.snapshot = Some((covered_block, snapshot));
-            m.ledger.set_last_checkpoint(covered_block);
+            if m.snapshot.as_ref().is_some_and(|s| s.covered == covered) {
+                m.snapshot_inflight = None;
+                m.snapshot_fallback = None;
+            } else if let Some((fallback, at)) = m.snapshot_fallback.as_mut() {
+                if fallback.covered == covered {
+                    *at = 0;
+                }
+            }
         }
     }
 }

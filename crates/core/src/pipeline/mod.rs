@@ -9,16 +9,23 @@
 //!        │                       verification; CpuModel lanes in virtual
 //!        │                       time, crypto::pool::VerifyPool on metal)
 //!   [2] ORDER     (node.rs)      the Mod-SMaRt core totally orders batches
-//!        │                       (smartchain-smr::OrderingCore)
+//!        │                       (smartchain-smr::OrderingCore) in a
+//!        │                       windowed pipeline: up to α consensus
+//!        │                       instances in flight, in-order delivery
 //!   [3] EXECUTE   (produce.rs)   an ordered batch becomes a block:
 //!        │                       transactions run, results are committed to
 //!        │                       the block body (Algorithm 1 lines 16-29)
 //!   [4] PERSIST   (persist.rs)   the persistence ladder: the block is
 //!        │                       appended through a DurabilityEngine
 //!        │                       (Memory/Async/GroupCommit); the strong
-//!        │                       variant adds the PERSIST certificate round
+//!        │                       variant adds the PERSIST certificate round.
+//!        │                       Up to α blocks are open concurrently;
+//!        │                       device syncs and certificates complete
+//!        │                       out of order
 //!   [5] REPLY     (persist.rs)   replies release once the configured rung's
-//!        │                       durability obligation is met
+//!        │                       durability obligation is met — strictly in
+//!        │                       block order, whatever order PERSIST
+//!        │                       completions arrive in
 //!        ▼
 //!   side stages: checkpoint.rs (chain-linked snapshots, §V-B3),
 //!                state_transfer.rs (snapshot + suffix shipping),
@@ -30,8 +37,9 @@
 //! dispatch, ordering-core output routing, configuration). The stages share
 //! state through [`crate::node::MemberState`] and communicate *only* via
 //! simulator events (disk completions, pool completions, timers), which is
-//! what makes them independently schedulable — the prerequisite for α>1
-//! pipelined consensus.
+//! what makes them independently schedulable — and what lets the ordering
+//! core run α > 1 instances while earlier blocks are still executing and
+//! persisting.
 
 pub mod checkpoint;
 pub mod persist;
@@ -54,6 +62,11 @@ pub(crate) const TOKEN_EXCLUDE: u64 = 4;
 pub(crate) const KIND_SHIFT: u64 = 56;
 pub(crate) const KIND_VERIFY: u64 = 1 << KIND_SHIFT;
 pub(crate) const KIND_HEADER: u64 = 2 << KIND_SHIFT;
+/// Completion of a reconfiguration block's synchronous write (Sync rung):
+/// the view installs only once its block is durable.
+pub(crate) const KIND_RECONFIG: u64 = 3 << KIND_SHIFT;
+/// Completion of a checkpoint snapshot's synchronous write (Sync rung).
+pub(crate) const KIND_SNAPSHOT: u64 = 4 << KIND_SHIFT;
 pub(crate) const KIND_MASK: u64 = 0xff << KIND_SHIFT;
 
 /// Request payload envelope markers (first byte of every ordered payload).

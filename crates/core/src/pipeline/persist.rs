@@ -20,6 +20,13 @@
 //! release only after a Byzantine quorum certifies the header
 //! (0-Persistence); [`Variant::Weak`] releases after the local obligation
 //! (1-Persistence).
+//!
+//! With a pipelined ordering core (α > 1) up to α blocks are open in this
+//! stage at once. Device syncs and PERSIST certificates complete in
+//! whatever order the disk and the network deliver them — each open block
+//! tracks its own obligation — but replies release strictly in block order
+//! from the front of the open queue (out-of-order PERSIST completion,
+//! in-order REPLY release).
 
 use crate::block::{persist_sign_payload, Certificate};
 use crate::messages::ChainMsg;
@@ -80,6 +87,14 @@ pub struct OpenBlock {
     pub(crate) replies: Vec<Reply>,
     pub(crate) cert: Vec<(ReplicaId, Signature)>,
     pub(crate) header_synced: bool,
+    /// Engine record count when this block's device sync was issued: the
+    /// completing sync can only have covered records queued before it
+    /// started, so the commit point flushes exactly this prefix (later open
+    /// blocks' records wait for their own completions).
+    pub(crate) durable_boundary: u64,
+    /// The block's full durability obligation is met; it releases once it
+    /// reaches the front of the open queue.
+    pub(crate) done: bool,
 }
 
 impl<A: Application> ChainNode<A> {
@@ -109,30 +124,47 @@ impl<A: Application> ChainNode<A> {
 
     /// The header's durability obligation is met (device sync completed, or
     /// the policy required none): flush the engine's commit point and move
-    /// to the variant's reply rule.
+    /// to the variant's reply rule. With α > 1 the completing block need not
+    /// be the front of the open queue.
     pub(crate) fn header_done(&mut self, number: u64, ctx: &mut Ctx<'_, ChainMsg>) {
         let variant = self.config.variant;
         {
             let Some(m) = self.member.as_mut() else {
                 return;
             };
-            let Some(open) = m.open.as_mut() else { return };
-            if open.number != number {
+            let Some(open) = m.open.iter_mut().find(|o| o.number == number) else {
                 return;
-            }
+            };
             open.header_synced = true;
-            // Data-plane group commit: everything queued in the engine since
-            // the last flush becomes durable under one coalesced sync. A
-            // failed device sync must not release replies as durable; in
-            // simulation (heap-backed engines) it cannot fail.
-            m.ledger.log_mut().flush().expect("durability engine flush");
+            // Data-plane group commit: everything queued when this block's
+            // device sync was ISSUED becomes durable — not records later
+            // open blocks appended while the sync was in flight; those wait
+            // for their own completions. A failed device sync must not
+            // release replies as durable; in simulation (heap-backed
+            // engines) it cannot fail.
+            let boundary = open.durable_boundary;
+            m.ledger
+                .log_mut()
+                .flush_upto(boundary)
+                .expect("durability engine flush");
         }
         match variant {
-            Variant::Weak => self.finish_block(ctx),
+            Variant::Weak => {
+                if let Some(m) = self.member.as_mut() {
+                    if let Some(open) = m.open.iter_mut().find(|o| o.number == number) {
+                        open.done = true;
+                    }
+                }
+                self.release_open_blocks(ctx);
+            }
             Variant::Strong => {
                 let (header_hash, me) = {
                     let m = self.member.as_ref().expect("active");
-                    let open = m.open.as_ref().expect("open");
+                    let open = m
+                        .open
+                        .iter()
+                        .find(|o| o.number == number)
+                        .expect("open block");
                     (open.header_hash, self.my_replica_id())
                 };
                 ctx.charge(ctx.hw().cpu.sign_ns);
@@ -140,7 +172,11 @@ impl<A: Application> ChainNode<A> {
                 let signature = self.keys.consensus().sign(&payload);
                 if let Some(me) = me {
                     let m = self.member.as_mut().expect("active");
-                    let open = m.open.as_mut().expect("open");
+                    let open = m
+                        .open
+                        .iter_mut()
+                        .find(|o| o.number == number)
+                        .expect("open block");
                     open.cert.push((me, signature));
                     if let Some(stash) = m.persist_stash.remove(&number) {
                         for (r, h, sig) in stash {
@@ -156,7 +192,7 @@ impl<A: Application> ChainNode<A> {
                     signature,
                 };
                 self.send_to_members(&msg, ctx);
-                self.check_certificate(ctx);
+                self.check_certificate(number, ctx);
             }
         }
     }
@@ -194,14 +230,18 @@ impl<A: Application> ChainNode<A> {
         let Some(m) = self.member.as_mut() else {
             return;
         };
-        match m.open.as_mut() {
-            Some(open) if open.number == block && open.header_hash == header_hash => {
+        match m
+            .open
+            .iter_mut()
+            .find(|o| o.number == block && o.header_hash == header_hash)
+        {
+            Some(open) => {
                 if !open.cert.iter().any(|(r, _)| *r == sender) {
                     open.cert.push((sender, signature));
                 }
-                self.check_certificate(ctx);
+                self.check_certificate(block, ctx);
             }
-            _ => {
+            None => {
                 // Shares for blocks whose certificate already completed are
                 // useless — stashing them would leak O(f) signatures per
                 // block over a long run. Only stash for future blocks.
@@ -216,24 +256,32 @@ impl<A: Application> ChainNode<A> {
         }
     }
 
-    /// Completes the PERSIST round once a quorum certified the header.
-    pub(crate) fn check_certificate(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+    /// Completes the PERSIST round for `number` once a quorum certified its
+    /// header. Certificates may complete in any order across the open
+    /// blocks; release order is still enforced by the open queue.
+    pub(crate) fn check_certificate(&mut self, number: u64, ctx: &mut Ctx<'_, ChainMsg>) {
         let ready = {
             let Some(m) = self.member.as_ref() else {
                 return;
             };
-            let Some(open) = m.open.as_ref() else { return };
-            open.header_synced && open.cert.len() >= m.view.quorum()
+            let Some(open) = m.open.iter().find(|o| o.number == number) else {
+                return;
+            };
+            !open.done && open.header_synced && open.cert.len() >= m.view.quorum()
         };
         if !ready {
             return;
         }
         let m = self.member.as_mut().expect("active");
-        let open = m.open.as_ref().expect("open");
-        let number = open.number;
+        let open = m
+            .open
+            .iter_mut()
+            .find(|o| o.number == number)
+            .expect("open block");
         let cert = Certificate {
             signatures: open.cert.clone(),
         };
+        open.done = true;
         let cert_size = cert.encoded_len();
         m.ledger
             .set_certificate(number, cert)
@@ -242,33 +290,41 @@ impl<A: Application> ChainNode<A> {
             // Asynchronous write: recoverable after a full crash (§V-C).
             ctx.disk_write(cert_size, false, 0);
         }
-        self.finish_block(ctx);
+        self.release_open_blocks(ctx);
     }
 
-    /// Stage 5 — REPLY: the block's durability obligation is fully met;
-    /// release replies, run deferred reconfigurations, trigger checkpoints,
-    /// and pull the next ordered batch into the pipeline.
-    pub(crate) fn finish_block(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
-        let (number, replies) = {
-            let Some(m) = self.member.as_mut() else {
-                return;
+    /// Stage 5 — REPLY: releases every front block whose durability
+    /// obligation is fully met, strictly in block order; runs deferred
+    /// reconfigurations once the pipeline drains and pulls further ordered
+    /// batches into the pipeline. (Checkpoints trigger at EXECUTE time in
+    /// the produce stage, where the covered point is deterministic.)
+    pub(crate) fn release_open_blocks(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        loop {
+            let replies = {
+                let Some(m) = self.member.as_mut() else {
+                    return;
+                };
+                match m.open.front() {
+                    Some(front) if front.done => m.open.pop_front().expect("front exists").replies,
+                    _ => break,
+                }
             };
-            let Some(open) = m.open.take() else { return };
-            (open.number, open.replies)
-        };
-        for reply in replies {
-            let node = crate::node::client_node(reply.client);
-            let msg = ChainMsg::Smr(SmrMsg::Reply(reply));
-            let size = msg.wire_size();
-            ctx.send(node, msg, size);
+            for reply in replies {
+                let node = crate::node::client_node(reply.client);
+                let msg = ChainMsg::Smr(SmrMsg::Reply(reply));
+                let size = msg.wire_size();
+                ctx.send(node, msg, size);
+            }
+            // A reconfiguration deferred behind the pipeline applies once
+            // every open block has cleared, before any further deliveries.
+            if self.member.as_ref().is_some_and(|m| m.open.is_empty()) {
+                if let Some((cid, tx, proof)) =
+                    self.member.as_mut().and_then(|m| m.pending_reconfig.take())
+                {
+                    self.make_reconfig_block(cid, tx, &proof, ctx);
+                }
+            }
         }
-        // A reconfiguration deferred behind this block applies now, before
-        // any further deliveries.
-        if let Some((cid, tx, proof)) = self.member.as_mut().and_then(|m| m.pending_reconfig.take())
-        {
-            self.make_reconfig_block(cid, tx, &proof, ctx);
-        }
-        self.maybe_checkpoint(number, ctx);
         self.pump_deliveries(ctx);
     }
 }

@@ -11,10 +11,11 @@
 
 use crate::block::{vote_payload, BlockBody, ReconfigOp, ReconfigTx};
 use crate::messages::ChainMsg;
-use crate::node::ChainNode;
+use crate::node::{ChainNode, ReconfigInstall};
 use crate::pipeline::persist::{OpenBlock, Persistence};
 use crate::pipeline::{
-    unwrap_app_payload, verify_envelope_signature, PAYLOAD_EXCLUDE_VOTE, PAYLOAD_RECONFIG,
+    unwrap_app_payload, verify_envelope_signature, KIND_RECONFIG, PAYLOAD_EXCLUDE_VOTE,
+    PAYLOAD_RECONFIG,
 };
 use smartchain_codec::from_bytes;
 use smartchain_sim::{Ctx, Time};
@@ -52,10 +53,17 @@ impl<A: Application> ChainNode<A> {
             self.make_tx_block(batch.instance, app_requests, &batch.proof, ctx);
         }
         if let Some(tx) = reconfig_tx {
-            // If the tx block above is still mid-pipeline (fsync/PERSIST),
-            // defer the reconfiguration until it completes: the view-key
+            // The reconfiguration marks the end of the outgoing view's
+            // history: batches its core decided after this instance are void
+            // (every correct replica cuts at the same instance), and the
+            // requests re-order under the new view via client retransmission.
+            if let Some(m) = self.member.as_mut() {
+                m.delivery_queue.clear();
+            }
+            // If blocks are still mid-pipeline (fsync/PERSIST), defer the
+            // reconfiguration until the pipeline drains: the view-key
             // rotation must not invalidate an in-flight certificate.
-            let open = self.member.as_ref().is_some_and(|m| m.open.is_some());
+            let open = self.member.as_ref().is_some_and(|m| !m.open.is_empty());
             if open {
                 if let Some(m) = self.member.as_mut() {
                     m.pending_reconfig = Some((batch.instance, tx, batch.proof.clone()));
@@ -168,19 +176,33 @@ impl<A: Application> ChainNode<A> {
         let size = block.wire_size();
         ctx.charge(ctx.hw().cpu.hash_time(size));
         m.ledger.append(&block).expect("ledger append");
-        m.open = Some(OpenBlock {
+        // The device sync issued below can only cover what is queued right
+        // now (this block and its predecessors) — record the boundary.
+        let durable_boundary = m.ledger.log().len();
+        m.open.push_back(OpenBlock {
             number,
             header_hash,
             replies,
             cert: Vec::new(),
             header_synced: false,
+            durable_boundary,
+            done: false,
         });
         self.persist_block(number, size, ctx);
+        // Checkpoint trigger at EXECUTE time: the application state right
+        // now is exactly blocks 1..=number on every replica, so the covered
+        // point (and the last_checkpoint field of subsequent headers) is a
+        // deterministic function of the chain — release-time triggering at
+        // α > 1 would bake later in-flight blocks into the snapshot.
+        self.maybe_checkpoint(number, ctx);
     }
 
-    /// Applies a verified reconfiguration: seals the block, installs the new
-    /// view (or deactivates), rotates the consensus keys (the forgetting
-    /// protocol, §V-D) and rebuilds the ordering core.
+    /// Applies a verified reconfiguration: seals the block and either
+    /// installs the new view immediately (Memory/Async rungs) or arms the
+    /// [`KIND_RECONFIG`] completion so the install waits for the block's
+    /// synchronous write (Sync rung) — the reconfiguration block's modeled
+    /// write latency must actually delay the reconfiguration, exactly like
+    /// a transaction block's durability gates its replies.
     pub(crate) fn make_reconfig_block(
         &mut self,
         consensus_id: u64,
@@ -206,18 +228,60 @@ impl<A: Application> ChainNode<A> {
         ctx.charge(ctx.hw().cpu.hash_time(size));
         m.ledger.append(&block).expect("ledger append");
         let height = m.ledger.height();
-        if self.config.persistence != Persistence::Memory {
-            ctx.disk_write(size, self.config.persistence == Persistence::Sync, 0);
+        let joiner = match &tx.op {
+            ReconfigOp::Join { joiner } => Some(joiner.permanent),
+            _ => None,
+        };
+        let install = ReconfigInstall {
+            consensus_id,
+            new_view,
+            height,
+            joiner,
+        };
+        if self.config.persistence == Persistence::Sync {
+            // The view installs in the synchronous write's completion event
+            // (same OpDone hop as a tx block's KIND_HEADER gate).
+            m.reconfig_install = Some(install);
+            ctx.disk_write(size, true, KIND_RECONFIG | height);
+            return;
         }
-        // Reconfiguration blocks commit through the engine immediately: the
-        // view change must not depend on a later group-commit point (and a
-        // failed sync must not rotate the view keys).
+        if self.config.persistence == Persistence::Async {
+            ctx.disk_write(size, false, 0);
+        }
+        self.install_reconfig(install, ctx);
+    }
+
+    /// [`KIND_RECONFIG`] completion: the reconfiguration block is durable;
+    /// install the view it decided.
+    pub(crate) fn finish_reconfig_install(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        let Some(install) = self.member.as_mut().and_then(|m| m.reconfig_install.take()) else {
+            return;
+        };
+        self.install_reconfig(install, ctx);
+    }
+
+    /// Installs an applied reconfiguration: rotates the consensus keys (the
+    /// forgetting protocol, §V-D), rebuilds the ordering core under the new
+    /// view (or deactivates a departing member), and Welcomes a joiner.
+    fn install_reconfig(&mut self, install: ReconfigInstall, ctx: &mut Ctx<'_, ChainMsg>) {
+        let Some(m) = self.member.as_mut() else {
+            return;
+        };
+        // Reconfiguration blocks commit through the engine at install time:
+        // the view change must not depend on a later group-commit point (and
+        // a failed sync must not rotate the view keys).
         m.ledger.log_mut().flush().expect("durability engine flush");
+        let ReconfigInstall {
+            consensus_id,
+            new_view,
+            height,
+            joiner,
+        } = install;
         let my_pk = self.keys.permanent_public();
         let am_member = new_view.position_of(&my_pk).is_some();
-        if let ReconfigOp::Join { joiner } = &tx.op {
-            if let Some(&node) = self.directory.get(&joiner.permanent) {
-                if joiner.permanent != my_pk {
+        if let Some(joiner) = joiner {
+            if let Some(&node) = self.directory.get(&joiner) {
+                if joiner != my_pk {
                     let msg = ChainMsg::Welcome {
                         view: new_view.clone(),
                     };
@@ -241,6 +305,7 @@ impl<A: Application> ChainNode<A> {
             );
             m.persist_stash.clear();
             m.exclude_votes.clear();
+            m.delivery_queue.clear();
             // Requests admitted before the view change (e.g. duplicate
             // reconfiguration submissions) are dropped with the old core;
             // clients retransmit if still relevant. The duplicate filter is

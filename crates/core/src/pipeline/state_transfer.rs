@@ -10,6 +10,7 @@
 use crate::block::{Block, BlockBody, ViewInfo};
 use crate::messages::ChainMsg;
 use crate::node::ChainNode;
+use crate::pipeline::checkpoint::SnapshotState;
 use crate::pipeline::persist::Persistence;
 use crate::pipeline::unwrap_app_payload;
 use smartchain_sim::{Ctx, NodeId};
@@ -60,7 +61,7 @@ impl<A: Application> ChainNode<A> {
         };
         let full = me == candidate;
         let snapshot = m.snapshot.clone();
-        let snap_covered = snapshot.as_ref().map(|(b, _)| *b).unwrap_or(0);
+        let snap_covered = snapshot.as_ref().map(|s| s.covered).unwrap_or(0);
         // Ship only what the requester is missing: the snapshot (if it
         // covers part of the gap) plus blocks after max(snapshot, what the
         // requester already has). Re-shipping from block 1 on every catch-up
@@ -77,7 +78,7 @@ impl<A: Application> ChainNode<A> {
         // case record `covered` is an anchor marker rather than a block).
         let snapshot_anchor = snapshot
             .as_ref()
-            .and_then(|(covered, _)| m.ledger.chain_hash_at(*covered));
+            .and_then(|s| m.ledger.chain_hash_at(s.covered));
         let blocks = m.ledger.blocks_from(start).unwrap_or_default();
         let blocks_size: usize = blocks.iter().map(Block::wire_size).sum();
         let modeled = if full {
@@ -93,9 +94,18 @@ impl<A: Application> ChainNode<A> {
         if full && self.config.persistence != Persistence::Memory {
             ctx.disk_read(modeled as usize, 0);
         }
+        let (snapshot, snapshot_dedup) = if full {
+            match snapshot {
+                Some(s) => (Some((s.covered, s.state)), s.dedup),
+                None => (None, Vec::new()),
+            }
+        } else {
+            (None, Vec::new())
+        };
         let msg = ChainMsg::StateRep {
-            snapshot: if full { snapshot } else { None },
+            snapshot,
             snapshot_anchor: if full { snapshot_anchor } else { None },
+            snapshot_dedup,
             blocks: if full { blocks } else { Vec::new() },
             modeled_size: modeled,
             full,
@@ -110,6 +120,7 @@ impl<A: Application> ChainNode<A> {
         &mut self,
         snapshot: Option<(u64, Vec<u8>)>,
         snapshot_anchor: Option<smartchain_crypto::Hash>,
+        snapshot_dedup: Vec<(u64, u64)>,
         blocks: Vec<Block>,
         modeled_size: u64,
         ctx: &mut Ctx<'_, ChainMsg>,
@@ -125,20 +136,58 @@ impl<A: Application> ChainNode<A> {
         ctx.charge(self.config.install_ns_per_byte * modeled_size);
         if let Some((covered, state)) = snapshot {
             self.app.install_snapshot(&state);
+            // The received snapshot must reach the LOCAL device to survive
+            // this replica's crashes — same durability model as a locally
+            // taken checkpoint (take_checkpoint).
+            let size = if self.config.state_size > 0 {
+                self.config.state_size
+            } else {
+                state.len() as u64
+            };
+            let inflight = match self.config.persistence {
+                Persistence::Memory => None,
+                Persistence::Async => {
+                    ctx.disk_write(size as usize, false, 0);
+                    Some(ctx.now() + ctx.hw().disk.write_time(size as usize, false))
+                }
+                Persistence::Sync => {
+                    ctx.disk_write(
+                        size as usize,
+                        true,
+                        crate::pipeline::KIND_SNAPSHOT | covered,
+                    );
+                    Some(smartchain_sim::Time::MAX)
+                }
+            };
             if let Some(m) = self.member.as_mut() {
                 if covered > m.ledger.height() {
                     // The snapshot summarizes blocks we never had: fast-
                     // forward the ledger through it so the shipped suffix
-                    // chains on. (The dedup filter for requests inside the
-                    // summarized prefix is rebuilt lazily from client
-                    // retransmissions — see ROADMAP open items.)
+                    // chains on.
                     if let Some(anchor) = snapshot_anchor {
                         m.ledger
                             .install_checkpoint_anchor(covered, anchor)
                             .expect("checkpoint anchor installs");
                     }
                 }
-                m.snapshot = Some((covered, state));
+                // The shipped dedup frontier covers the summarized prefix:
+                // without it, a retransmission of a request the snapshot
+                // already contains would be re-ordered and fork this
+                // replica's delivered sequence.
+                for &(client, seq) in &snapshot_dedup {
+                    m.core.note_delivered(client, seq);
+                }
+                m.snapshot = Some(SnapshotState {
+                    covered,
+                    state,
+                    dedup: snapshot_dedup,
+                });
+                // The installed snapshot replaces whatever local write was
+                // in flight; its own write is tracked like a checkpoint's
+                // (a crash before completion falls back to nothing — the
+                // replica re-syncs).
+                m.snapshot_inflight = inflight;
+                m.snapshot_fallback = None;
                 m.ledger.set_last_checkpoint(covered);
             }
         }
@@ -151,11 +200,23 @@ impl<A: Application> ChainNode<A> {
             if skip {
                 continue;
             }
+            // Blocks the installed snapshot already summarizes must not
+            // re-execute on top of it (they can be shipped when the sender's
+            // snapshot ran ahead of this replica's surviving ledger prefix);
+            // they still append and feed the duplicate filter.
+            let in_snapshot = self
+                .member
+                .as_ref()
+                .and_then(|m| m.snapshot.as_ref())
+                .is_some_and(|s| block.header.number <= s.covered);
             match &block.body {
                 BlockBody::Transactions { requests, .. } => {
                     for req in requests {
                         if let Some(m) = self.member.as_mut() {
                             m.core.note_delivered(req.client, req.seq);
+                        }
+                        if in_snapshot {
+                            continue;
                         }
                         if let Some(bytes) = unwrap_app_payload(&req.payload) {
                             let inner = Request {
@@ -207,11 +268,18 @@ impl<A: Application> ChainNode<A> {
     }
 
     /// Rebuilds the ordering core's duplicate filter from the whole local
-    /// chain (used whenever a fresh core is paired with replayed history).
+    /// chain plus the current snapshot's dedup frontier (used whenever a
+    /// fresh core is paired with replayed history — the snapshot frontier is
+    /// what covers a summarized prefix whose blocks we never held).
     pub(crate) fn reseed_dedup_from_ledger(&mut self) {
         let Some(m) = self.member.as_mut() else {
             return;
         };
+        if let Some(snapshot) = &m.snapshot {
+            for &(client, seq) in &snapshot.dedup {
+                m.core.note_delivered(client, seq);
+            }
+        }
         let blocks = m.ledger.blocks_from(1).unwrap_or_default();
         for block in &blocks {
             if let BlockBody::Transactions { requests, .. } = &block.body {
@@ -233,7 +301,9 @@ impl<A: Application> ChainNode<A> {
                 return;
             };
             m.delivery_queue.clear();
-            m.open = None;
+            m.open.clear();
+            m.pending_reconfig = None;
+            m.reconfig_install = None;
             m.persist_stash.clear();
             m.verify.clear();
             m.timer_armed = false;
@@ -249,17 +319,23 @@ impl<A: Application> ChainNode<A> {
             // and died with it.
             if self.config.persistence == Persistence::Memory {
                 m.snapshot = None;
-            } else if let Some((covered, _)) = m.snapshot {
+            } else if let Some(covered) = m.snapshot.as_ref().map(|s| s.covered) {
                 m.ledger.set_last_checkpoint(covered);
             }
             m.ledger.blocks_from(1).unwrap_or_default()
         };
         // A surviving snapshot restores the (possibly anchor-summarized)
-        // prefix; blocks it covers must not re-execute on top of it.
+        // prefix — state, and the dedup frontier for requests inside it;
+        // blocks it covers must not re-execute on top of it.
         let mut replay_from = 1u64;
-        if let Some((covered, state)) = self.member.as_ref().and_then(|m| m.snapshot.clone()) {
-            self.app.install_snapshot(&state);
-            replay_from = covered + 1;
+        if let Some(snapshot) = self.member.as_ref().and_then(|m| m.snapshot.clone()) {
+            self.app.install_snapshot(&snapshot.state);
+            replay_from = snapshot.covered + 1;
+            if let Some(m) = self.member.as_mut() {
+                for &(client, seq) in &snapshot.dedup {
+                    m.core.note_delivered(client, seq);
+                }
+            }
         }
         let mut replayed = 0u64;
         for block in &replay {

@@ -13,7 +13,10 @@ use smartchain_smr::ordering::OrderingConfig;
 
 fn builder(n: usize) -> ChainClusterBuilder<CounterApp> {
     ChainClusterBuilder::new(n, |_| CounterApp::new()).node_config(NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     })
 }
@@ -42,7 +45,10 @@ fn four_nodes_produce_identical_auditable_chains() {
 fn strong_variant_attaches_certificates() {
     let config = NodeConfig {
         variant: Variant::Strong,
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = builder(4)
@@ -84,7 +90,10 @@ fn memory_and_async_persistence_still_order_correctly() {
     for persistence in [Persistence::Memory, Persistence::Async] {
         let config = NodeConfig {
             persistence,
-            ordering: OrderingConfig { max_batch: 8 },
+            ordering: OrderingConfig {
+                max_batch: 8,
+                ..OrderingConfig::default()
+            },
             ..NodeConfig::default()
         };
         let mut cluster = builder(4)
@@ -103,7 +112,10 @@ fn memory_and_async_persistence_still_order_correctly() {
 #[test]
 fn node_joins_after_checkpoint_and_catches_up() {
     let config = NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = builder(4)
@@ -150,7 +162,10 @@ fn node_joins_after_checkpoint_and_catches_up() {
 #[test]
 fn anchored_joiner_recovers_correct_app_state_after_crash() {
     let config = NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = builder(4)
@@ -365,7 +380,10 @@ fn staggered_checkpoints_reduce_stall() {
 
     fn worst_client_latency(stagger: bool) -> f64 {
         let config = NodeConfig {
-            ordering: OrderingConfig { max_batch: 8 },
+            ordering: OrderingConfig {
+                max_batch: 8,
+                ..OrderingConfig::default()
+            },
             persistence: Persistence::Memory,
             // Make snapshots expensive enough to observe (100 ms each).
             snapshot_ns_per_byte: 100,
@@ -404,7 +422,10 @@ fn staggered_checkpoints_never_align() {
 
     fn checkpoint_blocks(stagger: bool) -> Vec<Vec<u64>> {
         let config = NodeConfig {
-            ordering: OrderingConfig { max_batch: 8 },
+            ordering: OrderingConfig {
+                max_batch: 8,
+                ..OrderingConfig::default()
+            },
             persistence: Persistence::Memory,
             stagger_checkpoints: stagger,
             ..NodeConfig::default()
@@ -459,7 +480,10 @@ fn end_to_end_with_real_ed25519() {
 
     let config = NodeConfig {
         variant: Variant::Strong,
-        ordering: OrderingConfig { max_batch: 4 },
+        ordering: OrderingConfig {
+            max_batch: 4,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = builder(4)
@@ -489,7 +513,10 @@ fn end_to_end_with_real_ed25519() {
 fn strong_variant_join_under_traffic_keeps_progress() {
     let config = NodeConfig {
         variant: Variant::Strong,
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = builder(4)

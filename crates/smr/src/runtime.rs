@@ -116,6 +116,7 @@ impl LocalCluster {
                 secrets[me].clone(),
                 OrderingConfig {
                     max_batch: config.max_batch,
+                    ..OrderingConfig::default()
                 },
                 0,
             );

@@ -29,7 +29,7 @@ impl Gen {
     }
 }
 
-fn make_cluster(n: usize, max_batch: usize) -> Vec<OrderingCore> {
+fn make_cluster(n: usize, max_batch: usize, alpha: u64) -> Vec<OrderingCore> {
     let secrets: Vec<SecretKey> = (0..n)
         .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 40; 32]))
         .collect();
@@ -43,7 +43,7 @@ fn make_cluster(n: usize, max_batch: usize) -> Vec<OrderingCore> {
                 i,
                 view.clone(),
                 secrets[i].clone(),
-                OrderingConfig { max_batch },
+                OrderingConfig { max_batch, alpha },
                 0,
             )
         })
@@ -112,6 +112,18 @@ fn pump_randomized(
 /// prefix-compatible across replicas and contain no duplicates.
 #[test]
 fn prop_no_divergence_under_drops() {
+    prop_no_divergence_under_drops_at(1);
+}
+
+/// The same safety property with a pipelined core (α = 4): several
+/// instances are in flight at once, decisions arrive out of order, and
+/// delivery must still be prefix-compatible and duplicate-free everywhere.
+#[test]
+fn prop_no_divergence_under_drops_alpha4() {
+    prop_no_divergence_under_drops_at(4);
+}
+
+fn prop_no_divergence_under_drops_at(alpha: u64) {
     let mut g = Gen::new(0xa1);
     for case in 0..48 {
         let order: Vec<u8> = (0..64).map(|_| g.next_u64() as u8).collect();
@@ -119,7 +131,7 @@ fn prop_no_divergence_under_drops() {
         let clients = 1 + g.next_u64() % 4;
         let reqs = 1 + g.next_u64() % 4;
         let max_batch = 1 + (g.next_u64() as usize) % 5;
-        let mut cores = make_cluster(4, max_batch);
+        let mut cores = make_cluster(4, max_batch, alpha);
         let mut submissions = Vec::new();
         for c in 0..clients {
             for s in 0..reqs {
@@ -155,13 +167,23 @@ fn prop_no_divergence_under_drops() {
 /// LIVENESS (no drops): everything submitted is delivered everywhere.
 #[test]
 fn prop_all_delivered_without_drops() {
+    prop_all_delivered_without_drops_at(1);
+}
+
+/// Liveness with a pipelined core (α = 4).
+#[test]
+fn prop_all_delivered_without_drops_alpha4() {
+    prop_all_delivered_without_drops_at(4);
+}
+
+fn prop_all_delivered_without_drops_at(alpha: u64) {
     let mut g = Gen::new(0xa2);
     for case in 0..48 {
         let order: Vec<u8> = (0..64).map(|_| g.next_u64() as u8).collect();
         let clients = 1 + g.next_u64() % 4;
         let reqs = 1 + g.next_u64() % 4;
         let max_batch = 1 + (g.next_u64() as usize) % 5;
-        let mut cores = make_cluster(4, max_batch);
+        let mut cores = make_cluster(4, max_batch, alpha);
         let mut submissions = Vec::new();
         for c in 0..clients {
             for s in 0..reqs {

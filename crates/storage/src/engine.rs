@@ -59,6 +59,22 @@ pub trait DurabilityEngine: RecordLog {
     /// Propagates device failures.
     fn flush(&mut self) -> io::Result<()>;
 
+    /// Drives the commit point for the log prefix up to `records` (an
+    /// absolute record count): a group-commit engine writes and syncs only
+    /// the records that were already queued when the corresponding device
+    /// sync was *issued* — records appended while that sync was in flight
+    /// wait for their own flush. The other rungs behave like
+    /// [`DurabilityEngine::flush`]. Used by pipelined callers whose sync
+    /// completions arrive while later records are already queued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures.
+    fn flush_upto(&mut self, records: u64) -> io::Result<()> {
+        let _ = records;
+        self.flush()
+    }
+
     /// Records that reached stable storage (survive a crash).
     fn durable_len(&self) -> u64;
 
@@ -325,6 +341,11 @@ impl<L: RecordLog> DurabilityEngine for GroupCommitEngine<L> {
     fn flush(&mut self) -> io::Result<()> {
         self.writer.flush()
     }
+    fn flush_upto(&mut self, records: u64) -> io::Result<()> {
+        let inner_len = self.writer.inner().len();
+        let count = records.saturating_sub(inner_len) as usize;
+        self.writer.flush_first(count)
+    }
     fn durable_len(&self) -> u64 {
         self.writer.inner().len()
     }
@@ -401,5 +422,33 @@ mod tests {
         assert!(engine_for(SyncPolicy::Sync).plan(100).sync);
         assert!(!engine_for(SyncPolicy::Async).plan(100).sync);
         assert!(!engine_for(SyncPolicy::None).plan(100).sync);
+    }
+
+    /// Pipelined commit points: a sync issued before a record was queued
+    /// cannot make that record durable — `flush_upto` commits exactly the
+    /// prefix present at issue time, later records wait for their own sync.
+    #[test]
+    fn group_commit_flush_upto_leaves_later_records_queued() {
+        let mut e = GroupCommitEngine::new(MemLog::new());
+        e.append(b"a").unwrap();
+        let boundary = e.len(); // the sync for "a" is issued here
+        e.append(b"b").unwrap(); // queued while that sync is in flight
+        e.flush_upto(boundary).unwrap();
+        assert_eq!(e.durable_len(), 1, "\"b\" must still be volatile");
+        assert_eq!(e.read(1).unwrap().unwrap(), b"b", "but still readable");
+        e.flush_upto(2).unwrap();
+        assert_eq!(e.durable_len(), 2);
+        assert_eq!(
+            e.stats(),
+            FlushStats {
+                records: 2,
+                syncs: 2
+            }
+        );
+        // The non-sync rungs treat it as their (no-op) flush.
+        let mut a = AsyncEngine::new(MemLog::new());
+        a.append(b"x").unwrap();
+        a.flush_upto(1).unwrap();
+        assert_eq!(a.durable_len(), 0);
     }
 }

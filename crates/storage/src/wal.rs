@@ -213,12 +213,25 @@ impl<L: RecordLog> BatchingWriter<L> {
     /// duplicate them); the failed record and everything after it stay
     /// queued, and an un-synced append is synced by the next flush.
     pub fn flush(&mut self) -> io::Result<()> {
-        if self.pending.is_empty() && !self.unsynced {
+        self.flush_first(self.pending.len())
+    }
+
+    /// Writes the first `count` queued records with a single sync, leaving
+    /// later submissions queued — the commit point for one device sync that
+    /// was *issued* before those later records arrived (a sync in flight
+    /// cannot cover records submitted after it started).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchingWriter::flush`].
+    pub fn flush_first(&mut self, count: usize) -> io::Result<()> {
+        let count = count.min(self.pending.len());
+        if count == 0 && !self.unsynced {
             return Ok(());
         }
         let mut appended = 0usize;
         let mut append_err = None;
-        for rec in &self.pending {
+        for rec in self.pending.iter().take(count) {
             match self.log.append(rec) {
                 Ok(_) => appended += 1,
                 Err(e) => {
@@ -314,6 +327,26 @@ mod tests {
         let mut w = BatchingWriter::new(MemLog::new());
         w.flush().unwrap();
         assert_eq!(w.stats(), FlushStats::default());
+    }
+
+    #[test]
+    fn flush_first_covers_only_the_prefix() {
+        let mut w = BatchingWriter::new(MemLog::new());
+        for i in 0..5u8 {
+            w.submit(vec![i]);
+        }
+        w.flush_first(2).unwrap();
+        assert_eq!(w.inner().len(), 2);
+        assert_eq!(w.pending().len(), 3, "later submissions stay queued");
+        assert_eq!(
+            w.stats(),
+            FlushStats {
+                records: 2,
+                syncs: 1
+            }
+        );
+        w.flush().unwrap();
+        assert_eq!(w.inner().len(), 5);
     }
 
     /// A device that fails on command, for retry-path tests.

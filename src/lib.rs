@@ -10,8 +10,10 @@
 //! # Module map
 //!
 //! The replica is an explicit **staged commit pipeline** — verify → order →
-//! execute → persist → reply — with every stage a separate module and every
-//! persistence rung a [`storage::DurabilityEngine`] backend:
+//! execute → persist → reply — with every stage a separate module, every
+//! persistence rung a [`storage::DurabilityEngine`] backend, and a windowed
+//! ordering core that keeps α > 1 consensus instances in flight while
+//! earlier blocks execute and persist:
 //!
 //! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), Merkle trees, and the
 //!   [`crypto::pool::VerifyPool`] powering the wall-clock verify stage.
@@ -27,14 +29,21 @@
 //!   RNG ([`sim::rng`]); every run is reproducible bit-for-bit from its
 //!   seed (pinned by `tests/seed_regression.rs`).
 //! * [`consensus`] — VP-Consensus instances and the Mod-SMaRt
-//!   synchronizer.
-//! * [`smr`] — the total-order core, clients, the real-time threaded
-//!   runtime, and [`smr::durability::DurableApp`]: durable delivery over
-//!   any `DurabilityEngine` (group-commit `FileLog` by default).
+//!   synchronizer; leader changes collect locked values for every
+//!   in-flight instance (per-instance STOPDATA/SYNC vectors).
+//! * [`smr`] — the *windowed* total-order core (`OrderingConfig::alpha`
+//!   consensus instances in flight at once, strictly in-order delivery;
+//!   α = 1 reproduces the seed bit-for-bit), clients, the real-time
+//!   threaded runtime, and [`smr::durability::DurableApp`]: durable
+//!   delivery over any `DurabilityEngine` (group-commit `FileLog` by
+//!   default).
 //! * [`core`] — the SMARTCHAIN layer (the paper's contribution):
 //!   blocks/ledger/audit, and the replica split into
 //!   [`core::node`] (the actor spine) plus [`core::pipeline`] (the stages:
-//!   verify, produce, persist, checkpoint, state transfer, reconfig).
+//!   verify, produce, persist, checkpoint, state transfer, reconfig). Up
+//!   to α blocks ride EXECUTE/PERSIST concurrently — device syncs and
+//!   PERSIST certificates complete out of order, replies release in block
+//!   order.
 //! * [`coin`] — SMaRtCoin, the UTXO digital-coin application.
 //! * [`baselines`] — Tendermint- and Fabric-style comparator models.
 //!

@@ -1,0 +1,238 @@
+//! End-to-end tests of the α > 1 pipelined ordering core on the full
+//! SmartChain stack: throughput (the pipelining win under the GroupCommit
+//! rung in a latency-dominated network), safety across a leader crash with
+//! in-flight instances, and the strong variant's out-of-order PERSIST
+//! certificates with in-order reply release.
+
+use smartchain::core::audit::verify_chain;
+use smartchain::core::block::BlockBody;
+use smartchain::core::harness::ChainClusterBuilder;
+use smartchain::core::node::{NodeConfig, Persistence, Variant};
+use smartchain::sim::hw::HwSpec;
+use smartchain::sim::{MILLI, SECOND};
+use smartchain::smr::app::CounterApp;
+use smartchain::smr::ordering::OrderingConfig;
+
+/// Delivered blocks (minimum across replicas) in a GroupCommit-rung run on
+/// a latency-dominated network — the `bench/src/micro.rs` α scenario at
+/// test scale.
+fn group_commit_blocks(alpha: u64, variant: Variant) -> u64 {
+    let mut hw = HwSpec::paper_testbed();
+    hw.nic.propagation_ns = 2_500_000; // 2.5 ms one-way: latency-bound ORDER
+    let config = NodeConfig {
+        variant,
+        persistence: Persistence::Sync,
+        ordering: OrderingConfig {
+            max_batch: 16,
+            alpha,
+        },
+        progress_timeout: 800 * MILLI,
+        ..NodeConfig::default()
+    };
+    let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+        .node_config(config)
+        .hw(hw)
+        .seed(11)
+        .clients(4, 32, None)
+        .build();
+    cluster.run_until(5 * SECOND);
+    (0..4)
+        .map(|r| cluster.node::<CounterApp>(r).height().unwrap_or(0))
+        .min()
+        .unwrap_or(0)
+}
+
+/// The acceptance-criterion throughput property: with α = 4 the cluster
+/// delivers strictly more batches per virtual second than with α = 1 under
+/// the GroupCommit rung — and the whole α ∈ {2, 4, 8} ladder behaves like a
+/// pipeline (monotone until the fsync bound saturates it).
+#[test]
+fn alpha4_outdelivers_alpha1_under_group_commit() {
+    let a1 = group_commit_blocks(1, Variant::Weak);
+    let a2 = group_commit_blocks(2, Variant::Weak);
+    let a4 = group_commit_blocks(4, Variant::Weak);
+    let a8 = group_commit_blocks(8, Variant::Weak);
+    assert!(
+        a4 > a1,
+        "alpha = 4 must strictly out-deliver alpha = 1 (got {a4} vs {a1})"
+    );
+    // The win is the round-latency hiding, so it should be substantial —
+    // not a rounding artifact — and monotone across the window sizes until
+    // the disk bound takes over.
+    assert!(
+        a4 as f64 >= a1 as f64 * 15.0 / 10.0,
+        "expected >= 1.5x, got {a4} vs {a1}"
+    );
+    assert!(a2 > a1, "alpha = 2 must beat alpha = 1 ({a2} vs {a1})");
+    assert!(
+        a4 >= a2,
+        "alpha = 4 must not trail alpha = 2 ({a4} vs {a2})"
+    );
+    assert!(
+        a8 as f64 >= a4 as f64 * 0.9,
+        "alpha = 8 saturates the fsync bound, it must not collapse ({a8} vs {a4})"
+    );
+}
+
+/// Strong variant at α = 4: the PERSIST certificate rounds of several open
+/// blocks overlap and complete out of order, yet every replica's chain is
+/// identical, audited, and carries quorum certificates.
+#[test]
+fn strong_variant_pipelines_persist_certificates() {
+    let config = NodeConfig {
+        variant: Variant::Strong,
+        persistence: Persistence::Sync,
+        ordering: OrderingConfig {
+            max_batch: 4,
+            alpha: 4,
+        },
+        ..NodeConfig::default()
+    };
+    let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+        .node_config(config)
+        .clients(2, 4, Some(15))
+        .build();
+    cluster.run_until(60 * SECOND);
+    assert_eq!(cluster.total_completed(), 120, "all requests complete");
+    let chain0 = cluster.node::<CounterApp>(0).chain();
+    assert!(!chain0.is_empty());
+    let genesis = cluster.node::<CounterApp>(0).genesis().clone();
+    verify_chain(&genesis, &chain0).expect("audit passes");
+    let quorum = 3;
+    for block in &chain0 {
+        if matches!(block.body, BlockBody::Transactions { .. }) {
+            assert!(
+                block.certificate.signatures.len() >= quorum,
+                "block {} released without a PERSIST quorum certificate",
+                block.header.number
+            );
+        }
+    }
+    for r in 1..4 {
+        let chain = cluster.node::<CounterApp>(r).chain();
+        assert_eq!(chain.len(), chain0.len(), "replica {r} height");
+        for (a, b) in chain.iter().zip(chain0.iter()) {
+            assert_eq!(a.header.hash(), b.header.hash(), "replica {r} diverged");
+        }
+    }
+}
+
+/// The acceptance-criterion safety property: a leader crash while α = 4
+/// instances are in flight. The regency change must recover the in-flight
+/// values, and every surviving replica must deliver the identical in-order
+/// batch stream (identical audited chains).
+#[test]
+fn alpha4_leader_crash_preserves_identical_chains() {
+    let config = NodeConfig {
+        persistence: Persistence::Sync,
+        ordering: OrderingConfig {
+            max_batch: 4,
+            alpha: 4,
+        },
+        progress_timeout: 200 * MILLI,
+        ..NodeConfig::default()
+    };
+    let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+        .node_config(config)
+        .seed(5)
+        .clients(2, 4, Some(12))
+        .build();
+    // Let the pipeline fill (a few blocks delivered), then kill the leader
+    // mid-flight — with α = 4 it has several undecided instances open.
+    let mut deadline = 0;
+    while cluster.node::<CounterApp>(1).height().unwrap_or(0) < 3 {
+        deadline += smartchain::sim::MICRO * 500;
+        assert!(deadline < 60 * SECOND, "pipeline never started");
+        cluster.run_until(deadline);
+    }
+    let now = deadline;
+    cluster.sim().crash(0, now + smartchain::sim::MICRO);
+    cluster.run_until(now + 90 * SECOND);
+    assert_eq!(
+        cluster.total_completed(),
+        96,
+        "all requests must complete across the leader change"
+    );
+    let genesis = cluster.node::<CounterApp>(1).genesis().clone();
+    let chain1 = cluster.node::<CounterApp>(1).chain();
+    assert!(!chain1.is_empty());
+    verify_chain(&genesis, &chain1).expect("audit passes");
+    for r in 2..4 {
+        let chain = cluster.node::<CounterApp>(r).chain();
+        assert_eq!(chain.len(), chain1.len(), "replica {r} height");
+        for (a, b) in chain.iter().zip(chain1.iter()) {
+            assert_eq!(a.header.hash(), b.header.hash(), "replica {r} diverged");
+        }
+    }
+    // The regency change itself: progress after the crash requires a new
+    // leader. (An individual replica may instead have caught up via state
+    // transfer and kept regency 0, so assert the cluster-level property.)
+    let regencies: Vec<u32> = (1..4)
+        .filter_map(|r| cluster.node::<CounterApp>(r).ordering_status())
+        .map(|(_, _, regency, _)| regency)
+        .collect();
+    assert!(
+        regencies.iter().any(|&g| g >= 1),
+        "somebody must have driven a regency change: {regencies:?}"
+    );
+    for r in 1..4 {
+        if let Some((_, _, regency, leader)) = cluster.node::<CounterApp>(r).ordering_status() {
+            if regency >= 1 {
+                assert_ne!(leader, 0, "replica {r} still points at the dead leader");
+            }
+        }
+    }
+}
+
+/// Checkpoints at α = 4 with a crash/recovery: the snapshot must cover
+/// exactly the blocks whose execution it contains (deferred until the
+/// pipeline drains), or the recovering replica re-executes blocks that are
+/// already inside the snapshot and its application state diverges.
+#[test]
+fn alpha4_checkpoint_crash_recovery_keeps_app_state_consistent() {
+    use smartchain::smr::app::Application;
+    let config = NodeConfig {
+        persistence: Persistence::Sync,
+        ordering: OrderingConfig {
+            max_batch: 4,
+            alpha: 4,
+        },
+        ..NodeConfig::default()
+    };
+    let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+        .node_config(config)
+        .seed(9)
+        .checkpoint_period(4)
+        .clients(2, 4, Some(20))
+        .build();
+    // Run until replica 2 has taken a checkpoint, then crash and recover it
+    // while traffic continues.
+    let mut deadline = 0;
+    while cluster.node::<CounterApp>(2).checkpoint_log().is_empty() {
+        deadline += 50 * MILLI;
+        assert!(deadline < 60 * SECOND, "no checkpoint within horizon");
+        cluster.run_until(deadline);
+    }
+    cluster.sim().crash(2, deadline + 10 * MILLI);
+    cluster.sim().recover(2, deadline + 500 * MILLI);
+    cluster.run_until(deadline + 120 * SECOND);
+    assert_eq!(cluster.total_completed(), 160, "all requests complete");
+    let reference = cluster.node::<CounterApp>(0).app().take_snapshot();
+    for r in 1..4 {
+        assert_eq!(
+            cluster.node::<CounterApp>(r).app().take_snapshot(),
+            reference,
+            "replica {r} application state diverged (snapshot re-execution?)"
+        );
+    }
+    let genesis = cluster.node::<CounterApp>(0).genesis().clone();
+    let chain0 = cluster.node::<CounterApp>(0).chain();
+    verify_chain(&genesis, &chain0).expect("audit passes");
+    for r in 1..4 {
+        let chain = cluster.node::<CounterApp>(r).chain();
+        assert_eq!(chain.len(), chain0.len(), "replica {r} height");
+        for (a, b) in chain.iter().zip(chain0.iter()) {
+            assert_eq!(a.header.hash(), b.header.hash(), "replica {r} diverged");
+        }
+    }
+}

@@ -24,7 +24,10 @@ fn run_coin_cluster(
     let config = NodeConfig {
         variant,
         sig_mode: SigMode::Sequential,
-        ordering: OrderingConfig { max_batch: 16 },
+        ordering: OrderingConfig {
+            max_batch: 16,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = ChainClusterBuilder::new(replicas, SmartCoinApp::from_genesis_data)

@@ -188,7 +188,10 @@ fn sim_disk_accounting_matches_engine_stats() {
     let config = NodeConfig {
         variant: Variant::Weak,
         persistence: Persistence::Sync,
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
@@ -230,7 +233,10 @@ fn crash_recovery_observes_the_persistence_ladder() {
         let config = NodeConfig {
             variant: Variant::Weak,
             persistence,
-            ordering: OrderingConfig { max_batch: 8 },
+            ordering: OrderingConfig {
+                max_batch: 8,
+                ..OrderingConfig::default()
+            },
             ..NodeConfig::default()
         };
         let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
@@ -273,7 +279,10 @@ fn memory_engine_keeps_chain_volatile() {
     let config = NodeConfig {
         variant: Variant::Weak,
         persistence: Persistence::Memory,
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())

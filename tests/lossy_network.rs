@@ -16,7 +16,10 @@ use smartchain::smr::ordering::OrderingConfig;
 #[test]
 fn drops_never_cause_divergence() {
     let config = NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         progress_timeout: 200 * MILLI,
         ..NodeConfig::default()
     };
@@ -60,7 +63,10 @@ fn drops_never_cause_divergence() {
 #[test]
 fn partitioned_minority_stalls_majority_continues() {
     let config = NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         progress_timeout: 200 * MILLI,
         ..NodeConfig::default()
     };

@@ -19,7 +19,10 @@ fn run(variant: Variant, persistence: Persistence) -> (u64, Vec<u64>) {
     let config = NodeConfig {
         variant,
         persistence,
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            ..OrderingConfig::default()
+        },
         ..NodeConfig::default()
     };
     let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())

@@ -19,8 +19,15 @@ use smartchain::smr::ordering::OrderingConfig;
 /// 4 replicas, 5% drops, 4 clients × 30 requests, 120 virtual seconds.
 /// Returns the observables: (completed, heights, delivered_messages).
 fn lossy_run(seed: u64) -> (u64, Vec<u64>, u64) {
+    lossy_run_alpha(seed, 1)
+}
+
+fn lossy_run_alpha(seed: u64, alpha: u64) -> (u64, Vec<u64>, u64) {
     let config = NodeConfig {
-        ordering: OrderingConfig { max_batch: 8 },
+        ordering: OrderingConfig {
+            max_batch: 8,
+            alpha,
+        },
         progress_timeout: 200 * MILLI,
         ..NodeConfig::default()
     };
@@ -74,10 +81,33 @@ fn seed_20260730_outcome_pinned() {
     );
 }
 
+/// The same scenario with a pipelined ordering core (α = 4): seeds must
+/// still fully determine the run — several consensus instances in flight,
+/// out-of-order decisions, vector view changes and all.
+#[test]
+fn same_seed_same_outcome_alpha4() {
+    assert_eq!(
+        lossy_run_alpha(7, 4),
+        lossy_run_alpha(7, 4),
+        "a seed fully determines the pipelined run"
+    );
+}
+
+#[test]
+fn seed_7_outcome_pinned_alpha4() {
+    let (completed, heights, delivered) = lossy_run_alpha(7, 4);
+    assert_eq!(
+        (completed, heights, delivered),
+        (PIN_7_A4.0, PIN_7_A4.1.to_vec(), PIN_7_A4.2),
+        "alpha-4 seed-7 outcome drifted — intended scheduling change? re-pin; otherwise find the nondeterminism"
+    );
+}
+
 /// Pinned observables: (completed requests, per-replica heights, messages
-/// delivered by the kernel). Regenerate by running with `SC_PIN_DUMP=1`.
+/// delivered by the kernel). Regenerate with `dump_pins` below.
 const PIN_7: (u64, [u64; 4], u64) = (46, [21, 32, 32, 32], 24_134);
 const PIN_B: (u64, [u64; 4], u64) = (41, [37, 37, 39, 34], 24_155);
+const PIN_7_A4: (u64, [u64; 4], u64) = (49, [47, 47, 40, 40], 17_620);
 
 #[test]
 #[ignore = "pin regeneration helper: cargo test -q --test seed_regression -- --ignored --nocapture"]
@@ -86,4 +116,6 @@ fn dump_pins() {
         let (completed, heights, delivered) = lossy_run(seed);
         println!("seed {seed}: completed={completed} heights={heights:?} delivered={delivered}");
     }
+    let (completed, heights, delivered) = lossy_run_alpha(7, 4);
+    println!("seed 7 alpha 4: completed={completed} heights={heights:?} delivered={delivered}");
 }
