@@ -14,7 +14,9 @@
 //! Re-pin by running `cargo run --release -p smartchain-bench --bin
 //! bench_check -- --print-baseline` and pasting the output.
 
-use smartchain_bench::micro::{alpha_pipeline_throughput, black_box, measure};
+use smartchain_bench::micro::{
+    alpha_pipeline_throughput, black_box, channel_smoke, measure, tcp_smoke, verify_cap_throughput,
+};
 use smartchain_crypto::sha256;
 use smartchain_smr::types::{decode_batch, encode_batch, Request};
 use std::collections::BTreeMap;
@@ -136,6 +138,40 @@ fn main() {
     if !print_baseline {
         gate.band("alpha1_blocks_10s", a1.blocks as f64, 0.25);
         gate.band("alpha4_blocks_10s", a4.blocks as f64, 0.25);
+    }
+
+    // Verify-stage sizing (deterministic, informational): the round cap's
+    // latency/throughput trade-off. Over-small rounds pay the pool
+    // hand-off per few requests; a generous cap is indistinguishable from
+    // unbounded at this load.
+    for cap in [0usize, 4, 64] {
+        let v = verify_cap_throughput(cap, 1);
+        println!(
+            "verify cap {:>9}: {} completed, mean latency {:.1} ms (1 vsec, signed)",
+            if cap == 0 {
+                "unbounded".to_string()
+            } else {
+                format!("{cap}")
+            },
+            v.completed,
+            v.mean_latency_secs * 1e3,
+        );
+    }
+
+    // Runtime smoke (wall-clock, informational except for liveness): the
+    // same closed loop over channel and real loopback-TCP transports. Zero
+    // batches/sec means the deployment path is broken — that gates.
+    let ch = channel_smoke(30);
+    let tcp = tcp_smoke(30);
+    println!(
+        "runtime smoke: channel {:.1} batches/sec, tcp {:.1} batches/sec ({} ops each)",
+        ch.batches_per_sec, tcp.batches_per_sec, ch.ops
+    );
+    if !print_baseline && (tcp.batches_per_sec <= 0.0 || ch.batches_per_sec <= 0.0) {
+        gate.failures.push(format!(
+            "runtime smoke must report nonzero throughput (channel {:.1}, tcp {:.1})",
+            ch.batches_per_sec, tcp.batches_per_sec
+        ));
     }
 
     // Wall-clock hot paths (gross-regression tripwires only).

@@ -100,14 +100,17 @@ impl Instance {
         self.decision.is_some()
     }
 
-    /// The value this replica has WRITTEN for in the current epoch, along
-    /// with a write certificate if a quorum of writes was observed — the
-    /// "locked value" reported in STOPDATA during leader changes.
+    /// The value this replica is bound to in the current epoch, along with a
+    /// write certificate if a quorum of writes was observed — the "locked
+    /// value" reported in STOPDATA during leader changes.
+    ///
+    /// A lock is reported when this replica WROTE for the value *or* when it
+    /// collected a full write certificate without echoing the proposal
+    /// itself (its WRITE may have been lost, but a quorum's wasn't — the
+    /// certificate alone proves the value may have decided and must survive
+    /// the leader change).
     pub fn locked_value(&self) -> Option<(Vec<u8>, Option<WriteCertificate>)> {
         let (value, hash) = self.value.as_ref()?;
-        if !self.epoch_state.sent_write {
-            return None;
-        }
         let cert = self.epoch_state.writes.get(hash).and_then(|sigs| {
             (sigs.len() >= self.view.quorum()).then(|| WriteCertificate {
                 instance: self.id,
@@ -116,6 +119,9 @@ impl Instance {
                 writes: sigs.clone(),
             })
         });
+        if !self.epoch_state.sent_write && cert.is_none() {
+            return None;
+        }
         Some((value.clone(), cert))
     }
 
@@ -610,6 +616,54 @@ mod tests {
             );
             assert!(dec.is_none());
         }
+    }
+
+    /// A replica that never echoed the proposal (its own WRITE was lost or
+    /// the PROPOSE never arrived) but collected a full write certificate and
+    /// learned the value must still report the lock — the certificate alone
+    /// proves the value may have decided.
+    #[test]
+    fn write_certificate_without_own_echo_reports_lock() {
+        let mut net = Net::new(4);
+        let value = b"cert-only".to_vec();
+        let h = sha256::digest(&value);
+        // Replica 3 learns the value via a ValueReply (fetch path), never
+        // via the leader's PROPOSE, so it never sends its own WRITE.
+        let (_, dec) = net.instances[3].on_message(
+            0,
+            ConsensusMsg::ValueReply {
+                instance: 7,
+                epoch: 0,
+                value: value.clone(),
+            },
+        );
+        assert!(dec.is_none());
+        assert!(
+            net.instances[3].locked_value().is_none(),
+            "no echo, no certificate: nothing to report yet"
+        );
+        // A write quorum from the other three replicas arrives.
+        for from in 0..3usize {
+            let sig = net.instances[from]
+                .secret
+                .sign(&write_sign_payload(7, 0, &h));
+            net.instances[3].on_message(
+                from,
+                ConsensusMsg::Write {
+                    instance: 7,
+                    epoch: 0,
+                    value_hash: h,
+                    signature: sig,
+                },
+            );
+        }
+        let (locked, cert) = net.instances[3]
+            .locked_value()
+            .expect("write certificate alone must surface the lock");
+        assert_eq!(locked, value);
+        let cert = cert.expect("certificate present");
+        assert!(cert.verify(&net.instances[3].view));
+        assert_eq!(cert.value_hash, h);
     }
 
     #[test]

@@ -70,6 +70,19 @@ impl ConsensusMsg {
         }
     }
 
+    /// The epoch (regency) this message was sent in, when it carries one.
+    /// A message from an epoch above our regency means we missed a leader
+    /// change — metal deployments use this to trigger state transfer.
+    pub fn epoch(&self) -> Option<u32> {
+        match self {
+            ConsensusMsg::Propose { epoch, .. }
+            | ConsensusMsg::Write { epoch, .. }
+            | ConsensusMsg::Accept { epoch, .. }
+            | ConsensusMsg::ValueReply { epoch, .. } => Some(*epoch),
+            ConsensusMsg::FetchValue { .. } => None,
+        }
+    }
+
     /// Wire size in bytes (transport framing + canonical encoding), used by
     /// the simulator's NIC model. Derived from the [`Encode`] output so the
     /// encoder is the single source of truth.

@@ -328,6 +328,37 @@ impl Synchronizer {
         self.stopped_at.is_some()
     }
 
+    /// Highest regency this replica has broadcast a STOP for (0 = none).
+    /// Exposed so an embedding over a lossy transport can re-send the STOP
+    /// when a link to a peer is re-established.
+    pub fn sent_stop_for(&self) -> u32 {
+        self.sent_stop_for
+    }
+
+    /// The regency this replica is currently stopped at (awaiting SYNC), if
+    /// any — the embedding re-provides its STOPDATA to that regency's leader
+    /// after a link reconnect, since the original may have been lost with
+    /// the torn connection.
+    pub fn stopped_regency(&self) -> Option<u32> {
+        self.stopped_at
+    }
+
+    /// Jumps straight to `regency` without running the STOP/STOPDATA
+    /// protocol — used by a recovering replica adopting the regency its
+    /// state-transfer shipper reported (it slept through the change and
+    /// cannot reconstruct it). Liveness-only state: epoch quorums still
+    /// guard safety, so a lying shipper can at worst point us at the wrong
+    /// leader until the next genuine change.
+    pub fn fast_forward_regency(&mut self, regency: u32) {
+        if regency <= self.regency {
+            return;
+        }
+        self.regency = regency;
+        self.sent_stop_for = self.sent_stop_for.max(regency);
+        self.stopped_at = None;
+        self.stops.retain(|r, _| *r > regency);
+    }
+
     /// Timeout entry point: ask for the next regency. Repeated timeouts
     /// escalate past a pending (stopped) regency whose new leader is itself
     /// unresponsive — otherwise a crashed next-leader would wedge the view

@@ -55,6 +55,14 @@ pub enum ChainMsg {
         /// Only one designated replica sends the full state; the rest send
         /// hash-sized acknowledgements (PBFT-style optimization).
         full: bool,
+        /// The sender's chain digests: `(height, chain hash)` at its tip and
+        /// at exponentially receding heights (tip−1, tip−2, tip−4, …), so a
+        /// requester can find a common height with senders ahead of or
+        /// behind the shipped suffix. The requester installs a full reply
+        /// only once `f+1` distinct members (the shipper included) report
+        /// digests consistent with the shipped content — the PBFT rule: at
+        /// least one correct replica vouches for the installed history.
+        digests: Vec<(u64, Hash)>,
     },
     /// A prospective member asks to join — or a member asks to leave
     /// (paper Fig. 5a, step 1; §V-D leave flow).
@@ -124,6 +132,7 @@ impl Encode for ChainMsg {
                 blocks,
                 modeled_size,
                 full,
+                digests,
             } => {
                 3u8.encode(out);
                 snapshot.encode(out);
@@ -132,6 +141,7 @@ impl Encode for ChainMsg {
                 encode_seq(blocks, out);
                 modeled_size.encode(out);
                 full.encode(out);
+                encode_seq(digests, out);
             }
             ChainMsg::JoinAsk { joiner } => {
                 4u8.encode(out);
@@ -174,6 +184,7 @@ impl Encode for ChainMsg {
                 blocks,
                 modeled_size,
                 full,
+                digests,
             } => {
                 snapshot.encoded_len()
                     + snapshot_anchor.encoded_len()
@@ -181,6 +192,7 @@ impl Encode for ChainMsg {
                     + seq_encoded_len(blocks)
                     + modeled_size.encoded_len()
                     + full.encoded_len()
+                    + seq_encoded_len(digests)
             }
             ChainMsg::JoinAsk { joiner } => joiner.encoded_len(),
             ChainMsg::JoinVote {
@@ -218,6 +230,7 @@ impl Decode for ChainMsg {
                 blocks: decode_seq(input)?,
                 modeled_size: u64::decode(input)?,
                 full: bool::decode(input)?,
+                digests: decode_seq(input)?,
             }),
             4 => Ok(ChainMsg::JoinAsk {
                 joiner: CertifiedKey::decode(input)?,
@@ -271,6 +284,7 @@ mod tests {
             blocks: Vec::new(),
             modeled_size: 1_000_000_000,
             full: true,
+            digests: vec![(9, [7u8; 32])],
         };
         assert_eq!(m.wire_size(), 1_000_000_000);
         let ack = ChainMsg::StateRep {
@@ -280,6 +294,7 @@ mod tests {
             blocks: Vec::new(),
             modeled_size: 0,
             full: false,
+            digests: vec![(9, [7u8; 32])],
         };
         assert_eq!(ack.wire_size(), 64, "hash-sized acknowledgement floor");
     }
@@ -301,6 +316,7 @@ mod tests {
                 blocks: Vec::new(),
                 modeled_size: 128,
                 full: true,
+                digests: vec![(3, [4u8; 32]), (2, [5u8; 32])],
             },
         ];
         for m in msgs {

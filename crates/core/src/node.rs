@@ -38,6 +38,7 @@ use std::collections::{HashMap, VecDeque};
 
 pub use crate::messages::ChainMsg;
 pub use crate::pipeline::persist::{OpenBlock, Persistence, Variant};
+pub use crate::pipeline::verify::VerifyConfig;
 pub use crate::pipeline::{
     app_payload, exclude_vote_payload, unwrap_app_payload, verify_envelope_signature,
 };
@@ -52,6 +53,8 @@ pub struct NodeConfig {
     pub persistence: Persistence,
     /// Client-signature checking policy.
     pub sig_mode: SigMode,
+    /// Verify-stage sizing (round cap; default unbounded).
+    pub verify: crate::pipeline::verify::VerifyConfig,
     /// Batching parameters.
     pub ordering: OrderingConfig,
     /// Leader-change timeout.
@@ -79,6 +82,7 @@ impl Default for NodeConfig {
             variant: Variant::Weak,
             persistence: Persistence::Sync,
             sig_mode: SigMode::None,
+            verify: crate::pipeline::verify::VerifyConfig::default(),
             ordering: OrderingConfig::default(),
             progress_timeout: 500 * MILLI,
             execute_ns: 6_000,
@@ -152,6 +156,11 @@ pub(crate) struct MemberState {
     pub(crate) exclude_votes: HashMap<PublicKey, Vec<crate::block::ReconfigVote>>,
     /// The batched verify stage (stage 1 of the pipeline).
     pub(crate) verify: VerifyStage,
+    /// Per-member `(height, chain hash)` digest sets from state replies of
+    /// the current sync round (install is gated on `f+1` consistent ones).
+    pub(crate) state_acks: HashMap<NodeId, Vec<(u64, smartchain_crypto::Hash)>>,
+    /// The full state reply held until enough digests corroborate it.
+    pub(crate) pending_state: Option<crate::pipeline::state_transfer::PendingState>,
     pub(crate) timer_armed: bool,
     pub(crate) delivered_at_arm: u64,
     pub(crate) next_token: u64,
@@ -179,6 +188,8 @@ impl MemberState {
             persist_stash: HashMap::new(),
             exclude_votes: HashMap::new(),
             verify: VerifyStage::new(),
+            state_acks: HashMap::new(),
+            pending_state: None,
             timer_armed: false,
             delivered_at_arm: 0,
             next_token: 100,
@@ -559,17 +570,19 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                         blocks,
                         modeled_size,
                         full,
+                        digests,
                     } => {
-                        if full {
-                            self.install_state(
-                                snapshot,
-                                snapshot_anchor,
-                                snapshot_dedup,
-                                blocks,
-                                modeled_size,
-                                ctx,
-                            );
-                        }
+                        self.on_state_reply(
+                            from,
+                            snapshot,
+                            snapshot_anchor,
+                            snapshot_dedup,
+                            blocks,
+                            modeled_size,
+                            full,
+                            digests,
+                            ctx,
+                        );
                     }
                     ChainMsg::JoinAsk { joiner } => self.on_join_ask(from, joiner, ctx),
                     ChainMsg::JoinVote {

@@ -6,10 +6,17 @@
 //! highest-id member other than the requester — never the leader, whose NIC
 //! would wedge behind a multi-second transfer and stall ordering
 //! cluster-wide.
+//!
+//! Installation is gated on the PBFT agreement rule: every reply (full or
+//! ack) carries the sender's `(height, chain hash)` digest, and the full
+//! reply installs only once `f+1` distinct members' digests are consistent
+//! with the shipped content — so at least one *correct* replica vouches for
+//! the history, and a Byzantine shipper cannot feed a syncing replica a
+//! forged snapshot/anchor/suffix on its own.
 
 use crate::block::{Block, BlockBody, ViewInfo};
 use crate::messages::ChainMsg;
-use crate::node::ChainNode;
+use crate::node::{ChainNode, MemberState};
 use crate::pipeline::checkpoint::SnapshotState;
 use crate::pipeline::persist::Persistence;
 use crate::pipeline::unwrap_app_payload;
@@ -17,6 +24,21 @@ use smartchain_sim::{Ctx, NodeId};
 use smartchain_smr::app::Application;
 use smartchain_smr::ordering::OrderingCore;
 use smartchain_smr::types::Request;
+
+/// Consecutive recent heights carried in every state-reply digest set (the
+/// exponential tail takes over beyond it). Sized so members within a normal
+/// spread of the cluster tip land a digest *inside* a shipped suffix and can
+/// vouch for its content rather than abstain.
+const DIGEST_DENSE_WINDOW: u64 = 32;
+
+/// A full state reply buffered until `f+1` members' digests corroborate it.
+pub(crate) struct PendingState {
+    pub(crate) snapshot: Option<(u64, Vec<u8>)>,
+    pub(crate) snapshot_anchor: Option<smartchain_crypto::Hash>,
+    pub(crate) snapshot_dedup: Vec<(u64, u64)>,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) modeled_size: u64,
+}
 
 impl<A: Application> ChainNode<A> {
     /// Asks the membership for everything after our chain tip.
@@ -29,6 +51,12 @@ impl<A: Application> ChainNode<A> {
                 return;
             }
             m.syncing = true;
+            // A fresh sync round drops any stale full reply. Digest sets
+            // from earlier rounds stay: a member's `(height, hash)` commits
+            // to an append-only prefix, so it keeps vouching forever — and
+            // it covers the race where a new round's full reply beats the
+            // new acks.
+            m.pending_state = None;
             m.ledger.height() + 1
         };
         let msg = ChainMsg::StateReq { from_block };
@@ -102,6 +130,9 @@ impl<A: Application> ChainNode<A> {
         } else {
             (None, Vec::new())
         };
+        // Every reply commits to the sender's chain: `f+1` consistent
+        // digests are what authorizes the requester to install.
+        let digests = Self::tip_digests(self.member.as_ref().expect("active"));
         let msg = ChainMsg::StateRep {
             snapshot,
             snapshot_anchor: if full { snapshot_anchor } else { None },
@@ -109,9 +140,196 @@ impl<A: Application> ChainNode<A> {
             blocks: if full { blocks } else { Vec::new() },
             modeled_size: modeled,
             full,
+            digests,
         };
         let size = msg.wire_size();
         ctx.send(from_node, msg, size);
+    }
+
+    /// `(height, chain hash)` digests, highest first: a dense window over
+    /// the sender's most recent [`DIGEST_DENSE_WINDOW`] blocks, then
+    /// exponentially receding heights (−32, −64, …). The dense window is
+    /// what lets a peer near the shipped suffix's tip vouch for (or refute)
+    /// the suffix *content*; the exponential tail finds a common height
+    /// with repliers much further ahead or behind.
+    fn tip_digests(m: &MemberState) -> Vec<(u64, smartchain_crypto::Hash)> {
+        let tip = m.ledger.height();
+        let mut out = Vec::new();
+        let mut back = 0u64;
+        loop {
+            let height = tip.saturating_sub(back);
+            if height == 0 {
+                break;
+            }
+            if out.last().map(|(h, _)| *h) != Some(height) {
+                if let Some(hash) = m.ledger.chain_hash_at(height) {
+                    out.push((height, hash));
+                }
+            }
+            if height == 1 {
+                break;
+            }
+            back = if back < DIGEST_DENSE_WINDOW {
+                back + 1
+            } else {
+                back * 2
+            };
+        }
+        out
+    }
+
+    /// Buffers a state reply (full or acknowledgement) for the current sync
+    /// round and installs the pending full reply once `f+1` members' digests
+    /// are consistent with its content.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_state_reply(
+        &mut self,
+        from_node: NodeId,
+        snapshot: Option<(u64, Vec<u8>)>,
+        snapshot_anchor: Option<smartchain_crypto::Hash>,
+        snapshot_dedup: Vec<(u64, u64)>,
+        blocks: Vec<Block>,
+        modeled_size: u64,
+        full: bool,
+        digests: Vec<(u64, smartchain_crypto::Hash)>,
+        ctx: &mut Ctx<'_, ChainMsg>,
+    ) {
+        {
+            let member_ok = {
+                let Some(m) = self.member.as_ref() else {
+                    return;
+                };
+                if !m.syncing {
+                    return;
+                }
+                // Only members may vouch (one digest set per member node).
+                (0..m.view.n()).any(|r| self.node_of(&m.view, r) == Some(from_node))
+            };
+            if !member_ok {
+                return;
+            }
+            let m = self.member.as_mut().expect("active");
+            m.state_acks.insert(from_node, digests);
+            if full && m.pending_state.is_none() {
+                m.pending_state = Some(PendingState {
+                    snapshot,
+                    snapshot_anchor,
+                    snapshot_dedup,
+                    blocks,
+                    modeled_size,
+                });
+            }
+        }
+        self.try_install_state(ctx);
+    }
+
+    /// Checks whether the buffered full reply is authorized — self-
+    /// authenticating, or corroborated by `f+1` consistent digest sets —
+    /// and installs it if so.
+    fn try_install_state(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        let ready = {
+            let Some(m) = self.member.as_ref() else {
+                return;
+            };
+            let Some(pending) = m.pending_state.as_ref() else {
+                return;
+            };
+            // `> f` is the PBFT `f+1` rule: at least one correct voucher.
+            Self::candidate_self_authenticating(m, pending)
+                || m.state_acks
+                    .values()
+                    .filter(|digests| Self::reply_vouches(m, pending, digests))
+                    .count()
+                    > m.view.f()
+        };
+        if !ready {
+            return;
+        }
+        let m = self.member.as_mut().expect("active");
+        let pending = m.pending_state.take().expect("pending state");
+        m.state_acks.clear();
+        self.install_state(
+            pending.snapshot,
+            pending.snapshot_anchor,
+            pending.snapshot_dedup,
+            pending.blocks,
+            pending.modeled_size,
+            ctx,
+        );
+    }
+
+    /// A suffix-only candidate (no snapshot) is self-authenticating when
+    /// every shipped block carries its own transferable authority: valid
+    /// commitments, the decision proof at the block's own number, and a
+    /// signature quorum under the *current* view's consensus keys — the
+    /// same authority rule the third-party auditor applies. No network
+    /// round is needed to accept it, so installs stay deterministic.
+    /// Snapshot-bearing candidates (the state is not self-verifying) and
+    /// suffixes spanning view changes (older views' keys) fall back to the
+    /// `f+1` digest rule.
+    fn candidate_self_authenticating(m: &MemberState, pending: &PendingState) -> bool {
+        if pending.snapshot.is_some() {
+            return false;
+        }
+        let view = m.view.to_consensus_view();
+        pending.blocks.iter().all(|b| {
+            let proof = match &b.body {
+                BlockBody::Transactions { proof, .. } => proof,
+                BlockBody::Reconfiguration { proof, .. } => proof,
+            };
+            b.commitments_valid() && proof.instance == b.header.number && proof.verify(&view)
+        })
+    }
+
+    /// Whether one member's digest set corroborates the candidate state: its
+    /// highest height the candidate can resolve must lie in the candidate's
+    /// *new* content (above the requester's own tip) and carry the same
+    /// hash. Hash chaining makes that one point vouch for everything below
+    /// it; a forged suffix resolves to different hashes and turns the
+    /// member into a rejecter. Members whose digests never reach the new
+    /// content — far ahead of the suffix's tip with no dense-window
+    /// overlap, at or below the requester's own tip, or behind it —
+    /// abstain: a digest the requester's *own pre-install prefix* already
+    /// explains would corroborate any forged suffix grafted onto that
+    /// prefix.
+    fn reply_vouches(
+        m: &MemberState,
+        pending: &PendingState,
+        digests: &[(u64, smartchain_crypto::Hash)],
+    ) -> bool {
+        let own_tip = m.ledger.height();
+        for (height, digest) in digests {
+            if *height <= own_tip {
+                return false; // descending: only prefix heights remain
+            }
+            if let Some(hash) = Self::candidate_hash_at(m, pending, *height) {
+                return hash == *digest;
+            }
+        }
+        false
+    }
+
+    /// The chain hash the requester would hold at `height` *after* installing
+    /// `pending`: from the shipped blocks, the shipped snapshot anchor, or
+    /// the local ledger (shared correct prefix). `None` when the candidate
+    /// state cannot speak for that height.
+    fn candidate_hash_at(
+        m: &MemberState,
+        pending: &PendingState,
+        height: u64,
+    ) -> Option<smartchain_crypto::Hash> {
+        if let Some(block) = pending.blocks.iter().find(|b| b.header.number == height) {
+            return Some(block.header.hash());
+        }
+        if let (Some((covered, _)), Some(anchor)) = (&pending.snapshot, &pending.snapshot_anchor) {
+            if *covered == height {
+                return Some(*anchor);
+            }
+        }
+        if height > m.ledger.height() {
+            return None;
+        }
+        m.ledger.chain_hash_at(height)
     }
 
     /// Installs a full state reply: snapshot, then block replay, then view
@@ -209,6 +427,29 @@ impl<A: Application> ChainNode<A> {
                 .as_ref()
                 .and_then(|m| m.snapshot.as_ref())
                 .is_some_and(|s| block.header.number <= s.covered);
+            // Append FIRST: a block the ledger rejects (broken hash chain,
+            // bad number) must not execute into the application either — a
+            // divergence between chain and app state is precisely the fork
+            // state transfer exists to prevent. The rest of the shipped
+            // suffix cannot chain onto a rejected block, so stop here; the
+            // replica stays syncing and re-requests.
+            let appended = self
+                .member
+                .as_mut()
+                .is_some_and(|m| m.ledger.append(&block).is_ok());
+            if !appended {
+                if std::env::var("SC_ST_DEBUG").is_ok() {
+                    eprintln!("[st] append rejected block {}", block.header.number);
+                }
+                // Clear `syncing` so the next NeedStateTransfer trigger can
+                // start a fresh round against (hopefully) honest shippers.
+                if let Some(m) = self.member.as_mut() {
+                    let height = m.ledger.height();
+                    m.core.fast_forward(height);
+                    m.syncing = false;
+                }
+                return;
+            }
             match &block.body {
                 BlockBody::Transactions { requests, .. } => {
                     for req in requests {
@@ -232,9 +473,6 @@ impl<A: Application> ChainNode<A> {
                 BlockBody::Reconfiguration { new_view: v, .. } => {
                     new_view = Some(v.clone());
                 }
-            }
-            if let Some(m) = self.member.as_mut() {
-                let _ = m.ledger.append(&block);
             }
         }
         if let Some(v) = new_view {
@@ -306,6 +544,8 @@ impl<A: Application> ChainNode<A> {
             m.reconfig_install = None;
             m.persist_stash.clear();
             m.verify.clear();
+            m.state_acks.clear();
+            m.pending_state = None;
             m.timer_armed = false;
             m.syncing = false;
             // The crash dropped the engine's non-durable suffix; re-derive

@@ -25,6 +25,18 @@ use smartchain_smr::actor::SigMode;
 use smartchain_smr::app::Application;
 use smartchain_smr::types::Request;
 
+/// Configuration of the verify stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Maximum requests dispatched to the pool lanes per verification round.
+    /// `0` = unbounded ("everything queued", the original behavior). A
+    /// finite cap trades throughput (bigger batches amortize the dispatch
+    /// hand-off) against latency (a request never waits behind more than
+    /// `max_batch − 1` others in its round) — the same trade-off the paper
+    /// analyzes for group commit in §IV-B, surfaced for the verify stage.
+    pub max_batch: usize,
+}
+
 /// The verify stage's queue state (lives in `MemberState`).
 #[derive(Debug, Default)]
 pub(crate) struct VerifyStage {
@@ -74,6 +86,7 @@ impl<A: Application> ChainNode<A> {
 
     /// Starts a verification round if the lanes are idle and work is queued.
     fn dispatch_verify_batch(&mut self, ctx: &mut Ctx<'_, ChainMsg>) {
+        let cap = self.config.verify.max_batch;
         let batch = {
             let Some(m) = self.member.as_mut() else {
                 return;
@@ -81,7 +94,12 @@ impl<A: Application> ChainNode<A> {
             if m.verify.in_flight.is_some() || m.verify.pending.is_empty() {
                 return;
             }
-            std::mem::take(&mut m.verify.pending)
+            if cap == 0 || m.verify.pending.len() <= cap {
+                std::mem::take(&mut m.verify.pending)
+            } else {
+                // Bounded round: the rest waits for the next dispatch.
+                m.verify.pending.drain(..cap).collect()
+            }
         };
         // One dispatch per batch: the sequential lane pays the pool hand-off
         // once, however many requests ride along.

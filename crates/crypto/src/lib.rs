@@ -9,6 +9,8 @@
 //!   single-process simulations.
 //! * [`keys`] — a unified [`keys::SecretKey`]/[`keys::PublicKey`] API over
 //!   both backends.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), the frame authenticator of the
+//!   TCP transport's point-to-point links.
 //! * [`merkle`] — binary Merkle trees (block result commitments).
 //! * [`pool`] — a parallel signature-verification worker pool (the mechanism
 //!   behind the paper's "parallel signature verification" column in Table I).
@@ -24,6 +26,7 @@
 //! ```
 
 pub mod ed25519;
+pub mod hmac;
 pub mod keys;
 pub mod merkle;
 pub mod pool;

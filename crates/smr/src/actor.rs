@@ -346,6 +346,10 @@ impl<A: Application> Actor<SmrMsg> for ReplicaActor<A> {
                         }
                     }
                     SmrMsg::Reply(_) => {}
+                    // Runtime state transfer is a metal-deployment concern;
+                    // simulated replicas share fate within the window and
+                    // use `ChainMsg`-level transfer instead.
+                    SmrMsg::StateReq { .. } | SmrMsg::StateRep { .. } => {}
                 }
             }
             Event::Timer {

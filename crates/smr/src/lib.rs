@@ -6,7 +6,9 @@
 //! vocabulary, the [`app`] service interface, simulation [`actor`]s for
 //! replicas and closed-loop [`client`]s, and the Dura-SMaRt-style
 //! [`durability`] pipeline whose batch-coalescing the paper measures in
-//! Table I.
+//! Table I — plus the metal deployment layer: the [`transport`] abstraction
+//! (in-process channels or authenticated, reconnecting TCP links) under the
+//! [`runtime`]'s replica loop.
 
 pub mod actor;
 pub mod app;
@@ -15,4 +17,5 @@ pub mod durability;
 pub mod ordering;
 pub mod reconfig;
 pub mod runtime;
+pub mod transport;
 pub mod types;

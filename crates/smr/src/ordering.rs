@@ -38,6 +38,31 @@ pub enum SmrMsg {
     Sync(SyncMsg),
     /// Reply to a client.
     Reply(crate::types::Reply),
+    /// Runtime state transfer: a recovering replica asks a peer for every
+    /// applied batch from `from_batch` onward (metal deployments; the
+    /// simulated chain uses `ChainMsg::StateReq` instead).
+    StateReq {
+        /// First batch (consensus instance) the requester is missing.
+        from_batch: u64,
+    },
+    /// Runtime state-transfer reply: an application snapshot (if one covers
+    /// part of the gap) plus the logged batch suffix.
+    StateRep {
+        /// Batches summarized by `snapshot` (0 = no snapshot shipped).
+        covered: u64,
+        /// Serialized application state covering batches `1..=covered`.
+        snapshot: Option<Vec<u8>>,
+        /// Batch number of `batches[0]` (consecutive from there).
+        first_batch: u64,
+        /// Encoded request batches `first_batch..first_batch + len`.
+        batches: Vec<Vec<u8>>,
+        /// The sender's per-client dedup frontier, so requests inside the
+        /// summarized prefix are rejected as duplicates after the install.
+        frontier: Vec<(u64, u64)>,
+        /// The sender's current regency, so a recovering replica that slept
+        /// through leader changes rejoins at the right one.
+        regency: u32,
+    },
 }
 
 impl SmrMsg {
@@ -68,6 +93,26 @@ impl Encode for SmrMsg {
                 3u8.encode(out);
                 r.encode(out);
             }
+            SmrMsg::StateReq { from_batch } => {
+                4u8.encode(out);
+                from_batch.encode(out);
+            }
+            SmrMsg::StateRep {
+                covered,
+                snapshot,
+                first_batch,
+                batches,
+                frontier,
+                regency,
+            } => {
+                5u8.encode(out);
+                covered.encode(out);
+                snapshot.encode(out);
+                first_batch.encode(out);
+                smartchain_codec::encode_seq(batches, out);
+                smartchain_codec::encode_seq(frontier, out);
+                regency.encode(out);
+            }
         }
     }
 
@@ -77,6 +122,22 @@ impl Encode for SmrMsg {
             SmrMsg::Consensus(c) => c.encoded_len(),
             SmrMsg::Sync(s) => s.encoded_len(),
             SmrMsg::Reply(r) => r.encoded_len(),
+            SmrMsg::StateReq { from_batch } => from_batch.encoded_len(),
+            SmrMsg::StateRep {
+                covered,
+                snapshot,
+                first_batch,
+                batches,
+                frontier,
+                regency,
+            } => {
+                covered.encoded_len()
+                    + snapshot.encoded_len()
+                    + first_batch.encoded_len()
+                    + smartchain_codec::seq_encoded_len(batches)
+                    + smartchain_codec::seq_encoded_len(frontier)
+                    + regency.encoded_len()
+            }
         }
     }
 }
@@ -88,6 +149,17 @@ impl Decode for SmrMsg {
             1 => Ok(SmrMsg::Consensus(ConsensusMsg::decode(input)?)),
             2 => Ok(SmrMsg::Sync(SyncMsg::decode(input)?)),
             3 => Ok(SmrMsg::Reply(crate::types::Reply::decode(input)?)),
+            4 => Ok(SmrMsg::StateReq {
+                from_batch: u64::decode(input)?,
+            }),
+            5 => Ok(SmrMsg::StateRep {
+                covered: u64::decode(input)?,
+                snapshot: Option::<Vec<u8>>::decode(input)?,
+                first_batch: u64::decode(input)?,
+                batches: smartchain_codec::decode_seq(input)?,
+                frontier: smartchain_codec::decode_seq(input)?,
+                regency: u32::decode(input)?,
+            }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
     }
@@ -382,7 +454,80 @@ impl OrderingCore {
                 self.apply_sync_actions(actions)
             }
             SmrMsg::Reply(_) => Vec::new(), // replicas ignore replies
+            // State transfer is the embedding's job (it owns the log); the
+            // core ignores the messages if they ever reach it.
+            SmrMsg::StateReq { .. } | SmrMsg::StateRep { .. } => Vec::new(),
         }
+    }
+
+    /// Called by an embedding whose transport re-established the link to
+    /// `peer` (metal deployments on real sockets): messages queued for that
+    /// peer may have died with the torn connection, so the protocol state
+    /// the synchronization phase cannot regenerate on its own — our STOP
+    /// vote and, if `peer` leads a pending regency, our STOPDATA — is
+    /// re-sent. Consensus-instance traffic needs no such resend: it is
+    /// repaired by `FetchValue`/state transfer.
+    pub fn on_peer_reconnect(&mut self, peer: ReplicaId) -> Vec<CoreOutput> {
+        if peer == self.me || peer >= self.view.members.len() {
+            return Vec::new();
+        }
+        let mut outputs = Vec::new();
+        let sent = self.synchronizer.sent_stop_for();
+        if sent > self.synchronizer.regency() {
+            outputs.push(CoreOutput::Send(
+                peer,
+                SmrMsg::Sync(SyncMsg::Stop { regency: sent }),
+            ));
+        }
+        if let Some(regency) = self.synchronizer.stopped_regency() {
+            if self.synchronizer.leader_of(regency) == peer {
+                let locked = self.collect_locked();
+                let msg = self.synchronizer.make_stopdata(
+                    regency,
+                    StopData {
+                        last_decided: self.last_delivered,
+                        locked,
+                    },
+                );
+                outputs.push(CoreOutput::Send(peer, SmrMsg::Sync(msg)));
+            }
+        }
+        outputs
+    }
+
+    /// Adopts a regency learned out-of-band (a state-transfer shipper's
+    /// report, metal deployments only): jumps the synchronizer forward and
+    /// moves every open instance to the new epoch so current-regency
+    /// traffic is no longer dropped. A replica that slept through a leader
+    /// change cannot reconstruct the STOP/STOPDATA exchange it missed; this
+    /// is liveness-only state (epoch quorums still guard safety). No-op
+    /// unless `regency` is ahead of ours.
+    pub fn adopt_regency(&mut self, regency: u32) {
+        if regency <= self.synchronizer.regency() {
+            return;
+        }
+        self.synchronizer.fast_forward_regency(regency);
+        let leader = self.synchronizer.current_leader();
+        let open: Vec<u64> = self
+            .instances
+            .range(self.last_delivered + 1..)
+            .map(|(&i, _)| i)
+            .collect();
+        for i in open {
+            if let Some(inst) = self.instances.get_mut(&i) {
+                inst.advance_epoch(regency, leader);
+            }
+        }
+    }
+
+    /// When in-order delivery is stalled on a hole — decisions are buffered
+    /// for later instances but `last_delivered + 1` never decided here —
+    /// returns the highest buffered instance. A replica that restarted
+    /// within the catch-up window lands in exactly this state (its peers
+    /// decided the gap while it was down and will not re-run consensus for
+    /// it); the embedding should fetch the gap via state transfer.
+    pub fn stalled_behind(&self) -> Option<u64> {
+        self.undelivered.keys().next_back().copied()
     }
 
     fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg) -> Vec<CoreOutput> {
@@ -1228,6 +1373,15 @@ mod wire_len_tests {
                 result: vec![3; 10],
                 replica: 0,
             }),
+            SmrMsg::StateReq { from_batch: 17 },
+            SmrMsg::StateRep {
+                covered: 8,
+                snapshot: Some(vec![9; 40]),
+                first_batch: 9,
+                batches: vec![vec![1; 12], vec![2; 7]],
+                frontier: vec![(3, 4), (5, 6)],
+                regency: 2,
+            },
         ];
         for m in msgs {
             assert_eq!(m.encoded_len(), m.to_vec().len());
@@ -1235,6 +1389,9 @@ mod wire_len_tests {
                 m.wire_size(),
                 smartchain_codec::FRAME_BYTES + m.to_vec().len()
             );
+            let bytes = m.to_vec();
+            let back: SmrMsg = smartchain_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, m);
         }
     }
 }

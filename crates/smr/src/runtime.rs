@@ -1,32 +1,33 @@
-//! A real-time, in-process deployment of the SMR stack: one OS thread per
-//! replica, std mpsc channels as the (authenticated) point-to-point links,
-//! wall-clock progress timeouts, and real durable storage through
-//! [`DurableApp`].
+//! A real-time deployment of the SMR stack: one replica loop per OS
+//! thread/process, wall-clock progress timeouts, real durable storage
+//! through [`DurableApp`] — and the messaging substrate abstracted behind
+//! [`Transport`], so the same loop runs over in-process channels
+//! ([`LocalCluster`]) or authenticated, reconnecting TCP links
+//! ([`TcpCluster`] in-process over loopback, or one process per replica via
+//! [`serve_replica`]).
 //!
 //! The protocol cores are the same sans-IO state machines the simulator
-//! drives; this module shows they run unchanged against real time and real
-//! disks, and gives downstream users an embeddable local cluster (tests,
-//! demos, single-machine deployments).
+//! drives; this module shows they run unchanged against real time, real
+//! disks and real sockets. On lossy transports the loop also runs the
+//! runtime's state transfer: a replica that restarted (or fell behind a
+//! torn link) fetches the missed batch suffix from a peer and rejoins.
 
 use crate::app::Application;
 use crate::durability::DurableApp;
 use crate::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
+use crate::transport::{
+    channel_mesh, ClusterConfig, NetEvent, RecvError, TcpClient, TcpTransport, Transport,
+};
 use crate::types::{Reply, Request};
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{Backend, SecretKey};
 use smartchain_crypto::pool::{VerifyItem, VerifyPool};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Messages on the internal links.
-enum Wire {
-    Peer { from: ReplicaId, msg: SmrMsg },
-    Client(Request),
-    Shutdown,
-}
 
 /// Configuration of a local threaded cluster.
 #[derive(Clone, Debug)]
@@ -45,6 +46,11 @@ pub struct RuntimeConfig {
     /// pipeline's verify stage; client requests are checked in batches off
     /// the ordering thread).
     pub verify_workers: usize,
+    /// Reject unsigned requests in the verify stage. `false` (the embedded
+    /// default) keeps signature-free deployments working; anything serving
+    /// an open TCP surface should set it — see [`verify_and_submit`]'s
+    /// forgery note. `cluster.toml` deployments default to `true`.
+    pub require_signed: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -56,13 +62,14 @@ impl Default for RuntimeConfig {
             storage_dir: None,
             checkpoint_period: 128,
             verify_workers: 2,
+            require_signed: false,
         }
     }
 }
 
-/// Handle to a running local cluster.
+/// Handle to a running local (channel-transport) cluster.
 pub struct LocalCluster {
-    inboxes: Vec<Sender<Wire>>,
+    inboxes: Vec<Sender<NetEvent>>,
     replies: Receiver<Reply>,
     handles: Vec<JoinHandle<()>>,
     f: usize,
@@ -80,7 +87,7 @@ impl std::fmt::Debug for LocalCluster {
 
 impl LocalCluster {
     /// Boots `config.replicas` replica threads running `make_app()` behind
-    /// durable logs.
+    /// durable logs, wired through the in-process channel transport.
     ///
     /// # Errors
     ///
@@ -100,16 +107,9 @@ impl LocalCluster {
         let root = config.storage_dir.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!("smartchain-runtime-{}", std::process::id()))
         });
-        let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
-        let mut inboxes = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = mpsc::channel::<Wire>();
-            inboxes.push(tx);
-            receivers.push(rx);
-        }
+        let (transports, mesh) = channel_mesh(n);
         let mut handles = Vec::with_capacity(n);
-        for (me, rx) in receivers.into_iter().enumerate() {
+        for (me, mut transport) in transports.into_iter().enumerate() {
             let mut core = OrderingCore::new(
                 me,
                 view.clone(),
@@ -125,27 +125,24 @@ impl LocalCluster {
                 root.join(format!("replica-{me}")),
                 config.checkpoint_period,
             )?;
-            let peers = inboxes.clone();
-            let replies = reply_tx.clone();
             let timeout = config.progress_timeout;
             let verify_workers = config.verify_workers.max(1);
+            let require_signed = config.require_signed;
             handles.push(std::thread::spawn(move || {
                 let pool = VerifyPool::new(verify_workers);
                 replica_loop(
-                    me,
                     &mut core,
                     &mut durable,
-                    rx,
-                    &peers,
-                    &replies,
+                    &mut transport,
                     timeout,
                     &pool,
+                    require_signed,
                 );
             }));
         }
         Ok(LocalCluster {
-            inboxes,
-            replies: reply_rx,
+            inboxes: mesh.inboxes,
+            replies: mesh.replies,
             handles,
             f: (n - 1) / 3,
             next_seq: 0,
@@ -159,7 +156,7 @@ impl LocalCluster {
         let (dead_tx, _) = mpsc::channel();
         if let Some(slot) = self.inboxes.get_mut(replica) {
             let old = std::mem::replace(slot, dead_tx);
-            let _ = old.send(Wire::Shutdown);
+            let _ = old.send(NetEvent::Shutdown);
         }
     }
 
@@ -195,7 +192,7 @@ impl LocalCluster {
     ) -> std::io::Result<Vec<u8>> {
         self.next_seq = self.next_seq.max(request.seq);
         for inbox in &self.inboxes {
-            let _ = inbox.send(Wire::Client(request.clone()));
+            let _ = inbox.send(NetEvent::Client(request.clone()));
         }
         let needed = self.f + 1;
         let mut tally: HashMap<Vec<u8>, std::collections::HashSet<ReplicaId>> = HashMap::new();
@@ -228,7 +225,7 @@ impl LocalCluster {
     /// Shuts the cluster down and joins the replica threads.
     pub fn shutdown(mut self) {
         for inbox in &self.inboxes {
-            let _ = inbox.send(Wire::Shutdown);
+            let _ = inbox.send(NetEvent::Shutdown);
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -236,13 +233,277 @@ impl LocalCluster {
     }
 }
 
+// ---------------------------------------------------------------------------
+// TCP deployment
+// ---------------------------------------------------------------------------
+
+struct TcpReplicaHandle {
+    injector: Sender<NetEvent>,
+    handle: JoinHandle<()>,
+}
+
+/// A 3f+1 cluster over real loopback sockets, one replica thread each —
+/// the in-process stand-in for the multi-process deployment (which runs the
+/// identical [`serve_replica`] loop, one process per replica).
+pub struct TcpCluster<A: Application> {
+    cluster: ClusterConfig,
+    backend: Backend,
+    runtime: RuntimeConfig,
+    root: PathBuf,
+    make_app: Box<dyn Fn() -> A + Send + Sync>,
+    replicas: Vec<Option<TcpReplicaHandle>>,
+    client: TcpClient,
+    next_seq: u64,
+}
+
+impl<A: Application> std::fmt::Debug for TcpCluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCluster")
+            .field("replicas", &self.cluster.n())
+            .field("addrs", &self.cluster.replicas)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Application> TcpCluster<A> {
+    /// Boots `config.replicas` replica threads over loopback TCP on
+    /// OS-assigned ports. `backend` selects the consensus-key scheme —
+    /// [`Backend::Sim`] is fine in-process; multi-process deployments need
+    /// [`Backend::Ed25519`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and storage initialization failures.
+    pub fn start(
+        config: RuntimeConfig,
+        backend: Backend,
+        make_app: impl Fn() -> A + Send + Sync + 'static,
+    ) -> std::io::Result<TcpCluster<A>> {
+        let n = config.replicas;
+        // Bind first so every replica learns real ports, then hand each
+        // pre-bound listener to its transport.
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?.to_string());
+            listeners.push(listener);
+        }
+        let mut secret = [0u8; 32];
+        secret[..8].copy_from_slice(&(std::process::id() as u64).to_le_bytes());
+        let mut cluster = ClusterConfig::new(addrs.clone(), secret);
+        cluster.max_batch = config.max_batch;
+        cluster.checkpoint_period = config.checkpoint_period;
+        cluster.progress_timeout_ms = config.progress_timeout.as_millis() as u64;
+        cluster.require_signed = config.require_signed;
+        let root = config.storage_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("smartchain-tcp-{}", std::process::id()))
+        });
+        let client = TcpClient::new(0xC11E28, addrs);
+        let mut this = TcpCluster {
+            cluster,
+            backend,
+            runtime: config,
+            root,
+            make_app: Box::new(make_app),
+            replicas: (0..n).map(|_| None).collect(),
+            client,
+            next_seq: 0,
+        };
+        for (me, listener) in listeners.into_iter().enumerate() {
+            this.spawn_replica(me, Some(listener))?;
+        }
+        Ok(this)
+    }
+
+    /// The deployment descriptor (addresses, secret) this cluster runs on.
+    pub fn cluster_config(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    fn spawn_replica(
+        &mut self,
+        me: ReplicaId,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<()> {
+        let listener = match listener {
+            Some(l) => l,
+            // A restart rebinds the replica's old port; accepted sockets of
+            // the previous incarnation may hold it briefly (TIME_WAIT), so
+            // retry within a bounded window.
+            None => {
+                let addr = &self.cluster.replicas[me];
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                loop {
+                    match TcpListener::bind(addr) {
+                        Ok(l) => break l,
+                        Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                        Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                    }
+                }
+            }
+        };
+        let mut transport = TcpTransport::from_listener(self.cluster.tcp_config(me), listener)?;
+        let injector = transport.injector();
+        let mut durable = DurableApp::open(
+            (self.make_app)(),
+            self.root.join(format!("replica-{me}")),
+            self.runtime.checkpoint_period,
+        )?;
+        let mut core = OrderingCore::new(
+            me,
+            self.cluster.view(self.backend),
+            self.cluster.replica_secret(me, self.backend),
+            OrderingConfig {
+                max_batch: self.runtime.max_batch,
+                ..OrderingConfig::default()
+            },
+            durable.batches_applied(),
+        );
+        let timeout = self.runtime.progress_timeout;
+        let verify_workers = self.runtime.verify_workers.max(1);
+        let require_signed = self.runtime.require_signed;
+        let handle = std::thread::Builder::new()
+            .name(format!("sc-replica-{me}"))
+            .spawn(move || {
+                let pool = VerifyPool::new(verify_workers);
+                replica_loop(
+                    &mut core,
+                    &mut durable,
+                    &mut transport,
+                    timeout,
+                    &pool,
+                    require_signed,
+                );
+            })
+            .expect("spawn replica");
+        self.replicas[me] = Some(TcpReplicaHandle { injector, handle });
+        Ok(())
+    }
+
+    /// Kills a replica: its loop exits, its transport tears down every
+    /// connection (peers see torn links and redial into nothing until a
+    /// restart).
+    pub fn kill_replica(&mut self, replica: ReplicaId) {
+        if let Some(h) = self.replicas.get_mut(replica).and_then(Option::take) {
+            let _ = h.injector.send(NetEvent::Shutdown);
+            let _ = h.handle.join();
+        }
+    }
+
+    /// Restarts a previously killed replica on its old address and storage
+    /// directory: it recovers its durable prefix locally and state-transfers
+    /// the missed suffix from its peers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and storage failures.
+    pub fn restart_replica(&mut self, replica: ReplicaId) -> std::io::Result<()> {
+        if self.replicas[replica].is_some() {
+            return Ok(()); // still running
+        }
+        self.spawn_replica(replica, None)
+    }
+
+    /// Submits an operation and waits for `f+1` matching replies.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` if no quorum forms within `deadline`.
+    pub fn execute(&mut self, payload: Vec<u8>, deadline: Duration) -> std::io::Result<Vec<u8>> {
+        self.next_seq += 1;
+        let request = Request {
+            client: 0xC11E28,
+            seq: self.next_seq,
+            payload,
+            signature: None,
+        };
+        self.execute_request(request, deadline)
+    }
+
+    /// Submits a pre-built (e.g. signed) request and waits for `f+1`
+    /// matching replies.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` if no quorum forms within `deadline`.
+    pub fn execute_request(
+        &mut self,
+        request: Request,
+        deadline: Duration,
+    ) -> std::io::Result<Vec<u8>> {
+        self.next_seq = self.next_seq.max(request.seq);
+        let quorum = self.cluster.f() + 1;
+        self.client.execute_request(request, quorum, deadline)
+    }
+
+    /// Shuts every replica down and joins all threads.
+    pub fn shutdown(mut self) {
+        for slot in &mut self.replicas {
+            if let Some(h) = slot.take() {
+                let _ = h.injector.send(NetEvent::Shutdown);
+                let _ = h.handle.join();
+            }
+        }
+        self.client.shutdown();
+    }
+}
+
+/// Runs one replica of a multi-process deployment on the current thread:
+/// binds `cluster.replicas[me]`, recovers durable state from `storage_dir`,
+/// and loops until the process is killed. This is what the `replica` example
+/// binary calls; pair it with [`TcpClient`] (the `client` example).
+///
+/// # Errors
+///
+/// Propagates socket and storage initialization failures.
+pub fn serve_replica<A: Application>(
+    cluster: &ClusterConfig,
+    me: ReplicaId,
+    backend: Backend,
+    storage_dir: PathBuf,
+    app: A,
+) -> std::io::Result<()> {
+    let mut transport = TcpTransport::bind(cluster.tcp_config(me))?;
+    let mut durable = DurableApp::open(app, storage_dir, cluster.checkpoint_period)?;
+    let mut core = OrderingCore::new(
+        me,
+        cluster.view(backend),
+        cluster.replica_secret(me, backend),
+        OrderingConfig {
+            max_batch: cluster.max_batch,
+            ..OrderingConfig::default()
+        },
+        durable.batches_applied(),
+    );
+    let pool = VerifyPool::new(2);
+    let timeout = Duration::from_millis(cluster.progress_timeout_ms.max(1));
+    replica_loop(
+        &mut core,
+        &mut durable,
+        &mut transport,
+        timeout,
+        &pool,
+        cluster.require_signed,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The replica loop (transport-generic)
+// ---------------------------------------------------------------------------
+
 /// Batched verify stage (wall-clock backend): checks every signed request in
 /// `batch` on the pool lanes at once and feeds the survivors to the order
-/// stage. Unsigned requests pass through (signature-free deployments).
+/// stage. Unsigned requests pass through only when the deployment does not
+/// `require_signed` — on an open TCP surface an unsigned request would let
+/// any network peer forge another client's `(client, seq)` and poison its
+/// duplicate filter, so public deployments must require signatures.
 fn verify_and_submit(
     core: &mut OrderingCore,
     pool: &VerifyPool,
     batch: Vec<Request>,
+    require_signed: bool,
 ) -> Vec<CoreOutput> {
     let mut checks = Vec::new();
     let mut passed = Vec::new();
@@ -254,7 +515,8 @@ fn verify_and_submit(
                 msg: Request::sign_payload(request.client, request.seq, &request.payload),
                 sig: *sig,
             }),
-            None => passed.push(i),
+            None if !require_signed => passed.push(i),
+            None => {} // unsigned request on a signature-requiring deployment
         }
     }
     passed.extend(
@@ -270,47 +532,224 @@ fn verify_and_submit(
     outputs
 }
 
-#[allow(clippy::too_many_arguments)]
-fn replica_loop<A: Application>(
-    me: ReplicaId,
+/// Runtime state-transfer bookkeeping: which peer we asked, and when.
+struct SyncAttempt {
+    asked_at: std::time::Instant,
+    attempt: usize,
+}
+
+/// The shipper for retry `attempt`: highest-id peers first (the designated
+/// non-leader shipper rule), rotating on unanswered attempts so one crashed
+/// peer cannot wedge recovery.
+fn shipper_for(me: ReplicaId, n: usize, attempt: usize) -> ReplicaId {
+    let order: Vec<ReplicaId> = (0..n).rev().filter(|&r| r != me).collect();
+    order[attempt % order.len()]
+}
+
+fn send_state_request<A: Application, T: Transport>(
+    durable: &DurableApp<A>,
+    transport: &mut T,
+    attempt: usize,
+) -> SyncAttempt {
+    let me = transport.me();
+    let shipper = shipper_for(me, transport.n(), attempt);
+    transport.send(
+        shipper,
+        SmrMsg::StateReq {
+            from_batch: durable.batches_applied() + 1,
+        },
+    );
+    SyncAttempt {
+        asked_at: std::time::Instant::now(),
+        attempt,
+    }
+}
+
+/// Installs a peer's state reply into the durable app and the ordering
+/// core's duplicate filter. Returns true when the local state advanced.
+fn install_state_reply<A: Application>(
     core: &mut OrderingCore,
     durable: &mut DurableApp<A>,
-    rx: Receiver<Wire>,
-    peers: &[Sender<Wire>],
-    replies: &Sender<Reply>,
+    covered: u64,
+    snapshot: Option<Vec<u8>>,
+    first_batch: u64,
+    batches: &[Vec<u8>],
+    frontier: &[(u64, u64)],
+) -> bool {
+    let before = durable.batches_applied();
+    let Ok(applied) = durable.install_remote(covered, snapshot, first_batch, batches) else {
+        return false;
+    };
+    // The dedup frontier covers the summarized prefix; the applied requests
+    // cover the replayed suffix. Both must reach the core or client
+    // retransmissions would re-order history.
+    for &(client, seq) in frontier {
+        core.note_delivered(client, seq);
+    }
+    for request in &applied {
+        core.note_delivered(request.client, request.seq);
+    }
+    core.fast_forward(durable.batches_applied());
+    durable.batches_applied() > before
+}
+
+fn replica_loop<A: Application, T: Transport>(
+    core: &mut OrderingCore,
+    durable: &mut DurableApp<A>,
+    transport: &mut T,
     timeout: Duration,
     pool: &VerifyPool,
+    require_signed: bool,
 ) {
+    let me = transport.me();
     let mut last_progress = std::time::Instant::now();
-    // Non-client messages encountered while draining a verify batch wait
-    // here and are processed before blocking on the channel again.
-    let mut backlog: VecDeque<Wire> = VecDeque::new();
+    // Non-client events encountered while draining a verify batch wait here
+    // and are processed before blocking on the transport again.
+    let mut backlog: std::collections::VecDeque<NetEvent> = std::collections::VecDeque::new();
+    // In-flight runtime state transfer, if any.
+    let mut syncing: Option<SyncAttempt> = None;
     loop {
         let event = match backlog.pop_front() {
-            Some(wire) => Ok(wire),
-            None => rx.recv_timeout(timeout),
+            Some(ev) => Ok(ev),
+            None => transport.recv_timeout(timeout),
         };
         let outputs = match event {
-            Ok(Wire::Peer { from, msg }) => core.on_message(from, msg),
-            Ok(Wire::Client(request)) => {
+            Ok(NetEvent::Peer {
+                from,
+                msg: SmrMsg::StateReq { from_batch },
+            }) => {
+                // Serve from our durable log + snapshot; the requester
+                // validates contiguity on its side.
+                if let Ok(reply) = durable.state_reply(from_batch) {
+                    transport.send(
+                        from,
+                        SmrMsg::StateRep {
+                            covered: reply.covered,
+                            snapshot: reply.snapshot,
+                            first_batch: reply.first_batch,
+                            batches: reply.batches,
+                            frontier: core.delivered_frontier(),
+                            regency: core.regency(),
+                        },
+                    );
+                }
+                Vec::new()
+            }
+            Ok(NetEvent::Peer {
+                msg:
+                    SmrMsg::StateRep {
+                        covered,
+                        snapshot,
+                        first_batch,
+                        batches,
+                        frontier,
+                        regency,
+                    },
+                ..
+            }) => {
+                if syncing.is_some() {
+                    let advanced = install_state_reply(
+                        core,
+                        durable,
+                        covered,
+                        snapshot,
+                        first_batch,
+                        &batches,
+                        &frontier,
+                    );
+                    // The shipper's regency heals a replica that slept
+                    // through leader changes and would otherwise drop all
+                    // current-epoch traffic (and solo-escalate STOPs).
+                    core.adopt_regency(regency);
+                    if advanced || core.stalled_behind().is_none() {
+                        // Either we caught up from this reply, or there was
+                        // nothing to fetch (a spurious round): resume the
+                        // normal timeout/view-change path immediately.
+                        syncing = None;
+                        last_progress = std::time::Instant::now();
+                    }
+                    // Otherwise stay syncing; the timeout path rotates to
+                    // another shipper.
+                }
+                Vec::new()
+            }
+            // A peer-forwarded request takes the same verify stage as a
+            // client-submitted one — the forwarding link authenticates the
+            // *replica*, not the request's client.
+            Ok(NetEvent::Peer {
+                msg: SmrMsg::Request(request),
+                ..
+            }) => verify_and_submit(core, pool, vec![request], require_signed),
+            Ok(NetEvent::Peer { from, msg }) => {
+                // Consensus traffic from an epoch ahead of our regency means
+                // we missed a leader change (restart or long partition): the
+                // STOP/STOPDATA exchange is gone, so only state transfer —
+                // whose reply carries the shipper's regency — can rejoin us.
+                if syncing.is_none() {
+                    if let SmrMsg::Consensus(c) = &msg {
+                        if c.epoch().is_some_and(|e| e > core.regency()) {
+                            syncing = Some(send_state_request(durable, transport, 0));
+                        }
+                    }
+                }
+                core.on_message(from, msg)
+            }
+            Ok(NetEvent::Client(request)) => {
                 // Drain whatever else already queued so one pool dispatch
                 // covers the whole burst (the verify stage's group commit).
                 let mut batch = vec![request];
                 while batch.len() < 512 {
-                    match rx.try_recv() {
-                        Ok(Wire::Client(r)) => batch.push(r),
-                        Ok(other) => {
+                    match transport.try_recv() {
+                        Some(NetEvent::Client(r)) => batch.push(r),
+                        Some(other) => {
                             backlog.push_back(other);
                             break;
                         }
-                        Err(_) => break,
+                        None => break,
                     }
                 }
-                verify_and_submit(core, pool, batch)
+                verify_and_submit(core, pool, batch, require_signed)
             }
-            Ok(Wire::Shutdown) => return,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if core.pending_len() > 0 && last_progress.elapsed() >= timeout {
+            Ok(NetEvent::PeerUp(peer)) => {
+                // A (re)established link: re-send synchronizer state the
+                // peer cannot regenerate, and nudge our own recovery if we
+                // were waiting on exactly this peer.
+                if let Some(sync) = &mut syncing {
+                    if shipper_for(me, transport.n(), sync.attempt) == peer {
+                        *sync = send_state_request(durable, transport, sync.attempt);
+                    }
+                }
+                core.on_peer_reconnect(peer)
+            }
+            Ok(NetEvent::Shutdown) | Err(RecvError::Closed) => return,
+            Err(RecvError::Timeout) => {
+                if let Some(sync) = &mut syncing {
+                    // Unanswered state request: rotate shippers. Give up —
+                    // re-enabling the normal timeout/view-change path —
+                    // once every peer was tried and the delivery gap healed
+                    // through ordinary consensus, or after two full
+                    // rotations regardless: if no peer's log can serve the
+                    // gap (e.g. an instance that died undecided with a
+                    // crashed leader), only a leader change can fill it,
+                    // and a replica stuck in `syncing` forever would never
+                    // vote for one.
+                    if sync.asked_at.elapsed() >= timeout {
+                        let next = sync.attempt + 1;
+                        let peers = transport.n().saturating_sub(1).max(1);
+                        if next >= peers && (core.stalled_behind().is_none() || next >= 2 * peers) {
+                            syncing = None;
+                        } else {
+                            *sync = send_state_request(durable, transport, next);
+                        }
+                    }
+                    Vec::new()
+                } else if last_progress.elapsed() >= timeout && core.stalled_behind().is_some() {
+                    // Decisions are buffered past a hole nobody will re-run
+                    // consensus for (we restarted or our link dropped the
+                    // decision): fetch the gap from a peer.
+                    syncing = Some(send_state_request(durable, transport, 0));
+                    Vec::new()
+                } else if core.pending_len() > 0 && last_progress.elapsed() >= timeout {
                     if std::env::var("SC_RT_DEBUG").is_ok() {
                         eprintln!(
                             "[rt] replica {me} timeout: regency={} leader={} pending={} ld={}",
@@ -325,32 +764,18 @@ fn replica_loop<A: Application>(
                     Vec::new()
                 }
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
         };
         // Outputs must hit the wire in emission order (a SYNC must precede
         // the re-proposal it enables).
         for out in outputs {
             match out {
-                CoreOutput::Broadcast(msg) => {
-                    for (r, peer) in peers.iter().enumerate() {
-                        if r != me {
-                            let _ = peer.send(Wire::Peer {
-                                from: me,
-                                msg: msg.clone(),
-                            });
-                        }
-                    }
-                }
-                CoreOutput::Send(to, msg) => {
-                    if let Some(peer) = peers.get(to) {
-                        let _ = peer.send(Wire::Peer { from: me, msg });
-                    }
-                }
+                CoreOutput::Broadcast(msg) => transport.broadcast(&msg),
+                CoreOutput::Send(to, msg) => transport.send(to, msg),
                 CoreOutput::Deliver(batch) => {
                     last_progress = std::time::Instant::now();
                     if let Ok(results) = durable.apply_batch(&batch.requests) {
                         for (request, result) in batch.requests.iter().zip(results) {
-                            let _ = replies.send(Reply {
+                            transport.reply(Reply {
                                 client: request.client,
                                 seq: request.seq,
                                 result,
@@ -360,8 +785,9 @@ fn replica_loop<A: Application>(
                     }
                 }
                 CoreOutput::NeedStateTransfer { .. } => {
-                    // Out of scope for the local runtime: replicas share fate
-                    // in one process and never lag beyond the window.
+                    if syncing.is_none() {
+                        syncing = Some(send_state_request(durable, transport, 0));
+                    }
                 }
             }
         }

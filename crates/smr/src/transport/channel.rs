@@ -1,0 +1,144 @@
+//! The in-process transport backend: one unbounded std `mpsc` channel per
+//! replica, exactly the links the original `LocalCluster` hardwired. Kept as
+//! the default backend (tests, demos, single-machine embeddings) and as the
+//! behavioral reference the TCP backend is measured against.
+
+use super::{NetEvent, RecvError, Transport};
+use crate::ordering::SmrMsg;
+use crate::types::Reply;
+use smartchain_consensus::ReplicaId;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::time::Duration;
+
+/// The channel backend for one replica.
+pub struct ChannelTransport {
+    me: ReplicaId,
+    rx: Receiver<NetEvent>,
+    peers: Vec<Sender<NetEvent>>,
+    replies: Sender<Reply>,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("me", &self.me)
+            .field("n", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The cluster-side handle of a channel mesh: per-replica injection senders
+/// (client requests, shutdown, crash simulation) and the shared reply
+/// stream.
+pub struct ChannelMeshHandle {
+    /// One inbox sender per replica. Replacing a sender with a fresh,
+    /// disconnected one "crashes" that replica's links.
+    pub inboxes: Vec<Sender<NetEvent>>,
+    /// Replies from every replica (clients tally quorums here).
+    pub replies: Receiver<Reply>,
+}
+
+/// Builds a fully-connected channel mesh for `n` replicas.
+pub fn channel_mesh(n: usize) -> (Vec<ChannelTransport>, ChannelMeshHandle) {
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    let mut inboxes = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel::<NetEvent>();
+        inboxes.push(tx);
+        receivers.push(rx);
+    }
+    let transports = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(me, rx)| ChannelTransport {
+            me,
+            rx,
+            peers: inboxes.clone(),
+            replies: reply_tx.clone(),
+        })
+        .collect();
+    (
+        transports,
+        ChannelMeshHandle {
+            inboxes,
+            replies: reply_rx,
+        },
+    )
+}
+
+impl Transport for ChannelTransport {
+    fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: SmrMsg) {
+        if to == self.me {
+            return;
+        }
+        if let Some(peer) = self.peers.get(to) {
+            let _ = peer.send(NetEvent::Peer { from: self.me, msg });
+        }
+    }
+
+    fn reply(&mut self, reply: Reply) {
+        let _ = self.replies.send(reply);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<NetEvent, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    fn try_recv(&mut self) -> Option<NetEvent> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Request;
+
+    #[test]
+    fn mesh_routes_peer_traffic_and_replies() {
+        let (mut transports, handle) = channel_mesh(3);
+        let msg = SmrMsg::Request(Request {
+            client: 1,
+            seq: 1,
+            payload: vec![1],
+            signature: None,
+        });
+        // Broadcast from replica 0 reaches 1 and 2, not 0.
+        let mut t0 = transports.remove(0);
+        t0.broadcast(&msg);
+        assert!(t0.try_recv().is_none());
+        for t in transports.iter_mut() {
+            match t.recv_timeout(Duration::from_secs(1)).unwrap() {
+                NetEvent::Peer { from: 0, msg: m } => assert_eq!(m, msg),
+                other => panic!("unexpected event: {other:?}"),
+            }
+        }
+        // Replies surface on the shared handle.
+        transports[0].reply(Reply {
+            client: 1,
+            seq: 1,
+            result: vec![2],
+            replica: 1,
+        });
+        let r = handle.replies.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(r.replica, 1);
+        // Injection via the handle reaches the replica.
+        handle.inboxes[2].send(NetEvent::Shutdown).unwrap();
+        assert!(matches!(
+            transports[1].recv_timeout(Duration::from_secs(1)),
+            Ok(NetEvent::Shutdown)
+        ));
+    }
+}

@@ -1,0 +1,375 @@
+//! The shared wire format of the TCP links.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! ┌───────────────┬───────────────┬──────────────────────────────┐
+//! │ len: u32 (LE) │ tag: [u8; 4]  │ payload: len bytes           │
+//! └───────────────┴───────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The 8-byte header is exactly [`smartchain_codec::FRAME_BYTES`] — the
+//! per-message transport overhead the simulator's NIC model has charged all
+//! along — and the payload is the message's canonical
+//! [`smartchain_codec::Encode`] bytes, so `wire_size()` and the real socket
+//! agree byte-for-byte. `tag` is a truncated HMAC-SHA256 over the payload
+//! under a *pairwise link key* derived from the cluster secret and the
+//! (sender, receiver) pair: a connected peer cannot spoof frames as another
+//! replica without that pair's key.
+//!
+//! The first frame on every connection is a [`Hello`] naming the dialer; its
+//! tag is verified under the key of the *claimed* identity, which is what
+//! rejects spoofed session handshakes.
+
+use smartchain_codec::{Decode, Encode};
+use smartchain_consensus::ReplicaId;
+use smartchain_crypto::hmac::{derive_key, hmac_sha256, verify_tag};
+use std::io::{self, Read, Write};
+
+/// Truncated MAC length carried per frame.
+pub const TAG_BYTES: usize = 4;
+/// Full frame header: length prefix + tag (= `smartchain_codec::FRAME_BYTES`).
+pub const HEADER_BYTES: usize = 4 + TAG_BYTES;
+/// Frame size sanity cap. State-transfer replies carry whole batch suffixes,
+/// so the cap is generous; anything larger is a protocol violation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const _: () = assert!(HEADER_BYTES == smartchain_codec::FRAME_BYTES);
+
+/// A per-direction link authentication key.
+#[derive(Clone)]
+pub struct FrameKey([u8; 32]);
+
+impl std::fmt::Debug for FrameKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FrameKey(..)")
+    }
+}
+
+impl FrameKey {
+    /// The key authenticating frames sent by replica `from` to replica `to`,
+    /// derived from the cluster secret. Directional: `link(s, a, b)` and
+    /// `link(s, b, a)` differ.
+    pub fn link(secret: &[u8; 32], from: ReplicaId, to: ReplicaId) -> FrameKey {
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&(from as u64).to_le_bytes());
+        material[8..].copy_from_slice(&(to as u64).to_le_bytes());
+        FrameKey(derive_key(secret, b"sc-link", &material))
+    }
+
+    /// The fixed, public key used on client connections. Clients do not hold
+    /// the cluster secret, so their frames carry an *integrity checksum*
+    /// only — client authentication happens where it always has, at the
+    /// request-signature layer (the pipeline's verify stage).
+    pub fn client() -> FrameKey {
+        FrameKey(*b"smartchain-client-frame-checksum")
+    }
+
+    fn tag(&self, payload: &[u8]) -> [u8; TAG_BYTES] {
+        let mac = hmac_sha256(&self.0, payload);
+        let mut tag = [0u8; TAG_BYTES];
+        tag.copy_from_slice(&mac[..TAG_BYTES]);
+        tag
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, key: &FrameKey, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&key.tag(payload));
+    // One write_all per part: the reader reassembles from arbitrary TCP
+    // segmentation, so there is no need to coalesce into a single buffer.
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame without verifying its tag (the handshake path, where the
+/// key depends on the claimed identity *inside* the payload). Blocks until
+/// the full frame arrived — partial delivery and TCP segmentation are
+/// handled by the underlying `read_exact` loops.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a torn connection, `InvalidData` on an oversized
+/// length prefix, plus any transport error.
+pub fn read_frame_raw(r: &mut impl Read) -> io::Result<([u8; TAG_BYTES], Vec<u8>)> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    let mut tag = [0u8; TAG_BYTES];
+    tag.copy_from_slice(&header[4..]);
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Reads one frame and verifies its tag under `key`.
+///
+/// # Errors
+///
+/// `InvalidData` when the tag does not verify (spoofed or corrupted frame),
+/// plus everything [`read_frame_raw`] returns.
+pub fn read_frame(r: &mut impl Read, key: &FrameKey) -> io::Result<Vec<u8>> {
+    let (tag, payload) = read_frame_raw(r)?;
+    if !verify_tag(&key.tag(&payload), &tag) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame tag mismatch",
+        ));
+    }
+    Ok(payload)
+}
+
+/// The first frame on every connection: who is dialing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Hello {
+    /// A replica's session handshake, MAC'd under the pairwise link key of
+    /// the claimed `(from, to)` pair.
+    Peer {
+        /// The dialing replica.
+        from: ReplicaId,
+        /// The view the dialer believes it is in.
+        view: u64,
+    },
+    /// A client connection (integrity-checked only; see
+    /// [`FrameKey::client`]).
+    Client {
+        /// The client's logical id (replies are routed back by it).
+        client: u64,
+    },
+}
+
+const HELLO_PEER: u8 = 1;
+const HELLO_CLIENT: u8 = 2;
+
+impl Hello {
+    fn encode_payload(&self, me_to: ReplicaId) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        b"sc-hello".as_slice().encode(&mut out);
+        match self {
+            Hello::Peer { from, view } => {
+                HELLO_PEER.encode(&mut out);
+                (*from as u64).encode(&mut out);
+                (me_to as u64).encode(&mut out);
+                view.encode(&mut out);
+            }
+            Hello::Client { client } => {
+                HELLO_CLIENT.encode(&mut out);
+                client.encode(&mut out);
+            }
+        }
+        out
+    }
+}
+
+/// Sends the session handshake for replica `from` dialing replica `to`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_peer_hello(
+    w: &mut impl Write,
+    secret: &[u8; 32],
+    from: ReplicaId,
+    to: ReplicaId,
+    view: u64,
+) -> io::Result<()> {
+    let hello = Hello::Peer { from, view };
+    let payload = hello.encode_payload(to);
+    write_frame(w, &FrameKey::link(secret, from, to), &payload)
+}
+
+/// Sends a client handshake.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_client_hello(w: &mut impl Write, client: u64) -> io::Result<()> {
+    let hello = Hello::Client { client };
+    let payload = hello.encode_payload(0);
+    write_frame(w, &FrameKey::client(), &payload)
+}
+
+/// Reads and authenticates the handshake frame on an accepted connection.
+///
+/// A peer hello must (a) address `me`, and (b) carry a tag that verifies
+/// under the link key of the pair it *claims* — a dialer without the
+/// cluster secret cannot fabricate that, so accepting the claimed id is
+/// sound afterwards.
+///
+/// # Errors
+///
+/// `InvalidData` for malformed, mis-addressed or spoofed hellos, plus I/O
+/// failures.
+pub fn read_hello(r: &mut impl Read, secret: &[u8; 32], me: ReplicaId) -> io::Result<Hello> {
+    let (tag, payload) = read_frame_raw(r)?;
+    let bad = |what: &'static str| io::Error::new(io::ErrorKind::InvalidData, what);
+    let mut input = payload.as_slice();
+    let magic = Vec::<u8>::decode(&mut input).map_err(|_| bad("hello: no magic"))?;
+    if magic != b"sc-hello" {
+        return Err(bad("hello: wrong magic"));
+    }
+    match u8::decode(&mut input).map_err(|_| bad("hello: no kind"))? {
+        HELLO_PEER => {
+            let from = u64::decode(&mut input).map_err(|_| bad("hello: no sender"))? as usize;
+            let to = u64::decode(&mut input).map_err(|_| bad("hello: no receiver"))? as usize;
+            let view = u64::decode(&mut input).map_err(|_| bad("hello: no view"))?;
+            if to != me {
+                return Err(bad("hello: addressed to another replica"));
+            }
+            let key = FrameKey::link(secret, from, me);
+            if !verify_tag(&key.tag(&payload), &tag) {
+                return Err(bad("hello: tag mismatch (spoofed identity?)"));
+            }
+            Ok(Hello::Peer { from, view })
+        }
+        HELLO_CLIENT => {
+            let client = u64::decode(&mut input).map_err(|_| bad("hello: no client id"))?;
+            if !verify_tag(&FrameKey::client().tag(&payload), &tag) {
+                return Err(bad("hello: client checksum mismatch"));
+            }
+            Ok(Hello::Client { client })
+        }
+        _ => Err(bad("hello: unknown kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that returns one byte per call: the cruellest legal TCP
+    /// segmentation. Frames must reassemble regardless.
+    struct Trickle<'a>(&'a [u8], usize);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.1 >= self.0.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[self.1];
+            self.1 += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let key = FrameKey::link(&[7u8; 32], 0, 1);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &key, b"hello frame").unwrap();
+        assert_eq!(buf.len(), HEADER_BYTES + 11);
+        let got = read_frame(&mut Cursor::new(&buf), &key).unwrap();
+        assert_eq!(got, b"hello frame");
+    }
+
+    #[test]
+    fn frame_survives_byte_at_a_time_delivery() {
+        let key = FrameKey::link(&[7u8; 32], 2, 3);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &key, &[0xabu8; 300]).unwrap();
+        write_frame(&mut buf, &key, b"second").unwrap();
+        let mut trickle = Trickle(&buf, 0);
+        assert_eq!(read_frame(&mut trickle, &key).unwrap(), vec![0xabu8; 300]);
+        assert_eq!(read_frame(&mut trickle, &key).unwrap(), b"second");
+    }
+
+    #[test]
+    fn torn_frame_reports_eof() {
+        let key = FrameKey::link(&[7u8; 32], 0, 1);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &key, b"will be torn").unwrap();
+        // Cut mid-payload and mid-header.
+        for cut in [buf.len() - 5, HEADER_BYTES - 2] {
+            let err = read_frame(&mut Cursor::new(&buf[..cut]), &key).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let good = FrameKey::link(&[7u8; 32], 0, 1);
+        let bad = FrameKey::link(&[8u8; 32], 0, 1); // different cluster secret
+        let other_dir = FrameKey::link(&[7u8; 32], 1, 0); // direction matters
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &good, b"payload").unwrap();
+        for key in [bad, other_dir] {
+            let err = read_frame(&mut Cursor::new(&buf), &key).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let key = FrameKey::link(&[7u8; 32], 0, 1);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &key, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(&buf), &key).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut buf = vec![0u8; HEADER_BYTES];
+        buf[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame_raw(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn peer_hello_roundtrip() {
+        let secret = [9u8; 32];
+        let mut buf = Vec::new();
+        write_peer_hello(&mut buf, &secret, 2, 0, 5).unwrap();
+        let hello = read_hello(&mut Cursor::new(&buf), &secret, 0).unwrap();
+        assert_eq!(hello, Hello::Peer { from: 2, view: 5 });
+    }
+
+    #[test]
+    fn spoofed_peer_hello_rejected() {
+        // An attacker without the cluster secret claims to be replica 2.
+        let mut buf = Vec::new();
+        write_peer_hello(&mut buf, &[0xeeu8; 32], 2, 0, 0).unwrap();
+        let err = read_hello(&mut Cursor::new(&buf), &[9u8; 32], 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn misaddressed_hello_rejected() {
+        let secret = [9u8; 32];
+        let mut buf = Vec::new();
+        write_peer_hello(&mut buf, &secret, 2, 1, 0).unwrap();
+        // Replica 0 receives a hello addressed to replica 1.
+        let err = read_hello(&mut Cursor::new(&buf), &secret, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let mut buf = Vec::new();
+        write_client_hello(&mut buf, 0xC0FFEE).unwrap();
+        let hello = read_hello(&mut Cursor::new(&buf), &[9u8; 32], 3).unwrap();
+        assert_eq!(hello, Hello::Client { client: 0xC0FFEE });
+    }
+}

@@ -1,0 +1,629 @@
+//! The real-socket transport backend: length-framed, HMAC-authenticated
+//! TCP links over `std::net`.
+//!
+//! Topology: every ordered replica pair `(i → j)` has one connection, dialed
+//! by `i` and used only for `i → j` traffic, so there is no tie-breaking and
+//! a restarted replica simply redials. Per peer, a dedicated *writer thread*
+//! drains a bounded outbox and owns the dial/redial loop (a slow or dead
+//! peer can never wedge the replica loop); *reader threads* are spawned per
+//! accepted connection after the [`super::frame::Hello`] handshake
+//! authenticates the dialer. Clients connect the same way (integrity-checked
+//! framing, no cluster secret) and replies are routed back over the client's
+//! own connection.
+//!
+//! Loss model: sends are at-most-once. A torn connection drops whatever was
+//! in flight; the writer redials, emits [`NetEvent::PeerUp`], and the
+//! protocol layers re-send what cannot be regenerated (synchronizer state)
+//! or repair through `FetchValue`/state transfer. This is precisely the
+//! fair-lossy link the consensus layer already assumes.
+
+use super::frame::{
+    read_frame, read_hello, write_client_hello, write_frame, write_peer_hello, FrameKey, Hello,
+};
+use super::{NetEvent, RecvError, Transport};
+use crate::ordering::SmrMsg;
+use crate::types::{Reply, Request};
+use smartchain_codec::{from_bytes, to_bytes};
+use smartchain_consensus::ReplicaId;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of one replica's TCP transport.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// This replica's id (index into `addrs`).
+    pub me: ReplicaId,
+    /// Listen/dial addresses of every replica, indexed by id.
+    pub addrs: Vec<String>,
+    /// Cluster secret that pairwise link keys derive from.
+    pub secret: [u8; 32],
+    /// View id carried in session handshakes.
+    pub view: u64,
+    /// Bounded per-peer outbox; sends beyond it are dropped (at-most-once).
+    pub outbox: usize,
+    /// Writer redial backoff after a failed connect.
+    pub reconnect_delay: Duration,
+}
+
+impl TcpConfig {
+    /// A config for replica `me` of a cluster at `addrs` under `secret`.
+    pub fn new(me: ReplicaId, addrs: Vec<String>, secret: [u8; 32]) -> TcpConfig {
+        TcpConfig {
+            me,
+            addrs,
+            secret,
+            view: 0,
+            outbox: 1024,
+            reconnect_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Shared state torn down on shutdown.
+struct Shared {
+    stop: AtomicBool,
+    /// Handles of every live stream (keyed by a registration token), so
+    /// shutdown can unblock threads stuck in `read_exact`/`write_all`.
+    /// Owning threads deregister on exit or reconnect, so the map stays
+    /// bounded across arbitrarily many redials.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_token: AtomicU64,
+    /// Client write-halves by client id (replies route here).
+    clients: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.conns.lock().expect("conns lock").insert(token, clone);
+        }
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        self.conns.lock().expect("conns lock").remove(&token);
+    }
+}
+
+/// The TCP backend for one replica.
+pub struct TcpTransport {
+    me: ReplicaId,
+    n: usize,
+    events: Receiver<NetEvent>,
+    events_tx: Sender<NetEvent>,
+    outboxes: Vec<Option<SyncSender<SmrMsg>>>,
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpTransport {
+    /// Binds `addrs[me]` and boots the acceptor and per-peer writer threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listen address cannot be bound.
+    pub fn bind(config: TcpConfig) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(&config.addrs[config.me])?;
+        Self::from_listener(config, listener)
+    }
+
+    /// Boots over an already-bound listener (port-0 deployments bind first,
+    /// learn the real port, then exchange addresses).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the listener cannot be inspected or made non-blocking.
+    pub fn from_listener(config: TcpConfig, listener: TcpListener) -> io::Result<TcpTransport> {
+        let n = config.addrs.len();
+        let me = config.me;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (events_tx, events) = mpsc::channel::<NetEvent>();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(0),
+            clients: Mutex::new(HashMap::new()),
+        });
+        let mut threads = Vec::new();
+        // Acceptor.
+        {
+            let shared = Arc::clone(&shared);
+            let events_tx = events_tx.clone();
+            let secret = config.secret;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sc-accept-{me}"))
+                    .spawn(move || accept_loop(listener, me, secret, shared, events_tx))
+                    .expect("spawn acceptor"),
+            );
+        }
+        // Per-peer writers.
+        let mut outboxes = Vec::with_capacity(n);
+        for peer in 0..n {
+            if peer == me {
+                outboxes.push(None);
+                continue;
+            }
+            let (tx, rx) = mpsc::sync_channel::<SmrMsg>(config.outbox.max(1));
+            let shared = Arc::clone(&shared);
+            let events_tx = events_tx.clone();
+            let config = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sc-writer-{me}-{peer}"))
+                    .spawn(move || writer_loop(&config, peer, rx, shared, events_tx))
+                    .expect("spawn writer"),
+            );
+            outboxes.push(Some(tx));
+        }
+        Ok(TcpTransport {
+            me,
+            n,
+            events,
+            events_tx,
+            outboxes,
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound listen address (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can inject events into this transport's replica loop
+    /// (shutdown, testing hooks).
+    pub fn injector(&self) -> Sender<NetEvent> {
+        self.events_tx.clone()
+    }
+
+    /// Tears the transport down: unblocks and joins every thread, closes
+    /// every connection.
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for (_, conn) in self.shared.conns.lock().expect("conns lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for (_, conn) in self.shared.clients.lock().expect("clients lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for slot in &mut self.outboxes {
+            *slot = None; // writers see Disconnected
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, to: ReplicaId, msg: SmrMsg) {
+        if let Some(Some(outbox)) = self.outboxes.get(to) {
+            match outbox.try_send(msg) {
+                Ok(()) => {}
+                // Bounded outbox full (peer slow/dead) or writer gone: the
+                // message is dropped — at-most-once, repaired upstream.
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+
+    fn reply(&mut self, reply: Reply) {
+        let key = FrameKey::client();
+        let payload = to_bytes(&SmrMsg::Reply(reply.clone()));
+        let mut clients = self.shared.clients.lock().expect("clients lock");
+        if let Some(stream) = clients.get(&reply.client) {
+            // The write timeout set at registration bounds how long a
+            // client that stopped reading can stall this (replica-loop)
+            // thread. On error — including a timeout's possibly-partial,
+            // now-unframeable write — the connection is dropped; the
+            // client reconnects and retransmits.
+            if write_frame(&mut &*stream, &key, &payload).is_err() {
+                if let Some(dead) = clients.remove(&reply.client) {
+                    let _ = dead.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<NetEvent, RecvError> {
+        self.events.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvError::Closed,
+        })
+    }
+
+    fn try_recv(&mut self) -> Option<NetEvent> {
+        self.events.try_recv().ok()
+    }
+}
+
+/// Accepts connections, authenticates their hello, and spawns one reader
+/// thread per connection.
+fn accept_loop(
+    listener: TcpListener,
+    me: ReplicaId,
+    secret: [u8; 32],
+    shared: Arc<Shared>,
+    events_tx: Sender<NetEvent>,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Replies and serve-side protocol traffic leave over this
+                // stream; Nagle would add tens of ms to every one of them.
+                stream.set_nodelay(true).ok();
+                let shared = Arc::clone(&shared);
+                let events_tx = events_tx.clone();
+                readers.retain(|h| !h.is_finished());
+                readers.push(
+                    std::thread::Builder::new()
+                        .name(format!("sc-reader-{me}"))
+                        .spawn(move || reader_loop(stream, me, secret, shared, events_tx))
+                        .expect("spawn reader"),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// Reads one authenticated connection until EOF/error. Handles both peer
+/// sessions (after a verified hello) and client sessions.
+fn reader_loop(
+    mut stream: TcpStream,
+    me: ReplicaId,
+    secret: [u8; 32],
+    shared: Arc<Shared>,
+    events_tx: Sender<NetEvent>,
+) {
+    let token = shared.register(&stream);
+    run_reader(&mut stream, me, secret, &shared, &events_tx);
+    shared.deregister(token);
+}
+
+fn run_reader(
+    stream: &mut TcpStream,
+    me: ReplicaId,
+    secret: [u8; 32],
+    shared: &Shared,
+    events_tx: &Sender<NetEvent>,
+) {
+    // A dialer that never completes its handshake must not pin the reader
+    // forever; frames after the handshake arrive at protocol pace, so the
+    // timeout is lifted once the session is authenticated.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let hello = match read_hello(stream, &secret, me) {
+        Ok(h) => h,
+        Err(_) => return, // spoofed, malformed, or timed out: drop the link
+    };
+    let _ = stream.set_read_timeout(None);
+    match hello {
+        Hello::Peer { from, .. } => {
+            // The peer (re)dialed us: its send path was torn, so whatever we
+            // owed it on *our* path may also need repair — surface the event.
+            let _ = events_tx.send(NetEvent::PeerUp(from));
+            let key = FrameKey::link(&secret, from, me);
+            loop {
+                let payload = match read_frame(stream, &key) {
+                    Ok(p) => p,
+                    Err(_) => return, // torn connection or spoofed frame
+                };
+                let Ok(msg) = from_bytes::<SmrMsg>(&payload) else {
+                    return; // authenticated peers do not send garbage
+                };
+                if events_tx.send(NetEvent::Peer { from, msg }).is_err() {
+                    return;
+                }
+            }
+        }
+        Hello::Client { client } => {
+            if let Ok(write_half) = stream.try_clone() {
+                // Replies are written from the replica-loop thread; a
+                // client that stops reading must cost it at most this
+                // bound, never a wedge (see `TcpTransport::reply`).
+                let _ = write_half.set_write_timeout(Some(Duration::from_millis(250)));
+                shared
+                    .clients
+                    .lock()
+                    .expect("clients lock")
+                    .insert(client, write_half);
+            }
+            let key = FrameKey::client();
+            loop {
+                let payload = match read_frame(stream, &key) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                // Clients may only submit requests; anything else on a
+                // client connection is dropped.
+                match from_bytes::<SmrMsg>(&payload) {
+                    Ok(SmrMsg::Request(req)) => {
+                        if events_tx.send(NetEvent::Client(req)).is_err() {
+                            return;
+                        }
+                    }
+                    _ => continue,
+                }
+            }
+        }
+    }
+}
+
+/// Owns the `me → peer` connection: dials (and redials) the peer, drains the
+/// bounded outbox, writes frames. A failed write retries once on a fresh
+/// connection, then drops the message.
+fn writer_loop(
+    config: &TcpConfig,
+    peer: ReplicaId,
+    rx: Receiver<SmrMsg>,
+    shared: Arc<Shared>,
+    events_tx: Sender<NetEvent>,
+) {
+    let key = FrameKey::link(&config.secret, config.me, peer);
+    let mut conn: Option<(TcpStream, u64)> = None;
+    let mut pending: Option<Vec<u8>> = None;
+    let mut retried = false;
+    while !shared.stopping() {
+        if pending.is_none() {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => {
+                    pending = Some(to_bytes(&msg));
+                    retried = false;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if conn.is_none() {
+            match dial(config, peer) {
+                Ok(stream) => {
+                    let token = shared.register(&stream);
+                    conn = Some((stream, token));
+                    // Fresh link: tell the replica loop so it can re-send
+                    // unrecoverable protocol state to this peer.
+                    let _ = events_tx.send(NetEvent::PeerUp(peer));
+                }
+                Err(_) => {
+                    std::thread::sleep(config.reconnect_delay);
+                    continue;
+                }
+            }
+        }
+        let (stream, token) = conn.as_mut().expect("connected");
+        let payload = pending.as_deref().expect("pending frame");
+        match write_frame(stream, &key, payload) {
+            Ok(()) => {
+                pending = None;
+                retried = false;
+            }
+            Err(_) => {
+                // Torn connection: redial and retry this one message once.
+                shared.deregister(*token);
+                conn = None;
+                if retried {
+                    pending = None;
+                }
+                retried = true;
+            }
+        }
+    }
+    if let Some((_, token)) = conn {
+        shared.deregister(token);
+    }
+}
+
+/// Dials `peer`, completes the session handshake, and returns the stream.
+fn dial(config: &TcpConfig, peer: ReplicaId) -> io::Result<TcpStream> {
+    let addr = resolve(&config.addrs[peer])?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
+    stream.set_nodelay(true).ok();
+    write_peer_hello(&mut stream, &config.secret, config.me, peer, config.view)?;
+    Ok(stream)
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "unresolvable address"))
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A TCP client of the replica cluster: one connection per replica, requests
+/// broadcast to all, replies tallied to an `f+1` matching quorum.
+pub struct TcpClient {
+    client_id: u64,
+    addrs: Vec<String>,
+    conns: Vec<Option<TcpStream>>,
+    replies: Receiver<Reply>,
+    replies_tx: Sender<Reply>,
+    readers: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for TcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClient")
+            .field("client_id", &self.client_id)
+            .field("replicas", &self.addrs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpClient {
+    /// Creates a client of the cluster at `addrs`. Connections are
+    /// established lazily per send, so a down replica does not block
+    /// construction.
+    pub fn new(client_id: u64, addrs: Vec<String>) -> TcpClient {
+        let (replies_tx, replies) = mpsc::channel();
+        let conns = (0..addrs.len()).map(|_| None).collect();
+        TcpClient {
+            client_id,
+            addrs,
+            conns,
+            replies,
+            replies_tx,
+            readers: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Ensures a live connection to `replica`, dialing if needed.
+    fn ensure_conn(&mut self, replica: ReplicaId) -> Option<&mut TcpStream> {
+        if self.conns[replica].is_none() {
+            let addr = resolve(&self.addrs[replica]).ok()?;
+            let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+            stream.set_nodelay(true).ok();
+            write_client_hello(&mut stream, self.client_id).ok()?;
+            // Reader for this connection's replies.
+            let read_half = stream.try_clone().ok()?;
+            let replies_tx = self.replies_tx.clone();
+            let stop = Arc::clone(&self.stop);
+            self.readers.retain(|h| !h.is_finished());
+            self.readers.push(
+                std::thread::Builder::new()
+                    .name("sc-client-reader".into())
+                    .spawn(move || client_reader(read_half, replies_tx, stop))
+                    .expect("spawn client reader"),
+            );
+            self.conns[replica] = Some(stream);
+        }
+        self.conns[replica].as_mut()
+    }
+
+    /// Broadcasts `request` to every replica (best effort).
+    pub fn submit(&mut self, request: &Request) {
+        let key = FrameKey::client();
+        let payload = to_bytes(&SmrMsg::Request(request.clone()));
+        for replica in 0..self.addrs.len() {
+            let ok = match self.ensure_conn(replica) {
+                Some(stream) => write_frame(stream, &key, &payload).is_ok(),
+                None => false,
+            };
+            if !ok {
+                self.conns[replica] = None;
+            }
+        }
+    }
+
+    /// Submits `request` and waits for `quorum` matching replies,
+    /// retransmitting every 500 ms.
+    ///
+    /// # Errors
+    ///
+    /// `TimedOut` when no quorum forms within `deadline`.
+    pub fn execute_request(
+        &mut self,
+        request: Request,
+        quorum: usize,
+        deadline: Duration,
+    ) -> io::Result<Vec<u8>> {
+        self.submit(&request);
+        let deadline_at = std::time::Instant::now() + deadline;
+        let mut tally: HashMap<Vec<u8>, std::collections::HashSet<ReplicaId>> = HashMap::new();
+        let mut next_retransmit = std::time::Instant::now() + Duration::from_millis(500);
+        loop {
+            let now = std::time::Instant::now();
+            if now >= deadline_at {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "no reply quorum"));
+            }
+            if now >= next_retransmit {
+                // Lost requests or replies (e.g. a replica restarting) are
+                // repaired by client retransmission, as in the paper.
+                self.submit(&request);
+                next_retransmit = now + Duration::from_millis(500);
+            }
+            let wait = next_retransmit.min(deadline_at) - now;
+            match self.replies.recv_timeout(wait) {
+                Ok(reply) if reply.seq == request.seq && reply.client == request.client => {
+                    let set = tally.entry(reply.result.clone()).or_default();
+                    set.insert(reply.replica);
+                    if set.len() >= quorum {
+                        return Ok(reply.result);
+                    }
+                }
+                Ok(_) => {}  // stale reply from an earlier operation
+                Err(_) => {} // timeout tick: loop re-checks deadline
+            }
+        }
+    }
+
+    /// Closes every connection and joins the reader threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for conn in self.conns.iter().flatten() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn client_reader(mut stream: TcpStream, replies_tx: Sender<Reply>, stop: Arc<AtomicBool>) {
+    let key = FrameKey::client();
+    while !stop.load(Ordering::Relaxed) {
+        let payload = match read_frame(&mut stream, &key) {
+            Ok(p) => p,
+            Err(_) => return,
+        };
+        if let Ok(SmrMsg::Reply(reply)) = from_bytes::<SmrMsg>(&payload) {
+            if replies_tx.send(reply).is_err() {
+                return;
+            }
+        }
+    }
+}

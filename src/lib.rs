@@ -15,7 +15,8 @@
 //! ordering core that keeps α > 1 consensus instances in flight while
 //! earlier blocks execute and persist:
 //!
-//! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), Merkle trees, and the
+//! * [`crypto`] — SHA-2, Ed25519 (RFC 8032), HMAC-SHA256 (frame
+//!   authentication on the TCP links), Merkle trees, and the
 //!   [`crypto::pool::VerifyPool`] powering the wall-clock verify stage.
 //! * [`codec`] — deterministic canonical encoding; [`codec::Encode`] is the
 //!   single source of truth for hashes, signatures, persistence *and* wire
@@ -33,10 +34,18 @@
 //!   in-flight instance (per-instance STOPDATA/SYNC vectors).
 //! * [`smr`] — the *windowed* total-order core (`OrderingConfig::alpha`
 //!   consensus instances in flight at once, strictly in-order delivery;
-//!   α = 1 reproduces the seed bit-for-bit), clients, the real-time
-//!   threaded runtime, and [`smr::durability::DurableApp`]: durable
-//!   delivery over any `DurabilityEngine` (group-commit `FileLog` by
-//!   default).
+//!   α = 1 reproduces the seed bit-for-bit), clients,
+//!   [`smr::durability::DurableApp`] (durable delivery over any
+//!   `DurabilityEngine`; group-commit `FileLog` by default) — and the
+//!   metal deployment layer: [`smr::transport`] abstracts the links
+//!   (in-process channels, or length-framed HMAC-authenticated TCP with
+//!   per-peer writer threads and automatic redial) and [`smr::runtime`]
+//!   runs one replica loop over either — `LocalCluster` (threads +
+//!   channels), `TcpCluster` (threads + loopback sockets), or
+//!   `serve_replica` (one OS process per replica; see `examples/replica.rs`
+//!   and `examples/client.rs`), with runtime state transfer so a killed
+//!   and restarted replica rejoins from its disk plus a peer-shipped
+//!   suffix.
 //! * [`core`] — the SMARTCHAIN layer (the paper's contribution):
 //!   blocks/ledger/audit, and the replica split into
 //!   [`core::node`] (the actor spine) plus [`core::pipeline`] (the stages:
