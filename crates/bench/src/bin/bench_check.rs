@@ -15,7 +15,8 @@
 //! bench_check -- --print-baseline` and pasting the output.
 
 use smartchain_bench::micro::{
-    alpha_pipeline_throughput, black_box, channel_smoke, measure, tcp_smoke, verify_cap_throughput,
+    alpha_pipeline_throughput, black_box, channel_smoke, measure, segmented_recovery_scenario,
+    tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
 };
 use smartchain_crypto::sha256;
 use smartchain_smr::types::{decode_batch, encode_batch, Request};
@@ -143,7 +144,8 @@ fn main() {
     // Verify-stage sizing (deterministic, informational): the round cap's
     // latency/throughput trade-off. Over-small rounds pay the pool
     // hand-off per few requests; a generous cap is indistinguishable from
-    // unbounded at this load.
+    // unbounded at this load. The adaptive row starts at the small cap and
+    // grows under depth — the trade-off without picking a number.
     for cap in [0usize, 4, 64] {
         let v = verify_cap_throughput(cap, 1);
         println!(
@@ -156,6 +158,44 @@ fn main() {
             v.completed,
             v.mean_latency_secs * 1e3,
         );
+    }
+    let va = verify_adaptive_throughput(1);
+    println!(
+        "verify cap  adaptive: {} completed, mean latency {:.1} ms (1 vsec, signed)",
+        va.completed,
+        va.mean_latency_secs * 1e3,
+    );
+
+    // Segmented-engine recovery replay (deterministic): 50 batches at
+    // checkpoint period 20 and 8-record segments → checkpoints truncate the
+    // covered prefix, so the reopen replays exactly 10 records and scans
+    // only the active segment. Restart cost bounded by the checkpoint
+    // interval is the whole point of the segmented engine — these pins gate
+    // it.
+    let seg = segmented_recovery_scenario(50, 20, 8);
+    println!(
+        "segmented recovery: {} applied, {} replayed, {} segment(s)/{} record(s) scanned, {:.0} batches/sec apply",
+        seg.applied, seg.replayed, seg.segments_scanned, seg.records_scanned, seg.batches_per_sec
+    );
+    gate.measured
+        .insert("segmented_replayed_records".into(), seg.replayed as f64);
+    gate.measured.insert(
+        "segmented_scanned_records".into(),
+        seg.records_scanned as f64,
+    );
+    if !print_baseline {
+        gate.band("segmented_replayed_records", seg.replayed as f64, 0.0);
+        gate.band("segmented_scanned_records", seg.records_scanned as f64, 0.0);
+        if seg.segments_scanned != 1 {
+            gate.failures.push(format!(
+                "segmented recovery must scan exactly the active segment (scanned {})",
+                seg.segments_scanned
+            ));
+        }
+        if seg.batches_per_sec <= 0.0 {
+            gate.failures
+                .push("segmented apply loop reported zero throughput".to_string());
+        }
     }
 
     // Runtime smoke (wall-clock, informational except for liveness): the

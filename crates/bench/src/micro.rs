@@ -15,8 +15,11 @@ use smartchain_sim::hw::HwSpec;
 use smartchain_sim::{MILLI, SECOND};
 use smartchain_smr::app::CounterApp;
 use smartchain_smr::client::CounterFactory;
+use smartchain_smr::durability::DurableApp;
 use smartchain_smr::ordering::OrderingConfig;
 use smartchain_smr::runtime::{LocalCluster, RuntimeConfig, TcpCluster};
+use smartchain_smr::types::Request;
+use smartchain_storage::{SegmentConfig, SyncPolicy};
 use std::time::{Duration, Instant};
 
 /// Outcome of one α-pipeline scenario run. Virtual-time measurement: the
@@ -98,9 +101,35 @@ pub struct VerifyCapThroughput {
 /// pool hand-off per few requests, huge caps delay early arrivals behind
 /// the whole queue.
 pub fn verify_cap_throughput(max_batch: usize, virtual_secs: u64) -> VerifyCapThroughput {
+    verify_throughput(
+        VerifyConfig {
+            max_batch,
+            ..VerifyConfig::default()
+        },
+        virtual_secs,
+    )
+}
+
+/// The same scenario with *adaptive* round sizing: the cap starts at
+/// `min_batch`, doubles under sustained queue depth and shrinks when idle —
+/// the group-commit-style middle ground between a tiny fixed cap (hand-off
+/// per few requests) and an unbounded round (early arrivals wait for the
+/// whole queue).
+pub fn verify_adaptive_throughput(virtual_secs: u64) -> VerifyCapThroughput {
+    verify_throughput(
+        VerifyConfig {
+            max_batch: 0,
+            adaptive: true,
+            min_batch: 4,
+        },
+        virtual_secs,
+    )
+}
+
+fn verify_throughput(verify: VerifyConfig, virtual_secs: u64) -> VerifyCapThroughput {
     let config = NodeConfig {
         sig_mode: SigMode::Parallel,
-        verify: VerifyConfig { max_batch },
+        verify,
         ordering: OrderingConfig {
             max_batch: 16,
             ..OrderingConfig::default()
@@ -123,10 +152,87 @@ pub fn verify_cap_throughput(max_batch: usize, virtual_secs: u64) -> VerifyCapTh
         count += meter.len() as u64;
     }
     VerifyCapThroughput {
-        max_batch,
+        max_batch: verify.max_batch,
         completed: cluster.total_completed(),
         mean_latency_secs: if count > 0 { sum / count as f64 } else { 0.0 },
         virtual_secs,
+    }
+}
+
+/// Outcome of the deterministic segmented-engine recovery scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentedRecovery {
+    /// Batches applied before the simulated restart.
+    pub applied: u64,
+    /// Records the reopened `DurableApp` replayed into the application —
+    /// must equal `applied mod checkpoint_period`, not `applied`.
+    pub replayed: u64,
+    /// Segment files the reopened engine scanned (1 = the active segment).
+    pub segments_scanned: u64,
+    /// Record frames read during that scan.
+    pub records_scanned: u64,
+    /// Wall-clock batches/sec of the apply loop (informational).
+    pub batches_per_sec: f64,
+}
+
+/// The segmented-engine throughput + recovery-replay scenario gated in
+/// `bench_check`: a [`DurableApp`] on the group-commit segmented engine
+/// applies `applied` single-request batches (checkpoint period
+/// `checkpoint_period`, `records_per_segment` records per segment), is
+/// dropped (the SIGKILL stand-in: nothing is flushed beyond what group
+/// commit already made durable), and reopened. The recovery counters are
+/// deterministic — checkpoints truncate the covered prefix, so the reopen
+/// must replay only `applied mod checkpoint_period` records and scan only
+/// the active segment.
+pub fn segmented_recovery_scenario(
+    applied: u64,
+    checkpoint_period: u64,
+    records_per_segment: u64,
+) -> SegmentedRecovery {
+    let dir = smoke_dir("segmented");
+    let segments = SegmentConfig {
+        records_per_segment,
+    };
+    let start = Instant::now();
+    {
+        let mut durable = DurableApp::open_segmented(
+            CounterApp::new(),
+            &dir,
+            checkpoint_period,
+            SyncPolicy::Sync,
+            segments,
+        )
+        .expect("open segmented durable app");
+        for i in 0..applied {
+            durable
+                .apply_requests(&[Request {
+                    client: 7,
+                    seq: i + 1,
+                    payload: vec![1],
+                    signature: None,
+                }])
+                .expect("apply batch");
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let durable = DurableApp::open_segmented(
+        CounterApp::new(),
+        &dir,
+        checkpoint_period,
+        SyncPolicy::Sync,
+        segments,
+    )
+    .expect("reopen segmented durable app");
+    assert_eq!(durable.batches_applied(), applied, "recovery lost batches");
+    let stats = durable
+        .segment_recovery_stats()
+        .expect("segmented engine reports recovery stats");
+    SegmentedRecovery {
+        applied,
+        replayed: durable.replayed_on_recovery(),
+        segments_scanned: stats.segments_scanned,
+        records_scanned: stats.records_scanned,
+        batches_per_sec: applied as f64 / secs.max(1e-9),
     }
 }
 

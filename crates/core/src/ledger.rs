@@ -68,7 +68,10 @@ impl<L: RecordLog> Ledger<L> {
     ///
     /// Fails on storage errors or if the log contains a different genesis.
     pub fn open(log: L, genesis: Genesis) -> io::Result<Ledger<L>> {
-        if !log.is_empty() {
+        // A compacted log (checkpoint-driven truncation) has dropped the
+        // genesis record; the snapshot covering the truncated prefix is the
+        // authority then, so the genesis check is skipped.
+        if !log.is_empty() && log.first_index() == 0 {
             // Recovering an existing log: it must belong to this genesis.
             let stored: Genesis = log
                 .read(0)?
@@ -282,7 +285,18 @@ impl<L: RecordLog> Ledger<L> {
             self.log.sync()?;
             return Ok(());
         }
-        for i in 1..self.log.len() {
+        let first = self.log.first_index();
+        if first > 0 {
+            // Compacted log: the genesis record and a block prefix are
+            // gone, summarized by a checkpoint. If the retained suffix
+            // survived, the loop below re-derives the tail from it; if a
+            // crash also took the suffix, restart at the watermark with an
+            // unknown parent hash — state transfer re-anchors the chain.
+            self.next_number = first.max(1);
+            self.last_block_hash = Hash::default();
+            self.last_checkpoint = first;
+        }
+        for i in first.max(1)..self.log.len() {
             if let Some(bytes) = self.log.read(i)? {
                 if let Some((covered, anchor)) = parse_anchor(&bytes) {
                     self.next_number = covered + 1;
@@ -349,6 +363,29 @@ impl<L: RecordLog> Ledger<L> {
         self.last_block_hash = anchor;
         self.last_checkpoint = self.last_checkpoint.max(covered);
         Ok(())
+    }
+
+    /// Compacts the log up to a durably checkpointed block: every record
+    /// below `covered` is truncated away (block `covered` itself is kept —
+    /// it is the anchor the next block's parent hash chains onto). On a
+    /// segmented backend this is an O(segment-delete) operation; reads of
+    /// truncated blocks return `None` and state transfer serves the prefix
+    /// from the snapshot instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage errors.
+    pub fn compact_to(&mut self, covered: u64) -> io::Result<()> {
+        if covered == 0 {
+            return Ok(());
+        }
+        self.amendments.retain(|(n, _)| *n >= covered);
+        self.log.truncate_prefix(covered)
+    }
+
+    /// Lowest block number the log can still read (0 = genesis onward).
+    pub fn first_retained(&self) -> u64 {
+        self.log.first_index()
     }
 
     /// Consumes the ledger, returning the underlying log (crash simulation

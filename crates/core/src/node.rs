@@ -37,7 +37,7 @@ use smartchain_storage::DurabilityEngine;
 use std::collections::{HashMap, VecDeque};
 
 pub use crate::messages::ChainMsg;
-pub use crate::pipeline::persist::{OpenBlock, Persistence, Variant};
+pub use crate::pipeline::persist::{OpenBlock, Persistence, StorageBackend, Variant};
 pub use crate::pipeline::verify::VerifyConfig;
 pub use crate::pipeline::{
     app_payload, exclude_vote_payload, unwrap_app_payload, verify_envelope_signature,
@@ -51,6 +51,14 @@ pub struct NodeConfig {
     pub variant: Variant,
     /// Storage policy.
     pub persistence: Persistence,
+    /// Physical medium of the durability engine (heap, or a real segmented
+    /// log in a tempdir exercised in virtual time).
+    pub storage: StorageBackend,
+    /// Truncate the ledger's log prefix once a checkpoint covering it is
+    /// durable (O(segment-delete) on the segmented backend). Off by default:
+    /// full-history ledgers keep the seed's observable behavior (`chain()`
+    /// from genesis, audits from block 1).
+    pub compact_after_checkpoint: bool,
     /// Client-signature checking policy.
     pub sig_mode: SigMode,
     /// Verify-stage sizing (round cap; default unbounded).
@@ -81,6 +89,8 @@ impl Default for NodeConfig {
         NodeConfig {
             variant: Variant::Weak,
             persistence: Persistence::Sync,
+            storage: StorageBackend::default(),
+            compact_after_checkpoint: false,
             sig_mode: SigMode::None,
             verify: crate::pipeline::verify::VerifyConfig::default(),
             ordering: OrderingConfig::default(),
@@ -329,6 +339,12 @@ impl<A: Application> ChainNode<A> {
     /// (distinct from the simulator's device accounting).
     pub fn engine_stats(&self) -> Option<smartchain_storage::wal::FlushStats> {
         self.member.as_ref().map(|m| m.ledger.log().stats())
+    }
+
+    /// Lowest block number the ledger's log still holds — the compaction
+    /// watermark (0 = full history retained).
+    pub fn first_retained(&self) -> Option<u64> {
+        self.member.as_ref().map(|m| m.ledger.first_retained())
     }
 
     /// Covered block of this replica's current checkpoint snapshot, if any

@@ -82,14 +82,20 @@ impl<A: Application> ChainNode<A> {
         self.checkpoint_log.push((ctx.now(), covered_block));
         // An earlier snapshot whose modeled (Async) write completed in the
         // meantime is durable now — resolve it so the fallback chain below
-        // advances instead of pinning the very first snapshot forever.
+        // advances instead of pinning the very first snapshot forever (and,
+        // with compaction on, so the log prefix it covers can be truncated).
+        let mut resolved_covered = None;
         if let Some(m) = self.member.as_mut() {
             if let Some(at) = m.snapshot_inflight {
                 if at != Time::MAX && ctx.now() >= at {
                     m.snapshot_inflight = None;
                     m.snapshot_fallback = None;
+                    resolved_covered = m.snapshot.as_ref().map(|s| s.covered);
                 }
             }
+        }
+        if let Some(covered) = resolved_covered {
+            self.maybe_compact(covered);
         }
         // Serialize once; the modeled size falls back to the real length.
         let snapshot = self.app.take_snapshot();
@@ -164,6 +170,26 @@ impl<A: Application> ChainNode<A> {
         m.snapshot = Some(new);
         m.snapshot_inflight = inflight;
         m.ledger.set_last_checkpoint(covered_block);
+        // ∞-persistence: the snapshot is never "durable" (nothing is), so
+        // the compaction point is the snapshot itself — a crash loses log
+        // and snapshot together either way.
+        if self.config.persistence == Persistence::Memory {
+            self.maybe_compact(covered_block);
+        }
+    }
+
+    /// Checkpoint-driven log truncation: once a checkpoint covering block
+    /// `covered` is durable, the records below it are replay-dead — drop
+    /// them so restart cost tracks the checkpoint interval, not the chain
+    /// length. Opt-in (`compact_after_checkpoint`): full-history ledgers
+    /// remain the default observable behavior.
+    pub(crate) fn maybe_compact(&mut self, covered: u64) {
+        if !self.config.compact_after_checkpoint || covered == 0 {
+            return;
+        }
+        if let Some(m) = self.member.as_mut() {
+            m.ledger.compact_to(covered).expect("ledger compaction");
+        }
     }
 
     /// [`KIND_SNAPSHOT`] completion (Sync rung): the snapshot whose fsync
@@ -171,15 +197,20 @@ impl<A: Application> ChainNode<A> {
     /// completion can only promote the snapshot it belongs to — the current
     /// one, or a superseded one now serving as the crash fallback.
     pub(crate) fn snapshot_write_done(&mut self, covered: u64, _ctx: &mut Ctx<'_, ChainMsg>) {
+        let mut durable_now = false;
         if let Some(m) = self.member.as_mut() {
             if m.snapshot.as_ref().is_some_and(|s| s.covered == covered) {
                 m.snapshot_inflight = None;
                 m.snapshot_fallback = None;
+                durable_now = true;
             } else if let Some((fallback, at)) = m.snapshot_fallback.as_mut() {
                 if fallback.covered == covered {
                     *at = 0;
                 }
             }
+        }
+        if durable_now {
+            self.maybe_compact(covered);
         }
     }
 }

@@ -199,8 +199,15 @@ pub struct OrderedBatch {
     pub instance: u64,
     /// Epoch of the decision.
     pub epoch: u32,
-    /// The decoded requests in proposal order.
+    /// The decoded requests in proposal order, with already-delivered
+    /// duplicates stripped — what the application executes.
     pub requests: Vec<Request>,
+    /// The raw decided value (the encoded proposal, duplicates and all):
+    /// `sha256(value)` is exactly the proof's `value_hash`, so a durable log
+    /// that stores this instead of the stripped request list stays bound to
+    /// the quorum-signed decision — what the runtime's digest-checked state
+    /// transfer verifies.
+    pub value: Vec<u8>,
     /// The decision proof (quorum of signed ACCEPTs).
     pub proof: smartchain_consensus::proof::DecisionProof,
 }
@@ -599,6 +606,7 @@ impl OrderingCore {
                 instance: d.instance,
                 epoch: d.epoch,
                 requests: fresh,
+                value: d.value.clone(),
                 proof: d.proof.clone(),
             }));
         }

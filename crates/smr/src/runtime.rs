@@ -125,6 +125,12 @@ impl LocalCluster {
                 root.join(format!("replica-{me}")),
                 config.checkpoint_period,
             )?;
+            // A restart must not re-admit requests the pre-crash
+            // incarnation already delivered: seed the fresh core's
+            // duplicate filter from the durable frontier.
+            for (client, seq) in durable.delivered_frontier() {
+                core.note_delivered(client, seq);
+            }
             let timeout = config.progress_timeout;
             let verify_workers = config.verify_workers.max(1);
             let require_signed = config.require_signed;
@@ -360,6 +366,12 @@ impl<A: Application> TcpCluster<A> {
             },
             durable.batches_applied(),
         );
+        // Seed the fresh core's duplicate filter from the durable frontier:
+        // a restarted replica must not re-admit (or, once it leads,
+        // re-propose) requests its pre-crash incarnation delivered.
+        for (client, seq) in durable.delivered_frontier() {
+            core.note_delivered(client, seq);
+        }
         let timeout = self.runtime.progress_timeout;
         let verify_workers = self.runtime.verify_workers.max(1);
         let require_signed = self.runtime.require_signed;
@@ -476,6 +488,11 @@ pub fn serve_replica<A: Application>(
         },
         durable.batches_applied(),
     );
+    // Seed the duplicate filter from the recovered durable frontier (see
+    // TcpCluster::spawn_replica).
+    for (client, seq) in durable.delivered_frontier() {
+        core.note_delivered(client, seq);
+    }
     let pool = VerifyPool::new(2);
     let timeout = Duration::from_millis(cluster.progress_timeout_ms.max(1));
     replica_loop(
@@ -567,6 +584,15 @@ fn send_state_request<A: Application, T: Transport>(
 
 /// Installs a peer's state reply into the durable app and the ordering
 /// core's duplicate filter. Returns true when the local state advanced.
+///
+/// The digest check runs first: every shipped record must carry a decision
+/// proof for its own batch number, content-bound (`sha256(value)` is the
+/// quorum-signed `value_hash`) and valid under the current view — and
+/// `install_remote` additionally requires the suffix to chain-hash onto this
+/// replica's tip. An HMAC-authenticated but Byzantine shipper can therefore
+/// no longer feed a recovering replica forged *batches*; a shipped
+/// *snapshot* that runs ahead of us is still shipper-trusted (see
+/// [`crate::durability::verify_shipped_suffix`] and ROADMAP).
 fn install_state_reply<A: Application>(
     core: &mut OrderingCore,
     durable: &mut DurableApp<A>,
@@ -576,6 +602,9 @@ fn install_state_reply<A: Application>(
     batches: &[Vec<u8>],
     frontier: &[(u64, u64)],
 ) -> bool {
+    if !crate::durability::verify_shipped_suffix(core.view(), first_batch, batches) {
+        return false; // forged/damaged suffix: rotate to another shipper
+    }
     let before = durable.batches_applied();
     let Ok(applied) = durable.install_remote(covered, snapshot, first_batch, batches) else {
         return false;
@@ -773,14 +802,26 @@ fn replica_loop<A: Application, T: Transport>(
                 CoreOutput::Send(to, msg) => transport.send(to, msg),
                 CoreOutput::Deliver(batch) => {
                     last_progress = std::time::Instant::now();
-                    if let Ok(results) = durable.apply_batch(&batch.requests) {
-                        for (request, result) in batch.requests.iter().zip(results) {
-                            transport.reply(Reply {
-                                client: request.client,
-                                seq: request.seq,
-                                result,
-                                replica: me,
-                            });
+                    match durable.apply_batch(&batch) {
+                        Ok(results) => {
+                            for (request, result) in batch.requests.iter().zip(results) {
+                                transport.reply(Reply {
+                                    client: request.client,
+                                    seq: request.seq,
+                                    result,
+                                    replica: me,
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            // The core already advanced past this batch;
+                            // continuing without the record would shift the
+                            // record-index == batch−1 mapping forever (our
+                            // state replies would carry wrong-numbered
+                            // proofs). Crash-stop and let recovery +
+                            // state transfer heal on restart.
+                            eprintln!("replica {me}: apply_batch failed ({e}); halting");
+                            return;
                         }
                     }
                 }
@@ -840,10 +881,31 @@ mod tests {
             .execute(vec![9], Duration::from_secs(10))
             .expect("op");
         cluster.shutdown();
-        // Reboot on the same directories: the durable logs replay.
+        // Reboot on the same directories: the durable logs replay. The
+        // client resumes its sequence past the pre-restart history — the
+        // recovered replicas' duplicate filters (seeded from the durable
+        // frontier) correctly reject a reused (client, seq).
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("reboot");
+        let reused = Request {
+            client: 0xC11E27,
+            seq: 1, // the pre-restart op's sequence number
+            payload: vec![100],
+            signature: None,
+        };
+        assert!(
+            cluster
+                .execute_request(reused, Duration::from_millis(700))
+                .is_err(),
+            "a reused (client, seq) must be deduplicated across the restart"
+        );
+        let fresh = Request {
+            client: 0xC11E27,
+            seq: 2,
+            payload: vec![1],
+            signature: None,
+        };
         let r = cluster
-            .execute(vec![1], Duration::from_secs(10))
+            .execute_request(fresh, Duration::from_secs(10))
             .expect("op after reboot");
         assert_eq!(
             u64::from_le_bytes(r[..8].try_into().unwrap()),

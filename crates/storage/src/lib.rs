@@ -22,12 +22,24 @@ pub mod crc32;
 pub mod engine;
 pub mod log;
 pub mod mem;
+pub mod segmented;
 pub mod snapshot;
 pub mod wal;
 
-pub use engine::{DurabilityEngine, WritePlan};
+pub use engine::{DurabilityEngine, SegmentedEngine, WritePlan};
+pub use segmented::{RecoveryStats, SegmentConfig, SegmentedLog};
 
 use std::io;
+
+/// Best-effort fsync of a directory, making a just-renamed file's directory
+/// entry durable (rename is atomic but not durable until the directory
+/// itself is synced). Errors are ignored: not every platform/filesystem
+/// supports opening directories for sync, and the rename already happened.
+pub(crate) fn sync_dir(dir: &std::path::Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
 
 /// How writes reach stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -82,6 +94,29 @@ pub trait RecordLog: Send {
     ///
     /// Propagates I/O failures from the underlying device.
     fn truncate_prefix(&mut self, upto: u64) -> io::Result<()>;
+
+    /// Lowest readable record index: 0 for a fresh log, the truncation
+    /// watermark after [`RecordLog::truncate_prefix`] compacted a prefix
+    /// away. Reads below it return `None`.
+    fn first_index(&self) -> u64 {
+        0
+    }
+
+    /// Logically skips the log forward so the next append lands at `index`
+    /// with everything below it truncated — what installing a checkpoint
+    /// that summarizes records this log never held requires. The default
+    /// materializes empty pad records and truncates them away; segmented
+    /// backends override it with an O(1) manifest update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying device.
+    fn fast_forward(&mut self, index: u64) -> io::Result<()> {
+        while self.len() < index {
+            self.append(&[])?;
+        }
+        self.truncate_prefix(index)
+    }
 
     /// Simulated power loss: drop everything that never reached stable
     /// storage. Heap-backed logs ([`mem::MemLog`]) discard their unsynced

@@ -159,6 +159,10 @@ impl RecordLog for FileLog {
         Ok(Some(payload))
     }
 
+    fn first_index(&self) -> u64 {
+        self.prefix_dropped
+    }
+
     fn truncate_prefix(&mut self, upto: u64) -> io::Result<()> {
         if upto <= self.prefix_dropped {
             return Ok(());

@@ -67,6 +67,20 @@ impl RecordLog for MemLog {
         Ok(())
     }
 
+    fn first_index(&self) -> u64 {
+        self.prefix_dropped
+    }
+
+    fn fast_forward(&mut self, index: u64) -> io::Result<()> {
+        if index <= self.len() {
+            return self.truncate_prefix(index);
+        }
+        self.records.clear();
+        self.prefix_dropped = index;
+        self.synced_upto = self.synced_upto.max(index);
+        Ok(())
+    }
+
     fn simulate_crash(&mut self) {
         self.crash_to_last_sync();
     }

@@ -10,12 +10,16 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Metadata + payload of one snapshot.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Snapshot {
     /// Number of the last block covered by this snapshot (inclusive).
     pub covered_block: u64,
     /// Serialized application state.
     pub state: Vec<u8>,
+    /// Opaque consumer metadata stored (and CRC-protected) alongside the
+    /// state — e.g. the runtime's dedup frontier and batch chain tip at the
+    /// covered point. Empty for consumers that need none.
+    pub meta: Vec<u8>,
 }
 
 /// A directory-backed snapshot store keeping the most recent snapshot.
@@ -49,15 +53,21 @@ impl SnapshotStore {
         let tmp = self.dir.join("snapshot.tmp");
         {
             let mut f = File::create(&tmp)?;
-            f.write_all(b"SCSN")?;
+            f.write_all(b"SCS2")?;
             f.write_all(&snapshot.covered_block.to_le_bytes())?;
             f.write_all(&(snapshot.state.len() as u64).to_le_bytes())?;
+            f.write_all(&(snapshot.meta.len() as u64).to_le_bytes())?;
             f.write_all(&snapshot.state)?;
-            let crc = crate::crc32::checksum(&snapshot.state);
+            f.write_all(&snapshot.meta)?;
+            let mut payload = Vec::with_capacity(snapshot.state.len() + snapshot.meta.len());
+            payload.extend_from_slice(&snapshot.state);
+            payload.extend_from_slice(&snapshot.meta);
+            let crc = crate::crc32::checksum(&payload);
             f.write_all(&crc.to_le_bytes())?;
             f.sync_all()?;
         }
         fs::rename(&tmp, self.current_path())?;
+        crate::sync_dir(&self.dir);
         Ok(())
     }
 
@@ -76,7 +86,7 @@ impl SnapshotStore {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         }
-        if data.len() < 24 || &data[..4] != b"SCSN" {
+        if data.len() < 32 || &data[..4] != b"SCS2" {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "bad snapshot header",
@@ -84,15 +94,21 @@ impl SnapshotStore {
         }
         let covered_block = u64::from_le_bytes(data[4..12].try_into().expect("8 bytes"));
         let state_len = u64::from_le_bytes(data[12..20].try_into().expect("8 bytes")) as usize;
-        if data.len() != 20 + state_len + 4 {
+        let meta_len = u64::from_le_bytes(data[20..28].try_into().expect("8 bytes")) as usize;
+        if data.len() != 28 + state_len + meta_len + 4 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "bad snapshot length",
             ));
         }
-        let state = data[20..20 + state_len].to_vec();
-        let crc = u32::from_le_bytes(data[20 + state_len..].try_into().expect("4 bytes"));
-        if crate::crc32::checksum(&state) != crc {
+        let state = data[28..28 + state_len].to_vec();
+        let meta = data[28 + state_len..28 + state_len + meta_len].to_vec();
+        let crc = u32::from_le_bytes(
+            data[28 + state_len + meta_len..]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        if crate::crc32::checksum(&data[28..28 + state_len + meta_len]) != crc {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "snapshot crc mismatch",
@@ -101,6 +117,7 @@ impl SnapshotStore {
         Ok(Some(Snapshot {
             covered_block,
             state,
+            meta,
         }))
     }
 }
@@ -130,6 +147,7 @@ mod tests {
         let snap = Snapshot {
             covered_block: 42,
             state: vec![1, 2, 3, 4],
+            meta: vec![9, 9],
         };
         s.install(&snap).unwrap();
         assert_eq!(s.load().unwrap(), Some(snap));
@@ -141,11 +159,13 @@ mod tests {
         s.install(&Snapshot {
             covered_block: 1,
             state: vec![1],
+            meta: Vec::new(),
         })
         .unwrap();
         s.install(&Snapshot {
             covered_block: 2,
             state: vec![2],
+            meta: Vec::new(),
         })
         .unwrap();
         assert_eq!(s.load().unwrap().unwrap().covered_block, 2);
@@ -157,6 +177,7 @@ mod tests {
         s.install(&Snapshot {
             covered_block: 7,
             state: vec![9u8; 100],
+            meta: Vec::new(),
         })
         .unwrap();
         let path = s.current_path();

@@ -22,9 +22,14 @@
 //!   single source of truth for hashes, signatures, persistence *and* wire
 //!   sizes (`encoded_len`), so the NIC model never drifts from the encoders.
 //! * [`storage`] — the stable-storage substrate: CRC-framed logs
-//!   ([`storage::log::FileLog`]), group-commit WAL ([`storage::wal`]),
+//!   (single-file [`storage::log::FileLog`] and the segmented
+//!   [`storage::segmented::SegmentedLog`] — fixed-capacity segment files +
+//!   manifest, O(segment-delete) prefix truncation, recovery that scans
+//!   only the active segment), group-commit WAL ([`storage::wal`]),
 //!   snapshots, and the [`storage::DurabilityEngine`] trait with the three
-//!   persistence-ladder backends (memory / async / group commit, §V-C).
+//!   persistence-ladder backends (memory / async / group commit, §V-C) —
+//!   plus [`storage::SegmentedEngine`], all three rungs over one real-disk
+//!   segmented log.
 //! * [`sim`] — the deterministic discrete-event kernel with hardware models
 //!   (NIC, disk, CPU + verification-pool lanes) and a self-contained seeded
 //!   RNG ([`sim::rng`]); every run is reproducible bit-for-bit from its
@@ -36,7 +41,10 @@
 //!   consensus instances in flight at once, strictly in-order delivery;
 //!   α = 1 reproduces the seed bit-for-bit), clients,
 //!   [`smr::durability::DurableApp`] (durable delivery over any
-//!   `DurabilityEngine`; group-commit `FileLog` by default) — and the
+//!   `DurabilityEngine`; group-commit segmented log by default — each
+//!   record stores the raw decided value + decision proof, hash-chained,
+//!   checkpoints truncate the covered prefix, and restart replays only the
+//!   post-checkpoint suffix) — and the
 //!   metal deployment layer: [`smr::transport`] abstracts the links
 //!   (in-process channels, or length-framed HMAC-authenticated TCP with
 //!   per-peer writer threads and automatic redial) and [`smr::runtime`]
@@ -52,7 +60,10 @@
 //!   verify, produce, persist, checkpoint, state transfer, reconfig). Up
 //!   to α blocks ride EXECUTE/PERSIST concurrently — device syncs and
 //!   PERSIST certificates complete out of order, replies release in block
-//!   order.
+//!   order. The ledger's engine medium is selectable
+//!   (`NodeConfig::storage`): heap, or the real segmented log exercised in
+//!   virtual time, with opt-in checkpoint-driven compaction
+//!   (`compact_after_checkpoint`).
 //! * [`coin`] — SMaRtCoin, the UTXO digital-coin application.
 //! * [`baselines`] — Tendermint- and Fabric-style comparator models.
 //!
