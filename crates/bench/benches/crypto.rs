@@ -5,7 +5,8 @@
 use smartchain_bench::micro::{bench, black_box};
 use smartchain_crypto::keys::{Backend, PublicKey, SecretKey, Signature};
 use smartchain_crypto::pool::{verify_batch_sequential, VerifyPool};
-use smartchain_crypto::{merkle, sha256, sha512};
+use smartchain_crypto::{sha256, sha512};
+use smartchain_merkle as merkle;
 
 fn main() {
     for size in [64usize, 1024, 65536] {

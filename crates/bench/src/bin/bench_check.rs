@@ -15,10 +15,11 @@
 //! bench_check -- --print-baseline` and pasting the output.
 
 use smartchain_bench::micro::{
-    alpha_pipeline_throughput, black_box, channel_smoke, measure, segmented_recovery_scenario,
-    tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
+    alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario, measure,
+    segmented_recovery_scenario, tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
 };
 use smartchain_crypto::sha256;
+use smartchain_merkle as merkle;
 use smartchain_smr::types::{decode_batch, encode_batch, Request};
 use std::collections::BTreeMap;
 
@@ -198,6 +199,28 @@ fn main() {
         }
     }
 
+    // Certified chunked install (deterministic): a quorum-certified
+    // snapshot of 24 counter records (384 bytes, two 256-byte chunks)
+    // installed on a fresh replica. The verified-chunk count is a pure
+    // function of the state size — band 0: it moves only if the chunk
+    // geometry or the install path's verification coverage changes.
+    let install = chunked_install_scenario(24);
+    println!(
+        "chunked install: {} chunk(s) verified over {} state bytes",
+        install.chunks_verified, install.state_bytes
+    );
+    gate.measured.insert(
+        "chunked_install_chunks".into(),
+        install.chunks_verified as f64,
+    );
+    if !print_baseline {
+        gate.band(
+            "chunked_install_chunks",
+            install.chunks_verified as f64,
+            0.0,
+        );
+    }
+
     // Runtime smoke (wall-clock, informational except for liveness): the
     // same closed loop over channel and real loopback-TCP transports. Zero
     // batches/sec means the deployment path is broken — that gates.
@@ -231,12 +254,29 @@ fn main() {
         let bytes = encode_batch(black_box(&batch));
         black_box(decode_batch(&bytes).unwrap());
     });
+    // Merkle membership verification — the light-client hot path: one
+    // chunk proof checked against a certified root over a 64 KiB state
+    // (256 chunks, 8-deep path).
+    let state = vec![0xA5u8; 64 * 1024];
+    let root = merkle::chunked_root(&state, merkle::STATE_CHUNK);
+    let proof = merkle::prove_chunk(&state, merkle::STATE_CHUNK, 37);
+    let chunk = &state[37 * merkle::STATE_CHUNK..38 * merkle::STATE_CHUNK];
+    let (merkle_ns, ..) = measure(|| {
+        assert!(merkle::verify(
+            black_box(&root),
+            black_box(chunk),
+            black_box(&proof)
+        ));
+    });
     gate.measured.insert("sha256_4k_ns".into(), sha_ns as f64);
     gate.measured
         .insert("batch_roundtrip_ns".into(), codec_ns as f64);
+    gate.measured
+        .insert("merkle_proof_verify_ns".into(), merkle_ns as f64);
     if !print_baseline {
         gate.ceiling("sha256_4k_ns", sha_ns as f64, 8.0);
         gate.ceiling("batch_roundtrip_ns", codec_ns as f64, 8.0);
+        gate.ceiling("merkle_proof_verify_ns", merkle_ns as f64, 8.0);
     }
 
     if print_baseline {

@@ -8,14 +8,15 @@
 //! α = 4 under the GroupCommit rung, where overlapping ORDER of instance
 //! `i+1` with PERSIST of instance `i` is the whole win.
 
+use smartchain_consensus::View;
 use smartchain_core::harness::ChainClusterBuilder;
 use smartchain_core::node::{NodeConfig, Persistence, SigMode, Variant, VerifyConfig};
-use smartchain_crypto::keys::Backend;
+use smartchain_crypto::keys::{Backend, SecretKey};
 use smartchain_sim::hw::HwSpec;
 use smartchain_sim::{MILLI, SECOND};
 use smartchain_smr::app::CounterApp;
 use smartchain_smr::client::CounterFactory;
-use smartchain_smr::durability::DurableApp;
+use smartchain_smr::durability::{ckpt_sign_payload, CheckpointCert, DurableApp};
 use smartchain_smr::ordering::OrderingConfig;
 use smartchain_smr::runtime::{LocalCluster, RuntimeConfig, TcpCluster};
 use smartchain_smr::types::Request;
@@ -233,6 +234,75 @@ pub fn segmented_recovery_scenario(
         segments_scanned: stats.segments_scanned,
         records_scanned: stats.records_scanned,
         batches_per_sec: applied as f64 / secs.max(1e-9),
+    }
+}
+
+/// Outcome of the deterministic certified chunked-install scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkedInstall {
+    /// State chunks the installer hashed and checked against the
+    /// quorum-certified root before adopting the snapshot.
+    pub chunks_verified: u64,
+    /// Size of the installed snapshot state, in bytes.
+    pub state_bytes: u64,
+}
+
+/// The certified snapshot-install scenario gated in `bench_check`: a source
+/// [`DurableApp`] cuts a checkpoint over `clients` counter records, a
+/// 3-of-4 quorum signs its state root (what the runtime's share gossip
+/// assembles), and a fresh replica installs the shipped snapshot —
+/// verifying it chunk-by-chunk against the certified root before adopting
+/// anything. The verified-chunk count is a pure function of the state
+/// size, so the pin holds with a band of 0: it moves only if the chunking
+/// geometry or the install path's verification coverage changes.
+pub fn chunked_install_scenario(clients: u64) -> ChunkedInstall {
+    let mut src =
+        DurableApp::open(CounterApp::new(), smoke_dir("install-src"), 1).expect("open source app");
+    let batch: Vec<Request> = (0..clients)
+        .map(|c| Request {
+            client: 1_000 + c,
+            seq: 1,
+            payload: vec![1],
+            signature: None,
+        })
+        .collect();
+    src.apply_requests(&batch).expect("apply batch");
+
+    let secrets: Vec<SecretKey> = (0..4)
+        .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 90; 32]))
+        .collect();
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
+    let (covered, state_root, tip) = src.latest_checkpoint_basis().expect("checkpoint cut");
+    let payload = ckpt_sign_payload(covered, &state_root, &tip);
+    let cert = CheckpointCert {
+        covered,
+        state_root,
+        tip,
+        signatures: (0..view.quorum())
+            .map(|r| (r, secrets[r].sign(&payload)))
+            .collect(),
+    };
+    src.store_checkpoint_cert(cert).expect("store certificate");
+
+    let reply = src.state_reply(1).expect("state reply");
+    let mut dst =
+        DurableApp::open(CounterApp::new(), smoke_dir("install-dst"), 100).expect("open target");
+    dst.install_remote(
+        &view,
+        reply.covered,
+        reply.snapshot,
+        reply.cert.as_ref(),
+        reply.first_batch,
+        &reply.batches,
+    )
+    .expect("certified install");
+    assert_eq!(dst.batches_applied(), src.batches_applied());
+    ChunkedInstall {
+        chunks_verified: dst.chunks_verified(),
+        state_bytes: clients * 16,
     }
 }
 

@@ -4,13 +4,18 @@
 //! An auditor holds nothing but the genesis configuration and a sequence of
 //! blocks. It verifies, block by block:
 //!
-//! 1. **linkage** — `hash_last_block` chains correctly and the commitment
-//!    hashes match the body;
-//! 2. **authority** — the block is vouched for by the view in force at its
+//! 1. **linkage** — `hash_last_block` chains correctly and the transaction
+//!    Merkle commitment matches the body;
+//! 2. **binding** — a transaction block's decision proof certifies *this*
+//!    block's content: its value hash must equal the hash of the encoded
+//!    request batch. Without this check a replayed proof (a valid quorum of
+//!    ACCEPT signatures for some other decided value) would lend authority
+//!    to arbitrary forged requests;
+//! 3. **authority** — the block is vouched for by the view in force at its
 //!    position: the strong-variant certificate (or, failing that, the
 //!    decision proof) must carry a quorum of signatures under the *consensus
 //!    keys published for that view*;
-//! 3. **reconfigurations** — reconfiguration blocks carry a valid n−f vote
+//! 4. **reconfigurations** — reconfiguration blocks carry a valid n−f vote
 //!    certificate from the previous view, and the new view is exactly the
 //!    deterministic application of the reconfiguration transaction.
 //!
@@ -21,7 +26,8 @@
 
 use crate::block::{Block, BlockBody, Genesis, ViewInfo};
 use smartchain_consensus::proof::DecisionProof;
-use smartchain_crypto::Hash;
+use smartchain_crypto::{sha256, Hash};
+use smartchain_smr::types::encode_batch;
 
 /// Why a chain failed verification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -40,8 +46,14 @@ pub enum AuditError {
         /// Block where the break occurred.
         number: u64,
     },
-    /// `hash_transactions`/`hash_results` do not match the body.
+    /// `hash_transactions` does not match the body.
     BadCommitment {
+        /// Offending block.
+        number: u64,
+    },
+    /// The decision proof's value hash does not cover the block's request
+    /// batch — a replayed proof attached to forged content.
+    ProofMismatch {
         /// Offending block.
         number: u64,
     },
@@ -78,6 +90,9 @@ impl std::fmt::Display for AuditError {
             AuditError::BrokenLink { number } => write!(f, "hash chain broken at block {number}"),
             AuditError::BadCommitment { number } => {
                 write!(f, "commitment hashes wrong at block {number}")
+            }
+            AuditError::ProofMismatch { number } => {
+                write!(f, "decision proof does not cover block {number}'s requests")
             }
             AuditError::NoAuthority { number } => {
                 write!(f, "no valid quorum authority for block {number}")
@@ -149,7 +164,16 @@ pub fn verify_chain(genesis: &Genesis, blocks: &[Block]) -> Result<AuditReport, 
             return Err(AuditError::BadReconfigPointer { number });
         }
         match &block.body {
-            BlockBody::Transactions { proof, .. } => {
+            BlockBody::Transactions {
+                requests, proof, ..
+            } => {
+                // The proof must certify *this* batch: proof.verify() alone
+                // only checks signatures over the proof's own value hash,
+                // which nothing would otherwise tie to the block content.
+                let batch_hash = sha256::digest(&encode_batch(requests));
+                if proof.value_hash != batch_hash {
+                    return Err(AuditError::ProofMismatch { number });
+                }
                 let cert_ok = block.certificate.verify(&block.header, &view);
                 let proof_ok = proof_has_authority(proof, &view);
                 if !cert_ok && !proof_ok {
@@ -323,7 +347,14 @@ mod tests {
                 proof,
                 results: vec![vec![0]],
             };
-            let mut block = Block::build(number, self.last_reconfig(), 0, self.prev_hash(), body);
+            let mut block = Block::build(
+                number,
+                self.last_reconfig(),
+                0,
+                self.prev_hash(),
+                body,
+                [0u8; 32],
+            );
             // Strong certificate too.
             let cert_payload = persist_sign_payload(number, &block.header.hash());
             block.certificate = Certificate {
@@ -392,7 +423,14 @@ mod tests {
                 proof,
                 new_view: new_view.clone(),
             };
-            let mut block = Block::build(number, self.last_reconfig(), 0, self.prev_hash(), body);
+            let mut block = Block::build(
+                number,
+                self.last_reconfig(),
+                0,
+                self.prev_hash(),
+                body,
+                [0u8; 32],
+            );
             let cert_payload = persist_sign_payload(number, &block.header.hash());
             block.certificate = Certificate {
                 signatures: (0..self.view.quorum())
@@ -480,11 +518,46 @@ mod tests {
         }
         // Rebuild commitments so only authority fails.
         let body = h.chain[0].body.clone();
-        let rebuilt = Block::build(1, 0, 0, h.genesis.hash(), body);
+        let rebuilt = Block::build(1, 0, 0, h.genesis.hash(), body, [0u8; 32]);
         h.chain[0].header = rebuilt.header;
         assert_eq!(
             verify_chain(&h.genesis, &h.chain),
             Err(AuditError::NoAuthority { number: 1 })
+        );
+    }
+
+    /// The value-hash binding gap: a decision proof is a quorum of ACCEPT
+    /// signatures over `(instance, epoch, value_hash)` — valid *standalone*
+    /// no matter what requests sit next to it. An attacker who replays a
+    /// genuine proof beside forged requests (header rebuilt so commitments
+    /// hold, certificate stripped as in the weak variant) must be caught by
+    /// the batch-hash binding check, not slip through on proof authority.
+    #[test]
+    fn replayed_proof_with_forged_requests_rejected() {
+        let mut h = Harness::new(4);
+        h.push_tx_block();
+        let forged_requests = vec![Request {
+            client: 66,
+            seq: 0,
+            payload: vec![6, 6],
+            signature: None,
+        }];
+        let (proof, results) = match &h.chain[0].body {
+            BlockBody::Transactions { proof, results, .. } => (proof.clone(), results.clone()),
+            _ => unreachable!(),
+        };
+        // The replayed proof still carries quorum authority on its own.
+        assert!(proof_has_authority(&proof, &h.view));
+        let body = BlockBody::Transactions {
+            consensus_id: 1,
+            requests: forged_requests,
+            proof,
+            results,
+        };
+        h.chain[0] = Block::build(1, 0, 0, h.genesis.hash(), body, [0u8; 32]);
+        assert_eq!(
+            verify_chain(&h.genesis, &h.chain),
+            Err(AuditError::ProofMismatch { number: 1 })
         );
     }
 
@@ -533,7 +606,7 @@ mod tests {
             results: vec![vec![0]],
         };
         let prev = fork.last().map(|b| b.header.hash()).unwrap();
-        let mut fork_block = Block::build(number, 0, 0, prev, body);
+        let mut fork_block = Block::build(number, 0, 0, prev, body, [0u8; 32]);
         let cert_payload = persist_sign_payload(number, &fork_block.header.hash());
         fork_block.certificate = Certificate {
             signatures: vec![
@@ -558,7 +631,7 @@ mod tests {
         h.push_tx_block();
         // Claim block 2's last reconfiguration was block 1 (a lie).
         let body = h.chain[1].body.clone();
-        let mut forged = Block::build(2, 1, 0, h.chain[0].header.hash(), body);
+        let mut forged = Block::build(2, 1, 0, h.chain[0].header.hash(), body, [0u8; 32]);
         forged.header.last_reconfig = 1;
         // Rebuild to keep commitments valid while keeping the bad pointer.
         let hdr = crate::block::BlockHeader {
@@ -586,7 +659,7 @@ mod tests {
         // Re-seal commitments so only the view derivation check fires.
         let body = h.chain[reconfig_index].body.clone();
         let prev = h.chain[reconfig_index - 1].header.hash();
-        let resealed = Block::build(2, 0, 0, prev, body);
+        let resealed = Block::build(2, 0, 0, prev, body, [0u8; 32]);
         h.chain[reconfig_index].header = resealed.header;
         assert_eq!(
             verify_chain(&h.genesis, &h.chain[..2]),
@@ -653,7 +726,7 @@ mod tests {
         };
         let mut fork = fork_base;
         let prev = fork.last().map(|b| b.header.hash()).unwrap();
-        let fork_block = Block::build(number, 0, 0, prev, body);
+        let fork_block = Block::build(number, 0, 0, prev, body, [0u8; 32]);
         fork.push(fork_block);
         // Three old keys = quorum: the fork passes verification. This is the
         // unsafe world the paper warns about.

@@ -17,7 +17,8 @@ use smartchain_codec::{decode_seq, encode_seq, seq_encoded_len, Decode, DecodeEr
 use smartchain_consensus::proof::DecisionProof;
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{PublicKey, Signature};
-use smartchain_crypto::{merkle, sha256, Hash};
+use smartchain_crypto::{sha256, Hash};
+use smartchain_merkle as merkle;
 use smartchain_smr::types::Request;
 
 /// Members and key material of one consortium view.
@@ -136,9 +137,12 @@ pub struct BlockHeader {
     /// Number of the last block covered by the most recent checkpoint at
     /// creation time (0 = no checkpoint yet).
     pub last_checkpoint: u64,
-    /// SHA-256 over the encoded transaction list.
+    /// Merkle root over the transaction leaves (consensus id, then each
+    /// encoded request), so single transactions are provable to light
+    /// clients without the whole block.
     pub hash_transactions: Hash,
-    /// SHA-256 over the encoded results list.
+    /// `node_hash(results root, state root)`: binds both the per-request
+    /// execution results and the application state root after this block.
     pub hash_results: Hash,
     /// SHA-256 of the previous block's header (genesis hash for block 1).
     pub hash_last_block: Hash,
@@ -452,6 +456,42 @@ impl BlockBody {
         }
     }
 
+    /// The Merkle leaves `hash_transactions` commits to: the consensus id
+    /// first, then each request (or the reconfiguration transaction),
+    /// individually — so a light client can verify one transaction's
+    /// inclusion with a log-sized proof.
+    ///
+    /// Like [`BlockBody::transactions_bytes`], the decision proof is
+    /// excluded: proofs differ across replicas while the decided content is
+    /// identical, and headers must hash equally everywhere.
+    pub fn transaction_leaves(&self) -> Vec<Vec<u8>> {
+        match self {
+            BlockBody::Transactions {
+                consensus_id,
+                requests,
+                ..
+            } => {
+                let mut leaves = Vec::with_capacity(1 + requests.len());
+                leaves.push(smartchain_codec::to_bytes(consensus_id));
+                leaves.extend(requests.iter().map(smartchain_codec::to_bytes));
+                leaves
+            }
+            BlockBody::Reconfiguration {
+                consensus_id, tx, ..
+            } => {
+                vec![
+                    smartchain_codec::to_bytes(consensus_id),
+                    smartchain_codec::to_bytes(tx),
+                ]
+            }
+        }
+    }
+
+    /// Merkle root over [`BlockBody::transaction_leaves`].
+    pub fn transactions_root(&self) -> Hash {
+        merkle::root(&self.transaction_leaves())
+    }
+
     /// The per-result Merkle leaves that `hash_results` commits to.
     ///
     /// Using a Merkle root (instead of a flat hash) implements the paper's
@@ -642,20 +682,26 @@ pub struct Block {
 }
 
 impl Block {
-    /// Builds a block, computing the commitment hashes.
+    /// Builds a block, computing the commitment hashes. `state_root` is the
+    /// Merkle root of the application state after executing this block
+    /// ([`merkle::chunked_root`] with [`merkle::STATE_CHUNK`]-byte leaves);
+    /// it is folded into `hash_results`, so the PERSIST certificate over the
+    /// header also certifies the post-block state — the anchor snapshot
+    /// installers verify chunks against.
     pub fn build(
         number: u64,
         last_reconfig: u64,
         last_checkpoint: u64,
         hash_last_block: Hash,
         body: BlockBody,
+        state_root: Hash,
     ) -> Block {
         let header = BlockHeader {
             number,
             last_reconfig,
             last_checkpoint,
-            hash_transactions: sha256::digest(&body.transactions_bytes()),
-            hash_results: body.results_root(),
+            hash_transactions: body.transactions_root(),
+            hash_results: merkle::node_hash(&body.results_root(), &state_root),
             hash_last_block,
         };
         Block {
@@ -665,24 +711,56 @@ impl Block {
         }
     }
 
-    /// Header/body consistency: the commitment hashes match the body.
+    /// Header/body consistency: the transaction commitment matches the body.
+    ///
+    /// `hash_results` folds in the state root, which is not carried by the
+    /// block itself — use [`Block::commitments_valid_with_state`] when the
+    /// expected state root is known (checkpoint verification, audits with
+    /// replay).
     pub fn commitments_valid(&self) -> bool {
-        self.header.hash_transactions == sha256::digest(&self.body.transactions_bytes())
-            && self.header.hash_results == self.body.results_root()
+        self.header.hash_transactions == self.body.transactions_root()
+    }
+
+    /// Full header/body consistency given the expected post-block state
+    /// root: transaction commitment plus the results/state binding.
+    pub fn commitments_valid_with_state(&self, state_root: &Hash) -> bool {
+        self.commitments_valid()
+            && self.header.hash_results == merkle::node_hash(&self.body.results_root(), state_root)
     }
 
     /// Merkle inclusion proof for result `index` (light-client API).
     ///
+    /// The final path element is the block's state root, so the proof folds
+    /// up to `hash_results` and verifies against the header alone.
+    ///
     /// # Panics
     ///
     /// Panics if `index` is out of range for this block's results.
-    pub fn prove_result(&self, index: usize) -> merkle::Proof {
-        merkle::prove(&self.body.results_leaves(), index)
+    pub fn prove_result(&self, index: usize, state_root: &Hash) -> merkle::Proof {
+        let mut proof = merkle::prove(&self.body.results_leaves(), index);
+        proof.path.push((*state_root, true));
+        proof
     }
 
     /// Verifies a result inclusion proof against a (trusted) header.
     pub fn verify_result(header: &BlockHeader, result: &[u8], proof: &merkle::Proof) -> bool {
         merkle::verify(&header.hash_results, result, proof)
+    }
+
+    /// Merkle inclusion proof for transaction leaf `index` of
+    /// [`BlockBody::transaction_leaves`] (leaf 0 is the consensus id; leaf
+    /// `i + 1` is the `i`-th request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for this block's leaves.
+    pub fn prove_transaction(&self, index: usize) -> merkle::Proof {
+        merkle::prove(&self.body.transaction_leaves(), index)
+    }
+
+    /// Verifies a transaction inclusion proof against a (trusted) header.
+    pub fn verify_transaction(header: &BlockHeader, leaf: &[u8], proof: &merkle::Proof) -> bool {
+        merkle::verify(&header.hash_transactions, leaf, proof)
     }
 
     /// Exact serialized size (for the simulator's disk accounting),
@@ -785,7 +863,7 @@ mod tests {
             app_data: vec![1, 2, 3],
         };
         let body = tx_body();
-        let block = Block::build(1, 0, 0, [7u8; 32], body.clone());
+        let block = Block::build(1, 0, 0, [7u8; 32], body.clone(), [8u8; 32]);
         let cert = Certificate {
             signatures: vec![(0, st[0].consensus().sign(b"c"))],
         };
@@ -846,18 +924,23 @@ mod tests {
 
     #[test]
     fn block_build_commits_to_body() {
-        let b = Block::build(1, 0, 0, [0u8; 32], tx_body());
+        let state_root = [5u8; 32];
+        let b = Block::build(1, 0, 0, [0u8; 32], tx_body(), state_root);
         assert!(b.commitments_valid());
+        assert!(b.commitments_valid_with_state(&state_root));
+        // The header binds the state root even though the block doesn't
+        // carry it: a different root fails the full check.
+        assert!(!b.commitments_valid_with_state(&[6u8; 32]));
         let mut tampered = b.clone();
-        if let BlockBody::Transactions { results, .. } = &mut tampered.body {
-            results[0] = vec![8];
+        if let BlockBody::Transactions { requests, .. } = &mut tampered.body {
+            requests[0].payload = vec![9, 9];
         }
         assert!(!tampered.commitments_valid());
     }
 
     #[test]
     fn block_codec_roundtrip() {
-        let b = Block::build(3, 1, 2, [7u8; 32], tx_body());
+        let b = Block::build(3, 1, 2, [7u8; 32], tx_body(), [0u8; 32]);
         let bytes = smartchain_codec::to_bytes(&b);
         let back: Block = smartchain_codec::from_bytes(&bytes).unwrap();
         assert_eq!(back, b);
@@ -867,7 +950,7 @@ mod tests {
     fn certificate_quorum_rules() {
         let ks = stores(4);
         let view = view_info(&ks, 0);
-        let block = Block::build(1, 0, 0, [0u8; 32], tx_body());
+        let block = Block::build(1, 0, 0, [0u8; 32], tx_body(), [0u8; 32]);
         let payload = persist_sign_payload(1, &block.header.hash());
         let sign = |i: usize| (i, ks[i].consensus().sign(&payload));
         let full = Certificate {
@@ -889,7 +972,7 @@ mod tests {
         let ks = stores(4);
         let view0 = view_info(&ks, 0);
         let view1 = view_info(&ks, 1); // rotated keys
-        let block = Block::build(1, 0, 0, [0u8; 32], tx_body());
+        let block = Block::build(1, 0, 0, [0u8; 32], tx_body(), [0u8; 32]);
         let payload = persist_sign_payload(1, &block.header.hash());
         // Signatures with view-0 keys must not verify under view 1.
         let cert = Certificate {
@@ -1080,10 +1163,11 @@ mod merkle_result_tests {
 
     #[test]
     fn result_proofs_verify() {
+        let state_root = [3u8; 32];
         let results: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 20]).collect();
-        let block = Block::build(1, 0, 0, [0u8; 32], body(results.clone()));
+        let block = Block::build(1, 0, 0, [0u8; 32], body(results.clone()), state_root);
         for (i, result) in results.iter().enumerate() {
-            let proof = block.prove_result(i);
+            let proof = block.prove_result(i, &state_root);
             assert!(
                 Block::verify_result(&block.header, result, &proof),
                 "result {i}"
@@ -1093,20 +1177,37 @@ mod merkle_result_tests {
     }
 
     #[test]
+    fn transaction_proofs_verify() {
+        let results: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 9]).collect();
+        let block = Block::build(1, 0, 0, [0u8; 32], body(results), [0u8; 32]);
+        let leaves = block.body.transaction_leaves();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = block.prove_transaction(i);
+            assert!(
+                Block::verify_transaction(&block.header, leaf, &proof),
+                "leaf {i}"
+            );
+            assert!(!Block::verify_transaction(&block.header, b"forged", &proof));
+        }
+    }
+
+    #[test]
     fn tampered_result_breaks_commitment() {
-        let mut block = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![1], vec![2]]));
-        assert!(block.commitments_valid());
+        let state_root = [4u8; 32];
+        let mut block = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![1], vec![2]]), state_root);
+        assert!(block.commitments_valid_with_state(&state_root));
         if let BlockBody::Transactions { results, .. } = &mut block.body {
             results[1] = vec![9];
         }
-        assert!(!block.commitments_valid());
+        assert!(!block.commitments_valid_with_state(&state_root));
     }
 
     #[test]
     fn proof_from_one_block_fails_on_another() {
-        let a = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![1], vec![2]]));
-        let b = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![3], vec![4]]));
-        let proof = a.prove_result(0);
+        let state_root = [0u8; 32];
+        let a = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![1], vec![2]]), state_root);
+        let b = Block::build(1, 0, 0, [0u8; 32], body(vec![vec![3], vec![4]]), state_root);
+        let proof = a.prove_result(0, &state_root);
         assert!(!Block::verify_result(&b.header, &[1], &proof));
     }
 }

@@ -137,13 +137,16 @@ impl<L: RecordLog> Ledger<L> {
     }
 
     /// Builds the next block from a body (hashes, linkage, counters).
-    pub fn build_next(&self, body: BlockBody) -> Block {
+    /// `state_root` is the Merkle root of the application state after this
+    /// block executes; the header's `hash_results` binds it.
+    pub fn build_next(&self, body: BlockBody, state_root: Hash) -> Block {
         Block::build(
             self.next_number,
             self.last_reconfig,
             self.last_checkpoint,
             self.last_block_hash,
             body,
+            state_root,
         )
     }
 
@@ -455,7 +458,7 @@ mod tests {
     fn append_chains_blocks() {
         let mut ledger = Ledger::open(MemLog::new(), genesis()).unwrap();
         for i in 1..=5u64 {
-            let block = ledger.build_next(tx_body(i));
+            let block = ledger.build_next(tx_body(i), [0u8; 32]);
             ledger.append(&block).unwrap();
         }
         assert_eq!(ledger.height(), 5);
@@ -467,12 +470,12 @@ mod tests {
     #[test]
     fn append_rejects_wrong_parent() {
         let mut ledger = Ledger::open(MemLog::new(), genesis()).unwrap();
-        let block = ledger.build_next(tx_body(1));
+        let block = ledger.build_next(tx_body(1), [0u8; 32]);
         ledger.append(&block).unwrap();
         // Re-appending the same block must fail (wrong number + parent).
         assert!(ledger.append(&block).is_err());
         // A block with a forged parent hash must fail.
-        let mut forged = ledger.build_next(tx_body(2));
+        let mut forged = ledger.build_next(tx_body(2), [0u8; 32]);
         forged.header.hash_last_block = [9u8; 32];
         forged.header.number = ledger.next_number();
         assert!(ledger.append(&forged).is_err());
@@ -483,7 +486,7 @@ mod tests {
         let g = genesis();
         let mut ledger = Ledger::open(MemLog::new(), g.clone()).unwrap();
         for i in 1..=3u64 {
-            let block = ledger.build_next(tx_body(i));
+            let block = ledger.build_next(tx_body(i), [0u8; 32]);
             ledger.append(&block).unwrap();
         }
         ledger.sync().unwrap();
@@ -508,7 +511,7 @@ mod tests {
     #[test]
     fn certificates_attach_to_blocks() {
         let mut ledger = Ledger::open(MemLog::new(), genesis()).unwrap();
-        let block = ledger.build_next(tx_body(1));
+        let block = ledger.build_next(tx_body(1), [0u8; 32]);
         ledger.append(&block).unwrap();
         let header: BlockHeader = block.header;
         let ks = KeyStore::new(
@@ -534,7 +537,7 @@ mod tests {
     fn blocks_from_returns_suffix() {
         let mut ledger = Ledger::open(MemLog::new(), genesis()).unwrap();
         for i in 1..=6u64 {
-            let block = ledger.build_next(tx_body(i));
+            let block = ledger.build_next(tx_body(i), [0u8; 32]);
             ledger.append(&block).unwrap();
         }
         let suffix = ledger.blocks_from(4).unwrap();

@@ -9,6 +9,7 @@
 //! the modeled transfer size.
 
 use crate::block::{Block, ReconfigOp, ReconfigVote, ViewInfo};
+use crate::pipeline::checkpoint::SnapshotCommit;
 use crate::view_keys::CertifiedKey;
 use smartchain_codec::{decode_seq, encode_seq, seq_encoded_len, Decode, DecodeError, Encode};
 use smartchain_crypto::keys::Signature;
@@ -41,6 +42,11 @@ pub enum ChainMsg {
     StateRep {
         /// Application snapshot (bytes) and the block it covers.
         snapshot: Option<(u64, Vec<u8>)>,
+        /// The snapshot's certified commitment (covered block's header plus
+        /// the results/state roots that open its `hash_results`): the
+        /// receiver verifies the shipped state chunk-by-chunk against it
+        /// before installing.
+        commit: Option<SnapshotCommit>,
         /// Hash of the snapshot's covered block, so the receiver's ledger
         /// can chain the shipped suffix onto the summarized prefix.
         snapshot_anchor: Option<Hash>,
@@ -127,6 +133,7 @@ impl Encode for ChainMsg {
             }
             ChainMsg::StateRep {
                 snapshot,
+                commit,
                 snapshot_anchor,
                 snapshot_dedup,
                 blocks,
@@ -136,6 +143,7 @@ impl Encode for ChainMsg {
             } => {
                 3u8.encode(out);
                 snapshot.encode(out);
+                commit.encode(out);
                 snapshot_anchor.encode(out);
                 encode_seq(snapshot_dedup, out);
                 encode_seq(blocks, out);
@@ -179,6 +187,7 @@ impl Encode for ChainMsg {
             ChainMsg::StateReq { from_block } => from_block.encoded_len(),
             ChainMsg::StateRep {
                 snapshot,
+                commit,
                 snapshot_anchor,
                 snapshot_dedup,
                 blocks,
@@ -187,6 +196,7 @@ impl Encode for ChainMsg {
                 digests,
             } => {
                 snapshot.encoded_len()
+                    + commit.encoded_len()
                     + snapshot_anchor.encoded_len()
                     + seq_encoded_len(snapshot_dedup)
                     + seq_encoded_len(blocks)
@@ -225,6 +235,7 @@ impl Decode for ChainMsg {
             }),
             3 => Ok(ChainMsg::StateRep {
                 snapshot: Option::<(u64, Vec<u8>)>::decode(input)?,
+                commit: Option::<SnapshotCommit>::decode(input)?,
                 snapshot_anchor: Option::<Hash>::decode(input)?,
                 snapshot_dedup: decode_seq(input)?,
                 blocks: decode_seq(input)?,
@@ -279,6 +290,7 @@ mod tests {
     fn state_rep_uses_modeled_size() {
         let m = ChainMsg::StateRep {
             snapshot: None,
+            commit: None,
             snapshot_anchor: None,
             snapshot_dedup: Vec::new(),
             blocks: Vec::new(),
@@ -289,6 +301,7 @@ mod tests {
         assert_eq!(m.wire_size(), 1_000_000_000);
         let ack = ChainMsg::StateRep {
             snapshot: None,
+            commit: None,
             snapshot_anchor: None,
             snapshot_dedup: Vec::new(),
             blocks: Vec::new(),
@@ -311,6 +324,7 @@ mod tests {
             ChainMsg::StateReq { from_block: 11 },
             ChainMsg::StateRep {
                 snapshot: Some((3, vec![1, 2])),
+                commit: None,
                 snapshot_anchor: Some([9u8; 32]),
                 snapshot_dedup: vec![(7, 3), (9, 1)],
                 blocks: Vec::new(),

@@ -581,6 +581,7 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                     }
                     ChainMsg::StateRep {
                         snapshot,
+                        commit,
                         snapshot_anchor,
                         snapshot_dedup,
                         blocks,
@@ -591,6 +592,7 @@ impl<A: Application> Actor<ChainMsg> for ChainNode<A> {
                         self.on_state_reply(
                             from,
                             snapshot,
+                            commit,
                             snapshot_anchor,
                             snapshot_dedup,
                             blocks,

@@ -14,12 +14,63 @@
 //! anchored on it can reject retransmissions of requests inside the
 //! summarized prefix.
 
+use crate::block::BlockHeader;
 use crate::messages::ChainMsg;
 use crate::node::ChainNode;
 use crate::pipeline::persist::Persistence;
 use crate::pipeline::KIND_SNAPSHOT;
+use smartchain_codec::{Decode, DecodeError, Encode};
+use smartchain_crypto::Hash;
+use smartchain_merkle as merkle;
 use smartchain_sim::{Ctx, Time};
 use smartchain_smr::app::Application;
+
+/// The commitment a snapshot is verified against at install time: the
+/// header of the covered block (whose `hash_results` folds the state root
+/// in), plus the opening `(results_root, state_root)` pair. The header is
+/// what the quorum's PERSIST certificate / decision proof signed, so a
+/// receiver that trusts the covered block's hash can check shipped state
+/// chunk-by-chunk without trusting the shipper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotCommit {
+    /// Header of the snapshot's covered block.
+    pub header: BlockHeader,
+    /// Merkle root of the covered block's results list.
+    pub results_root: Hash,
+    /// Merkle root of the application state after the covered block
+    /// ([`merkle::chunked_root`] with [`merkle::STATE_CHUNK`]-byte chunks).
+    pub state_root: Hash,
+}
+
+impl SnapshotCommit {
+    /// The commitment opens the header: `hash_results` really is the node
+    /// hash of the claimed results root and state root.
+    pub fn opens_header(&self) -> bool {
+        self.header.hash_results == merkle::node_hash(&self.results_root, &self.state_root)
+    }
+}
+
+impl Encode for SnapshotCommit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.header.encode(out);
+        self.results_root.encode(out);
+        self.state_root.encode(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.header.encoded_len() + 32 + 32
+    }
+}
+
+impl Decode for SnapshotCommit {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(SnapshotCommit {
+            header: BlockHeader::decode(input)?,
+            results_root: <[u8; 32]>::decode(input)?,
+            state_root: <[u8; 32]>::decode(input)?,
+        })
+    }
+}
 
 /// A checkpoint snapshot: the serialized application state, the block it
 /// covers, and the ordering core's duplicate-filter frontier at that block.
@@ -33,6 +84,10 @@ pub(crate) struct SnapshotState {
     /// with the snapshot so a snapshot-anchored joiner's dedup filter covers
     /// the summarized prefix.
     pub(crate) dedup: Vec<(u64, u64)>,
+    /// The certified commitment receivers verify the state against
+    /// (`None` only for legacy snapshots whose covered block was already
+    /// truncated when the checkpoint was taken).
+    pub(crate) commit: Option<SnapshotCommit>,
 }
 
 impl<A: Application> ChainNode<A> {
@@ -148,10 +203,28 @@ impl<A: Application> ChainNode<A> {
                 }
             }
         }
+        // The snapshot is taken at EXECUTE time of the covered block, so its
+        // chunked root is exactly the state root the block's header bound —
+        // capture the header as the commitment receivers verify against.
+        let commit = m
+            .ledger
+            .block(covered_block)
+            .ok()
+            .flatten()
+            .map(|block| SnapshotCommit {
+                header: block.header,
+                results_root: block.body.results_root(),
+                state_root: merkle::chunked_root(&snapshot, merkle::STATE_CHUNK),
+            });
+        debug_assert!(
+            commit.as_ref().is_none_or(SnapshotCommit::opens_header),
+            "snapshot root must open the covered header"
+        );
         let new = SnapshotState {
             covered: covered_block,
             state: snapshot,
             dedup: frontier.into_iter().collect(),
+            commit,
         };
         // The superseded snapshot becomes the crash fallback, tagged with
         // when its own write completed/completes (0 = already durable): a

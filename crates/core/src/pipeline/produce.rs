@@ -18,19 +18,29 @@ use crate::pipeline::{
     PAYLOAD_RECONFIG,
 };
 use smartchain_codec::from_bytes;
+use smartchain_merkle as merkle;
 use smartchain_sim::{Ctx, Time};
 use smartchain_smr::actor::SigMode;
 use smartchain_smr::app::Application;
 use smartchain_smr::ordering::{OrderedBatch, OrderingCore};
 use smartchain_smr::types::{Reply, Request};
 
+/// Whether a request carries protocol traffic (reconfigurations, exclude
+/// votes) rather than an application payload.
+fn is_protocol_request(req: &Request) -> bool {
+    matches!(
+        req.payload.first(),
+        Some(&PAYLOAD_RECONFIG) | Some(&PAYLOAD_EXCLUDE_VOTE)
+    )
+}
+
 impl<A: Application> ChainNode<A> {
     /// Stage entry (Algorithm 1 lines 16-29, and 37-48 for
     /// reconfigurations): split one ordered batch and produce block(s).
     pub(crate) fn start_block(&mut self, batch: OrderedBatch, ctx: &mut Ctx<'_, ChainMsg>) {
-        let mut app_requests = Vec::new();
+        let mut has_app = false;
         let mut reconfig_tx: Option<ReconfigTx> = None;
-        for req in batch.requests {
+        for req in &batch.requests {
             match req.payload.first() {
                 Some(&PAYLOAD_RECONFIG) => {
                     if reconfig_tx.is_none() {
@@ -46,11 +56,15 @@ impl<A: Application> ChainNode<A> {
                         reconfig_tx = Some(tx);
                     }
                 }
-                _ => app_requests.push(req),
+                _ => has_app = true,
             }
         }
-        if !app_requests.is_empty() {
-            self.make_tx_block(batch.instance, app_requests, &batch.proof, ctx);
+        if has_app {
+            // The block carries the *whole* decided batch (protocol requests
+            // included), so the decision proof's value hash can be checked
+            // against the block content by auditors — protocol requests get
+            // empty results and no replies.
+            self.make_tx_block(batch.instance, batch.requests, &batch.proof, ctx);
         }
         if let Some(tx) = reconfig_tx {
             // The reconfiguration marks the end of the outgoing view's
@@ -110,7 +124,11 @@ impl<A: Application> ChainNode<A> {
     }
 
     /// Executes application requests and seals a transaction block, handing
-    /// it to the persist stage.
+    /// it to the persist stage. `requests` is the whole decided batch;
+    /// protocol requests (reconfigurations, exclude votes) ride along with
+    /// empty results so the block content matches the decision proof's value
+    /// hash, but only application requests are metered, charged and replied
+    /// to.
     pub(crate) fn make_tx_block(
         &mut self,
         consensus_id: u64,
@@ -118,7 +136,7 @@ impl<A: Application> ChainNode<A> {
         proof: &smartchain_consensus::proof::DecisionProof,
         ctx: &mut Ctx<'_, ChainMsg>,
     ) {
-        let count = requests.len();
+        let count = requests.iter().filter(|r| !is_protocol_request(r)).count();
         self.meter.record(ctx.now(), count as u64);
         self.committed_log.push((ctx.now(), count as u64));
         let mut exec_cost = self.config.execute_ns * count as Time;
@@ -127,10 +145,14 @@ impl<A: Application> ChainNode<A> {
             exec_cost += ctx.hw().cpu.verify_ns * count as Time;
         }
         ctx.charge(exec_cost);
-        let mut results = Vec::with_capacity(count);
+        let mut results = Vec::with_capacity(requests.len());
         let mut replies = Vec::with_capacity(count);
         let me = self.my_replica_id().unwrap_or(0);
         for req in &requests {
+            if is_protocol_request(req) {
+                results.push(Vec::new());
+                continue; // handled by the reconfiguration path, no reply
+            }
             if self.config.sig_mode == SigMode::Sequential && !verify_envelope_signature(req) {
                 results.push(Vec::new());
                 continue; // forged transaction dropped at execution
@@ -161,6 +183,12 @@ impl<A: Application> ChainNode<A> {
             });
             results.push(result);
         }
+        // The post-block state root goes into the header via `hash_results`,
+        // so the PERSIST certificate also certifies the application state —
+        // the anchor snapshot installers verify shipped chunks against.
+        // Computed on the real CPU only: the paper's pipeline has no such
+        // step, so no virtual time is charged.
+        let state_root = merkle::chunked_root(&self.app.take_snapshot(), merkle::STATE_CHUNK);
         let Some(m) = self.member.as_mut() else {
             return;
         };
@@ -170,7 +198,7 @@ impl<A: Application> ChainNode<A> {
             proof: proof.clone(),
             results,
         };
-        let block = m.ledger.build_next(body);
+        let block = m.ledger.build_next(body, state_root);
         let number = block.header.number;
         let header_hash = block.header.hash();
         let size = block.wire_size();
@@ -210,6 +238,9 @@ impl<A: Application> ChainNode<A> {
         proof: &smartchain_consensus::proof::DecisionProof,
         ctx: &mut Ctx<'_, ChainMsg>,
     ) {
+        // Reconfigurations don't touch application state: the block binds
+        // the state root as it stands.
+        let state_root = merkle::chunked_root(&self.app.take_snapshot(), merkle::STATE_CHUNK);
         let Some(m) = self.member.as_mut() else {
             return;
         };
@@ -223,7 +254,7 @@ impl<A: Application> ChainNode<A> {
             proof: proof.clone(),
             new_view: new_view.clone(),
         };
-        let block = m.ledger.build_next(body);
+        let block = m.ledger.build_next(body, state_root);
         let size = block.wire_size();
         ctx.charge(ctx.hw().cpu.hash_time(size));
         m.ledger.append(&block).expect("ledger append");

@@ -17,9 +17,10 @@
 use crate::block::{Block, BlockBody, ViewInfo};
 use crate::messages::ChainMsg;
 use crate::node::{ChainNode, MemberState};
-use crate::pipeline::checkpoint::SnapshotState;
+use crate::pipeline::checkpoint::{SnapshotCommit, SnapshotState};
 use crate::pipeline::persist::Persistence;
 use crate::pipeline::unwrap_app_payload;
+use smartchain_merkle as merkle;
 use smartchain_sim::{Ctx, NodeId};
 use smartchain_smr::app::Application;
 use smartchain_smr::ordering::OrderingCore;
@@ -34,6 +35,7 @@ const DIGEST_DENSE_WINDOW: u64 = 32;
 /// A full state reply buffered until `f+1` members' digests corroborate it.
 pub(crate) struct PendingState {
     pub(crate) snapshot: Option<(u64, Vec<u8>)>,
+    pub(crate) commit: Option<SnapshotCommit>,
     pub(crate) snapshot_anchor: Option<smartchain_crypto::Hash>,
     pub(crate) snapshot_dedup: Vec<(u64, u64)>,
     pub(crate) blocks: Vec<Block>,
@@ -122,19 +124,20 @@ impl<A: Application> ChainNode<A> {
         if full && self.config.persistence != Persistence::Memory {
             ctx.disk_read(modeled as usize, 0);
         }
-        let (snapshot, snapshot_dedup) = if full {
+        let (snapshot, commit, snapshot_dedup) = if full {
             match snapshot {
-                Some(s) => (Some((s.covered, s.state)), s.dedup),
-                None => (None, Vec::new()),
+                Some(s) => (Some((s.covered, s.state)), s.commit, s.dedup),
+                None => (None, None, Vec::new()),
             }
         } else {
-            (None, Vec::new())
+            (None, None, Vec::new())
         };
         // Every reply commits to the sender's chain: `f+1` consistent
         // digests are what authorizes the requester to install.
         let digests = Self::tip_digests(self.member.as_ref().expect("active"));
         let msg = ChainMsg::StateRep {
             snapshot,
+            commit,
             snapshot_anchor: if full { snapshot_anchor } else { None },
             snapshot_dedup,
             blocks: if full { blocks } else { Vec::new() },
@@ -186,6 +189,7 @@ impl<A: Application> ChainNode<A> {
         &mut self,
         from_node: NodeId,
         snapshot: Option<(u64, Vec<u8>)>,
+        commit: Option<SnapshotCommit>,
         snapshot_anchor: Option<smartchain_crypto::Hash>,
         snapshot_dedup: Vec<(u64, u64)>,
         blocks: Vec<Block>,
@@ -213,6 +217,7 @@ impl<A: Application> ChainNode<A> {
             if full && m.pending_state.is_none() {
                 m.pending_state = Some(PendingState {
                     snapshot,
+                    commit,
                     snapshot_anchor,
                     snapshot_dedup,
                     blocks,
@@ -250,6 +255,7 @@ impl<A: Application> ChainNode<A> {
         m.state_acks.clear();
         self.install_state(
             pending.snapshot,
+            pending.commit,
             pending.snapshot_anchor,
             pending.snapshot_dedup,
             pending.blocks,
@@ -332,11 +338,35 @@ impl<A: Application> ChainNode<A> {
         m.ledger.chain_hash_at(height)
     }
 
+    /// Whether a shipped snapshot opens its certified commitment: the commit
+    /// must be present, describe the covered block (same number, and the
+    /// header hash the digest-vouched anchor chains on), open the header's
+    /// `hash_results`, and — the content check — the shipped state bytes
+    /// must re-chunk to exactly the state root the quorum certified. Any
+    /// tampered [`merkle::STATE_CHUNK`]-sized chunk flips the root and fails
+    /// here. Pure so the rejection logic is unit-testable.
+    pub(crate) fn snapshot_commit_verifies(
+        covered: u64,
+        state: &[u8],
+        anchor: Option<&smartchain_crypto::Hash>,
+        commit: Option<&SnapshotCommit>,
+    ) -> bool {
+        let Some(commit) = commit else {
+            return false;
+        };
+        commit.header.number == covered
+            && anchor == Some(&commit.header.hash())
+            && commit.opens_header()
+            && merkle::chunked_root(state, merkle::STATE_CHUNK) == commit.state_root
+    }
+
     /// Installs a full state reply: snapshot, then block replay, then view
     /// catch-up.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn install_state(
         &mut self,
         snapshot: Option<(u64, Vec<u8>)>,
+        commit: Option<SnapshotCommit>,
         snapshot_anchor: Option<smartchain_crypto::Hash>,
         snapshot_dedup: Vec<(u64, u64)>,
         blocks: Vec<Block>,
@@ -348,6 +378,29 @@ impl<A: Application> ChainNode<A> {
                 return;
             };
             if !m.syncing {
+                return;
+            }
+        }
+        // Shipped state installs only if it opens the certified commitment —
+        // the `f+1` digest rule vouches for the *chain*, but the snapshot
+        // bytes themselves are opaque to it; the Merkle commitment is what
+        // binds them to the covered header. Reject before any modeled
+        // install work and retry against (hopefully) honest shippers.
+        if let Some((covered, state)) = &snapshot {
+            if !Self::snapshot_commit_verifies(
+                *covered,
+                state,
+                snapshot_anchor.as_ref(),
+                commit.as_ref(),
+            ) {
+                if std::env::var("SC_ST_DEBUG").is_ok() {
+                    eprintln!("[st] snapshot commitment rejected at block {covered}");
+                }
+                if let Some(m) = self.member.as_mut() {
+                    let height = m.ledger.height();
+                    m.core.fast_forward(height);
+                    m.syncing = false;
+                }
                 return;
             }
         }
@@ -399,6 +452,7 @@ impl<A: Application> ChainNode<A> {
                     covered,
                     state,
                     dedup: snapshot_dedup,
+                    commit,
                 });
                 // The installed snapshot replaces whatever local write was
                 // in flight; its own write is tracked like a checkpoint's
@@ -606,5 +660,125 @@ impl<A: Application> ChainNode<A> {
             m.core.fast_forward(height);
         }
         self.start_state_transfer(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockBody};
+    use crate::node::ChainNode;
+    use smartchain_consensus::proof::DecisionProof;
+    use smartchain_smr::app::CounterApp;
+    use smartchain_smr::types::Request;
+
+    /// A block whose header binds `state` the way produce does: the covered
+    /// block's `hash_results` folds in the chunked state root.
+    fn committed_block(covered: u64, state: &[u8]) -> (Block, SnapshotCommit) {
+        let body = BlockBody::Transactions {
+            consensus_id: covered,
+            requests: vec![Request {
+                client: 1,
+                seq: 0,
+                payload: vec![0, 1, 2],
+                signature: None,
+            }],
+            proof: DecisionProof {
+                instance: covered,
+                epoch: 0,
+                value_hash: [0u8; 32],
+                accepts: Vec::new(),
+            },
+            results: vec![vec![7]],
+        };
+        let state_root = merkle::chunked_root(state, merkle::STATE_CHUNK);
+        let block = Block::build(covered, 0, 0, [3u8; 32], body, state_root);
+        let commit = SnapshotCommit {
+            header: block.header,
+            results_root: block.body.results_root(),
+            state_root,
+        };
+        (block, commit)
+    }
+
+    type Node = ChainNode<CounterApp>;
+
+    #[test]
+    fn honest_snapshot_opens_its_commitment() {
+        let state: Vec<u8> = (0..1000u32).flat_map(u32::to_le_bytes).collect();
+        let (block, commit) = committed_block(8, &state);
+        assert!(commit.opens_header());
+        let anchor = block.header.hash();
+        assert!(Node::snapshot_commit_verifies(
+            8,
+            &state,
+            Some(&anchor),
+            Some(&commit)
+        ));
+    }
+
+    #[test]
+    fn tampered_chunk_is_rejected() {
+        let state: Vec<u8> = (0..1000u32).flat_map(u32::to_le_bytes).collect();
+        let (block, commit) = committed_block(8, &state);
+        let anchor = block.header.hash();
+        // Flip one byte in an interior chunk: the chunked root changes and
+        // the shipped state no longer opens the certified commitment.
+        let mut tampered = state.clone();
+        tampered[3 * merkle::STATE_CHUNK + 1] ^= 0x40;
+        assert!(!Node::snapshot_commit_verifies(
+            8,
+            &tampered,
+            Some(&anchor),
+            Some(&commit)
+        ));
+        // Appending forged extra state fails too (leaf count changes).
+        let mut extended = state.clone();
+        extended.extend_from_slice(b"free money");
+        assert!(!Node::snapshot_commit_verifies(
+            8,
+            &extended,
+            Some(&anchor),
+            Some(&commit)
+        ));
+    }
+
+    #[test]
+    fn commitment_must_match_the_vouched_anchor() {
+        let state = vec![5u8; 700];
+        let (block, commit) = committed_block(8, &state);
+        let anchor = block.header.hash();
+        // No commitment at all: a shipper cannot opt out of verification.
+        assert!(!Node::snapshot_commit_verifies(
+            8,
+            &state,
+            Some(&anchor),
+            None
+        ));
+        // Commitment for a different covered height.
+        assert!(!Node::snapshot_commit_verifies(
+            9,
+            &state,
+            Some(&anchor),
+            Some(&commit)
+        ));
+        // Anchor (the digest-vouched chain hash) disagrees with the header
+        // the commitment opens — a self-consistent but unvouched header.
+        assert!(!Node::snapshot_commit_verifies(
+            8,
+            &state,
+            Some(&[9u8; 32]),
+            Some(&commit)
+        ));
+        // A commitment whose roots do not open the header is rejected even
+        // when the state matches its (forged) state root.
+        let mut forged = commit.clone();
+        forged.state_root = merkle::chunked_root(b"other state", merkle::STATE_CHUNK);
+        assert!(!Node::snapshot_commit_verifies(
+            8,
+            b"other state",
+            Some(&anchor),
+            Some(&forged)
+        ));
     }
 }

@@ -11,7 +11,6 @@
 //!   both backends.
 //! * [`hmac`] — HMAC-SHA256 (RFC 2104), the frame authenticator of the
 //!   TCP transport's point-to-point links.
-//! * [`merkle`] — binary Merkle trees (block result commitments).
 //! * [`pool`] — a parallel signature-verification worker pool (the mechanism
 //!   behind the paper's "parallel signature verification" column in Table I).
 //!
@@ -28,7 +27,6 @@
 pub mod ed25519;
 pub mod hmac;
 pub mod keys;
-pub mod merkle;
 pub mod pool;
 pub mod sha256;
 pub mod sha512;

@@ -9,7 +9,8 @@ use smartchain_crypto::ed25519::field::Fe;
 use smartchain_crypto::ed25519::point::Point;
 use smartchain_crypto::ed25519::scalar::Scalar;
 use smartchain_crypto::keys::{Backend, SecretKey};
-use smartchain_crypto::{merkle, sha256};
+use smartchain_crypto::sha256;
+use smartchain_merkle as merkle;
 
 use smartchain_sim::rng::SimRng;
 

@@ -346,10 +346,13 @@ impl<A: Application> Actor<SmrMsg> for ReplicaActor<A> {
                         }
                     }
                     SmrMsg::Reply(_) => {}
-                    // Runtime state transfer is a metal-deployment concern;
-                    // simulated replicas share fate within the window and
-                    // use `ChainMsg`-level transfer instead.
-                    SmrMsg::StateReq { .. } | SmrMsg::StateRep { .. } => {}
+                    // Runtime state transfer and checkpoint certification
+                    // are metal-deployment concerns; simulated replicas
+                    // share fate within the window and use `ChainMsg`-level
+                    // transfer instead.
+                    SmrMsg::StateReq { .. }
+                    | SmrMsg::StateRep { .. }
+                    | SmrMsg::CkptShare { .. } => {}
                 }
             }
             Event::Timer {

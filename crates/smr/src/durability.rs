@@ -32,10 +32,12 @@
 use crate::app::Application;
 use crate::ordering::OrderedBatch;
 use crate::types::{decode_batch, encode_batch, Request};
-use smartchain_codec::{from_bytes, to_bytes, Decode, DecodeError, Encode};
+use smartchain_codec::{decode_seq, encode_seq, from_bytes, to_bytes, Decode, DecodeError, Encode};
 use smartchain_consensus::proof::DecisionProof;
-use smartchain_consensus::View;
+use smartchain_consensus::{ReplicaId, View};
+use smartchain_crypto::keys::Signature;
 use smartchain_crypto::sha256;
+use smartchain_merkle as merkle;
 use smartchain_storage::engine::SegmentedEngine;
 use smartchain_storage::segmented::{RecoveryStats, SegmentConfig};
 use smartchain_storage::snapshot::{Snapshot, SnapshotStore};
@@ -92,15 +94,21 @@ pub struct SnapshotMeta {
     pub frontier: Vec<(u64, u64)>,
     /// Batch chain hash after the covered batch.
     pub tip: [u8; 32],
+    /// Chunked Merkle root of the snapshotted application state
+    /// ([`merkle::chunked_root`] over [`merkle::STATE_CHUNK`]-byte chunks) —
+    /// the root a [`CheckpointCert`] quorum signs, and what a shipped
+    /// snapshot is verified against chunk-by-chunk at install time.
+    pub state_root: [u8; 32],
 }
 
 impl Encode for SnapshotMeta {
     fn encode(&self, out: &mut Vec<u8>) {
         smartchain_codec::encode_seq(&self.frontier, out);
         self.tip.encode(out);
+        self.state_root.encode(out);
     }
     fn encoded_len(&self) -> usize {
-        smartchain_codec::seq_encoded_len(&self.frontier) + self.tip.encoded_len()
+        smartchain_codec::seq_encoded_len(&self.frontier) + self.tip.encoded_len() + 32
     }
 }
 
@@ -109,6 +117,206 @@ impl Decode for SnapshotMeta {
         Ok(SnapshotMeta {
             frontier: smartchain_codec::decode_seq(input)?,
             tip: <[u8; 32]>::decode(input)?,
+            state_root: <[u8; 32]>::decode(input)?,
+        })
+    }
+}
+
+/// Canonical bytes a replica signs to certify a checkpoint: the covered
+/// batch, the chunked state root, and the batch chain tip at that point.
+pub fn ckpt_sign_payload(covered: u64, state_root: &[u8; 32], tip: &[u8; 32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 32 + 32);
+    b"sc-ckpt".as_slice().encode(&mut out);
+    covered.encode(&mut out);
+    state_root.encode(&mut out);
+    tip.encode(&mut out);
+    out
+}
+
+/// A quorum of replica signatures over one checkpoint's
+/// `(covered, state_root, tip)` — the runtime counterpart of the simulated
+/// chain's header-bound snapshot commitment. It is what lets a recovering
+/// replica install a snapshot-ahead state transfer *without trusting the
+/// shipper*: the shipped bytes must re-chunk to the certified root.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointCert {
+    /// Batches the certified checkpoint summarizes.
+    pub covered: u64,
+    /// Chunked Merkle root of the application state at `covered`.
+    pub state_root: [u8; 32],
+    /// Batch chain hash after `covered`.
+    pub tip: [u8; 32],
+    /// `(signer, signature)` pairs over [`ckpt_sign_payload`]; valid certs
+    /// have ≥ quorum distinct signers from the view.
+    pub signatures: Vec<(ReplicaId, Signature)>,
+}
+
+impl CheckpointCert {
+    /// Checks the certificate against `view` (same rules as
+    /// [`DecisionProof::verify`]: distinct member signers, every signature
+    /// valid, quorum reached).
+    pub fn verify(&self, view: &View) -> bool {
+        let payload = ckpt_sign_payload(self.covered, &self.state_root, &self.tip);
+        let mut seen = vec![false; view.n()];
+        let mut valid = 0usize;
+        for (signer, signature) in &self.signatures {
+            let Some(key) = view.members.get(*signer) else {
+                return false;
+            };
+            if seen[*signer] {
+                return false; // duplicate signer — malformed certificate
+            }
+            seen[*signer] = true;
+            if !key.verify(&payload, signature) {
+                return false;
+            }
+            valid += 1;
+        }
+        valid >= view.quorum()
+    }
+}
+
+impl Encode for CheckpointCert {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.covered.encode(out);
+        self.state_root.encode(out);
+        self.tip.encode(out);
+        let entries: Vec<(u64, [u8; 65])> = self
+            .signatures
+            .iter()
+            .map(|(r, s)| (*r as u64, s.to_wire()))
+            .collect();
+        encode_seq(&entries, out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.covered.encoded_len() + 32 + 32 + 4 + self.signatures.len() * (8 + 65)
+    }
+}
+
+impl Decode for CheckpointCert {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let covered = u64::decode(input)?;
+        let state_root = <[u8; 32]>::decode(input)?;
+        let tip = <[u8; 32]>::decode(input)?;
+        let entries: Vec<(u64, [u8; 65])> = decode_seq(input)?;
+        Ok(CheckpointCert {
+            covered,
+            state_root,
+            tip,
+            signatures: entries
+                .into_iter()
+                .map(|(r, s)| (r as usize, Signature::from_wire(&s)))
+                .collect(),
+        })
+    }
+}
+
+/// Why [`DurableApp::install_remote`] refused a state-transfer reply.
+#[derive(Debug)]
+pub enum InstallError {
+    /// A snapshot running ahead of local state arrived without a checkpoint
+    /// certificate — the shipper is asking to be trusted, which the install
+    /// path no longer does.
+    MissingCert,
+    /// The certificate does not cover this snapshot or does not verify
+    /// (sub-quorum, non-member or duplicate signers, invalid signatures).
+    BadCert,
+    /// The shipped state bytes do not re-chunk to the certified state root
+    /// (a tampered or substituted chunk).
+    StateRootMismatch,
+    /// The shipped meta's batch chain tip differs from the certified tip.
+    TipMismatch,
+    /// The reply does not line up with local state (a gap, a chain break,
+    /// or an undecodable payload) — re-request, nothing was applied beyond
+    /// what already succeeded.
+    Rejected(&'static str),
+    /// Local storage failure.
+    Storage(io::Error),
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::MissingCert => {
+                write!(f, "snapshot-ahead install without a checkpoint certificate")
+            }
+            InstallError::BadCert => write!(f, "checkpoint certificate does not verify"),
+            InstallError::StateRootMismatch => {
+                write!(f, "shipped state does not match the certified state root")
+            }
+            InstallError::TipMismatch => {
+                write!(f, "shipped chain tip does not match the certified tip")
+            }
+            InstallError::Rejected(why) => write!(f, "{why}"),
+            InstallError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<io::Error> for InstallError {
+    fn from(e: io::Error) -> Self {
+        InstallError::Storage(e)
+    }
+}
+
+/// A verifiable light-client read: one [`merkle::STATE_CHUNK`]-sized chunk
+/// of the latest certified checkpoint state, its membership proof under the
+/// certified state root, and the quorum certificate that binds the root —
+/// everything a client needs to verify the bytes against nothing but the
+/// view's public keys.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadProof {
+    /// Batches the certified checkpoint summarizes.
+    pub covered: u64,
+    /// Index of `chunk` in the chunked state.
+    pub chunk_index: u64,
+    /// The raw state chunk.
+    pub chunk: Vec<u8>,
+    /// Membership proof of `chunk` under the certified state root.
+    pub proof: merkle::Proof,
+    /// The quorum certificate over the state root.
+    pub cert: CheckpointCert,
+}
+
+impl ReadProof {
+    /// Verifies the whole bundle against `view`: the certificate carries a
+    /// signature quorum, covers the claimed point, and the chunk's
+    /// membership proof opens the certified root at the claimed index.
+    pub fn verify(&self, view: &View) -> bool {
+        self.cert.covered == self.covered
+            && self.proof.index as u64 == self.chunk_index
+            && self.cert.verify(view)
+            && merkle::verify(&self.cert.state_root, &self.chunk, &self.proof)
+    }
+}
+
+impl Encode for ReadProof {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.covered.encode(out);
+        self.chunk_index.encode(out);
+        self.chunk.encode(out);
+        self.proof.encode(out);
+        self.cert.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        self.covered.encoded_len()
+            + self.chunk_index.encoded_len()
+            + self.chunk.encoded_len()
+            + self.proof.encoded_len()
+            + self.cert.encoded_len()
+    }
+}
+
+impl Decode for ReadProof {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ReadProof {
+            covered: u64::decode(input)?,
+            chunk_index: u64::decode(input)?,
+            chunk: Vec::<u8>::decode(input)?,
+            proof: merkle::Proof::decode(input)?,
+            cert: CheckpointCert::decode(input)?,
         })
     }
 }
@@ -154,6 +362,10 @@ pub struct StateReply {
     pub first_batch: u64,
     /// Encoded [`LoggedBatch`] records, consecutive from `first_batch`.
     pub batches: Vec<Vec<u8>>,
+    /// The quorum certificate for the shipped snapshot's checkpoint, when
+    /// one has assembled — required by the receiver for snapshot-ahead
+    /// installs.
+    pub cert: Option<CheckpointCert>,
 }
 
 /// Digest check for a shipped batch suffix: every record must decode, carry
@@ -201,6 +413,22 @@ pub struct DurableApp<A: Application> {
     /// Records the last open replayed into the application (restart-cost
     /// observability: bounded by the checkpoint interval).
     replayed_on_recovery: u64,
+    /// `(covered, state_root, tip)` of the newest local checkpoint — the
+    /// basis a [`CheckpointCert`] must match to be adopted.
+    basis: Option<(u64, [u8; 32], [u8; 32])>,
+    /// Same triple, set when a checkpoint is cut and *taken* by the
+    /// embedding loop to gossip its certificate share.
+    announce: Option<(u64, [u8; 32], [u8; 32])>,
+    /// The assembled certificate for the newest checkpoint, once a quorum's
+    /// shares matched — shipped with snapshot-ahead state replies and
+    /// served to light clients.
+    latest_cert: Option<CheckpointCert>,
+    /// Where the certificate is persisted across restarts (segmented opens
+    /// only).
+    cert_path: Option<std::path::PathBuf>,
+    /// Chunks verified against a certified state root by remote installs
+    /// (observability for the verified-transfer path).
+    chunks_verified: u64,
 }
 
 impl<A: Application> std::fmt::Debug for DurableApp<A> {
@@ -273,7 +501,10 @@ impl<A: Application> DurableApp<A> {
         }
         let engine = SegmentedEngine::open(dir.join("segments"), policy, segments)?;
         let snapshots = SnapshotStore::open(dir.join("snapshots"))?;
-        Self::open_with_engine(app, Box::new(engine), snapshots, checkpoint_period)
+        let mut this = Self::open_with_engine(app, Box::new(engine), snapshots, checkpoint_period)?;
+        this.cert_path = Some(dir.join("ckpt_cert.bin"));
+        this.load_cert();
+        Ok(this)
     }
 
     /// Opens over a caller-provided engine (dependency injection for tests
@@ -293,6 +524,7 @@ impl<A: Application> DurableApp<A> {
         let mut batches_applied = 0u64;
         let mut frontier: BTreeMap<u64, u64> = BTreeMap::new();
         let mut tip = [0u8; 32];
+        let mut basis = None;
         app.reset();
         if let Some(snap) = snapshots.load()? {
             app.install_snapshot(&snap.state);
@@ -300,6 +532,7 @@ impl<A: Application> DurableApp<A> {
             if let Ok(meta) = from_bytes::<SnapshotMeta>(&snap.meta) {
                 frontier = meta.frontier.into_iter().collect();
                 tip = meta.tip;
+                basis = Some((snap.covered_block, meta.state_root, meta.tip));
             }
         }
         // Consistency guards around the snapshot/log pair. checkpoint()
@@ -350,7 +583,29 @@ impl<A: Application> DurableApp<A> {
             frontier,
             tip,
             replayed_on_recovery: replayed,
+            basis,
+            announce: None,
+            latest_cert: None,
+            cert_path: None,
+            chunks_verified: 0,
         })
+    }
+
+    /// Restores a persisted checkpoint certificate, keeping it only when it
+    /// still describes the recovered snapshot (a stale one would vouch for
+    /// state we no longer hold).
+    fn load_cert(&mut self) {
+        let Some(path) = &self.cert_path else {
+            return;
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            return;
+        };
+        if let Ok(cert) = from_bytes::<CheckpointCert>(&bytes) {
+            if self.basis == Some((cert.covered, cert.state_root, cert.tip)) {
+                self.latest_cert = Some(cert);
+            }
+        }
     }
 
     /// The dedup rule shared by live delivery, recovery replay and remote
@@ -459,19 +714,99 @@ impl<A: Application> DurableApp<A> {
     ///
     /// Propagates storage failures.
     pub fn checkpoint(&mut self) -> io::Result<()> {
+        let state = self.app.take_snapshot();
+        let state_root = merkle::chunked_root(&state, merkle::STATE_CHUNK);
         let meta = SnapshotMeta {
             frontier: self.frontier.iter().map(|(&c, &s)| (c, s)).collect(),
             tip: self.tip,
+            state_root,
         };
         let snap = Snapshot {
             covered_block: self.batches_applied,
-            state: self.app.take_snapshot(),
+            state,
             meta: to_bytes(&meta),
         };
         self.snapshots.install(&snap)?;
         let upto = self.batches_applied;
         self.engine.truncate_prefix(upto)?;
+        // The new checkpoint obsoletes the previous certificate; announce
+        // the new basis so the embedding gossips fresh shares.
+        self.basis = Some((self.batches_applied, state_root, self.tip));
+        self.announce = self.basis;
+        self.latest_cert = None;
         Ok(())
+    }
+
+    /// `(covered, state_root, tip)` of the newest local checkpoint.
+    pub fn latest_checkpoint_basis(&self) -> Option<(u64, [u8; 32], [u8; 32])> {
+        self.basis
+    }
+
+    /// One-shot: the basis of a just-cut checkpoint, for the embedding to
+    /// sign and gossip as a certificate share. `None` until the next
+    /// checkpoint after each take.
+    pub fn take_checkpoint_announcement(&mut self) -> Option<(u64, [u8; 32], [u8; 32])> {
+        self.announce.take()
+    }
+
+    /// The assembled certificate for the newest checkpoint, if any.
+    pub fn checkpoint_cert(&self) -> Option<&CheckpointCert> {
+        self.latest_cert.as_ref()
+    }
+
+    /// Adopts (and persists) an assembled certificate — ignored unless it
+    /// matches the newest local checkpoint basis exactly, so a stale or
+    /// foreign certificate can never be served for our snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures while persisting.
+    pub fn store_checkpoint_cert(&mut self, cert: CheckpointCert) -> io::Result<()> {
+        if self.basis != Some((cert.covered, cert.state_root, cert.tip)) {
+            return Ok(());
+        }
+        if let Some(path) = &self.cert_path {
+            std::fs::write(path, to_bytes(&cert))?;
+        }
+        self.latest_cert = Some(cert);
+        Ok(())
+    }
+
+    /// Chunks verified against a certified state root by remote installs.
+    pub fn chunks_verified(&self) -> u64 {
+        self.chunks_verified
+    }
+
+    /// Builds a light-client [`ReadProof`] for chunk `chunk_index` of the
+    /// latest certified checkpoint state. `None` when no certificate has
+    /// assembled yet, the snapshot moved on, or the index is out of range —
+    /// the caller should simply not answer and let the client retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures.
+    pub fn prove_state_chunk(&self, chunk_index: u64) -> io::Result<Option<ReadProof>> {
+        let Some(cert) = self.latest_cert.clone() else {
+            return Ok(None);
+        };
+        let Some(snap) = self.snapshots.load()? else {
+            return Ok(None);
+        };
+        if snap.covered_block != cert.covered {
+            return Ok(None);
+        }
+        let leaves = merkle::chunk_leaves(&snap.state, merkle::STATE_CHUNK);
+        let Some(chunk) = leaves.get(chunk_index as usize) else {
+            return Ok(None);
+        };
+        let proof = merkle::prove_chunk(&snap.state, merkle::STATE_CHUNK, chunk_index as usize);
+        Ok(Some(ReadProof {
+            covered: cert.covered,
+            chunk_index,
+            chunk: chunk.clone(),
+            proof,
+            cert,
+        }))
     }
 
     /// Batches applied since genesis.
@@ -523,7 +858,7 @@ impl<A: Application> DurableApp<A> {
     pub fn state_reply(&self, from_batch: u64) -> io::Result<StateReply> {
         let from_batch = from_batch.max(1);
         let snap = self.snapshots.load()?;
-        let (covered, snapshot) = match snap {
+        let (covered, snapshot, cert) = match snap {
             // Ship the snapshot only when it summarizes batches the
             // requester is missing; otherwise the log suffix suffices.
             Some(s) if s.covered_block >= from_batch => {
@@ -532,9 +867,13 @@ impl<A: Application> DurableApp<A> {
                     state: s.state,
                     meta,
                 };
-                (s.covered_block, Some(to_bytes(&shipped)))
+                let cert = self
+                    .latest_cert
+                    .clone()
+                    .filter(|c| c.covered == s.covered_block);
+                (s.covered_block, Some(to_bytes(&shipped)), cert)
             }
-            _ => (0, None),
+            _ => (0, None, None),
         };
         // Batch k lives at log record k−1; checkpointing truncates the
         // records a snapshot covers, so the readable suffix starts after
@@ -552,6 +891,7 @@ impl<A: Application> DurableApp<A> {
             snapshot,
             first_batch,
             batches,
+            cert,
         })
     }
 
@@ -562,34 +902,59 @@ impl<A: Application> DurableApp<A> {
     /// frontier, so the transferred history is as durable here as
     /// locally-ordered history. Decision-proof verification happens in the
     /// caller ([`verify_shipped_suffix`] — the caller holds the view);
-    /// this method enforces the structural half: contiguity and chain
-    /// linkage. Returns the requests applied beyond the snapshot, so the
-    /// caller can feed the ordering core's duplicate filter.
+    /// this method enforces the structural half — contiguity and chain
+    /// linkage — plus the *content* half for snapshots: a snapshot running
+    /// ahead of local state installs only with a [`CheckpointCert`] whose
+    /// quorum-signed state root the shipped bytes re-chunk to exactly.
+    /// Returns the requests applied beyond the snapshot, so the caller can
+    /// feed the ordering core's duplicate filter.
     ///
     /// # Errors
     ///
-    /// `InvalidData` when the reply does not line up with local state (a
-    /// gap, a chain break, or an undecodable batch); storage failures
-    /// propagate. On error the caller should re-request — nothing is
-    /// half-applied beyond what already succeeded.
+    /// [`InstallError::MissingCert`] / [`BadCert`](InstallError::BadCert) /
+    /// [`TipMismatch`](InstallError::TipMismatch) /
+    /// [`StateRootMismatch`](InstallError::StateRootMismatch) when the
+    /// snapshot's certification fails; [`Rejected`](InstallError::Rejected)
+    /// when the reply does not line up with local state (a gap, a chain
+    /// break, or an undecodable batch); storage failures propagate as
+    /// [`Storage`](InstallError::Storage). On error the caller should
+    /// re-request — nothing is half-applied beyond what already succeeded.
     pub fn install_remote(
         &mut self,
+        view: &View,
         covered: u64,
         snapshot: Option<Vec<u8>>,
+        cert: Option<&CheckpointCert>,
         first_batch: u64,
         batches: &[Vec<u8>],
-    ) -> io::Result<Vec<Request>> {
+    ) -> Result<Vec<Request>, InstallError> {
         if let Some(blob) = snapshot {
-            let shipped = from_bytes::<ShippedSnapshot>(&blob).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "undecodable shipped snapshot")
-            })?;
+            let shipped = from_bytes::<ShippedSnapshot>(&blob)
+                .map_err(|_| InstallError::Rejected("undecodable shipped snapshot"))?;
             if covered > self.batches_applied {
                 if self.engine.len() > covered {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "snapshot older than local log tail",
-                    ));
+                    return Err(InstallError::Rejected("snapshot older than local log tail"));
                 }
+                // Trust scope: decision proofs vouch for *batches*; raw
+                // snapshot bytes are opaque to them. The shipper must
+                // present the quorum's checkpoint certificate, and the
+                // shipped state must re-chunk to exactly the certified
+                // root — a tampered chunk fails here, before anything is
+                // applied.
+                let cert = cert.ok_or(InstallError::MissingCert)?;
+                if cert.covered != covered || !cert.verify(view) {
+                    return Err(InstallError::BadCert);
+                }
+                if cert.tip != shipped.meta.tip {
+                    return Err(InstallError::TipMismatch);
+                }
+                if shipped.meta.state_root != cert.state_root
+                    || merkle::chunked_root(&shipped.state, merkle::STATE_CHUNK) != cert.state_root
+                {
+                    return Err(InstallError::StateRootMismatch);
+                }
+                self.chunks_verified +=
+                    shipped.state.len().div_ceil(merkle::STATE_CHUNK).max(1) as u64;
                 self.app.reset();
                 self.app.install_snapshot(&shipped.state);
                 self.snapshots.install(&Snapshot {
@@ -604,6 +969,10 @@ impl<A: Application> DurableApp<A> {
                 self.batches_applied = covered;
                 self.frontier = shipped.meta.frontier.into_iter().collect();
                 self.tip = shipped.meta.tip;
+                // The certified checkpoint is now ours: adopt its basis and
+                // persist the certificate so we can serve it onward.
+                self.basis = Some((covered, cert.state_root, cert.tip));
+                self.store_checkpoint_cert(cert.clone())?;
             }
         }
         let mut applied = Vec::new();
@@ -613,23 +982,17 @@ impl<A: Application> DurableApp<A> {
                 continue; // already have it
             }
             if k != self.batches_applied + 1 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "state reply leaves a gap",
-                ));
+                return Err(InstallError::Rejected("state reply leaves a gap"));
             }
-            let lb = from_bytes::<LoggedBatch>(record).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "undecodable shipped batch")
-            })?;
+            let lb = from_bytes::<LoggedBatch>(record)
+                .map_err(|_| InstallError::Rejected("undecodable shipped batch"))?;
             if lb.prev != self.tip {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
+                return Err(InstallError::Rejected(
                     "shipped suffix does not chain onto local tip",
                 ));
             }
-            let requests = decode_batch(&lb.value).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, "undecodable shipped value")
-            })?;
+            let requests = decode_batch(&lb.value)
+                .map_err(|_| InstallError::Rejected("undecodable shipped value"))?;
             self.engine.append(record)?;
             self.engine.flush()?;
             for request in requests {
@@ -649,6 +1012,41 @@ impl<A: Application> DurableApp<A> {
 mod tests {
     use super::*;
     use crate::app::CounterApp;
+    use smartchain_crypto::keys::{Backend, SecretKey};
+
+    /// A 4-replica view with deterministic sim keys, for certificate tests.
+    fn test_view() -> (View, Vec<SecretKey>) {
+        let secrets: Vec<SecretKey> = (0..4)
+            .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 50; 32]))
+            .collect();
+        let view = View {
+            id: 0,
+            members: secrets.iter().map(|s| s.public_key()).collect(),
+        };
+        (view, secrets)
+    }
+
+    /// Signs `d`'s newest checkpoint basis with the first `signers` keys and
+    /// stores the assembled certificate (what the runtime's share gossip
+    /// produces).
+    fn certify(
+        d: &mut DurableApp<CounterApp>,
+        secrets: &[SecretKey],
+        signers: usize,
+    ) -> CheckpointCert {
+        let (covered, state_root, tip) = d.latest_checkpoint_basis().unwrap();
+        let payload = ckpt_sign_payload(covered, &state_root, &tip);
+        let cert = CheckpointCert {
+            covered,
+            state_root,
+            tip,
+            signatures: (0..signers)
+                .map(|r| (r, secrets[r].sign(&payload)))
+                .collect(),
+        };
+        d.store_checkpoint_cert(cert.clone()).unwrap();
+        cert
+    }
 
     fn req(client: u64, seq: u64, add: u8) -> Request {
         Request {
@@ -744,22 +1142,30 @@ mod tests {
             src.apply_requests(&[req(1, i, 2)]).unwrap();
         }
         assert_eq!(src.app().sum(1), 16);
-        // Checkpoint at period 3 → snapshot covers 6, log holds 7..8.
+        // Checkpoint at period 3 → snapshot covers 6, log holds 7..8. The
+        // snapshot runs ahead of the fresh receiver, so the reply must carry
+        // the quorum's checkpoint certificate.
+        let (view, secrets) = test_view();
+        certify(&mut src, &secrets, 3);
         let reply = src.state_reply(1).unwrap();
         assert_eq!(reply.covered, 6);
         assert!(reply.snapshot.is_some());
+        assert!(reply.cert.is_some(), "reply ships the stored certificate");
         assert_eq!(reply.first_batch, 7);
         assert_eq!(reply.batches.len(), 2);
         {
             let mut dst = DurableApp::open(CounterApp::new(), &dst_dir, 100).unwrap();
             let applied = dst
                 .install_remote(
+                    &view,
                     reply.covered,
                     reply.snapshot,
+                    reply.cert.as_ref(),
                     reply.first_batch,
                     &reply.batches,
                 )
                 .unwrap();
+            assert_eq!(dst.chunks_verified(), 1, "snapshot verified chunkwise");
             assert_eq!(applied.len(), 2, "only the post-snapshot suffix applies");
             assert_eq!(dst.batches_applied(), 8);
             assert_eq!(dst.app().sum(1), 16);
@@ -784,13 +1190,16 @@ mod tests {
                 dst.apply_requests(&[req(1, i, 1)]).unwrap();
             }
         }
+        let (view, _) = test_view();
         let reply = src.state_reply(4).unwrap();
         assert_eq!((reply.covered, reply.first_batch), (0, 4));
         assert!(reply.snapshot.is_none());
         let applied = dst
             .install_remote(
+                &view,
                 reply.covered,
                 reply.snapshot.clone(),
+                None,
                 reply.first_batch,
                 &reply.batches,
             )
@@ -798,8 +1207,10 @@ mod tests {
         assert_eq!(applied.len(), 2);
         assert_eq!(dst.app().sum(1), 5);
         // A reply that skips ahead is rejected, nothing applied.
-        let err = dst.install_remote(0, None, 9, &reply.batches).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let err = dst
+            .install_remote(&view, 0, None, None, 9, &reply.batches)
+            .unwrap_err();
+        assert!(matches!(err, InstallError::Rejected(_)), "{err}");
         assert_eq!(dst.batches_applied(), 5);
     }
 
@@ -816,12 +1227,164 @@ mod tests {
         b.apply_requests(&[req(1, 0, 2)]).unwrap();
         a.apply_requests(&[req(1, 1, 1)]).unwrap();
         let reply = a.state_reply(2).unwrap();
+        let (view, _) = test_view();
         let err = b
-            .install_remote(0, None, reply.first_batch, &reply.batches)
+            .install_remote(&view, 0, None, None, reply.first_batch, &reply.batches)
             .unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, InstallError::Rejected(_)), "{err}");
         assert_eq!(b.batches_applied(), 1, "nothing appended");
         assert_eq!(b.app().sum(1), 2, "state untouched");
+    }
+
+    /// The runtime trust scope (issue satellite): a snapshot running ahead
+    /// of local state is NOT shipper-trusted. Without a certificate the
+    /// install is refused; with a certificate, a single tampered chunk in
+    /// the shipped state flips the chunked root and the install is refused
+    /// — in both cases before any state is applied.
+    #[test]
+    fn snapshot_ahead_requires_cert_and_rejects_tampered_chunks() {
+        let src_dir = tmp("tamper-src");
+        let mut src = DurableApp::open(CounterApp::new(), &src_dir, 4).unwrap();
+        // Enough distinct clients that the snapshot spans several chunks
+        // (CounterApp serializes one record per client).
+        for i in 0..8u64 {
+            let reqs: Vec<Request> = (0..24).map(|c| req(100 + c, i, 1)).collect();
+            src.apply_requests(&reqs).unwrap();
+        }
+        let (view, secrets) = test_view();
+        let cert = certify(&mut src, &secrets, 3);
+        assert!(cert.verify(&view));
+        let reply = src.state_reply(1).unwrap();
+        assert_eq!(reply.covered, 8);
+        let fresh = |tag: &str| DurableApp::open(CounterApp::new(), tmp(tag), 100).unwrap();
+
+        // No certificate → refused.
+        let err = fresh("tamper-nocert")
+            .install_remote(
+                &view,
+                reply.covered,
+                reply.snapshot.clone(),
+                None,
+                reply.first_batch,
+                &reply.batches,
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::MissingCert), "{err}");
+
+        // Sub-quorum certificate → refused.
+        let weak = CheckpointCert {
+            signatures: cert.signatures[..2].to_vec(),
+            ..cert.clone()
+        };
+        let err = fresh("tamper-weak")
+            .install_remote(
+                &view,
+                reply.covered,
+                reply.snapshot.clone(),
+                Some(&weak),
+                reply.first_batch,
+                &reply.batches,
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::BadCert), "{err}");
+
+        // Tamper one chunk of the shipped state → StateRootMismatch.
+        let shipped: ShippedSnapshot = from_bytes(reply.snapshot.as_ref().unwrap()).unwrap();
+        assert!(
+            shipped.state.len() > merkle::STATE_CHUNK,
+            "state must span multiple chunks for the test to bite"
+        );
+        let mut tampered = shipped.clone();
+        tampered.state[merkle::STATE_CHUNK + 3] ^= 0x40;
+        let mut dst = fresh("tamper-chunk");
+        let err = dst
+            .install_remote(
+                &view,
+                reply.covered,
+                Some(to_bytes(&tampered)),
+                Some(&cert),
+                reply.first_batch,
+                &reply.batches,
+            )
+            .unwrap_err();
+        assert!(matches!(err, InstallError::StateRootMismatch), "{err}");
+        assert_eq!(dst.batches_applied(), 0, "nothing applied");
+        assert_eq!(dst.chunks_verified(), 0);
+
+        // The untampered reply with the real certificate installs fine.
+        let mut ok = fresh("tamper-ok");
+        ok.install_remote(
+            &view,
+            reply.covered,
+            reply.snapshot.clone(),
+            Some(&cert),
+            reply.first_batch,
+            &reply.batches,
+        )
+        .unwrap();
+        assert_eq!(ok.batches_applied(), 8);
+        assert_eq!(ok.app().sum(100), 8);
+        assert!(ok.chunks_verified() > 1);
+        // The receiver adopted the certificate and can now serve it onward.
+        assert_eq!(ok.checkpoint_cert(), Some(&cert));
+    }
+
+    /// Light-client read proofs: a certified replica proves a state chunk;
+    /// the proof verifies against nothing but the view, and dies under any
+    /// tampering (chunk bytes, index, or certificate).
+    #[test]
+    fn read_proofs_verify_and_reject_tampering() {
+        let dir = tmp("readproof");
+        let mut d = DurableApp::open(CounterApp::new(), &dir, 4).unwrap();
+        for i in 0..4u64 {
+            let reqs: Vec<Request> = (0..24).map(|c| req(300 + c, i, 2)).collect();
+            d.apply_requests(&reqs).unwrap();
+        }
+        let (view, secrets) = test_view();
+        assert!(
+            d.prove_state_chunk(0).unwrap().is_none(),
+            "no proof before a certificate assembles"
+        );
+        certify(&mut d, &secrets, 3);
+        let proof = d.prove_state_chunk(1).unwrap().expect("certified chunk");
+        assert!(proof.verify(&view));
+        // Round-trips through the wire encoding.
+        let back: ReadProof = from_bytes(&to_bytes(&proof)).unwrap();
+        assert_eq!(back, proof);
+        // Tampered chunk bytes fail.
+        let mut bad = proof.clone();
+        bad.chunk[0] ^= 1;
+        assert!(!bad.verify(&view));
+        // A proof replayed at another index fails.
+        let mut moved = proof.clone();
+        moved.chunk_index = 0;
+        assert!(!moved.verify(&view));
+        // A certificate signed by too few replicas fails.
+        let mut weak = proof.clone();
+        weak.cert.signatures.truncate(2);
+        assert!(!weak.verify(&view));
+        // Out-of-range chunks are unanswerable, not panics.
+        assert!(d.prove_state_chunk(1 << 20).unwrap().is_none());
+    }
+
+    /// The stored certificate survives a restart alongside its snapshot.
+    #[test]
+    fn checkpoint_cert_persists_across_reopen() {
+        let dir = tmp("certpersist");
+        let cert = {
+            let mut d = DurableApp::open(CounterApp::new(), &dir, 2).unwrap();
+            for i in 0..4u64 {
+                d.apply_requests(&[req(1, i, 1)]).unwrap();
+            }
+            let (_, secrets) = test_view();
+            certify(&mut d, &secrets, 3)
+        };
+        let d = DurableApp::open(CounterApp::new(), &dir, 2).unwrap();
+        assert_eq!(d.checkpoint_cert(), Some(&cert));
+        assert_eq!(
+            d.latest_checkpoint_basis(),
+            Some((cert.covered, cert.state_root, cert.tip))
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use smartchain_consensus::synchronizer::{
     LockedReport, StopData, SyncAction, SyncMsg, Synchronizer,
 };
 use smartchain_consensus::{ReplicaId, View};
-use smartchain_crypto::keys::SecretKey;
+use smartchain_crypto::keys::{SecretKey, Signature};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// How many instances ahead of `last_decided` a replica will participate in
@@ -62,6 +62,26 @@ pub enum SmrMsg {
         /// The sender's current regency, so a recovering replica that slept
         /// through leader changes rejoins at the right one.
         regency: u32,
+        /// The quorum certificate for the shipped snapshot's checkpoint
+        /// (required by the receiver when the snapshot runs ahead of its
+        /// local state).
+        cert: Option<crate::durability::CheckpointCert>,
+    },
+    /// A replica's signed share of a checkpoint certificate, gossiped after
+    /// each local checkpoint; `quorum` shares matching on
+    /// `(covered, state_root, tip)` assemble a
+    /// [`CheckpointCert`](crate::durability::CheckpointCert).
+    CkptShare {
+        /// The signing replica.
+        replica: ReplicaId,
+        /// Batches the checkpoint summarizes.
+        covered: u64,
+        /// Chunked Merkle root of the application state at `covered`.
+        state_root: [u8; 32],
+        /// Batch chain hash after `covered`.
+        tip: [u8; 32],
+        /// Signature over [`ckpt_sign_payload`](crate::durability::ckpt_sign_payload).
+        signature: Signature,
     },
 }
 
@@ -104,6 +124,7 @@ impl Encode for SmrMsg {
                 batches,
                 frontier,
                 regency,
+                cert,
             } => {
                 5u8.encode(out);
                 covered.encode(out);
@@ -112,6 +133,21 @@ impl Encode for SmrMsg {
                 smartchain_codec::encode_seq(batches, out);
                 smartchain_codec::encode_seq(frontier, out);
                 regency.encode(out);
+                cert.encode(out);
+            }
+            SmrMsg::CkptShare {
+                replica,
+                covered,
+                state_root,
+                tip,
+                signature,
+            } => {
+                6u8.encode(out);
+                (*replica as u64).encode(out);
+                covered.encode(out);
+                state_root.encode(out);
+                tip.encode(out);
+                signature.to_wire().encode(out);
             }
         }
     }
@@ -130,6 +166,7 @@ impl Encode for SmrMsg {
                 batches,
                 frontier,
                 regency,
+                cert,
             } => {
                 covered.encoded_len()
                     + snapshot.encoded_len()
@@ -137,7 +174,9 @@ impl Encode for SmrMsg {
                     + smartchain_codec::seq_encoded_len(batches)
                     + smartchain_codec::seq_encoded_len(frontier)
                     + regency.encoded_len()
+                    + cert.encoded_len()
             }
+            SmrMsg::CkptShare { .. } => 8 + 8 + 32 + 32 + 65,
         }
     }
 }
@@ -159,6 +198,14 @@ impl Decode for SmrMsg {
                 batches: smartchain_codec::decode_seq(input)?,
                 frontier: smartchain_codec::decode_seq(input)?,
                 regency: u32::decode(input)?,
+                cert: Option::<crate::durability::CheckpointCert>::decode(input)?,
+            }),
+            6 => Ok(SmrMsg::CkptShare {
+                replica: u64::decode(input)? as ReplicaId,
+                covered: u64::decode(input)?,
+                state_root: <[u8; 32]>::decode(input)?,
+                tip: <[u8; 32]>::decode(input)?,
+                signature: Signature::from_wire(&<[u8; 65]>::decode(input)?),
             }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
@@ -380,6 +427,13 @@ impl OrderingCore {
         self.claimed_ids.clear();
     }
 
+    /// Signs `payload` with this replica's consensus secret key — used by
+    /// the embedding to produce checkpoint-certificate shares, so the
+    /// certificate verifies against the same view keys as decision proofs.
+    pub fn sign(&self, payload: &[u8]) -> Signature {
+        self.secret.sign(payload)
+    }
+
     /// Records that `(client, seq)` was delivered in replayed history —
     /// state transfer MUST call this for every replayed request, or the
     /// recovering replica's duplicate filter diverges from its peers' and
@@ -461,9 +515,12 @@ impl OrderingCore {
                 self.apply_sync_actions(actions)
             }
             SmrMsg::Reply(_) => Vec::new(), // replicas ignore replies
-            // State transfer is the embedding's job (it owns the log); the
-            // core ignores the messages if they ever reach it.
-            SmrMsg::StateReq { .. } | SmrMsg::StateRep { .. } => Vec::new(),
+            // State transfer and checkpoint certification are the
+            // embedding's job (it owns the log); the core ignores the
+            // messages if they ever reach it.
+            SmrMsg::StateReq { .. } | SmrMsg::StateRep { .. } | SmrMsg::CkptShare { .. } => {
+                Vec::new()
+            }
         }
     }
 
@@ -1360,6 +1417,11 @@ mod tests {
 mod wire_len_tests {
     use super::*;
     use crate::types::{Reply, Request};
+    use smartchain_crypto::keys::Backend;
+
+    fn sig(seed: u8, msg: &[u8]) -> Signature {
+        SecretKey::from_seed(Backend::Sim, &[seed; 32]).sign(msg)
+    }
 
     #[test]
     fn encoded_len_override_matches_encoding() {
@@ -1389,6 +1451,28 @@ mod wire_len_tests {
                 batches: vec![vec![1; 12], vec![2; 7]],
                 frontier: vec![(3, 4), (5, 6)],
                 regency: 2,
+                cert: None,
+            },
+            SmrMsg::StateRep {
+                covered: 8,
+                snapshot: Some(vec![9; 40]),
+                first_batch: 9,
+                batches: Vec::new(),
+                frontier: Vec::new(),
+                regency: 0,
+                cert: Some(crate::durability::CheckpointCert {
+                    covered: 8,
+                    state_root: [7u8; 32],
+                    tip: [8u8; 32],
+                    signatures: vec![(0, sig(1, b"x")), (2, sig(2, b"y"))],
+                }),
+            },
+            SmrMsg::CkptShare {
+                replica: 3,
+                covered: 16,
+                state_root: [4u8; 32],
+                tip: [5u8; 32],
+                signature: sig(3, b"z"),
             },
         ];
         for m in msgs {

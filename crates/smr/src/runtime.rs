@@ -13,14 +13,14 @@
 //! torn link) fetches the missed batch suffix from a peer and rejoins.
 
 use crate::app::Application;
-use crate::durability::DurableApp;
+use crate::durability::{ckpt_sign_payload, CheckpointCert, DurableApp};
 use crate::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
 use crate::transport::{
     channel_mesh, ClusterConfig, NetEvent, RecvError, TcpClient, TcpTransport, Transport,
 };
 use crate::types::{Reply, Request};
 use smartchain_consensus::{ReplicaId, View};
-use smartchain_crypto::keys::{Backend, SecretKey};
+use smartchain_crypto::keys::{Backend, SecretKey, Signature};
 use smartchain_crypto::pool::{VerifyItem, VerifyPool};
 use std::collections::HashMap;
 use std::net::TcpListener;
@@ -516,6 +516,108 @@ pub fn serve_replica<A: Application>(
 /// `require_signed` — on an open TCP surface an unsigned request would let
 /// any network peer forge another client's `(client, seq)` and poison its
 /// duplicate filter, so public deployments must require signatures.
+/// Payload prefix marking a light-client read-proof request. Such requests
+/// are served locally from the replica's latest *certified* checkpoint —
+/// they are never ordered, never executed, and need no signature: the reply
+/// (an encoded [`crate::durability::ReadProof`]) verifies against the
+/// view's public keys, so the trust lives in the quorum certificate, not in
+/// which replica answered.
+pub const READ_PROOF_MAGIC: [u8; 4] = [0xE3, b'r', b'd', 0x01];
+
+/// Builds the request payload asking for chunk `chunk` of the certified
+/// state (see [`READ_PROOF_MAGIC`]).
+pub fn read_proof_request_payload(chunk: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&READ_PROOF_MAGIC);
+    out.extend_from_slice(&chunk.to_le_bytes());
+    out
+}
+
+/// Parses a read-proof request payload back into its chunk index.
+pub fn parse_read_proof_request(payload: &[u8]) -> Option<u64> {
+    let rest = payload.strip_prefix(READ_PROOF_MAGIC.as_slice())?;
+    Some(u64::from_le_bytes(rest.try_into().ok()?))
+}
+
+/// Collects gossiped checkpoint-certificate shares ([`SmrMsg::CkptShare`])
+/// until a quorum matches this replica's own newest checkpoint basis, then
+/// assembles and stores the [`CheckpointCert`]. Shares for other bases are
+/// kept until their covered point is superseded — replicas checkpoint at
+/// the same batch numbers but not at the same wall-clock instant.
+struct CertAssembly {
+    /// Per-covered-point shares: `(replica, state_root, tip, signature)`.
+    shares: HashMap<u64, Vec<CkptShareEntry>>,
+}
+
+type CkptShareEntry = (ReplicaId, [u8; 32], [u8; 32], Signature);
+
+impl CertAssembly {
+    fn new() -> Self {
+        CertAssembly {
+            shares: HashMap::new(),
+        }
+    }
+
+    fn note(
+        &mut self,
+        replica: ReplicaId,
+        covered: u64,
+        state_root: [u8; 32],
+        tip: [u8; 32],
+        signature: Signature,
+    ) {
+        let entry = self.shares.entry(covered).or_default();
+        if entry.iter().any(|(r, ..)| *r == replica) {
+            return; // first share per replica wins
+        }
+        entry.push((replica, state_root, tip, signature));
+    }
+
+    fn try_assemble<A: Application>(&mut self, core: &OrderingCore, durable: &mut DurableApp<A>) {
+        let Some((covered, state_root, tip)) = durable.latest_checkpoint_basis() else {
+            return;
+        };
+        if durable.checkpoint_cert().is_some() {
+            self.prune(covered);
+            return;
+        }
+        let Some(entries) = self.shares.get(&covered) else {
+            return;
+        };
+        // Only shares agreeing with OUR basis count, and each signature is
+        // checked against the signer's view key — a Byzantine replica can
+        // neither vote twice nor smuggle a foreign root into the quorum.
+        let view = core.view();
+        let payload = ckpt_sign_payload(covered, &state_root, &tip);
+        let mut signatures: Vec<(ReplicaId, Signature)> = Vec::new();
+        for (replica, root, t, sig) in entries {
+            if *root != state_root || *t != tip {
+                continue;
+            }
+            let Some(key) = view.members.get(*replica) else {
+                continue;
+            };
+            if key.verify(&payload, sig) {
+                signatures.push((*replica, *sig));
+            }
+        }
+        if signatures.len() >= view.quorum() {
+            signatures.sort_unstable_by_key(|(r, _)| *r);
+            let _ = durable.store_checkpoint_cert(CheckpointCert {
+                covered,
+                state_root,
+                tip,
+                signatures,
+            });
+            self.prune(covered);
+        }
+    }
+
+    fn prune(&mut self, covered: u64) {
+        self.shares.retain(|&c, _| c > covered);
+    }
+}
+
 fn verify_and_submit(
     core: &mut OrderingCore,
     pool: &VerifyPool,
@@ -590,14 +692,18 @@ fn send_state_request<A: Application, T: Transport>(
 /// quorum-signed `value_hash`) and valid under the current view — and
 /// `install_remote` additionally requires the suffix to chain-hash onto this
 /// replica's tip. An HMAC-authenticated but Byzantine shipper can therefore
-/// no longer feed a recovering replica forged *batches*; a shipped
-/// *snapshot* that runs ahead of us is still shipper-trusted (see
-/// [`crate::durability::verify_shipped_suffix`] and ROADMAP).
+/// no longer feed a recovering replica forged *batches* — and no longer a
+/// forged *snapshot* either: a snapshot running ahead of local state
+/// installs only when the shipped bytes re-chunk to the state root of a
+/// quorum-signed [`CheckpointCert`] (see
+/// [`crate::durability::DurableApp::install_remote`]).
+#[allow(clippy::too_many_arguments)]
 fn install_state_reply<A: Application>(
     core: &mut OrderingCore,
     durable: &mut DurableApp<A>,
     covered: u64,
     snapshot: Option<Vec<u8>>,
+    cert: Option<CheckpointCert>,
     first_batch: u64,
     batches: &[Vec<u8>],
     frontier: &[(u64, u64)],
@@ -606,8 +712,22 @@ fn install_state_reply<A: Application>(
         return false; // forged/damaged suffix: rotate to another shipper
     }
     let before = durable.batches_applied();
-    let Ok(applied) = durable.install_remote(covered, snapshot, first_batch, batches) else {
-        return false;
+    let installed = durable.install_remote(
+        core.view(),
+        covered,
+        snapshot,
+        cert.as_ref(),
+        first_batch,
+        batches,
+    );
+    let applied = match installed {
+        Ok(applied) => applied,
+        Err(e) => {
+            if std::env::var("SC_RT_DEBUG").is_ok() {
+                eprintln!("[rt] state reply rejected: {e}");
+            }
+            return false; // uncertified/tampered snapshot or broken suffix
+        }
     };
     // The dedup frontier covers the summarized prefix; the applied requests
     // cover the replayed suffix. Both must reach the core or client
@@ -637,6 +757,8 @@ fn replica_loop<A: Application, T: Transport>(
     let mut backlog: std::collections::VecDeque<NetEvent> = std::collections::VecDeque::new();
     // In-flight runtime state transfer, if any.
     let mut syncing: Option<SyncAttempt> = None;
+    // Checkpoint-certificate shares gossiped by peers (and ourselves).
+    let mut certs = CertAssembly::new();
     loop {
         let event = match backlog.pop_front() {
             Some(ev) => Ok(ev),
@@ -659,6 +781,7 @@ fn replica_loop<A: Application, T: Transport>(
                             batches: reply.batches,
                             frontier: core.delivered_frontier(),
                             regency: core.regency(),
+                            cert: reply.cert,
                         },
                     );
                 }
@@ -673,6 +796,7 @@ fn replica_loop<A: Application, T: Transport>(
                         batches,
                         frontier,
                         regency,
+                        cert,
                     },
                 ..
             }) => {
@@ -682,6 +806,7 @@ fn replica_loop<A: Application, T: Transport>(
                         durable,
                         covered,
                         snapshot,
+                        cert,
                         first_batch,
                         &batches,
                         &frontier,
@@ -709,6 +834,21 @@ fn replica_loop<A: Application, T: Transport>(
                 msg: SmrMsg::Request(request),
                 ..
             }) => verify_and_submit(core, pool, vec![request], require_signed),
+            Ok(NetEvent::Peer {
+                msg:
+                    SmrMsg::CkptShare {
+                        replica,
+                        covered,
+                        state_root,
+                        tip,
+                        signature,
+                    },
+                ..
+            }) => {
+                certs.note(replica, covered, state_root, tip, signature);
+                certs.try_assemble(core, durable);
+                Vec::new()
+            }
             Ok(NetEvent::Peer { from, msg }) => {
                 // Consensus traffic from an epoch ahead of our regency means
                 // we missed a leader change (restart or long partition): the
@@ -737,6 +877,25 @@ fn replica_loop<A: Application, T: Transport>(
                         None => break,
                     }
                 }
+                // Light-client read-proof requests are answered locally from
+                // the certified checkpoint — never ordered. When we cannot
+                // serve one (no certificate assembled yet, index out of
+                // range) we stay silent and let the client retry or ask
+                // another replica.
+                batch.retain(|request| {
+                    let Some(chunk) = parse_read_proof_request(&request.payload) else {
+                        return true;
+                    };
+                    if let Ok(Some(proof)) = durable.prove_state_chunk(chunk) {
+                        transport.reply(Reply {
+                            client: request.client,
+                            seq: request.seq,
+                            result: smartchain_codec::to_bytes(&proof),
+                            replica: me,
+                        });
+                    }
+                    false
+                });
                 verify_and_submit(core, pool, batch, require_signed)
             }
             Ok(NetEvent::PeerUp(peer)) => {
@@ -810,6 +969,24 @@ fn replica_loop<A: Application, T: Transport>(
                                     seq: request.seq,
                                     result,
                                     replica: me,
+                                });
+                            }
+                            // A checkpoint was cut while applying: sign its
+                            // basis and gossip the share so the cluster can
+                            // assemble the quorum certificate.
+                            if let Some((covered, state_root, tip)) =
+                                durable.take_checkpoint_announcement()
+                            {
+                                let signature =
+                                    core.sign(&ckpt_sign_payload(covered, &state_root, &tip));
+                                certs.note(me, covered, state_root, tip, signature);
+                                certs.try_assemble(core, durable);
+                                transport.broadcast(&SmrMsg::CkptShare {
+                                    replica: me,
+                                    covered,
+                                    state_root,
+                                    tip,
+                                    signature,
                                 });
                             }
                         }

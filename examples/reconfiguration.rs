@@ -80,6 +80,7 @@ fn main() {
             forged.header.last_checkpoint,
             forged.header.hash_last_block,
             forged.body.clone(),
+            [0u8; 32],
         );
         fork.push(rebuilt);
         println!(

@@ -21,6 +21,11 @@
 //! * [`codec`] — deterministic canonical encoding; [`codec::Encode`] is the
 //!   single source of truth for hashes, signatures, persistence *and* wire
 //!   sizes (`encoded_len`), so the NIC model never drifts from the encoders.
+//! * [`merkle`] — dependency-free binary Merkle trees over transaction
+//!   lists, result lists, and fixed-size state chunks: roots, membership
+//!   proofs ([`merkle::prove_chunk`]/[`merkle::verify`]), and the
+//!   `chunked_root` that commits snapshots chunk-by-chunk so state transfer
+//!   and light clients verify the same bytes the quorum certified.
 //! * [`storage`] — the stable-storage substrate: CRC-framed logs
 //!   (single-file [`storage::log::FileLog`] and the segmented
 //!   [`storage::segmented::SegmentedLog`] — fixed-capacity segment files +
@@ -64,6 +69,14 @@
 //!   (`NodeConfig::storage`): heap, or the real segmented log exercised in
 //!   virtual time, with opt-in checkpoint-driven compaction
 //!   (`compact_after_checkpoint`).
+//! * [`light_client`] — verification without replication:
+//!   [`light_client::HeaderTracker`] follows the header chain admitting
+//!   blocks purely on their quorum certificates and checks
+//!   transaction/result membership proofs against tracked headers, and
+//!   [`light_client::TcpLightClient`] reads certified state chunks from a
+//!   live cluster, trusting the returned `ReadProof` (checkpoint
+//!   certificate + Merkle path) rather than the replica that served it
+//!   (see `examples/light_client.rs`).
 //! * [`coin`] — SMaRtCoin, the UTXO digital-coin application.
 //! * [`baselines`] — Tendermint- and Fabric-style comparator models.
 //!
@@ -91,6 +104,8 @@ pub use smartchain_coin as coin;
 pub use smartchain_consensus as consensus;
 pub use smartchain_core as core;
 pub use smartchain_crypto as crypto;
+pub use smartchain_light_client as light_client;
+pub use smartchain_merkle as merkle;
 pub use smartchain_sim as sim;
 pub use smartchain_smr as smr;
 pub use smartchain_storage as storage;

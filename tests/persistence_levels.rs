@@ -126,7 +126,7 @@ fn full_crash_loses_async_suffix_but_not_synced_blocks() {
     // Asynchronous regime: five blocks appended, never synced.
     let mut ledger = Ledger::open(MemLog::new(), genesis.clone()).unwrap();
     for i in 1..=5u64 {
-        let b = ledger.build_next(body(i));
+        let b = ledger.build_next(body(i), [0u8; 32]);
         ledger.append(&b).unwrap();
     }
     let mut log = ledger.into_log();
@@ -142,7 +142,7 @@ fn full_crash_loses_async_suffix_but_not_synced_blocks() {
     // flush) — the suffix survives the same crash.
     let mut ledger = Ledger::open(MemLog::new(), genesis.clone()).unwrap();
     for i in 1..=5u64 {
-        let b = ledger.build_next(body(i));
+        let b = ledger.build_next(body(i), [0u8; 32]);
         ledger.append(&b).unwrap();
         ledger.sync().unwrap();
     }
