@@ -15,8 +15,9 @@
 //! bench_check -- --print-baseline` and pasting the output.
 
 use smartchain_bench::micro::{
-    alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario, measure,
-    segmented_recovery_scenario, tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
+    alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario,
+    exec_lane_throughput, exec_pool_smoke, measure, segmented_recovery_scenario, tcp_smoke,
+    verify_adaptive_throughput, verify_cap_throughput,
 };
 use smartchain_crypto::sha256;
 use smartchain_merkle as merkle;
@@ -142,6 +143,62 @@ fn main() {
         gate.band("alpha4_blocks_10s", a4.blocks as f64, 0.25);
     }
 
+    // Execution-lane scaling (deterministic): an execution-bound pipeline
+    // (3 ms/tx) at 1 vs 4 lanes over uniformly sharded accounts, plus a
+    // fully skewed control (every account on one lane). Uniform 4-lane must
+    // deliver at least 2x the serial blocks; the skewed run must not — the
+    // speedup comes from the plan, not from dropped work. The conflict
+    // stats printed are the per-batch observability counters (satellite:
+    // single-lane vs barrier classification and critical-path cost).
+    let l1 = exec_lane_throughput(1, false, 10);
+    let l4 = exec_lane_throughput(4, false, 10);
+    let s4 = exec_lane_throughput(4, true, 10);
+    println!(
+        "exec lanes: lanes=1 {:.1} blocks/vsec, lanes=4 {:.1} blocks/vsec, lanes=4(skew) {:.1} blocks/vsec",
+        l1.batches_per_vsec, l4.batches_per_vsec, s4.batches_per_vsec
+    );
+    println!(
+        "exec lanes=4 conflict stats: {} batches, {} single-lane tx, {} cross-lane tx, {} parallel groups, critical path {} tx (of {} planned)",
+        l4.stats.batches,
+        l4.stats.single_lane_txs,
+        l4.stats.cross_lane_txs,
+        l4.stats.parallel_groups,
+        l4.stats.critical_path_txs,
+        l4.stats.planned_txs(),
+    );
+    if !print_baseline {
+        if l4.blocks < 2 * l1.blocks {
+            gate.failures.push(format!(
+                "4 execution lanes must deliver >= 2x the serial blocks on the uniform workload (got {} vs {})",
+                l4.blocks, l1.blocks
+            ));
+        }
+        if s4.blocks >= 2 * l1.blocks {
+            gate.failures.push(format!(
+                "the skewed control must not scale (got {} vs serial {})",
+                s4.blocks, l1.blocks
+            ));
+        }
+        if l4.stats.critical_path_txs >= l4.stats.planned_txs() {
+            gate.failures.push(format!(
+                "uniform 4-lane critical path must beat the serial sum (got {} of {})",
+                l4.stats.critical_path_txs,
+                l4.stats.planned_txs()
+            ));
+        }
+    }
+    gate.measured
+        .insert("exec_lanes1_blocks_10s".into(), l1.blocks as f64);
+    gate.measured
+        .insert("exec_lanes4_blocks_10s".into(), l4.blocks as f64);
+    gate.measured
+        .insert("exec_skew4_blocks_10s".into(), s4.blocks as f64);
+    if !print_baseline {
+        gate.band("exec_lanes1_blocks_10s", l1.blocks as f64, 0.25);
+        gate.band("exec_lanes4_blocks_10s", l4.blocks as f64, 0.25);
+        gate.band("exec_skew4_blocks_10s", s4.blocks as f64, 0.25);
+    }
+
     // Verify-stage sizing (deterministic, informational): the round cap's
     // latency/throughput trade-off. Over-small rounds pay the pool
     // hand-off per few requests; a generous cap is indistinguishable from
@@ -219,6 +276,34 @@ fn main() {
             install.chunks_verified as f64,
             0.0,
         );
+    }
+
+    // Metal exec-pool smoke (wall-clock): identical coin batches through a
+    // serial and a 4-lane DurableApp twin — real worker threads, byte-equal
+    // final snapshots gate (that's the determinism claim on real metal).
+    let pool = exec_pool_smoke(4, 40);
+    println!(
+        "exec pool smoke: {} txs, {:.0} txs/sec laned, state match {} ({} single-lane, {} cross-lane, critical path {})",
+        pool.txs,
+        pool.txs_per_sec,
+        pool.state_matches,
+        pool.stats.single_lane_txs,
+        pool.stats.cross_lane_txs,
+        pool.stats.critical_path_txs,
+    );
+    if !print_baseline {
+        if !pool.state_matches {
+            gate.failures
+                .push("exec pool smoke: laned state diverged from serial".to_string());
+        }
+        if pool.txs_per_sec <= 0.0 {
+            gate.failures
+                .push("exec pool smoke reported zero throughput".to_string());
+        }
+        if pool.stats.planned_txs() == 0 {
+            gate.failures
+                .push("exec pool smoke: the lane planner never engaged".to_string());
+        }
     }
 
     // Runtime smoke (wall-clock, informational except for liveness): the

@@ -139,35 +139,81 @@ impl<A: Application> ChainNode<A> {
         let count = requests.iter().filter(|r| !is_protocol_request(r)).count();
         self.meter.record(ctx.now(), count as u64);
         self.committed_log.push((ctx.now(), count as u64));
-        let mut exec_cost = self.config.execute_ns * count as Time;
-        if self.config.sig_mode == SigMode::Sequential {
-            // The paper's sequential mode verifies inside the state machine.
-            exec_cost += ctx.hw().cpu.verify_ns * count as Time;
+        let lanes = self.config.execute_lanes.max(1);
+        // Classify each batch slot once; only App(Some) slots execute.
+        enum Slot {
+            /// Reconfiguration / exclude vote: empty result, no reply.
+            Protocol,
+            /// Forged under Sequential verification: dropped at execution.
+            Forged,
+            /// Application transaction (None = unwrappable payload: empty
+            /// app result, but still replied to).
+            App(Option<Request>),
         }
-        ctx.charge(exec_cost);
-        let mut results = Vec::with_capacity(requests.len());
-        let mut replies = Vec::with_capacity(count);
-        let me = self.my_replica_id().unwrap_or(0);
-        for req in &requests {
-            if is_protocol_request(req) {
-                results.push(Vec::new());
-                continue; // handled by the reconfiguration path, no reply
-            }
-            if self.config.sig_mode == SigMode::Sequential && !verify_envelope_signature(req) {
-                results.push(Vec::new());
-                continue; // forged transaction dropped at execution
-            }
-            let app_result = match unwrap_app_payload(&req.payload) {
-                Some(bytes) => {
-                    let inner = Request {
+        let slots: Vec<Slot> = requests
+            .iter()
+            .map(|req| {
+                if is_protocol_request(req) {
+                    Slot::Protocol
+                } else if self.config.sig_mode == SigMode::Sequential
+                    && !verify_envelope_signature(req)
+                {
+                    Slot::Forged
+                } else {
+                    Slot::App(unwrap_app_payload(&req.payload).map(|bytes| Request {
                         client: req.client,
                         seq: req.seq,
                         payload: bytes.to_vec(),
                         signature: req.signature,
-                    };
-                    self.app.execute(&inner)
+                    }))
                 }
-                None => Vec::new(),
+            })
+            .collect();
+        // EXECUTE cost: serial charges one execute_ns per transaction; the
+        // laned stage charges the plan's critical path — the longest lane of
+        // each parallel group plus one slot per cross-lane barrier. Block
+        // contents are identical either way; only virtual time differs.
+        let executable: Vec<&Request> = slots
+            .iter()
+            .filter_map(|s| match s {
+                Slot::App(Some(inner)) => Some(inner),
+                _ => None,
+            })
+            .collect();
+        let mut exec_outputs: std::collections::VecDeque<Vec<u8>> = if lanes == 1 {
+            // Seed cost model: every non-protocol slot is charged, even ones
+            // dropped (forged) or unwrappable — they occupied the stage.
+            ctx.charge(self.config.execute_ns * count as Time);
+            executable
+                .iter()
+                .map(|inner| self.app.execute(inner))
+                .collect()
+        } else {
+            let hints: Vec<_> = executable
+                .iter()
+                .map(|inner| self.app.lane_hint(inner, lanes))
+                .collect();
+            let plan = smartchain_smr::exec::plan_batch(&hints, lanes);
+            ctx.charge(self.config.execute_ns * plan.stats.critical_path_txs as Time);
+            self.exec_stats.absorb(&plan.stats);
+            smartchain_smr::exec::run_plan(&mut self.app, &executable, &plan, None).into()
+        };
+        if self.config.sig_mode == SigMode::Sequential {
+            // The paper's sequential mode verifies inside the state machine
+            // (serially — the verify stage is the pipelined alternative).
+            ctx.charge(ctx.hw().cpu.verify_ns * count as Time);
+        }
+        let mut results = Vec::with_capacity(requests.len());
+        let mut replies = Vec::with_capacity(count);
+        let me = self.my_replica_id().unwrap_or(0);
+        for (req, slot) in requests.iter().zip(&slots) {
+            let app_result = match slot {
+                Slot::Protocol | Slot::Forged => {
+                    results.push(Vec::new());
+                    continue; // no reply
+                }
+                Slot::App(Some(_)) => exec_outputs.pop_front().expect("one output per app tx"),
+                Slot::App(None) => Vec::new(),
             };
             let mut result = app_result;
             // Pad to the modeled reply size (the paper's replies are

@@ -1,5 +1,6 @@
 //! The replicated-service interface (paper §II-B).
 
+use crate::exec::{ExecPool, LaneHint};
 use crate::types::Request;
 
 /// A deterministic application replicated by the SMR protocol.
@@ -7,6 +8,14 @@ use crate::types::Request;
 /// Requirements from the state machine approach: executions must be
 /// deterministic functions of `(state, request)`, and snapshots must capture
 /// everything `execute` depends on.
+///
+/// The lane methods ([`Application::lane_hint`],
+/// [`Application::configure_lanes`], [`Application::execute_group`]) opt an
+/// application into the deterministic parallel EXECUTE stage
+/// ([`crate::exec`]). Their defaults keep every existing application fully
+/// serial: the default hint is [`LaneHint::Cross`], which plans each
+/// transaction as a barrier, so a laned deployment behaves (and costs)
+/// exactly like a serial one.
 pub trait Application: Send + 'static {
     /// Executes one ordered request, returning the reply payload.
     fn execute(&mut self, request: &Request) -> Vec<u8>;
@@ -20,6 +29,39 @@ pub trait Application: Send + 'static {
     /// Resets to the initial (genesis) state — used when a crashed replica
     /// restarts with no snapshot on disk.
     fn reset(&mut self);
+
+    /// Statically derives which of `lanes` execution lanes `request`'s
+    /// read/write set lands on. Must be a pure function of the request (not
+    /// of mutable state), so every replica plans identically; returning
+    /// [`LaneHint::Cross`] is always safe and means "execute serially".
+    fn lane_hint(&self, _request: &Request, _lanes: usize) -> LaneHint {
+        LaneHint::Cross
+    }
+
+    /// Re-partitions internal state for `lanes` execution lanes. Called
+    /// once at deployment setup (and after recovery), before any laned
+    /// execution. State content must be unaffected.
+    fn configure_lanes(&mut self, _lanes: usize) {}
+
+    /// Executes one parallel group of a [`crate::exec::BatchPlan`]:
+    /// `group[lane]` lists `(original_index, request)` pairs, in batch
+    /// order, whose footprints are disjoint across lanes. Returns
+    /// `(original_index, result)` pairs (any order — the scheduler
+    /// reassembles). Implementations may fan lanes out on `pool`; the
+    /// default executes serially in original batch order, which is correct
+    /// for every application.
+    fn execute_group(
+        &mut self,
+        group: &[Vec<(usize, &Request)>],
+        _pool: Option<&ExecPool>,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let mut flat: Vec<(usize, &Request)> =
+            group.iter().flat_map(|lane| lane.iter().copied()).collect();
+        flat.sort_unstable_by_key(|&(index, _)| index);
+        flat.into_iter()
+            .map(|(index, request)| (index, self.execute(request)))
+            .collect()
+    }
 }
 
 /// A trivial key-value counter application for tests: payload bytes are added
@@ -47,6 +89,12 @@ impl CounterApp {
 }
 
 impl Application for CounterApp {
+    /// Each logical client owns exactly one counter, so requests shard
+    /// cleanly by client id — no transaction is ever cross-lane.
+    fn lane_hint(&self, request: &Request, lanes: usize) -> LaneHint {
+        LaneHint::Single((request.client % lanes.max(1) as u64) as usize)
+    }
+
     fn execute(&mut self, request: &Request) -> Vec<u8> {
         let add: u64 = request.payload.iter().map(|&b| b as u64).sum();
         let sum = self.sums.entry(request.client).or_insert(0);

@@ -429,6 +429,12 @@ pub struct DurableApp<A: Application> {
     /// Chunks verified against a certified state root by remote installs
     /// (observability for the verified-transfer path).
     chunks_verified: u64,
+    /// Execution lanes for the parallel EXECUTE stage (1 = serial).
+    exec_lanes: usize,
+    /// Worker pool for laned execution, present iff `exec_lanes > 1`.
+    exec_pool: Option<crate::exec::ExecPool>,
+    /// Accumulated lane-planner accounting across applied batches.
+    exec_stats: crate::exec::ConflictStats,
 }
 
 impl<A: Application> std::fmt::Debug for DurableApp<A> {
@@ -588,7 +594,28 @@ impl<A: Application> DurableApp<A> {
             latest_cert: None,
             cert_path: None,
             chunks_verified: 0,
+            exec_lanes: 1,
+            exec_pool: None,
+            exec_stats: crate::exec::ConflictStats::default(),
         })
+    }
+
+    /// Switches the EXECUTE stage to `lanes` parallel execution lanes
+    /// (1 = the classic serial stage, the default). Re-shards the
+    /// application state and, above one lane, spins up a worker pool.
+    /// Recovery replay stays serial either way — plan correctness makes the
+    /// laned and serial executions state-equivalent, so a serial replay
+    /// reproduces a laned pre-crash execution exactly.
+    pub fn set_execute_lanes(&mut self, lanes: usize) {
+        let lanes = lanes.max(1);
+        self.app.configure_lanes(lanes);
+        self.exec_lanes = lanes;
+        self.exec_pool = (lanes > 1).then(|| crate::exec::ExecPool::new(lanes));
+    }
+
+    /// Accumulated lane-planner accounting (all zeros while serial).
+    pub fn exec_stats(&self) -> crate::exec::ConflictStats {
+        self.exec_stats
     }
 
     /// Restores a persisted checkpoint certificate, keeping it only when it
@@ -651,9 +678,32 @@ impl<A: Application> DurableApp<A> {
         // restart that lost volatile core state).
         let mut executed: std::collections::HashMap<(u64, u64), Vec<u8>> =
             std::collections::HashMap::new();
-        for request in decode_batch(&batch.value).unwrap_or_default() {
-            if Self::frontier_admits(&mut self.frontier, &request) {
-                let result = self.app.execute(&request);
+        let admitted: Vec<Request> = decode_batch(&batch.value)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|request| Self::frontier_admits(&mut self.frontier, request))
+            .collect();
+        if self.exec_lanes > 1 {
+            // Laned EXECUTE: plan the admitted batch from the application's
+            // static lane hints, fan single-lane runs out on the pool,
+            // serialize at cross-lane barriers. The plan keeps within-lane
+            // original order and lanes disjoint, so results and post-state
+            // are identical to the serial path.
+            let hints: Vec<_> = admitted
+                .iter()
+                .map(|request| self.app.lane_hint(request, self.exec_lanes))
+                .collect();
+            let plan = crate::exec::plan_batch(&hints, self.exec_lanes);
+            self.exec_stats.absorb(&plan.stats);
+            let refs: Vec<&Request> = admitted.iter().collect();
+            let results =
+                crate::exec::run_plan(&mut self.app, &refs, &plan, self.exec_pool.as_ref());
+            for (request, result) in admitted.iter().zip(results) {
+                executed.insert((request.client, request.seq), result);
+            }
+        } else {
+            for request in &admitted {
+                let result = self.app.execute(request);
                 executed.insert((request.client, request.seq), result);
             }
         }

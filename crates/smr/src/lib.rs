@@ -6,7 +6,9 @@
 //! vocabulary, the [`app`] service interface, simulation [`actor`]s for
 //! replicas and closed-loop [`client`]s, and the Dura-SMaRt-style
 //! [`durability`] pipeline whose batch-coalescing the paper measures in
-//! Table I — plus the metal deployment layer: the [`transport`] abstraction
+//! Table I, and the deterministic parallel-EXECUTE scheduler ([`exec`]:
+//! lane planning over hash-sharded state, worker pool, conflict stats) —
+//! plus the metal deployment layer: the [`transport`] abstraction
 //! (in-process channels or authenticated, reconnecting TCP links) under the
 //! [`runtime`]'s replica loop.
 
@@ -14,6 +16,7 @@ pub mod actor;
 pub mod app;
 pub mod client;
 pub mod durability;
+pub mod exec;
 pub mod ordering;
 pub mod reconfig;
 pub mod runtime;

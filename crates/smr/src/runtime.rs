@@ -51,6 +51,12 @@ pub struct RuntimeConfig {
     /// an open TCP surface should set it — see [`verify_and_submit`]'s
     /// forgery note. `cluster.toml` deployments default to `true`.
     pub require_signed: bool,
+    /// Execution lanes in each replica's EXECUTE stage (1 = serial, the
+    /// default). Above one lane, [`DurableApp`] plans every delivered batch
+    /// over the application's static lane hints and fans non-conflicting
+    /// transactions out on a per-replica worker pool — results and state
+    /// stay bit-identical to the serial stage.
+    pub execute_lanes: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -63,6 +69,7 @@ impl Default for RuntimeConfig {
             checkpoint_period: 128,
             verify_workers: 2,
             require_signed: false,
+            execute_lanes: 1,
         }
     }
 }
@@ -131,6 +138,7 @@ impl LocalCluster {
             for (client, seq) in durable.delivered_frontier() {
                 core.note_delivered(client, seq);
             }
+            durable.set_execute_lanes(config.execute_lanes.max(1));
             let timeout = config.progress_timeout;
             let verify_workers = config.verify_workers.max(1);
             let require_signed = config.require_signed;
@@ -372,6 +380,7 @@ impl<A: Application> TcpCluster<A> {
         for (client, seq) in durable.delivered_frontier() {
             core.note_delivered(client, seq);
         }
+        durable.set_execute_lanes(self.runtime.execute_lanes.max(1));
         let timeout = self.runtime.progress_timeout;
         let verify_workers = self.runtime.verify_workers.max(1);
         let require_signed = self.runtime.require_signed;

@@ -50,6 +50,10 @@
 //!   record stores the raw decided value + decision proof, hash-chained,
 //!   checkpoints truncate the covered prefix, and restart replays only the
 //!   post-checkpoint suffix) — and the
+//!   the deterministic parallel-EXECUTE scheduler ([`smr::exec`]: static
+//!   per-transaction lane hints → a plan of parallel groups and serial
+//!   barriers whose merged results are bit-identical to serial execution,
+//!   run either inline or on a real [`smr::exec::ExecPool`]) — and the
 //!   metal deployment layer: [`smr::transport`] abstracts the links
 //!   (in-process channels, or length-framed HMAC-authenticated TCP with
 //!   per-peer writer threads and automatic redial) and [`smr::runtime`]
@@ -65,7 +69,11 @@
 //!   verify, produce, persist, checkpoint, state transfer, reconfig). Up
 //!   to α blocks ride EXECUTE/PERSIST concurrently — device syncs and
 //!   PERSIST certificates complete out of order, replies release in block
-//!   order. The ledger's engine medium is selectable
+//!   order. EXECUTE itself fans out over `NodeConfig::execute_lanes`
+//!   lanes in virtual time: the stage charges the batch plan's critical
+//!   path, so lane count changes timing but never block content
+//!   (`tests/exec_lanes.rs` pins bit-identical chains across 1/2/8
+//!   lanes). The ledger's engine medium is selectable
 //!   (`NodeConfig::storage`): heap, or the real segmented log exercised in
 //!   virtual time, with opt-in checkpoint-driven compaction
 //!   (`compact_after_checkpoint`).
@@ -77,7 +85,11 @@
 //!   live cluster, trusting the returned `ReadProof` (checkpoint
 //!   certificate + Merkle path) rather than the replica that served it
 //!   (see `examples/light_client.rs`).
-//! * [`coin`] — SMaRtCoin, the UTXO digital-coin application.
+//! * [`coin`] — SMaRtCoin, the UTXO digital-coin application; its account
+//!   state is hash-sharded into copy-on-write lane shards and every
+//!   transaction exposes a static read/write footprint
+//!   (`CoinTx::touched_ids`), which is what makes the parallel EXECUTE
+//!   stage deterministic.
 //! * [`baselines`] — Tendermint- and Fabric-style comparator models.
 //!
 //! # Quickstart
