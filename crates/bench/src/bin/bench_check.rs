@@ -16,8 +16,8 @@
 
 use smartchain_bench::micro::{
     alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario,
-    exec_lane_throughput, exec_pool_smoke, measure, segmented_recovery_scenario, tcp_smoke,
-    verify_adaptive_throughput, verify_cap_throughput,
+    exec_lane_throughput, exec_pool_smoke, measure, segmented_recovery_scenario, tcp_client_soak,
+    tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
 };
 use smartchain_crypto::sha256;
 use smartchain_merkle as merkle;
@@ -75,6 +75,25 @@ impl Gate {
         if !ok {
             self.failures
                 .push(format!("{key}: {value} outside [{lo:.1}, {hi:.1}]"));
+        }
+    }
+
+    /// Wall-clock throughput metric: only fails when it collapses below
+    /// `pin / factor` (machines vary; a real regression halves it).
+    fn floor(&mut self, key: &str, value: f64, factor: f64) {
+        self.measured.insert(key.to_string(), value);
+        let Some(&pin) = self.baseline.get(key) else {
+            self.failures.push(format!("{key}: no baseline pinned"));
+            return;
+        };
+        let ok = value >= pin / factor;
+        println!(
+            "{key}: {value:.1} (pin {pin}, floor pin/{factor}) {}",
+            verdict(ok)
+        );
+        if !ok {
+            self.failures
+                .push(format!("{key}: {value:.1} < pin {pin} / {factor}"));
         }
     }
 
@@ -306,20 +325,73 @@ fn main() {
         }
     }
 
-    // Runtime smoke (wall-clock, informational except for liveness): the
-    // same closed loop over channel and real loopback-TCP transports. Zero
-    // batches/sec means the deployment path is broken — that gates.
-    let ch = channel_smoke(30);
-    let tcp = tcp_smoke(30);
+    // Runtime smoke (wall-clock): the same closed loop over channel and
+    // real loopback-TCP transports. The channel number stays informational
+    // (liveness only); the TCP number is floor-gated — the reactor rework
+    // roughly doubled it, and a collapse back means the event loop
+    // regressed.
+    let ch = channel_smoke(1000);
+    let tcp = tcp_smoke(1000);
     println!(
         "runtime smoke: channel {:.1} batches/sec, tcp {:.1} batches/sec ({} ops each)",
         ch.batches_per_sec, tcp.batches_per_sec, ch.ops
     );
-    if !print_baseline && (tcp.batches_per_sec <= 0.0 || ch.batches_per_sec <= 0.0) {
-        gate.failures.push(format!(
-            "runtime smoke must report nonzero throughput (channel {:.1}, tcp {:.1})",
-            ch.batches_per_sec, tcp.batches_per_sec
-        ));
+    if let Some(stats) = &tcp.transport {
+        println!(
+            "tcp replica-0 transport: {} frames in / {} out, {} KiB in / {} KiB out, {} writev calls ({:.2} frames/call), {} drops, {} rejects",
+            stats.frames_in,
+            stats.frames_out,
+            stats.bytes_in / 1024,
+            stats.bytes_out / 1024,
+            stats.writev_calls,
+            stats.avg_coalesce(),
+            stats.queue_full_drops,
+            stats.accept_rejections,
+        );
+    }
+    if !print_baseline {
+        if ch.batches_per_sec <= 0.0 {
+            gate.failures
+                .push("channel smoke must report nonzero throughput".to_string());
+        }
+        gate.floor("tcp_smoke_bps", tcp.batches_per_sec, 3.0);
+        match &tcp.transport {
+            Some(stats) if stats.frames_in > 0 && stats.writev_calls > 0 => {}
+            other => gate.failures.push(format!(
+                "tcp smoke transport counters missing or idle: {other:?}"
+            )),
+        }
+    } else {
+        gate.measured
+            .insert("tcp_smoke_bps".into(), tcp.batches_per_sec);
+    }
+
+    // 1k-client soak (wall-clock, fixed volume): 1000 logical clients over
+    // 4000 sockets run 2 ops each from one caller thread. The completion
+    // count is deterministic — band 0 — and connecting the whole fleet
+    // must add zero threads to the process (the O(replicas) claim).
+    let soak = tcp_client_soak(1000, 2);
+    println!(
+        "tcp client soak: {} clients / {} conns, {}/{} ops in {:.1}s ({:.0} ops/sec), threads {} -> {}",
+        soak.clients,
+        soak.connections,
+        soak.completed,
+        soak.target_ops,
+        soak.secs,
+        soak.ops_per_sec,
+        soak.threads_before_clients,
+        soak.threads_with_clients,
+    );
+    gate.measured
+        .insert("soak_completed_ops".into(), soak.completed as f64);
+    if !print_baseline {
+        gate.band("soak_completed_ops", soak.completed as f64, 0.0);
+        if soak.threads_with_clients > soak.threads_before_clients {
+            gate.failures.push(format!(
+                "client fleet must not add threads (went {} -> {})",
+                soak.threads_before_clients, soak.threads_with_clients
+            ));
+        }
     }
 
     // Wall-clock hot paths (gross-regression tripwires only).

@@ -19,6 +19,7 @@ use smartchain_smr::client::CounterFactory;
 use smartchain_smr::durability::{ckpt_sign_payload, CheckpointCert, DurableApp};
 use smartchain_smr::ordering::OrderingConfig;
 use smartchain_smr::runtime::{LocalCluster, RuntimeConfig, TcpCluster};
+use smartchain_smr::transport::{TcpClientPool, TransportStats};
 use smartchain_smr::types::Request;
 use smartchain_storage::{SegmentConfig, SyncPolicy};
 use std::time::{Duration, Instant};
@@ -514,6 +515,8 @@ pub struct RuntimeSmoke {
     pub secs: f64,
     /// Committed batches per second.
     pub batches_per_sec: f64,
+    /// Replica 0's transport counters (TCP runs only).
+    pub transport: Option<TransportStats>,
 }
 
 /// Closed-loop smoke over the in-process channel transport: `ops`
@@ -537,13 +540,15 @@ pub fn channel_smoke(ops: u64) -> RuntimeSmoke {
         ops,
         secs,
         batches_per_sec: ops as f64 / secs.max(1e-9),
+        transport: None,
     }
 }
 
 /// The same closed loop over real loopback TCP sockets: a 4-replica
-/// [`TcpCluster`] (length-framed, HMAC-authenticated links, per-peer writer
-/// threads) serving `ops` operations end-to-end. The spread between this
-/// and [`channel_smoke`] is the cost of the real socket path.
+/// [`TcpCluster`] (length-framed, HMAC-authenticated links, one poll-based
+/// reactor per replica embedded in its loop thread) serving `ops`
+/// operations end-to-end. The spread between this and [`channel_smoke`] is
+/// the cost of the real socket path.
 pub fn tcp_smoke(ops: u64) -> RuntimeSmoke {
     let config = RuntimeConfig {
         storage_dir: Some(smoke_dir("tcp")),
@@ -558,12 +563,93 @@ pub fn tcp_smoke(ops: u64) -> RuntimeSmoke {
             .expect("smoke op");
     }
     let secs = start.elapsed().as_secs_f64();
+    let transport = cluster.transport_stats(0);
     cluster.shutdown();
     RuntimeSmoke {
         ops,
         secs,
         batches_per_sec: ops as f64 / secs.max(1e-9),
+        transport,
     }
+}
+
+/// Outcome of the many-client loopback soak.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientSoak {
+    /// Logical clients driven concurrently.
+    pub clients: usize,
+    /// Operations the fleet was asked to complete (`clients × ops each`).
+    pub target_ops: u64,
+    /// Operations that reached a reply quorum before the deadline.
+    pub completed: u64,
+    /// Live client sockets after the connect storm (≤ `clients × replicas`).
+    pub connections: usize,
+    /// Process thread count before any client existed…
+    pub threads_before_clients: u64,
+    /// …and with the whole fleet connected. Equal by design: the pool and
+    /// the replica reactors multiplex every socket over `poll(2)`, so
+    /// client scale adds zero threads.
+    pub threads_with_clients: u64,
+    /// Wall-clock seconds the closed loop ran.
+    pub secs: f64,
+    /// Completed operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// The 1k-client scale test: `clients` logical clients, each connected to
+/// all four replicas of a live [`TcpCluster`], run a closed loop of
+/// `ops_per_client` operations from a single caller thread. Fixed request
+/// volume, so the completion count is deterministic; the thread counts
+/// prove the replica side scales O(replicas), not O(clients).
+pub fn tcp_client_soak(clients: usize, ops_per_client: u64) -> ClientSoak {
+    let config = RuntimeConfig {
+        storage_dir: Some(smoke_dir("soak")),
+        ..RuntimeConfig::default()
+    };
+    let mut cluster =
+        TcpCluster::start(config, Backend::Sim, CounterApp::new).expect("boot tcp cluster");
+    // Warm the ordering pipeline up before the connect storm.
+    cluster
+        .execute(vec![1], Duration::from_secs(30))
+        .expect("soak warm-up");
+    let threads_before_clients = process_threads();
+    let addrs = cluster.cluster_config().replicas.clone();
+    let quorum = cluster.cluster_config().f() + 1;
+    let mut pool = TcpClientPool::connect(addrs, 1_000_000, clients);
+    let connections = pool.connections();
+    let threads_with_clients = process_threads();
+    let target_ops = clients as u64 * ops_per_client;
+    let start = Instant::now();
+    let completed = pool.run_closed_loop(ops_per_client, quorum, &[1], Duration::from_secs(120));
+    let secs = start.elapsed().as_secs_f64();
+    cluster.shutdown();
+    ClientSoak {
+        clients,
+        target_ops,
+        completed,
+        connections,
+        threads_before_clients,
+        threads_with_clients,
+        secs,
+        ops_per_sec: completed as f64 / secs.max(1e-9),
+    }
+}
+
+/// The process's live thread count (`/proc/self/status`); 0 where `/proc`
+/// is unavailable, which disarms the thread-growth gate rather than
+/// failing it.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))?
+                .split_whitespace()
+                .nth(1)?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
 }
 
 fn smoke_dir(tag: &str) -> std::path::PathBuf {

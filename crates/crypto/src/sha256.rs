@@ -126,6 +126,16 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            // SAFETY: `available` verified the sha/ssse3/sse4.1 CPU features.
+            unsafe { ni::compress(&mut self.state, block) };
+            return;
+        }
+        self.compress_scalar(block);
+    }
+
+    fn compress_scalar(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
@@ -167,6 +177,81 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Hardware SHA-256 compression via the x86 SHA extensions (SHA-NI).
+/// Dispatched at runtime; the scalar path above stays the portable
+/// fallback and the reference the tests compare against.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use super::{BLOCK_LEN, K};
+    use std::arch::x86_64::*;
+
+    pub fn available() -> bool {
+        // `is_x86_feature_detected!` caches its own CPUID probe.
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// # Safety
+    /// The caller must have checked [`available`] on this CPU.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Byte shuffle turning the big-endian message words into lanes.
+        let be_mask = _mm_set_epi64x(0x0c0d0e0f_08090a0bu64 as i64, 0x04050607_00010203u64 as i64);
+
+        // Repack [a..d]/[e..h] into the ABEF/CDGH lane order the
+        // sha256rnds2 instruction expects.
+        let lo = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let hi = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        let lo = _mm_shuffle_epi32(lo, 0xB1); // CDAB
+        let hi = _mm_shuffle_epi32(hi, 0x1B); // EFGH
+        let mut abef = _mm_alignr_epi8(lo, hi, 8);
+        let mut cdgh = _mm_blend_epi16(hi, lo, 0xF0);
+        let abef_save = abef;
+        let cdgh_save = cdgh;
+
+        let mut w = [
+            _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr() as *const __m128i), be_mask),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(16) as *const __m128i),
+                be_mask,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(32) as *const __m128i),
+                be_mask,
+            ),
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(48) as *const __m128i),
+                be_mask,
+            ),
+        ];
+
+        for i in 0..16 {
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * i) as *const __m128i);
+            let msg = _mm_add_epi32(w[i & 3], k);
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(msg, 0x0E));
+            if i < 12 {
+                // Extend the schedule: the lane being consumed four
+                // groups from now is w[t-16]+σ0(w[t-15])+w[t-7]+σ1(w[t-2]).
+                let w7 = _mm_alignr_epi8(w[(i + 3) & 3], w[(i + 2) & 3], 4);
+                let x = _mm_sha256msg1_epu32(w[i & 3], w[(i + 1) & 3]);
+                w[i & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(x, w7), w[(i + 3) & 3]);
+            }
+        }
+
+        abef = _mm_add_epi32(abef, abef_save);
+        cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+        let tmp = _mm_shuffle_epi32(abef, 0x1B); // FEBA
+        let cdgh = _mm_shuffle_epi32(cdgh, 0xB1); // DCHG
+        let lo = _mm_blend_epi16(tmp, cdgh, 0xF0); // DCBA
+        let hi = _mm_alignr_epi8(cdgh, tmp, 8); // HGFE
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, lo);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, hi);
     }
 }
 
@@ -257,6 +342,25 @@ mod tests {
         let a = b"hello ".as_slice();
         let b = b"world".as_slice();
         assert_eq!(digest_parts(&[a, b]), digest(b"hello world"));
+    }
+
+    #[test]
+    fn scalar_compress_matches_dispatch() {
+        // On SHA-NI machines `digest` takes the hardware path; drive the
+        // scalar compressor directly so both stay verified everywhere.
+        for len in [0usize, 1, 63, 64, 65, 256, 1000] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 7 % 251) as u8).collect();
+            let mut h = Sha256::new();
+            let mut input = data.as_slice();
+            while input.len() >= BLOCK_LEN {
+                let (block, rest) = input.split_at(BLOCK_LEN);
+                h.compress_scalar(block.try_into().unwrap());
+                h.total_len += BLOCK_LEN as u64;
+                input = rest;
+            }
+            h.update(input);
+            assert_eq!(h.finalize(), digest(&data), "len {len}");
+        }
     }
 
     #[test]

@@ -446,6 +446,13 @@ impl OrderingCore {
         self.pending_ids.remove(&(client, seq));
     }
 
+    /// Highest delivered sequence number for `client`, if any — the read
+    /// side of the dedup frontier, used by the embedding to answer
+    /// retransmissions of delivered requests from its reply cache.
+    pub fn delivered_up_to(&self, client: u64) -> Option<u64> {
+        self.delivered_seq.get(&client).copied()
+    }
+
     /// The full per-client dedup frontier, sorted by client id. Shipped with
     /// checkpoint snapshots so a snapshot-anchored joiner's core rejects
     /// retransmissions of requests inside the summarized prefix.

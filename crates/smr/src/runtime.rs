@@ -16,7 +16,8 @@ use crate::app::Application;
 use crate::durability::{ckpt_sign_payload, CheckpointCert, DurableApp};
 use crate::ordering::{CoreOutput, OrderingConfig, OrderingCore, SmrMsg};
 use crate::transport::{
-    channel_mesh, ClusterConfig, NetEvent, RecvError, TcpClient, TcpTransport, Transport,
+    channel_mesh, ClusterConfig, Injector, NetEvent, RecvError, StatsInner, TcpClient,
+    TcpTransport, Transport, TransportStats,
 };
 use crate::types::{Reply, Request};
 use smartchain_consensus::{ReplicaId, View};
@@ -252,7 +253,8 @@ impl LocalCluster {
 // ---------------------------------------------------------------------------
 
 struct TcpReplicaHandle {
-    injector: Sender<NetEvent>,
+    injector: Injector,
+    stats: std::sync::Arc<StatsInner>,
     handle: JoinHandle<()>,
 }
 
@@ -359,6 +361,7 @@ impl<A: Application> TcpCluster<A> {
         };
         let mut transport = TcpTransport::from_listener(self.cluster.tcp_config(me), listener)?;
         let injector = transport.injector();
+        let stats = transport.stats_handle();
         let mut durable = DurableApp::open(
             (self.make_app)(),
             self.root.join(format!("replica-{me}")),
@@ -398,8 +401,21 @@ impl<A: Application> TcpCluster<A> {
                 );
             })
             .expect("spawn replica");
-        self.replicas[me] = Some(TcpReplicaHandle { injector, handle });
+        self.replicas[me] = Some(TcpReplicaHandle {
+            injector,
+            stats,
+            handle,
+        });
         Ok(())
+    }
+
+    /// A snapshot of one live replica's transport counters (frames, bytes,
+    /// writev coalescing, drops, admission rejections).
+    pub fn transport_stats(&self, replica: ReplicaId) -> Option<TransportStats> {
+        self.replicas
+            .get(replica)?
+            .as_ref()
+            .map(|h| h.stats.snapshot())
     }
 
     /// Kills a replica: its loop exits, its transport tears down every
@@ -407,7 +423,7 @@ impl<A: Application> TcpCluster<A> {
     /// restart).
     pub fn kill_replica(&mut self, replica: ReplicaId) {
         if let Some(h) = self.replicas.get_mut(replica).and_then(Option::take) {
-            let _ = h.injector.send(NetEvent::Shutdown);
+            h.injector.send(NetEvent::Shutdown);
             let _ = h.handle.join();
         }
     }
@@ -462,7 +478,7 @@ impl<A: Application> TcpCluster<A> {
     pub fn shutdown(mut self) {
         for slot in &mut self.replicas {
             if let Some(h) = slot.take() {
-                let _ = h.injector.send(NetEvent::Shutdown);
+                h.injector.send(NetEvent::Shutdown);
                 let _ = h.handle.join();
             }
         }
@@ -766,6 +782,14 @@ fn replica_loop<A: Application, T: Transport>(
     let mut backlog: std::collections::VecDeque<NetEvent> = std::collections::VecDeque::new();
     // In-flight runtime state transfer, if any.
     let mut syncing: Option<SyncAttempt> = None;
+    // Last reply executed per client. A client retransmits when every copy
+    // of its reply was lost (torn connections, a throttled slow client's
+    // dropped frames); the retransmission lands inside the dedup frontier,
+    // so it must be answered from here — silence would wedge the client
+    // forever. (Not yet persistent: a freshly restarted replica serves no
+    // cached replies until it executes for the client again; the other
+    // replicas' caches cover the quorum meanwhile.)
+    let mut reply_cache: std::collections::HashMap<u64, Reply> = std::collections::HashMap::new();
     // Checkpoint-certificate shares gossiped by peers (and ourselves).
     let mut certs = CertAssembly::new();
     loop {
@@ -905,6 +929,23 @@ fn replica_loop<A: Application, T: Transport>(
                     }
                     false
                 });
+                // Retransmissions of already-delivered requests are served
+                // from the reply cache instead of dying silently at the
+                // dedup frontier.
+                batch.retain(|request| {
+                    if core
+                        .delivered_up_to(request.client)
+                        .is_none_or(|s| request.seq > s)
+                    {
+                        return true;
+                    }
+                    if let Some(reply) = reply_cache.get(&request.client) {
+                        if reply.seq == request.seq {
+                            transport.reply(reply.clone());
+                        }
+                    }
+                    false
+                });
                 verify_and_submit(core, pool, batch, require_signed)
             }
             Ok(NetEvent::PeerUp(peer)) => {
@@ -972,14 +1013,23 @@ fn replica_loop<A: Application, T: Transport>(
                     last_progress = std::time::Instant::now();
                     match durable.apply_batch(&batch) {
                         Ok(results) => {
-                            for (request, result) in batch.requests.iter().zip(results) {
-                                transport.reply(Reply {
+                            // One fan-out per decided batch: backends that
+                            // batch (TCP) queue every reply before flushing.
+                            let replies = batch
+                                .requests
+                                .iter()
+                                .zip(results)
+                                .map(|(request, result)| Reply {
                                     client: request.client,
                                     seq: request.seq,
                                     result,
                                     replica: me,
-                                });
+                                })
+                                .collect::<Vec<Reply>>();
+                            for reply in &replies {
+                                reply_cache.insert(reply.client, reply.clone());
                             }
+                            transport.reply_all(replies);
                             // A checkpoint was cut while applying: sign its
                             // basis and gossip the share so the cluster can
                             // assemble the quorum certificate.

@@ -31,6 +31,9 @@ pub struct ClusterConfig {
     /// surface an unsigned request lets any network peer forge another
     /// client's `(client, seq)` and poison its duplicate filter.
     pub require_signed: bool,
+    /// Client admission cap per replica: inbound connections beyond this
+    /// (plus the reserved peer slots) are closed at accept.
+    pub max_clients: usize,
 }
 
 impl ClusterConfig {
@@ -44,6 +47,7 @@ impl ClusterConfig {
             checkpoint_period: 128,
             progress_timeout_ms: 500,
             require_signed: true,
+            max_clients: 1024,
         }
     }
 
@@ -59,6 +63,7 @@ impl ClusterConfig {
         let mut checkpoint_period = 128u64;
         let mut progress_timeout_ms = 500u64;
         let mut require_signed = true;
+        let mut max_clients = 1024usize;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -98,6 +103,11 @@ impl ClusterConfig {
                         .parse()
                         .map_err(|_| format!("line {}: bad require_signed", lineno + 1))?;
                 }
+                "max_clients" => {
+                    max_clients = value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad max_clients", lineno + 1))?;
+                }
                 other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
             }
         }
@@ -115,6 +125,7 @@ impl ClusterConfig {
             checkpoint_period,
             progress_timeout_ms,
             require_signed,
+            max_clients,
         })
     }
 
@@ -128,13 +139,15 @@ impl ClusterConfig {
              max_batch = {}\n\
              checkpoint_period = {}\n\
              progress_timeout_ms = {}\n\
-             require_signed = {}\n",
+             require_signed = {}\n\
+             max_clients = {}\n",
             addrs.join(", "),
             hex(&self.secret),
             self.max_batch,
             self.checkpoint_period,
             self.progress_timeout_ms,
             self.require_signed,
+            self.max_clients,
         )
     }
 
@@ -150,7 +163,9 @@ impl ClusterConfig {
 
     /// The transport config for replica `me`.
     pub fn tcp_config(&self, me: usize) -> TcpConfig {
-        TcpConfig::new(me, self.replicas.clone(), self.secret)
+        let mut config = TcpConfig::new(me, self.replicas.clone(), self.secret);
+        config.max_clients = self.max_clients;
+        config
     }
 
     /// Replica `id`'s consensus key, derived deterministically from the
@@ -227,6 +242,16 @@ mod tests {
         assert_eq!(config.replicas.len(), 4);
         assert_eq!(config.max_batch, 7);
         assert_eq!(config.checkpoint_period, 128, "default survives");
+        assert_eq!(config.max_clients, 1024, "default survives");
+    }
+
+    #[test]
+    fn max_clients_reaches_the_transport_config() {
+        let mut config = ClusterConfig::new(vec!["w:1".into(); 4], [9; 32]);
+        config.max_clients = 3;
+        assert_eq!(config.tcp_config(0).max_clients, 3);
+        let back = ClusterConfig::parse(&config.to_toml()).unwrap();
+        assert_eq!(back.max_clients, 3);
     }
 
     #[test]

@@ -8,11 +8,17 @@
 //!
 //! * [`channel`] — the in-process backend (std `mpsc` channels, one per
 //!   replica), preserving the original `LocalCluster` semantics bit-for-bit;
-//! * [`tcp`] — real sockets: length-framed, HMAC-authenticated streams over
-//!   `std::net`, with per-peer writer threads behind bounded outboxes,
-//!   reader threads that tolerate partial frames and torn connections, and
-//!   automatic redial so a restarted replica rejoins without respawning the
-//!   world;
+//! * [`tcp`] — real sockets: length-framed, HMAC-authenticated streams
+//!   driven by a single poll-based [`reactor`] per replica, embedded in the
+//!   replica loop's own thread (nonblocking accept/read/write, bounded
+//!   per-connection write queues drained with vectored writes, client
+//!   admission control), with automatic redial so a restarted replica
+//!   rejoins without respawning the world;
+//! * [`reactor`] — the event loop itself plus its building blocks:
+//!   incremental frame reassembly, pooled write queues, and the
+//!   [`TransportStats`] counters;
+//! * [`sys`] — the thin in-tree `poll(2)`/nonblocking-`connect(2)` wrapper
+//!   (no external crates);
 //! * [`frame`] — the shared wire format: a fixed 8-byte header (4-byte
 //!   little-endian length + 4-byte truncated HMAC-SHA256 tag, exactly the
 //!   `smartchain_codec::FRAME_BYTES` the simulator's NIC model charges)
@@ -27,11 +33,14 @@
 pub mod channel;
 pub mod cluster;
 pub mod frame;
+pub mod reactor;
+pub mod sys;
 pub mod tcp;
 
 pub use channel::{channel_mesh, ChannelMeshHandle, ChannelTransport};
 pub use cluster::ClusterConfig;
-pub use tcp::{TcpClient, TcpConfig, TcpTransport};
+pub use reactor::{StatsInner, TransportStats};
+pub use tcp::{Injector, TcpClient, TcpClientPool, TcpConfig, TcpTransport};
 
 use crate::ordering::SmrMsg;
 use crate::types::{Reply, Request};
@@ -97,6 +106,16 @@ pub trait Transport: Send + 'static {
 
     /// Best-effort reply to a client (routed by `reply.client`).
     fn reply(&mut self, reply: Reply);
+
+    /// Best-effort replies to every client of one decided batch. Backends
+    /// that can fan the whole batch out in a single operation (one reactor
+    /// wakeup instead of one per reply) override this; the default is the
+    /// per-reply loop.
+    fn reply_all(&mut self, replies: Vec<Reply>) {
+        for reply in replies {
+            self.reply(reply);
+        }
+    }
 
     /// Blocking receive with timeout.
     ///

@@ -1,0 +1,258 @@
+//! Thin in-tree wrapper over the handful of libc calls the event-driven
+//! transport needs and `std::net` does not expose: `poll(2)` readiness
+//! multiplexing and non-blocking `connect(2)`.
+//!
+//! The workspace is zero-external-dep by policy, so instead of the `libc`
+//! crate these are direct `extern "C"` declarations against the C library
+//! std already links. Everything else — accepted sockets, vectored writes
+//! (`Write::write_vectored` is `writev` underneath), the wake channel
+//! (`UnixStream::pair`) — goes through std. Linux-specific constants;
+//! the metal transport targets Linux deployments.
+
+use std::ffi::{c_int, c_ulong};
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Readable readiness (plus `POLLHUP`/`POLLERR`, which are always reported).
+pub const POLLIN: i16 = 0x001;
+/// Writable readiness (connect completion on in-progress dials).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (output only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (output only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch (< 0 entries are skipped by the kernel).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+}
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_ERROR: c_int = 4;
+const EINPROGRESS: i32 = 115;
+const EINTR: i32 = 4;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const u8, len: u32) -> c_int;
+    fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_int,
+        optlen: *mut u32,
+    ) -> c_int;
+}
+
+/// Waits for readiness on `fds` for at most `timeout` (`None` = forever).
+/// Returns the number of ready entries; `revents` is filled in place.
+/// `EINTR` is retried internally.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR`.
+pub fn poll_wait(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        // Round up so a 100 µs timer does not busy-spin at timeout 0.
+        Some(t) => t
+            .as_millis()
+            .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+            .min(i32::MAX as u128) as c_int,
+        None => -1,
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINTR) {
+            return Err(err);
+        }
+    }
+}
+
+/// State of a non-blocking dial started by [`connect_nonblocking`].
+#[derive(Debug)]
+pub enum Dial {
+    /// The three-way handshake completed synchronously (loopback fast path).
+    Connected(OwnedFd),
+    /// The handshake is in flight: poll the fd for `POLLOUT`, then check
+    /// [`take_socket_error`].
+    InProgress(OwnedFd),
+}
+
+/// `sockaddr_in` / `sockaddr_in6` bytes plus their length, built in place.
+fn encode_sockaddr(addr: &SocketAddr) -> ([u8; 28], u32) {
+    let mut buf = [0u8; 28];
+    match addr {
+        SocketAddr::V4(v4) => {
+            buf[..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v4.ip().octets());
+            (buf, 16)
+        }
+        SocketAddr::V6(v6) => {
+            buf[..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            buf[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            buf[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            buf[8..24].copy_from_slice(&v6.ip().octets());
+            buf[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            (buf, 28)
+        }
+    }
+}
+
+/// Starts a non-blocking TCP connect to `addr`. Never blocks the caller:
+/// the returned fd is already `O_NONBLOCK` (and `CLOEXEC`).
+///
+/// # Errors
+///
+/// Propagates socket creation failures and synchronously-detected connect
+/// errors (anything but `EINPROGRESS`).
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<Dial> {
+    let domain = match addr {
+        SocketAddr::V4(_) => AF_INET,
+        SocketAddr::V6(_) => AF_INET6,
+    };
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Owned from here on: any error path below closes the fd.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    let (bytes, len) = encode_sockaddr(addr);
+    let rc = unsafe { connect(fd, bytes.as_ptr(), len) };
+    if rc == 0 {
+        return Ok(Dial::Connected(owned));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        Ok(Dial::InProgress(owned))
+    } else {
+        Err(err)
+    }
+}
+
+/// Reads and clears the pending socket error (`SO_ERROR`) — the connect
+/// outcome after an in-progress dial polls writable.
+///
+/// # Errors
+///
+/// Returns the pending socket error as an `io::Error`, or the `getsockopt`
+/// failure itself.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: c_int = 0;
+    let mut len: u32 = std::mem::size_of::<c_int>() as u32;
+    let rc = unsafe { getsockopt(fd, SOL_SOCKET, SO_ERROR, &mut err, &mut len) };
+    if rc != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_reports_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut a = TcpStream::connect(addr).unwrap();
+        let (mut b, _) = listener.accept().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // Nothing written yet: poll times out with no ready entries.
+        assert_eq!(
+            poll_wait(&mut fds, Some(Duration::from_millis(10))).unwrap(),
+            0
+        );
+        a.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        assert_eq!(
+            poll_wait(&mut fds, Some(Duration::from_secs(5))).unwrap(),
+            1
+        );
+        assert_ne!(fds[0].revents & POLLIN, 0);
+        let mut byte = [0u8; 1];
+        b.read_exact(&mut byte).unwrap();
+        assert_eq!(&byte, b"x");
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_poll() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dial = connect_nonblocking(&addr).unwrap();
+        let fd = match &dial {
+            Dial::Connected(fd) => fd.as_raw_fd(),
+            Dial::InProgress(fd) => fd.as_raw_fd(),
+        };
+        let mut fds = [PollFd::new(fd, POLLOUT)];
+        poll_wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        take_socket_error(fd).expect("loopback connect succeeds");
+        let (mut server, _) = listener.accept().unwrap();
+        // The connected fd is a real duplex socket.
+        let stream = TcpStream::from(match dial {
+            Dial::Connected(fd) | Dial::InProgress(fd) => fd,
+        });
+        (&stream).write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_reports_error() {
+        // Bind-then-drop yields a port with (very likely) no listener.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let addr: SocketAddr = format!("127.0.0.1:{port}").parse().unwrap();
+        match connect_nonblocking(&addr) {
+            Err(_) => {} // synchronous refusal is a valid outcome
+            Ok(Dial::Connected(_)) => panic!("connect to a dead port must not succeed"),
+            Ok(Dial::InProgress(fd)) => {
+                let mut fds = [PollFd::new(fd.as_raw_fd(), POLLOUT)];
+                poll_wait(&mut fds, Some(Duration::from_secs(5))).unwrap();
+                assert!(take_socket_error(fd.as_raw_fd()).is_err());
+            }
+        }
+    }
+}

@@ -1,38 +1,86 @@
 //! The real-socket transport backend: length-framed, HMAC-authenticated
-//! TCP links over `std::net`.
+//! TCP links over `std::net`, driven by one poll-based reactor embedded in
+//! the replica loop's own thread.
 //!
 //! Topology: every ordered replica pair `(i → j)` has one connection, dialed
 //! by `i` and used only for `i → j` traffic, so there is no tie-breaking and
-//! a restarted replica simply redials. Per peer, a dedicated *writer thread*
-//! drains a bounded outbox and owns the dial/redial loop (a slow or dead
-//! peer can never wedge the replica loop); *reader threads* are spawned per
-//! accepted connection after the [`super::frame::Hello`] handshake
-//! authenticates the dialer. Clients connect the same way (integrity-checked
-//! framing, no cluster secret) and replies are routed back over the client's
-//! own connection.
+//! a restarted replica simply redials. All sockets of one replica — the
+//! listener, the out-links, every accepted peer and client connection —
+//! are owned by a single [`reactor`](super::reactor) that the replica loop
+//! drives directly: `send`/`broadcast`/`reply_all` encode frames into
+//! pooled buffers inline, and `recv_timeout` runs the poll loop, draining
+//! bounded per-connection write queues with vectored writes and surfacing
+//! inbound frames as [`NetEvent`]s. No thread is spawned at all: thread
+//! count is O(0) per replica beyond the loop itself, not O(connections),
+//! so thousands of clients cost file descriptors — not stacks, and not a
+//! context switch per frame (the measured bottleneck of the old
+//! thread-pair design).
 //!
 //! Loss model: sends are at-most-once. A torn connection drops whatever was
-//! in flight; the writer redials, emits [`NetEvent::PeerUp`], and the
+//! in flight; the reactor redials, emits [`NetEvent::PeerUp`], and the
 //! protocol layers re-send what cannot be regenerated (synchronizer state)
-//! or repair through `FetchValue`/state transfer. This is precisely the
+//! or repair through `FetchValue`/state transfer. A *full* bounded queue
+//! also drops — but never silently: the drop is counted in
+//! [`TransportStats`] and, for peer links, a synthetic `PeerUp` fires once
+//! the queue drains so the same repair path runs. This is precisely the
 //! fair-lossy link the consensus layer already assumes.
 
-use super::frame::{
-    read_frame, read_hello, write_client_hello, write_frame, write_peer_hello, FrameKey, Hello,
-};
+use super::frame::{read_frame, write_client_hello, write_frame, FrameKey};
+use super::reactor::{FrameReader, Reactor, StatsInner, TransportStats, WriteQueue};
+use super::sys::{poll_wait, PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
 use super::{NetEvent, RecvError, Transport};
 use crate::ordering::SmrMsg;
 use crate::types::{Reply, Request};
 use smartchain_codec::{from_bytes, to_bytes};
 use smartchain_consensus::ReplicaId;
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// The write half of the reactor's wake pipe plus the dedup flag: any
+/// thread can [`WakeHandle::wake`] a poll-blocked replica loop; repeated
+/// wakes between two poll returns cost one pipe byte total.
+#[derive(Debug)]
+struct WakeHandle {
+    stream: UnixStream,
+    flag: Arc<AtomicBool>,
+}
+
+impl WakeHandle {
+    fn wake(&self) {
+        if !self.flag.swap(true, Ordering::AcqRel) {
+            // A full pipe means wake bytes are already pending — safe to
+            // drop the write either way.
+            let _ = (&self.stream).write(&[1]);
+        }
+    }
+}
+
+/// A cloneable handle that injects [`NetEvent`]s into a running replica
+/// loop from any thread — shutdown, test hooks — and wakes the loop's
+/// poll so the event is seen promptly.
+#[derive(Clone, Debug)]
+pub struct Injector {
+    tx: Sender<NetEvent>,
+    wake: Arc<WakeHandle>,
+}
+
+impl Injector {
+    /// Queues `event` for the replica loop and wakes its poll. Best
+    /// effort: events sent after the transport dropped are discarded.
+    pub fn send(&self, event: NetEvent) {
+        if self.tx.send(event).is_ok() {
+            self.wake.wake();
+        }
+    }
+}
 
 /// Configuration of one replica's TCP transport.
 #[derive(Clone, Debug)]
@@ -45,10 +93,14 @@ pub struct TcpConfig {
     pub secret: [u8; 32],
     /// View id carried in session handshakes.
     pub view: u64,
-    /// Bounded per-peer outbox; sends beyond it are dropped (at-most-once).
+    /// Bounded per-connection write queue (frames); sends beyond it are
+    /// dropped (at-most-once), counted, and repaired via `PeerUp`.
     pub outbox: usize,
-    /// Writer redial backoff after a failed connect.
+    /// Redial backoff after a failed connect.
     pub reconnect_delay: Duration,
+    /// Client admission cap: inbound connections beyond this (plus the
+    /// reserved peer slots) are closed at accept.
+    pub max_clients: usize,
 }
 
 impl TcpConfig {
@@ -61,51 +113,22 @@ impl TcpConfig {
             view: 0,
             outbox: 1024,
             reconnect_delay: Duration::from_millis(50),
+            max_clients: 1024,
         }
     }
 }
 
-/// Shared state torn down on shutdown.
-struct Shared {
-    stop: AtomicBool,
-    /// Handles of every live stream (keyed by a registration token), so
-    /// shutdown can unblock threads stuck in `read_exact`/`write_all`.
-    /// Owning threads deregister on exit or reconnect, so the map stays
-    /// bounded across arbitrarily many redials.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    next_token: AtomicU64,
-    /// Client write-halves by client id (replies route here).
-    clients: Mutex<HashMap<u64, TcpStream>>,
-}
-
-impl Shared {
-    fn stopping(&self) -> bool {
-        self.stop.load(Ordering::Relaxed)
-    }
-
-    fn register(&self, stream: &TcpStream) -> u64 {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            self.conns.lock().expect("conns lock").insert(token, clone);
-        }
-        token
-    }
-
-    fn deregister(&self, token: u64) {
-        self.conns.lock().expect("conns lock").remove(&token);
-    }
-}
-
-/// The TCP backend for one replica.
+/// The TCP backend for one replica: the reactor that owns every socket,
+/// driven in place by whichever thread runs the replica loop.
 pub struct TcpTransport {
     me: ReplicaId,
     n: usize,
-    events: Receiver<NetEvent>,
-    events_tx: Sender<NetEvent>,
-    outboxes: Vec<Option<SyncSender<SmrMsg>>>,
-    shared: Arc<Shared>,
+    reactor: Reactor,
+    injected: Receiver<NetEvent>,
+    injected_tx: Sender<NetEvent>,
+    wake: Arc<WakeHandle>,
+    stats: Arc<StatsInner>,
     local_addr: SocketAddr,
-    threads: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for TcpTransport {
@@ -119,7 +142,7 @@ impl std::fmt::Debug for TcpTransport {
 }
 
 impl TcpTransport {
-    /// Binds `addrs[me]` and boots the acceptor and per-peer writer threads.
+    /// Binds `addrs[me]` and assembles the reactor.
     ///
     /// # Errors
     ///
@@ -129,65 +152,43 @@ impl TcpTransport {
         Self::from_listener(config, listener)
     }
 
-    /// Boots over an already-bound listener (port-0 deployments bind first,
-    /// learn the real port, then exchange addresses).
+    /// Assembles over an already-bound listener (port-0 deployments bind
+    /// first, learn the real port, then exchange addresses).
     ///
     /// # Errors
     ///
-    /// Fails when the listener cannot be inspected or made non-blocking.
+    /// Fails when the listener cannot be inspected or made non-blocking, or
+    /// when the wake pipe cannot be created.
     pub fn from_listener(config: TcpConfig, listener: TcpListener) -> io::Result<TcpTransport> {
         let n = config.addrs.len();
         let me = config.me;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let (events_tx, events) = mpsc::channel::<NetEvent>();
-        let shared = Arc::new(Shared {
-            stop: AtomicBool::new(false),
-            conns: Mutex::new(HashMap::new()),
-            next_token: AtomicU64::new(0),
-            clients: Mutex::new(HashMap::new()),
-        });
-        let mut threads = Vec::new();
-        // Acceptor.
-        {
-            let shared = Arc::clone(&shared);
-            let events_tx = events_tx.clone();
-            let secret = config.secret;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sc-accept-{me}"))
-                    .spawn(move || accept_loop(listener, me, secret, shared, events_tx))
-                    .expect("spawn acceptor"),
-            );
-        }
-        // Per-peer writers.
-        let mut outboxes = Vec::with_capacity(n);
-        for peer in 0..n {
-            if peer == me {
-                outboxes.push(None);
-                continue;
-            }
-            let (tx, rx) = mpsc::sync_channel::<SmrMsg>(config.outbox.max(1));
-            let shared = Arc::clone(&shared);
-            let events_tx = events_tx.clone();
-            let config = config.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("sc-writer-{me}-{peer}"))
-                    .spawn(move || writer_loop(&config, peer, rx, shared, events_tx))
-                    .expect("spawn writer"),
-            );
-            outboxes.push(Some(tx));
-        }
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let (injected_tx, injected) = mpsc::channel::<NetEvent>();
+        let wake_flag = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let reactor = Reactor::new(
+            &config,
+            listener,
+            wake_rx,
+            Arc::clone(&wake_flag),
+            Arc::clone(&stats),
+        );
         Ok(TcpTransport {
             me,
             n,
-            events,
-            events_tx,
-            outboxes,
-            shared,
+            reactor,
+            injected,
+            injected_tx,
+            wake: Arc::new(WakeHandle {
+                stream: wake_tx,
+                flag: wake_flag,
+            }),
+            stats,
             local_addr,
-            threads,
         })
     }
 
@@ -197,38 +198,27 @@ impl TcpTransport {
     }
 
     /// A handle that can inject events into this transport's replica loop
-    /// (shutdown, testing hooks).
-    pub fn injector(&self) -> Sender<NetEvent> {
-        self.events_tx.clone()
+    /// (shutdown, testing hooks) from any thread.
+    pub fn injector(&self) -> Injector {
+        Injector {
+            tx: self.injected_tx.clone(),
+            wake: Arc::clone(&self.wake),
+        }
     }
 
-    /// Tears the transport down: unblocks and joins every thread, closes
-    /// every connection.
-    pub fn shutdown(mut self) {
-        self.teardown();
+    /// A snapshot of this transport's counters.
+    pub fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
     }
 
-    fn teardown(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
-        for (_, conn) in self.shared.conns.lock().expect("conns lock").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for (_, conn) in self.shared.clients.lock().expect("clients lock").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for slot in &mut self.outboxes {
-            *slot = None; // writers see Disconnected
-        }
-        for handle in self.threads.drain(..) {
-            let _ = handle.join();
-        }
+    /// The live counter cell — snapshot-able after the transport has moved
+    /// into its replica thread.
+    pub fn stats_handle(&self) -> Arc<StatsInner> {
+        Arc::clone(&self.stats)
     }
-}
 
-impl Drop for TcpTransport {
-    fn drop(&mut self) {
-        self.teardown();
-    }
+    /// Tears the transport down, closing every connection it owns.
+    pub fn shutdown(self) {}
 }
 
 impl Transport for TcpTransport {
@@ -241,235 +231,58 @@ impl Transport for TcpTransport {
     }
 
     fn send(&mut self, to: ReplicaId, msg: SmrMsg) {
-        if let Some(Some(outbox)) = self.outboxes.get(to) {
-            match outbox.try_send(msg) {
-                Ok(()) => {}
-                // Bounded outbox full (peer slow/dead) or writer gone: the
-                // message is dropped — at-most-once, repaired upstream.
-                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
-            }
+        if to != self.me && to < self.n {
+            self.reactor.queue_send(to, &msg);
         }
     }
 
+    fn broadcast(&mut self, msg: &SmrMsg) {
+        // The payload is serialized once; only per-link headers/tags differ.
+        self.reactor.queue_broadcast(msg);
+    }
+
     fn reply(&mut self, reply: Reply) {
-        let key = FrameKey::client();
-        let payload = to_bytes(&SmrMsg::Reply(reply.clone()));
-        let mut clients = self.shared.clients.lock().expect("clients lock");
-        if let Some(stream) = clients.get(&reply.client) {
-            // The write timeout set at registration bounds how long a
-            // client that stopped reading can stall this (replica-loop)
-            // thread. On error — including a timeout's possibly-partial,
-            // now-unframeable write — the connection is dropped; the
-            // client reconnects and retransmits.
-            if write_frame(&mut &*stream, &key, &payload).is_err() {
-                if let Some(dead) = clients.remove(&reply.client) {
-                    let _ = dead.shutdown(Shutdown::Both);
-                }
-            }
+        self.reactor.queue_replies(vec![reply]);
+    }
+
+    fn reply_all(&mut self, replies: Vec<Reply>) {
+        if !replies.is_empty() {
+            self.reactor.queue_replies(replies);
         }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Result<NetEvent, RecvError> {
-        self.events.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => RecvError::Closed,
-        })
+        let deadline = Instant::now() + timeout;
+        loop {
+            // Injected events (shutdown) outrank socket traffic; buffered
+            // socket events next; only then block in the poll.
+            if let Ok(event) = self.injected.try_recv() {
+                return Ok(event);
+            }
+            if let Some(event) = self.reactor.pop_event() {
+                return Ok(event);
+            }
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|r| !r.is_zero())
+            else {
+                return Err(RecvError::Timeout);
+            };
+            self.reactor.poll_once(remaining);
+        }
     }
 
     fn try_recv(&mut self) -> Option<NetEvent> {
-        self.events.try_recv().ok()
-    }
-}
-
-/// Accepts connections, authenticates their hello, and spawns one reader
-/// thread per connection.
-fn accept_loop(
-    listener: TcpListener,
-    me: ReplicaId,
-    secret: [u8; 32],
-    shared: Arc<Shared>,
-    events_tx: Sender<NetEvent>,
-) {
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stopping() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Replies and serve-side protocol traffic leave over this
-                // stream; Nagle would add tens of ms to every one of them.
-                stream.set_nodelay(true).ok();
-                let shared = Arc::clone(&shared);
-                let events_tx = events_tx.clone();
-                readers.retain(|h| !h.is_finished());
-                readers.push(
-                    std::thread::Builder::new()
-                        .name(format!("sc-reader-{me}"))
-                        .spawn(move || reader_loop(stream, me, secret, shared, events_tx))
-                        .expect("spawn reader"),
-                );
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        if let Ok(event) = self.injected.try_recv() {
+            return Some(event);
         }
-    }
-    for h in readers {
-        let _ = h.join();
-    }
-}
-
-/// Reads one authenticated connection until EOF/error. Handles both peer
-/// sessions (after a verified hello) and client sessions.
-fn reader_loop(
-    mut stream: TcpStream,
-    me: ReplicaId,
-    secret: [u8; 32],
-    shared: Arc<Shared>,
-    events_tx: Sender<NetEvent>,
-) {
-    let token = shared.register(&stream);
-    run_reader(&mut stream, me, secret, &shared, &events_tx);
-    shared.deregister(token);
-}
-
-fn run_reader(
-    stream: &mut TcpStream,
-    me: ReplicaId,
-    secret: [u8; 32],
-    shared: &Shared,
-    events_tx: &Sender<NetEvent>,
-) {
-    // A dialer that never completes its handshake must not pin the reader
-    // forever; frames after the handshake arrive at protocol pace, so the
-    // timeout is lifted once the session is authenticated.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let hello = match read_hello(stream, &secret, me) {
-        Ok(h) => h,
-        Err(_) => return, // spoofed, malformed, or timed out: drop the link
-    };
-    let _ = stream.set_read_timeout(None);
-    match hello {
-        Hello::Peer { from, .. } => {
-            // The peer (re)dialed us: its send path was torn, so whatever we
-            // owed it on *our* path may also need repair — surface the event.
-            let _ = events_tx.send(NetEvent::PeerUp(from));
-            let key = FrameKey::link(&secret, from, me);
-            loop {
-                let payload = match read_frame(stream, &key) {
-                    Ok(p) => p,
-                    Err(_) => return, // torn connection or spoofed frame
-                };
-                let Ok(msg) = from_bytes::<SmrMsg>(&payload) else {
-                    return; // authenticated peers do not send garbage
-                };
-                if events_tx.send(NetEvent::Peer { from, msg }).is_err() {
-                    return;
-                }
-            }
+        if let Some(event) = self.reactor.pop_event() {
+            return Some(event);
         }
-        Hello::Client { client } => {
-            if let Ok(write_half) = stream.try_clone() {
-                // Replies are written from the replica-loop thread; a
-                // client that stops reading must cost it at most this
-                // bound, never a wedge (see `TcpTransport::reply`).
-                let _ = write_half.set_write_timeout(Some(Duration::from_millis(250)));
-                shared
-                    .clients
-                    .lock()
-                    .expect("clients lock")
-                    .insert(client, write_half);
-            }
-            let key = FrameKey::client();
-            loop {
-                let payload = match read_frame(stream, &key) {
-                    Ok(p) => p,
-                    Err(_) => return,
-                };
-                // Clients may only submit requests; anything else on a
-                // client connection is dropped.
-                match from_bytes::<SmrMsg>(&payload) {
-                    Ok(SmrMsg::Request(req)) => {
-                        if events_tx.send(NetEvent::Client(req)).is_err() {
-                            return;
-                        }
-                    }
-                    _ => continue,
-                }
-            }
-        }
+        self.reactor.poll_once(Duration::ZERO);
+        self.reactor.pop_event()
     }
-}
-
-/// Owns the `me → peer` connection: dials (and redials) the peer, drains the
-/// bounded outbox, writes frames. A failed write retries once on a fresh
-/// connection, then drops the message.
-fn writer_loop(
-    config: &TcpConfig,
-    peer: ReplicaId,
-    rx: Receiver<SmrMsg>,
-    shared: Arc<Shared>,
-    events_tx: Sender<NetEvent>,
-) {
-    let key = FrameKey::link(&config.secret, config.me, peer);
-    let mut conn: Option<(TcpStream, u64)> = None;
-    let mut pending: Option<Vec<u8>> = None;
-    let mut retried = false;
-    while !shared.stopping() {
-        if pending.is_none() {
-            match rx.recv_timeout(Duration::from_millis(100)) {
-                Ok(msg) => {
-                    pending = Some(to_bytes(&msg));
-                    retried = false;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
-            }
-        }
-        if conn.is_none() {
-            match dial(config, peer) {
-                Ok(stream) => {
-                    let token = shared.register(&stream);
-                    conn = Some((stream, token));
-                    // Fresh link: tell the replica loop so it can re-send
-                    // unrecoverable protocol state to this peer.
-                    let _ = events_tx.send(NetEvent::PeerUp(peer));
-                }
-                Err(_) => {
-                    std::thread::sleep(config.reconnect_delay);
-                    continue;
-                }
-            }
-        }
-        let (stream, token) = conn.as_mut().expect("connected");
-        let payload = pending.as_deref().expect("pending frame");
-        match write_frame(stream, &key, payload) {
-            Ok(()) => {
-                pending = None;
-                retried = false;
-            }
-            Err(_) => {
-                // Torn connection: redial and retry this one message once.
-                shared.deregister(*token);
-                conn = None;
-                if retried {
-                    pending = None;
-                }
-                retried = true;
-            }
-        }
-    }
-    if let Some((_, token)) = conn {
-        shared.deregister(token);
-    }
-}
-
-/// Dials `peer`, completes the session handshake, and returns the stream.
-fn dial(config: &TcpConfig, peer: ReplicaId) -> io::Result<TcpStream> {
-    let addr = resolve(&config.addrs[peer])?;
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500))?;
-    stream.set_nodelay(true).ok();
-    write_peer_hello(&mut stream, &config.secret, config.me, peer, config.view)?;
-    Ok(stream)
 }
 
 fn resolve(addr: &str) -> io::Result<SocketAddr> {
@@ -624,6 +437,259 @@ fn client_reader(mut stream: TcpStream, replies_tx: Sender<Reply>, stop: Arc<Ato
             if replies_tx.send(reply).is_err() {
                 return;
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client driver (poll-based, zero threads)
+// ---------------------------------------------------------------------------
+
+/// How often an unanswered request is retransmitted by the pool.
+const POOL_RETRANSMIT: Duration = Duration::from_millis(500);
+
+struct PoolConn {
+    stream: TcpStream,
+    reader: FrameReader,
+    wq: WriteQueue,
+}
+
+/// Per-result set of replicas that voted for it.
+type ReplyTally = HashMap<Vec<u8>, std::collections::HashSet<ReplicaId>>;
+
+struct PoolClient {
+    id: u64,
+    next_seq: u64,
+    completed: u64,
+    /// The in-flight request's seq and per-result reply tally.
+    in_flight: Option<(u64, ReplyTally)>,
+    last_sent: Instant,
+    conns: Vec<Option<PoolConn>>,
+}
+
+/// Drives many logical clients over nonblocking sockets from a single
+/// caller thread — the load-generation side of the 1k-client soak. Where
+/// [`TcpClient`] spawns a reader thread per connection, the pool spawns
+/// none: every connection of every client is multiplexed over one
+/// `poll(2)` set, which is exactly the discipline the replica-side reactor
+/// is being tested against.
+pub struct TcpClientPool {
+    addrs: Vec<String>,
+    clients: Vec<PoolClient>,
+}
+
+impl std::fmt::Debug for TcpClientPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClientPool")
+            .field("clients", &self.clients.len())
+            .field("replicas", &self.addrs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpClientPool {
+    /// Connects `count` logical clients (ids `first_id..first_id+count`) to
+    /// every replica in `addrs`. Failed dials leave holes that requests
+    /// simply skip — the quorum tally tolerates missing replicas.
+    pub fn connect(addrs: Vec<String>, first_id: u64, count: usize) -> TcpClientPool {
+        let now = Instant::now();
+        let clients = (0..count as u64)
+            .map(|i| {
+                let id = first_id + i;
+                let conns = (0..addrs.len())
+                    .map(|replica| {
+                        let addr = resolve(&addrs[replica]).ok()?;
+                        let mut stream =
+                            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+                        stream.set_nodelay(true).ok();
+                        write_client_hello(&mut stream, id).ok()?;
+                        stream.set_nonblocking(true).ok()?;
+                        Some(PoolConn {
+                            stream,
+                            reader: FrameReader::new(),
+                            wq: WriteQueue::new(64),
+                        })
+                    })
+                    .collect();
+                PoolClient {
+                    id,
+                    next_seq: 1,
+                    completed: 0,
+                    in_flight: None,
+                    last_sent: now,
+                    conns,
+                }
+            })
+            .collect();
+        TcpClientPool { addrs, clients }
+    }
+
+    /// Live connection count (diagnostics).
+    pub fn connections(&self) -> usize {
+        self.clients
+            .iter()
+            .map(|c| c.conns.iter().flatten().count())
+            .sum()
+    }
+
+    /// Runs a closed loop: every client keeps exactly one request in
+    /// flight until it has completed `ops_per_client` operations (a
+    /// `quorum` of matching replies each), retransmitting unanswered
+    /// requests. Returns the total operations completed before `deadline`.
+    pub fn run_closed_loop(
+        &mut self,
+        ops_per_client: u64,
+        quorum: usize,
+        payload: &[u8],
+        deadline: Duration,
+    ) -> u64 {
+        let deadline_at = Instant::now() + deadline;
+        let target = ops_per_client * self.clients.len() as u64;
+        loop {
+            let now = Instant::now();
+            let mut done = 0u64;
+            // Issue / retransmit.
+            for ci in 0..self.clients.len() {
+                let client = &mut self.clients[ci];
+                done += client.completed;
+                if client.completed >= ops_per_client {
+                    continue;
+                }
+                match &client.in_flight {
+                    None => {
+                        let seq = client.next_seq;
+                        client.next_seq += 1;
+                        client.in_flight = Some((seq, HashMap::new()));
+                        client.last_sent = now;
+                        Self::submit(client, payload, seq);
+                    }
+                    Some((seq, _)) if now.duration_since(client.last_sent) >= POOL_RETRANSMIT => {
+                        let seq = *seq;
+                        client.last_sent = now;
+                        Self::submit(client, payload, seq);
+                    }
+                    Some(_) => {}
+                }
+            }
+            if done >= target || now >= deadline_at {
+                return done;
+            }
+            self.pump(deadline_at.min(now + POOL_RETRANSMIT), quorum);
+        }
+    }
+
+    /// Encodes `seq`'s request once and queues it on every live connection
+    /// (the client frame key is shared, so the bytes are identical).
+    fn submit(client: &mut PoolClient, payload: &[u8], seq: u64) {
+        let request = Request {
+            client: client.id,
+            seq,
+            payload: payload.to_vec(),
+            signature: None,
+        };
+        let mut frame = Vec::new();
+        if super::frame::encode_frame_into(
+            &mut frame,
+            &FrameKey::client(),
+            &SmrMsg::Request(request),
+        )
+        .is_err()
+        {
+            return;
+        }
+        for conn in client.conns.iter_mut().flatten() {
+            // Full queue: skip — the retransmit timer repairs it.
+            let _ = conn.wq.push(frame.clone());
+        }
+    }
+
+    /// One poll round: flush pending writes, read replies, tally quorums.
+    fn pump(&mut self, until: Instant, quorum: usize) {
+        // Opportunistic flush before polling.
+        for client in &mut self.clients {
+            for slot in &mut client.conns {
+                if let Some(conn) = slot {
+                    if !conn.wq.is_empty() && conn.wq.drain(&mut conn.stream).is_err() {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        let mut fds = Vec::new();
+        let mut index = Vec::new();
+        for (ci, client) in self.clients.iter().enumerate() {
+            for (ri, conn) in client.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                let events = POLLIN | if conn.wq.is_empty() { 0 } else { POLLOUT };
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                index.push((ci, ri));
+            }
+        }
+        if fds.is_empty() {
+            return;
+        }
+        let timeout = until.saturating_duration_since(Instant::now());
+        let Ok(ready) = poll_wait(&mut fds, Some(timeout)) else {
+            return;
+        };
+        if ready == 0 {
+            return;
+        }
+        let key = FrameKey::client();
+        for (fd, &(ci, ri)) in fds.iter().zip(&index) {
+            if fd.revents == 0 {
+                continue;
+            }
+            let client = &mut self.clients[ci];
+            let mut replies = Vec::new();
+            let mut drop_conn = false;
+            {
+                let Some(conn) = &mut client.conns[ri] else {
+                    continue;
+                };
+                if fd.revents & POLLOUT != 0 && conn.wq.drain(&mut conn.stream).is_err() {
+                    drop_conn = true;
+                }
+                if !drop_conn && fd.revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                    drop_conn = match conn.reader.fill(&mut conn.stream) {
+                        Ok((_, eof)) => eof,
+                        Err(_) => true,
+                    };
+                    loop {
+                        match conn.reader.next_frame() {
+                            Ok(Some((tag, payload))) if key.verify(&payload, &tag) => {
+                                if let Ok(SmrMsg::Reply(reply)) = from_bytes::<SmrMsg>(&payload) {
+                                    replies.push(reply);
+                                }
+                            }
+                            Ok(Some(_)) => {}
+                            Ok(None) => break,
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            if drop_conn {
+                client.conns[ri] = None;
+            }
+            for reply in replies {
+                Self::tally(client, ri, reply, quorum);
+            }
+        }
+    }
+
+    fn tally(client: &mut PoolClient, _replica_conn: usize, reply: Reply, quorum: usize) {
+        let Some((seq, tally)) = &mut client.in_flight else {
+            return;
+        };
+        if reply.client != client.id || reply.seq != *seq {
+            return; // stale reply from an earlier operation
+        }
+        let set = tally.entry(reply.result).or_default();
+        set.insert(reply.replica);
+        if set.len() >= quorum {
+            client.in_flight = None;
+            client.completed += 1;
         }
     }
 }

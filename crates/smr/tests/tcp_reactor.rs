@@ -1,0 +1,299 @@
+//! Reactor-specific transport behavior over real loopback sockets: bounded
+//! outbox overflow surfacing as repair, the client admission cap, slow-client
+//! isolation, and the per-connection counters. The protocol-level TCP suite
+//! lives in `tcp_cluster.rs`; these tests exercise the transport alone.
+
+use smartchain_crypto::keys::Backend;
+use smartchain_smr::app::CounterApp;
+use smartchain_smr::ordering::SmrMsg;
+use smartchain_smr::runtime::{RuntimeConfig, TcpCluster};
+use smartchain_smr::transport::frame::{read_hello, write_client_hello, write_frame, FrameKey};
+use smartchain_smr::transport::{NetEvent, TcpConfig, TcpTransport, Transport};
+use smartchain_smr::types::Request;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+const SECRET: [u8; 32] = [0x5A; 32];
+
+fn big_request(seq: u64, len: usize) -> SmrMsg {
+    SmrMsg::Request(Request {
+        client: 7,
+        seq,
+        payload: vec![0xAB; len],
+        signature: None,
+    })
+}
+
+/// Drives the reactor until `want` matches an event or the deadline passes.
+fn drive_until(
+    transport: &mut TcpTransport,
+    deadline: Duration,
+    mut want: impl FnMut(&NetEvent) -> bool,
+) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if let Ok(event) = transport.recv_timeout(Duration::from_millis(20)) {
+            if want(&event) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Overflowing a peer's bounded outbox is counted, never silent, and once
+/// the backlog drains the reactor emits a synthetic `PeerUp` so the
+/// ordering layer re-sends what the drops may have lost.
+#[test]
+fn outbox_overflow_is_counted_and_repaired() {
+    // The test plays replica 1: it accepts replica 0's out-link and stops
+    // reading, so frames pile up in the kernel buffer and then the outbox.
+    let peer_listener = TcpListener::bind("127.0.0.1:0").expect("bind peer");
+    let peer_addr = peer_listener.local_addr().unwrap().to_string();
+    let listener0 = TcpListener::bind("127.0.0.1:0").expect("bind replica 0");
+    let addr0 = listener0.local_addr().unwrap().to_string();
+    let mut config = TcpConfig::new(0, vec![addr0, peer_addr], SECRET);
+    config.outbox = 4;
+    let mut transport = TcpTransport::from_listener(config, listener0).expect("transport");
+    let stats = transport.stats_handle();
+
+    // Demand-dial: the first send starts the connect.
+    transport.send(1, big_request(1, 1024));
+    assert!(
+        drive_until(&mut transport, Duration::from_secs(5), |e| matches!(
+            e,
+            NetEvent::PeerUp(1)
+        )),
+        "out-link must come up"
+    );
+    let (mut peer_side, _) = peer_listener.accept().expect("accept out-link");
+    let hello = read_hello(&mut peer_side, &SECRET, 1).expect("link hello");
+    assert!(matches!(
+        hello,
+        smartchain_smr::transport::frame::Hello::Peer { from: 0, .. }
+    ));
+
+    // Flood without the peer reading: 256 KiB frames overrun the socket
+    // buffer, then the 4-frame outbox.
+    let mut seq = 2u64;
+    let overflowed = {
+        let end = Instant::now() + Duration::from_secs(10);
+        loop {
+            if stats.snapshot().queue_full_drops > 0 {
+                break true;
+            }
+            if Instant::now() >= end {
+                break false;
+            }
+            transport.send(1, big_request(seq, 256 * 1024));
+            seq += 1;
+            let _ = transport.recv_timeout(Duration::from_millis(5));
+        }
+    };
+    assert!(overflowed, "bounded outbox must report drops");
+
+    // The peer starts reading again: the queue drains and the reactor
+    // surfaces the loss as a synthetic PeerUp on the same link.
+    let drainer = std::thread::spawn(move || {
+        let mut sink = [0u8; 64 * 1024];
+        peer_side
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        while let Ok(n) = peer_side.read(&mut sink) {
+            if n == 0 {
+                break;
+            }
+        }
+    });
+    assert!(
+        drive_until(&mut transport, Duration::from_secs(10), |e| matches!(
+            e,
+            NetEvent::PeerUp(1)
+        )),
+        "drained overflow must trigger repair"
+    );
+    drop(transport);
+    drainer.join().unwrap();
+}
+
+/// The admission cap closes inbound connections beyond
+/// `max_clients` + reserved peer slots, and counts the rejections;
+/// admitted clients keep working.
+#[test]
+fn admission_cap_rejects_excess_clients() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let mut config = TcpConfig::new(0, vec![addr.clone()], SECRET);
+    config.max_clients = 1;
+    let mut transport = TcpTransport::from_listener(config, listener).expect("transport");
+    let stats = transport.stats_handle();
+
+    let mut admitted = TcpStream::connect(&addr).expect("first client");
+    write_client_hello(&mut admitted, 1).expect("hello");
+    let request = SmrMsg::Request(Request {
+        client: 1,
+        seq: 1,
+        payload: vec![3],
+        signature: None,
+    });
+    write_frame(
+        &mut admitted,
+        &FrameKey::client(),
+        &smartchain_codec::to_bytes(&request),
+    )
+    .expect("request frame");
+    assert!(
+        drive_until(&mut transport, Duration::from_secs(5), |e| matches!(
+            e,
+            NetEvent::Client(r) if r.client == 1
+        )),
+        "the admitted client must be served"
+    );
+
+    // One client slot, one client connected: the next connection is closed
+    // at accept.
+    let mut rejected = TcpStream::connect(&addr).expect("second connect");
+    let end = Instant::now() + Duration::from_secs(5);
+    rejected
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let mut got_eof = false;
+    while Instant::now() < end && !got_eof {
+        let _ = transport.recv_timeout(Duration::from_millis(20));
+        match rejected.read(&mut [0u8; 16]) {
+            Ok(0) => got_eof = true,
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => got_eof = true,
+        }
+    }
+    assert!(got_eof, "the over-cap connection must be closed");
+    let snap = stats.snapshot();
+    assert!(snap.accept_rejections >= 1, "rejection must be counted");
+    assert_eq!(snap.clients_connected, 1, "the admitted client stays");
+}
+
+/// A retransmission of an already-delivered request — the client lost
+/// every copy of its reply — is answered from the replica's reply cache
+/// instead of dying silently at the dedup frontier. Without this, reply
+/// loss (torn connection, throttled slow client) wedges the client
+/// forever; with it, client retransmission repairs any dropped frame.
+#[test]
+fn retransmitted_delivered_request_is_answered_from_cache() {
+    let dir = std::env::temp_dir().join(format!(
+        "smartchain-reactor-test-recache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = RuntimeConfig {
+        storage_dir: Some(dir),
+        progress_timeout: Duration::from_millis(200),
+        ..RuntimeConfig::default()
+    };
+    let cluster =
+        TcpCluster::start(config, Backend::Sim, CounterApp::new).expect("boot tcp cluster");
+    let addrs = cluster.cluster_config().replicas.clone();
+    let client_id = 0xCAC4Eu64;
+    let request = SmrMsg::Request(Request {
+        client: client_id,
+        seq: 1,
+        payload: vec![4],
+        signature: None,
+    });
+    let frame = {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &FrameKey::client(),
+            &smartchain_codec::to_bytes(&request),
+        )
+        .unwrap();
+        buf
+    };
+    let read_reply = |stream: &mut TcpStream| -> Option<Vec<u8>> {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let payload =
+            smartchain_smr::transport::frame::read_frame(stream, &FrameKey::client()).ok()?;
+        match smartchain_codec::from_bytes::<SmrMsg>(&payload) {
+            Ok(SmrMsg::Reply(reply)) if reply.client == client_id && reply.seq == 1 => {
+                Some(reply.result)
+            }
+            _ => None,
+        }
+    };
+    // First pass: submit to every replica, read one real reply, then drop
+    // all connections — every other reply copy dies with them.
+    let first = {
+        let mut conns: Vec<TcpStream> = addrs
+            .iter()
+            .map(|a| {
+                let mut s = TcpStream::connect(a).expect("dial");
+                write_client_hello(&mut s, client_id).expect("hello");
+                s.write_all(&frame).expect("request");
+                s
+            })
+            .collect();
+        conns
+            .iter_mut()
+            .find_map(read_reply)
+            .expect("first execution must reply")
+    };
+    // Second pass: fresh connections, same (client, seq). The request is
+    // inside every replica's dedup frontier now — only the reply cache can
+    // answer it.
+    let mut retry = TcpStream::connect(&addrs[0]).expect("redial");
+    write_client_hello(&mut retry, client_id).expect("hello");
+    retry.write_all(&frame).expect("retransmit");
+    let second = read_reply(&mut retry).expect("retransmission must be answered from the cache");
+    assert_eq!(first, second, "cached reply must match the original");
+    cluster.shutdown();
+}
+
+/// A client that connects and then stalls (never reads, never writes)
+/// costs the cluster nothing: ordering proceeds and other clients commit.
+/// The same run sanity-checks the transport counters end to end.
+#[test]
+fn stalled_client_is_isolated_and_stats_count_traffic() {
+    let dir = std::env::temp_dir().join(format!(
+        "smartchain-reactor-test-stall-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = RuntimeConfig {
+        storage_dir: Some(dir),
+        progress_timeout: Duration::from_millis(200),
+        ..RuntimeConfig::default()
+    };
+    let mut cluster =
+        TcpCluster::start(config, Backend::Sim, CounterApp::new).expect("boot tcp cluster");
+    let addr = cluster.cluster_config().replicas[0].clone();
+
+    // Register a client on replica 0, then go silent without ever reading.
+    let mut stalled = TcpStream::connect(&addr).expect("stalled client");
+    write_client_hello(&mut stalled, 0xDEAD).expect("hello");
+
+    let mut sum = 0u64;
+    for op in 1..=3u64 {
+        let r = cluster
+            .execute(vec![op as u8], Duration::from_secs(15))
+            .expect("cluster must commit around the stalled client");
+        sum += op;
+        assert_eq!(u64::from_le_bytes(r[..8].try_into().unwrap()), sum);
+    }
+
+    let stats = cluster.transport_stats(0).expect("replica 0 stats");
+    assert!(stats.frames_in > 0, "inbound frames counted: {stats:?}");
+    assert!(stats.frames_out > 0, "outbound frames counted: {stats:?}");
+    assert!(stats.bytes_in > stats.frames_in, "header bytes counted");
+    assert!(stats.bytes_out > stats.frames_out, "header bytes counted");
+    assert!(stats.writev_calls > 0, "writes are vectored: {stats:?}");
+    assert!(stats.avg_coalesce() >= 1.0);
+    assert_eq!(stats.queue_full_drops, 0, "no backpressure at this load");
+    drop(stalled);
+    cluster.shutdown();
+}

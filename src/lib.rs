@@ -55,8 +55,8 @@
 //!   barriers whose merged results are bit-identical to serial execution,
 //!   run either inline or on a real [`smr::exec::ExecPool`]) — and the
 //!   metal deployment layer: [`smr::transport`] abstracts the links
-//!   (in-process channels, or length-framed HMAC-authenticated TCP with
-//!   per-peer writer threads and automatic redial) and [`smr::runtime`]
+//!   (in-process channels, or length-framed HMAC-authenticated TCP driven
+//!   by a per-replica poll reactor with automatic redial) and [`smr::runtime`]
 //!   runs one replica loop over either — `LocalCluster` (threads +
 //!   channels), `TcpCluster` (threads + loopback sockets), or
 //!   `serve_replica` (one OS process per replica; see `examples/replica.rs`
