@@ -16,8 +16,9 @@
 
 use smartchain_bench::micro::{
     alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario,
-    exec_lane_throughput, exec_pool_smoke, measure, segmented_recovery_scenario, tcp_client_soak,
-    tcp_smoke, verify_adaptive_throughput, verify_cap_throughput,
+    exec_lane_throughput, exec_pool_smoke, loss_grid_cell, measure, segmented_recovery_scenario,
+    tcp_client_soak, tcp_smoke, verify_adaptive_throughput, verify_cap_throughput, AlphaMode,
+    LossProfile,
 };
 use smartchain_crypto::sha256;
 use smartchain_merkle as merkle;
@@ -160,6 +161,80 @@ fn main() {
     if !print_baseline {
         gate.band("alpha1_blocks_10s", a1.blocks as f64, 0.25);
         gate.band("alpha4_blocks_10s", a4.blocks as f64, 0.25);
+    }
+
+    // Loss grid (deterministic): the pinned seed-regression scenario under
+    // clean / 5%-drop / bursty loss, each at fixed α = 1, fixed α = 4, and
+    // the AIMD window with per-instance repair. Adaptive must complete at
+    // least as much as every fixed window on every profile; on the pinned
+    // 5%-drop cells it must beat α = 1 by ≥ 1.5×, match-or-beat α = 4, and
+    // install strictly fewer regencies than either — repair rounds, not
+    // view changes, do the healing.
+    for profile in [LossProfile::Clean, LossProfile::Drop5, LossProfile::Bursty] {
+        let cells: Vec<_> = [AlphaMode::Fixed1, AlphaMode::Fixed4, AlphaMode::Adaptive]
+            .into_iter()
+            .map(|mode| loss_grid_cell(profile, mode))
+            .collect();
+        for cell in &cells {
+            println!(
+                "loss grid {:>6} x {:>8}: {} completed, {} regency changes, {} fetches sent",
+                profile.key(),
+                cell.mode.key(),
+                cell.completed,
+                cell.regency_changes(),
+                cell.fetches_sent(),
+            );
+            if cell.mode == AlphaMode::Adaptive {
+                for (r, s) in cell.stats.iter().enumerate() {
+                    println!(
+                        "  node {r}: alpha {} (min {} / max {}), {} fetches sent / {} answered, {} repaired, {} regency changes",
+                        s.alpha_current,
+                        s.alpha_min_seen,
+                        s.alpha_max_seen,
+                        s.fetches_sent,
+                        s.fetches_answered,
+                        s.repaired_instances,
+                        s.regency_changes,
+                    );
+                }
+            }
+            let key = format!("grid_{}_{}_completed", profile.key(), cell.mode.key());
+            gate.measured.insert(key.clone(), cell.completed as f64);
+            if !print_baseline {
+                gate.band(&key, cell.completed as f64, 0.25);
+            }
+        }
+        let (a1, a4, ad) = (&cells[0], &cells[1], &cells[2]);
+        if !print_baseline {
+            if ad.completed < a1.completed || ad.completed < a4.completed {
+                gate.failures.push(format!(
+                    "loss grid {}: adaptive must complete >= every fixed window (got {} vs alpha1 {} / alpha4 {})",
+                    profile.key(),
+                    ad.completed,
+                    a1.completed,
+                    a4.completed
+                ));
+            }
+            if profile == LossProfile::Drop5 {
+                let threshold = (3 * a1.completed).div_ceil(2);
+                if ad.completed < threshold {
+                    gate.failures.push(format!(
+                        "loss grid drop5: adaptive must complete >= 1.5x alpha1 (got {} vs threshold {threshold})",
+                        ad.completed
+                    ));
+                }
+                if ad.regency_changes() >= a1.regency_changes()
+                    || ad.regency_changes() >= a4.regency_changes()
+                {
+                    gate.failures.push(format!(
+                        "loss grid drop5: adaptive must install strictly fewer regencies (got {} vs alpha1 {} / alpha4 {})",
+                        ad.regency_changes(),
+                        a1.regency_changes(),
+                        a4.regency_changes()
+                    ));
+                }
+            }
+        }
     }
 
     // Execution-lane scaling (deterministic): an execution-bound pipeline

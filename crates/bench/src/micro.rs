@@ -17,7 +17,7 @@ use smartchain_sim::{MILLI, SECOND};
 use smartchain_smr::app::{Application, CounterApp};
 use smartchain_smr::client::CounterFactory;
 use smartchain_smr::durability::{ckpt_sign_payload, CheckpointCert, DurableApp};
-use smartchain_smr::ordering::OrderingConfig;
+use smartchain_smr::ordering::{AlphaBounds, OrderingConfig, OrderingStats};
 use smartchain_smr::runtime::{LocalCluster, RuntimeConfig, TcpCluster};
 use smartchain_smr::transport::{TcpClientPool, TransportStats};
 use smartchain_smr::types::Request;
@@ -58,6 +58,7 @@ pub fn alpha_pipeline_throughput(alpha: u64, virtual_secs: u64) -> AlphaThroughp
         ordering: OrderingConfig {
             max_batch: 16,
             alpha,
+            ..OrderingConfig::default()
         },
         progress_timeout: 800 * MILLI,
         ..NodeConfig::default()
@@ -78,6 +79,156 @@ pub fn alpha_pipeline_throughput(alpha: u64, virtual_secs: u64) -> AlphaThroughp
         blocks,
         virtual_secs,
         batches_per_vsec: blocks as f64 / virtual_secs as f64,
+    }
+}
+
+/// Loss profile of one loss-grid cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossProfile {
+    /// No injected loss.
+    Clean,
+    /// Uniform 5% frame drops for the whole run — the seed-regression
+    /// scenario's loss model.
+    Drop5,
+    /// Bursty loss: 1 virtual second at 80% drops, then 1 s clean,
+    /// repeating — the regime where a fixed window keeps paying view-change
+    /// tax during bursts it can't see coming.
+    Bursty,
+}
+
+impl LossProfile {
+    /// Short identifier used in pin names and printed rows.
+    pub fn key(self) -> &'static str {
+        match self {
+            LossProfile::Clean => "clean",
+            LossProfile::Drop5 => "drop5",
+            LossProfile::Bursty => "bursty",
+        }
+    }
+}
+
+/// Window mode of one loss-grid cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlphaMode {
+    /// Fixed α = 1 (the seed's strictly sequential core).
+    Fixed1,
+    /// Fixed α = 4.
+    Fixed4,
+    /// AIMD window over 1..=8 with per-instance repair.
+    Adaptive,
+}
+
+impl AlphaMode {
+    /// Short identifier used in pin names and printed rows.
+    pub fn key(self) -> &'static str {
+        match self {
+            AlphaMode::Fixed1 => "alpha1",
+            AlphaMode::Fixed4 => "alpha4",
+            AlphaMode::Adaptive => "adaptive",
+        }
+    }
+
+    fn ordering(self, max_batch: usize) -> OrderingConfig {
+        match self {
+            AlphaMode::Fixed1 => OrderingConfig {
+                max_batch,
+                alpha: 1,
+                alpha_adaptive: None,
+            },
+            AlphaMode::Fixed4 => OrderingConfig {
+                max_batch,
+                alpha: 4,
+                alpha_adaptive: None,
+            },
+            AlphaMode::Adaptive => OrderingConfig {
+                max_batch,
+                alpha: 1,
+                alpha_adaptive: Some(AlphaBounds { min: 1, max: 8 }),
+            },
+        }
+    }
+}
+
+/// Outcome of one loss-grid cell (virtual time, deterministic).
+#[derive(Clone, Debug)]
+pub struct LossGridCell {
+    /// The loss profile the cell ran under.
+    pub profile: LossProfile,
+    /// The window mode the cell ran with.
+    pub mode: AlphaMode,
+    /// Client requests completed cluster-wide.
+    pub completed: u64,
+    /// Per-replica repair/adaptation counters.
+    pub stats: Vec<OrderingStats>,
+}
+
+impl LossGridCell {
+    /// Sum of regency changes across the cluster.
+    pub fn regency_changes(&self) -> u64 {
+        self.stats.iter().map(|s| s.regency_changes).sum()
+    }
+
+    /// Sum of repair fetches sent across the cluster.
+    pub fn fetches_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.fetches_sent).sum()
+    }
+}
+
+/// Runs one cell of the loss grid gated in `bench_check`: the pinned
+/// seed-regression scenario (4 replicas, max_batch 8, 200 ms progress
+/// timeout, seed 7, 4 closed-loop clients × 30 requests, 120 virtual
+/// seconds) under `profile` × `mode`. The `Drop5` × `Fixed1`/`Fixed4`
+/// cells reproduce the seed pins (46 and 49 completed) bit-for-bit — the
+/// grid shares one scenario so adaptive α is measured against exactly the
+/// numbers the pins already freeze.
+pub fn loss_grid_cell(profile: LossProfile, mode: AlphaMode) -> LossGridCell {
+    let config = NodeConfig {
+        ordering: mode.ordering(8),
+        progress_timeout: 200 * MILLI,
+        ..NodeConfig::default()
+    };
+    let mut cluster = ChainClusterBuilder::new(4, |_| CounterApp::new())
+        .node_config(config)
+        .seed(7)
+        .clients(1, 4, Some(30))
+        .build();
+    match profile {
+        LossProfile::Clean => {
+            cluster.run_until(120 * SECOND);
+        }
+        LossProfile::Drop5 => {
+            cluster.sim().set_drop_probability(0.05);
+            cluster.run_until(120 * SECOND);
+        }
+        LossProfile::Bursty => {
+            // 2 s cycles: 1 s at 80% drops, 1 s clean. Deterministic —
+            // the drop schedule is a pure function of virtual time.
+            let mut t = 0u64;
+            while t < 120_000 {
+                cluster.sim().set_drop_probability(0.8);
+                t += 1_000;
+                cluster.run_until(t * MILLI);
+                cluster.sim().set_drop_probability(0.0);
+                t += 1_000;
+                cluster.run_until(t * MILLI);
+            }
+            cluster.sim().set_drop_probability(0.0);
+        }
+    }
+    let completed = cluster.total_completed();
+    let stats = (0..4)
+        .map(|r| {
+            cluster
+                .node::<CounterApp>(r)
+                .ordering_stats()
+                .unwrap_or_default()
+        })
+        .collect();
+    LossGridCell {
+        profile,
+        mode,
+        completed,
+        stats,
     }
 }
 

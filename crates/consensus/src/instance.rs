@@ -100,6 +100,73 @@ impl Instance {
         self.decision.is_some()
     }
 
+    /// True once this replica learned the proposed value (via PROPOSE, a
+    /// SYNC adoption, or a ValueReply).
+    pub fn has_value(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Re-emittable copies of this replica's own messages for the current
+    /// epoch — the per-instance repair payload (and the reconnect resend).
+    ///
+    /// The set contains at most: this replica's PROPOSE (only while it leads
+    /// the epoch — a relayed proposal from anyone else fails the receiver's
+    /// leader check), a ValueReply carrying the value when
+    /// `include_value` and we are not the leader, and this replica's own
+    /// signed WRITE and ACCEPT. Every message is exactly what this replica
+    /// already sent (or was entitled to send), so the receiver's ordinary
+    /// signature/leader/epoch checks authenticate a replay unchanged — a
+    /// Byzantine replica gains nothing by asking.
+    pub fn own_messages(&self, include_value: bool) -> Vec<ConsensusMsg> {
+        let mut msgs = Vec::new();
+        if let Some((value, hash)) = &self.value {
+            if self.me == self.leader {
+                msgs.push(ConsensusMsg::Propose {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value: value.clone(),
+                });
+            } else if include_value {
+                msgs.push(ConsensusMsg::ValueReply {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value: value.clone(),
+                });
+            }
+            if self.epoch_state.sent_write {
+                let own = self
+                    .epoch_state
+                    .writes
+                    .get(hash)
+                    .and_then(|sigs| sigs.iter().find(|(r, _)| *r == self.me));
+                if let Some((_, signature)) = own {
+                    msgs.push(ConsensusMsg::Write {
+                        instance: self.id,
+                        epoch: self.epoch,
+                        value_hash: *hash,
+                        signature: *signature,
+                    });
+                }
+            }
+        }
+        if let Some(hash) = self.epoch_state.sent_accept {
+            let own = self
+                .epoch_state
+                .accepts
+                .get(&hash)
+                .and_then(|sigs| sigs.iter().find(|(r, _)| *r == self.me));
+            if let Some((_, signature)) = own {
+                msgs.push(ConsensusMsg::Accept {
+                    instance: self.id,
+                    epoch: self.epoch,
+                    value_hash: hash,
+                    signature: *signature,
+                });
+            }
+        }
+        msgs
+    }
+
     /// The value this replica is bound to in the current epoch, along with a
     /// write certificate if a quorum of writes was observed — the "locked
     /// value" reported in STOPDATA during leader changes.

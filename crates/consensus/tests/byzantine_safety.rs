@@ -386,3 +386,118 @@ fn prop_pipelined_adoption_consistent() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Per-instance repair: replayed messages and fetched values
+// ---------------------------------------------------------------------------
+
+/// Decides instance 1 at replicas 0..=2 while replica 3 receives nothing,
+/// and returns the instances plus the decided value.
+fn decided_with_blind_replica() -> (Vec<Instance>, View, Vec<u8>) {
+    let (mut instances, view) = cluster(4);
+    let value = b"repair-me".to_vec();
+    let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> = Vec::new();
+    for out in instances[0].propose(value.clone()) {
+        if let Output::Broadcast(m) = out {
+            for to in 0..4 {
+                queue.push((0, to, m.clone()));
+            }
+        }
+    }
+    while let Some((from, to, msg)) = queue.pop() {
+        if to == 3 {
+            continue; // replica 3 is dark
+        }
+        let (outs, _) = instances[to].on_message(from, msg);
+        for out in outs {
+            match out {
+                Output::Broadcast(m) => {
+                    for peer in 0..4 {
+                        if peer != to {
+                            queue.push((to, peer, m.clone()));
+                        }
+                    }
+                }
+                Output::Send(peer, m) => queue.push((to, peer, m)),
+            }
+        }
+    }
+    for (r, instance) in instances.iter().enumerate().take(3) {
+        assert!(instance.is_decided(), "replica {r} must decide");
+    }
+    assert!(!instances[3].is_decided(), "replica 3 must be blind");
+    (instances, view, value)
+}
+
+/// The repair protocol replays a responder's own PROPOSE/WRITE/ACCEPT
+/// through the ordinary consensus checks, which bind every signature to the
+/// wire sender. A Byzantine replica relaying *someone else's* signed
+/// messages under its own identity contributes nothing toward any quorum;
+/// the same messages replayed truthfully rebuild the instance and decide
+/// it with a verifiable proof.
+#[test]
+fn repair_replay_binds_messages_to_wire_sender() {
+    let (mut instances, view, value) = decided_with_blind_replica();
+
+    // Replica 2 relays replica 1's repair payload as its own.
+    for msg in instances[1].own_messages(true) {
+        let (_, decision) = instances[3].on_message(2, msg);
+        assert!(decision.is_none(), "relabeled replay must not decide");
+    }
+    assert!(
+        !instances[3].is_decided(),
+        "relabeled replays must leave the blind replica undecided"
+    );
+
+    // Truthful replays from all three responders heal the instance.
+    let mut healed = None;
+    for r in 0..3usize {
+        for msg in instances[r].own_messages(true) {
+            let (_, decision) = instances[3].on_message(r, msg);
+            if let Some(d) = decision {
+                healed = Some(d);
+            }
+        }
+    }
+    let healed = healed.expect("truthful replays must decide");
+    assert_eq!(healed.value, value, "the decided value survives repair");
+    assert!(
+        healed.proof.verify(&view),
+        "the repair decision proof verifies"
+    );
+}
+
+/// A fetched value that does not hash to the write/accept quorum's value
+/// hash can never complete a decision: a Byzantine responder holding the
+/// real quorum votes still cannot smuggle a different value through the
+/// repair path.
+#[test]
+fn tampered_fetched_value_never_decides() {
+    let (mut instances, _, _) = decided_with_blind_replica();
+
+    // The tampered value lands first and occupies the value slot.
+    let (_, decision) = instances[3].on_message(
+        2,
+        ConsensusMsg::ValueReply {
+            instance: 1,
+            epoch: 0,
+            value: b"forged-value".to_vec(),
+        },
+    );
+    assert!(decision.is_none(), "a bare value reply never decides");
+
+    // Genuine votes arrive: full write + accept quorums on the real hash.
+    for r in 0..3usize {
+        for msg in instances[r].own_messages(false) {
+            let (_, decision) = instances[3].on_message(r, msg);
+            assert!(
+                decision.is_none(),
+                "quorum on the real hash must not marry the forged value"
+            );
+        }
+    }
+    assert!(
+        !instances[3].is_decided(),
+        "hash binding keeps the forged value out of any decision"
+    );
+}

@@ -338,7 +338,9 @@ impl<A: Application> Actor<SmrMsg> for ReplicaActor<A> {
                             self.handle_outputs(outs, ctx);
                         }
                     }
-                    other @ SmrMsg::Sync(_) => {
+                    other @ (SmrMsg::Sync(_)
+                    | SmrMsg::InstanceFetch { .. }
+                    | SmrMsg::InstanceRep { .. }) => {
                         let from_replica = self.peers.iter().position(|&p| p == from);
                         if let Some(r) = from_replica {
                             let outs = self.core.on_message(r, other);

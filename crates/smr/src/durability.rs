@@ -99,6 +99,11 @@ pub struct SnapshotMeta {
     /// the root a [`CheckpointCert`] quorum signs, and what a shipped
     /// snapshot is verified against chunk-by-chunk at install time.
     pub state_root: [u8; 32],
+    /// Each client's latest `(client, seq, result)` at the covered batch —
+    /// the reply cache, persisted so a restarted replica still answers
+    /// retransmissions of pre-crash deliveries (bounded: one entry per
+    /// client, like the frontier). Sorted by client id.
+    pub replies: Vec<(u64, u64, Vec<u8>)>,
 }
 
 impl Encode for SnapshotMeta {
@@ -106,9 +111,13 @@ impl Encode for SnapshotMeta {
         smartchain_codec::encode_seq(&self.frontier, out);
         self.tip.encode(out);
         self.state_root.encode(out);
+        smartchain_codec::encode_seq(&self.replies, out);
     }
     fn encoded_len(&self) -> usize {
-        smartchain_codec::seq_encoded_len(&self.frontier) + self.tip.encoded_len() + 32
+        smartchain_codec::seq_encoded_len(&self.frontier)
+            + self.tip.encoded_len()
+            + 32
+            + smartchain_codec::seq_encoded_len(&self.replies)
     }
 }
 
@@ -118,6 +127,7 @@ impl Decode for SnapshotMeta {
             frontier: smartchain_codec::decode_seq(input)?,
             tip: <[u8; 32]>::decode(input)?,
             state_root: <[u8; 32]>::decode(input)?,
+            replies: smartchain_codec::decode_seq(input)?,
         })
     }
 }
@@ -408,6 +418,10 @@ pub struct DurableApp<A: Application> {
     /// duplicate filter; replaying raw decided values through it reproduces
     /// exactly the live execution).
     frontier: BTreeMap<u64, u64>,
+    /// Each client's latest executed `(seq, result)` — the durable reply
+    /// cache. Persisted in [`SnapshotMeta`] and rebuilt by replay, so a
+    /// restarted replica answers retransmissions of pre-crash deliveries.
+    replies: BTreeMap<u64, (u64, Vec<u8>)>,
     /// Batch chain hash after `batches_applied`.
     tip: [u8; 32],
     /// Records the last open replayed into the application (restart-cost
@@ -529,6 +543,7 @@ impl<A: Application> DurableApp<A> {
         // suffix (the prefix was truncated when the checkpoint was cut).
         let mut batches_applied = 0u64;
         let mut frontier: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut replies: BTreeMap<u64, (u64, Vec<u8>)> = BTreeMap::new();
         let mut tip = [0u8; 32];
         let mut basis = None;
         app.reset();
@@ -537,6 +552,11 @@ impl<A: Application> DurableApp<A> {
             batches_applied = snap.covered_block;
             if let Ok(meta) = from_bytes::<SnapshotMeta>(&snap.meta) {
                 frontier = meta.frontier.into_iter().collect();
+                replies = meta
+                    .replies
+                    .into_iter()
+                    .map(|(client, seq, result)| (client, (seq, result)))
+                    .collect();
                 tip = meta.tip;
                 basis = Some((snap.covered_block, meta.state_root, meta.tip));
             }
@@ -568,7 +588,8 @@ impl<A: Application> DurableApp<A> {
             let requests = decode_batch(&lb.value).unwrap_or_default();
             for request in &requests {
                 if Self::frontier_admits(&mut frontier, request) {
-                    let _ = app.execute(request);
+                    let result = app.execute(request);
+                    replies.insert(request.client, (request.seq, result));
                 }
             }
             tip = chain_tip(&tip, &lb.value);
@@ -587,6 +608,7 @@ impl<A: Application> DurableApp<A> {
             checkpoint_period: checkpoint_period.max(1),
             batches_applied,
             frontier,
+            replies,
             tip,
             replayed_on_recovery: replayed,
             basis,
@@ -699,11 +721,15 @@ impl<A: Application> DurableApp<A> {
             let results =
                 crate::exec::run_plan(&mut self.app, &refs, &plan, self.exec_pool.as_ref());
             for (request, result) in admitted.iter().zip(results) {
+                self.replies
+                    .insert(request.client, (request.seq, result.clone()));
                 executed.insert((request.client, request.seq), result);
             }
         } else {
             for request in &admitted {
                 let result = self.app.execute(request);
+                self.replies
+                    .insert(request.client, (request.seq, result.clone()));
                 executed.insert((request.client, request.seq), result);
             }
         }
@@ -729,6 +755,17 @@ impl<A: Application> DurableApp<A> {
     /// already delivered.
     pub fn delivered_frontier(&self) -> Vec<(u64, u64)> {
         self.frontier.iter().map(|(&c, &s)| (c, s)).collect()
+    }
+
+    /// The durable reply cache: each client's latest `(client, seq, result)`,
+    /// sorted by client — what a restarting replica seeds its volatile reply
+    /// cache with, so retransmissions of pre-crash deliveries are still
+    /// answered instead of silently dropped by the duplicate filter.
+    pub fn cached_replies(&self) -> Vec<(u64, u64, Vec<u8>)> {
+        self.replies
+            .iter()
+            .map(|(&c, (s, r))| (c, *s, r.clone()))
+            .collect()
     }
 
     /// Convenience for tests and benchmarks: wraps `requests` in a
@@ -770,6 +807,11 @@ impl<A: Application> DurableApp<A> {
             frontier: self.frontier.iter().map(|(&c, &s)| (c, s)).collect(),
             tip: self.tip,
             state_root,
+            replies: self
+                .replies
+                .iter()
+                .map(|(&c, (s, r))| (c, *s, r.clone()))
+                .collect(),
         };
         let snap = Snapshot {
             covered_block: self.batches_applied,
@@ -1018,6 +1060,12 @@ impl<A: Application> DurableApp<A> {
                 self.engine.fast_forward(covered)?;
                 self.batches_applied = covered;
                 self.frontier = shipped.meta.frontier.into_iter().collect();
+                self.replies = shipped
+                    .meta
+                    .replies
+                    .into_iter()
+                    .map(|(client, seq, result)| (client, (seq, result)))
+                    .collect();
                 self.tip = shipped.meta.tip;
                 // The certified checkpoint is now ours: adopt its basis and
                 // persist the certificate so we can serve it onward.
@@ -1047,7 +1095,8 @@ impl<A: Application> DurableApp<A> {
             self.engine.flush()?;
             for request in requests {
                 if Self::frontier_admits(&mut self.frontier, &request) {
-                    let _ = self.app.execute(&request);
+                    let result = self.app.execute(&request);
+                    self.replies.insert(request.client, (request.seq, result));
                     applied.push(request);
                 }
             }

@@ -26,6 +26,16 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 /// (catch-up window before state transfer is required).
 const INSTANCE_WINDOW: u64 = 8;
 
+/// Quiet period for per-instance repair, measured in consensus events: when
+/// a replica running adaptive α observes this many in-window consensus
+/// messages for instances *other than* its delivery frontier while the
+/// frontier itself stays silent, the frontier's traffic was almost
+/// certainly lost and a targeted `InstanceFetch` round fires. Counting
+/// events instead of time keeps the trigger a pure function of the message
+/// schedule — deterministic under the simulator and free of extra timers on
+/// metal.
+const QUIET_EVENTS: u32 = 24;
+
 /// Wire messages exchanged by SMR replicas (clients speak
 /// [`SmrMsg::Request`]/[`SmrMsg::Reply`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -82,6 +92,32 @@ pub enum SmrMsg {
         tip: [u8; 32],
         /// Signature over [`ckpt_sign_payload`](crate::durability::ckpt_sign_payload).
         signature: Signature,
+    },
+    /// Per-instance repair request: the sender observed traffic for later
+    /// instances but none for `instance` over a quiet period, and asks its
+    /// peers for the missing messages — one round trip instead of a regency
+    /// change. `have` is 1 when the requester already holds the proposed
+    /// value (responders then omit the value-bearing reply).
+    InstanceFetch {
+        /// The stalled instance.
+        instance: u64,
+        /// 1 if the requester already knows the proposed value.
+        have: u8,
+    },
+    /// Per-instance repair reply. If the responder has seen the decision,
+    /// `decided` carries the value plus its quorum proof (the requester
+    /// verifies and delivers directly). Otherwise `msgs` carries the
+    /// responder's own PROPOSE/ValueReply/WRITE/ACCEPT for the instance —
+    /// replays that pass the receiver's ordinary signature/leader checks
+    /// unchanged, so a Byzantine responder cannot inject anything it could
+    /// not already have sent.
+    InstanceRep {
+        /// The instance being repaired.
+        instance: u64,
+        /// Decided value and its decision proof, when known.
+        decided: Option<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>,
+        /// The responder's own consensus messages for the instance.
+        msgs: Vec<ConsensusMsg>,
     },
 }
 
@@ -149,6 +185,21 @@ impl Encode for SmrMsg {
                 tip.encode(out);
                 signature.to_wire().encode(out);
             }
+            SmrMsg::InstanceFetch { instance, have } => {
+                7u8.encode(out);
+                instance.encode(out);
+                have.encode(out);
+            }
+            SmrMsg::InstanceRep {
+                instance,
+                decided,
+                msgs,
+            } => {
+                8u8.encode(out);
+                instance.encode(out);
+                decided.encode(out);
+                smartchain_codec::encode_seq(msgs, out);
+            }
         }
     }
 
@@ -177,6 +228,16 @@ impl Encode for SmrMsg {
                     + cert.encoded_len()
             }
             SmrMsg::CkptShare { .. } => 8 + 8 + 32 + 32 + 65,
+            SmrMsg::InstanceFetch { instance, have } => instance.encoded_len() + have.encoded_len(),
+            SmrMsg::InstanceRep {
+                instance,
+                decided,
+                msgs,
+            } => {
+                instance.encoded_len()
+                    + decided.encoded_len()
+                    + smartchain_codec::seq_encoded_len(msgs)
+            }
         }
     }
 }
@@ -206,6 +267,17 @@ impl Decode for SmrMsg {
                 state_root: <[u8; 32]>::decode(input)?,
                 tip: <[u8; 32]>::decode(input)?,
                 signature: Signature::from_wire(&<[u8; 65]>::decode(input)?),
+            }),
+            7 => Ok(SmrMsg::InstanceFetch {
+                instance: u64::decode(input)?,
+                have: u8::decode(input)?,
+            }),
+            8 => Ok(SmrMsg::InstanceRep {
+                instance: u64::decode(input)?,
+                decided: Option::<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>::decode(
+                    input,
+                )?,
+                msgs: smartchain_codec::decode_seq(input)?,
             }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
@@ -276,6 +348,17 @@ pub enum CoreOutput {
     },
 }
 
+/// Bounds for the adaptive pipeline window (see
+/// [`OrderingConfig::alpha_adaptive`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlphaBounds {
+    /// Floor of the effective window (≥ 1).
+    pub min: u64,
+    /// Ceiling of the effective window (≤ 255; also sizes the catch-up
+    /// window and the view-change lock vectors).
+    pub max: u64,
+}
+
 /// Configuration of the ordering core.
 #[derive(Clone, Copy, Debug)]
 pub struct OrderingConfig {
@@ -286,7 +369,16 @@ pub struct OrderingConfig {
     /// ordering core; larger values overlap ORDER of instance `i+1` with
     /// EXECUTE/PERSIST of instance `i`. Clamped to 255 at construction —
     /// the STOPDATA/SYNC vectors carry a one-byte count on the wire.
+    /// Ignored while `alpha_adaptive` is set.
     pub alpha: u64,
+    /// Opt-in AIMD window: when set, the leader's effective α starts at
+    /// `min`, grows by one on every cleanly decided instance, and halves
+    /// (floored at `min`) whenever loss is observed — a repair fetch fires
+    /// or the progress timer expires. The window is a pure function of
+    /// observed protocol events, so identically-seeded runs remain
+    /// bit-for-bit reproducible. `None` (the default) keeps the fixed-α
+    /// behavior untouched.
+    pub alpha_adaptive: Option<AlphaBounds>,
 }
 
 impl Default for OrderingConfig {
@@ -294,8 +386,43 @@ impl Default for OrderingConfig {
         OrderingConfig {
             max_batch: 512,
             alpha: 1,
+            alpha_adaptive: None,
         }
     }
+}
+
+impl OrderingConfig {
+    /// The largest window this configuration can ever run at — sizes the
+    /// catch-up window, the synchronizer's lock vectors, and the simulator's
+    /// open-instance pump regardless of where the adaptive window currently
+    /// sits.
+    pub fn max_alpha(&self) -> u64 {
+        match self.alpha_adaptive {
+            Some(bounds) => bounds.max,
+            None => self.alpha,
+        }
+    }
+}
+
+/// Repair/adaptation counters, maintained by every core (fixed-α cores
+/// never *send* fetches, but they answer them and count regency changes).
+/// All counters are cumulative since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrderingStats {
+    /// InstanceFetch requests this replica broadcast.
+    pub fetches_sent: u64,
+    /// InstanceFetch requests this replica answered with an InstanceRep.
+    pub fetches_answered: u64,
+    /// Instances delivered after this replica fetched them.
+    pub repaired_instances: u64,
+    /// The effective window right now (equals `alpha` in fixed mode).
+    pub alpha_current: u64,
+    /// Smallest effective window observed so far.
+    pub alpha_min_seen: u64,
+    /// Largest effective window observed so far.
+    pub alpha_max_seen: u64,
+    /// Regencies installed (leader changes completed locally).
+    pub regency_changes: u64,
 }
 
 /// The per-replica ordering state machine.
@@ -325,6 +452,25 @@ pub struct OrderingCore {
     claimed_ids: HashSet<(u64, u64)>,
     /// Per-client highest delivered sequence number (dedup).
     delivered_seq: HashMap<u64, u64>,
+    /// Effective pipeline width right now (AIMD state; equals
+    /// `config.alpha` in fixed mode).
+    current_alpha: u64,
+    /// Consensus events observed for in-window instances *other than* the
+    /// delivery frontier since the frontier last moved or spoke — the
+    /// deterministic quiet clock behind per-instance repair.
+    frontier_quiet: u32,
+    /// The frontier instance `frontier_quiet` is counting for (resets the
+    /// count when delivery advances).
+    frontier_watch: u64,
+    /// Instances this replica sent an InstanceFetch for and has not yet
+    /// delivered (their delivery counts as a repair, not clean progress).
+    fetched: HashSet<u64>,
+    /// Frontier instance already given one repair round after a progress
+    /// timeout — the next timeout for the same frontier escalates to a
+    /// leader change.
+    timeout_repair: Option<u64>,
+    /// Repair/adaptation counters.
+    stats: OrderingStats,
 }
 
 impl std::fmt::Debug for OrderingCore {
@@ -353,9 +499,17 @@ impl OrderingCore {
         let mut config = config;
         // The view-change lock/adoption vectors carry a one-byte count.
         config.alpha = config.alpha.clamp(1, u8::MAX as u64);
+        if let Some(bounds) = &mut config.alpha_adaptive {
+            bounds.min = bounds.min.clamp(1, u8::MAX as u64);
+            bounds.max = bounds.max.clamp(bounds.min, u8::MAX as u64);
+        }
+        let start_alpha = match config.alpha_adaptive {
+            Some(bounds) => bounds.min,
+            None => config.alpha,
+        };
         OrderingCore {
             me,
-            synchronizer: Synchronizer::new(me, view.clone(), config.alpha),
+            synchronizer: Synchronizer::new(me, view.clone(), config.max_alpha()),
             view,
             secret,
             config,
@@ -368,6 +522,17 @@ impl OrderingCore {
             claimed: HashMap::new(),
             claimed_ids: HashSet::new(),
             delivered_seq: HashMap::new(),
+            current_alpha: start_alpha,
+            frontier_quiet: 0,
+            frontier_watch: last_applied + 1,
+            fetched: HashSet::new(),
+            timeout_repair: None,
+            stats: OrderingStats {
+                alpha_current: start_alpha,
+                alpha_min_seen: start_alpha,
+                alpha_max_seen: start_alpha,
+                ..OrderingStats::default()
+            },
         }
     }
 
@@ -375,7 +540,48 @@ impl OrderingCore {
     /// participate (at least the pipeline width, so a leader at full α never
     /// pushes followers into state transfer).
     fn window(&self) -> u64 {
-        INSTANCE_WINDOW.max(self.config.alpha.max(1))
+        INSTANCE_WINDOW.max(self.config.max_alpha().max(1))
+    }
+
+    /// The pipeline width in force right now: the AIMD window when adaptive
+    /// α is enabled, the configured constant otherwise.
+    fn effective_alpha(&self) -> u64 {
+        if self.config.alpha_adaptive.is_some() {
+            self.current_alpha
+        } else {
+            self.config.alpha.max(1)
+        }
+    }
+
+    /// Additive increase: one more slot per cleanly decided instance, capped
+    /// at the configured ceiling. No-op in fixed mode.
+    fn grow_alpha(&mut self) {
+        if let Some(bounds) = self.config.alpha_adaptive {
+            self.current_alpha = (self.current_alpha + 1).min(bounds.max);
+            self.note_alpha();
+        }
+    }
+
+    /// Multiplicative decrease: halve the window (floored at the configured
+    /// minimum) when loss is observed. No-op in fixed mode.
+    fn halve_alpha(&mut self) {
+        if let Some(bounds) = self.config.alpha_adaptive {
+            self.current_alpha = (self.current_alpha / 2).max(bounds.min);
+            self.note_alpha();
+        }
+    }
+
+    fn note_alpha(&mut self) {
+        self.stats.alpha_current = self.current_alpha;
+        self.stats.alpha_min_seen = self.stats.alpha_min_seen.min(self.current_alpha);
+        self.stats.alpha_max_seen = self.stats.alpha_max_seen.max(self.current_alpha);
+    }
+
+    /// Repair/adaptation counters (cumulative).
+    pub fn stats(&self) -> OrderingStats {
+        let mut stats = self.stats;
+        stats.alpha_current = self.effective_alpha();
+        stats
     }
 
     /// This replica's id.
@@ -420,7 +626,7 @@ impl OrderingCore {
     pub fn install_view(&mut self, view: View, secret: SecretKey) {
         self.view = view.clone();
         self.secret = secret;
-        self.synchronizer = Synchronizer::new(self.me, view, self.config.alpha);
+        self.synchronizer = Synchronizer::new(self.me, view, self.config.max_alpha());
         self.instances = BTreeMap::new();
         self.proposed.clear();
         self.claimed.clear();
@@ -472,6 +678,10 @@ impl OrderingCore {
         self.last_delivered = instance;
         self.undelivered.retain(|&i, _| i > instance);
         self.instances.retain(|&i, _| i > instance);
+        self.fetched.retain(|&i| i > instance);
+        self.frontier_watch = instance + 1;
+        self.frontier_quiet = 0;
+        self.timeout_repair = None;
         let stale: Vec<u64> = self
             .claimed
             .keys()
@@ -503,10 +713,22 @@ impl OrderingCore {
     }
 
     /// Called by the embedding when its progress timer fires and nothing was
-    /// delivered since the timer was armed: starts a leader change.
+    /// delivered since the timer was armed: starts a leader change — except
+    /// under adaptive α, where the first timeout for a stalled frontier
+    /// tries one cheap per-instance repair round and only a second timeout
+    /// for the *same* frontier escalates to the regency change.
     pub fn on_progress_timeout(&mut self) -> Vec<CoreOutput> {
         if self.pending_ids.is_empty() && self.undelivered.is_empty() {
             return Vec::new();
+        }
+        if self.config.alpha_adaptive.is_some() {
+            let frontier = self.last_delivered + 1;
+            if self.timeout_repair != Some(frontier) {
+                self.timeout_repair = Some(frontier);
+                self.halve_alpha();
+                return self.repair_round(frontier);
+            }
+            self.timeout_repair = None;
         }
         let actions = self.synchronizer.request_change();
         self.apply_sync_actions(actions)
@@ -522,6 +744,14 @@ impl OrderingCore {
                 self.apply_sync_actions(actions)
             }
             SmrMsg::Reply(_) => Vec::new(), // replicas ignore replies
+            SmrMsg::InstanceFetch { instance, have } => {
+                self.on_instance_fetch(from, instance, have != 0)
+            }
+            SmrMsg::InstanceRep {
+                instance,
+                decided,
+                msgs,
+            } => self.on_instance_rep(from, instance, decided, msgs),
             // State transfer and checkpoint certification are the
             // embedding's job (it owns the log); the core ignores the
             // messages if they ever reach it.
@@ -533,11 +763,12 @@ impl OrderingCore {
 
     /// Called by an embedding whose transport re-established the link to
     /// `peer` (metal deployments on real sockets): messages queued for that
-    /// peer may have died with the torn connection, so the protocol state
-    /// the synchronization phase cannot regenerate on its own — our STOP
-    /// vote and, if `peer` leads a pending regency, our STOPDATA — is
-    /// re-sent. Consensus-instance traffic needs no such resend: it is
-    /// repaired by `FetchValue`/state transfer.
+    /// peer may have died with the torn connection, so protocol state the
+    /// receiver cannot regenerate on its own is re-sent — our STOP vote
+    /// and, if `peer` leads a pending regency, our STOPDATA, plus our own
+    /// WRITE/ACCEPT (and value) for every still-open instance so the
+    /// reconnecting replica rejoins the pipeline window without waiting for
+    /// a fetch round or state transfer.
     pub fn on_peer_reconnect(&mut self, peer: ReplicaId) -> Vec<CoreOutput> {
         if peer == self.me || peer >= self.view.members.len() {
             return Vec::new();
@@ -561,6 +792,17 @@ impl OrderingCore {
                     },
                 );
                 outputs.push(CoreOutput::Send(peer, SmrMsg::Sync(msg)));
+            }
+        }
+        // In-flight consensus traffic: whatever we already said about the
+        // open instances, said again point-to-point (with the value, so a
+        // peer that missed the PROPOSE can still tally our WRITE).
+        for (_, inst) in self.instances.range(self.last_delivered + 1..) {
+            if inst.is_decided() {
+                continue;
+            }
+            for m in inst.own_messages(true) {
+                outputs.push(CoreOutput::Send(peer, SmrMsg::Consensus(m)));
             }
         }
         outputs
@@ -620,11 +862,169 @@ impl OrderingCore {
             }];
         }
         let mut outputs = Vec::new();
+        if self.config.alpha_adaptive.is_some() {
+            outputs.extend(self.tick_quiet(instance_id));
+        }
         let inst = self.instance_entry(instance_id);
         let (outs, decision) = inst.on_message(from, msg);
         outputs.extend(outs.into_iter().map(Self::net));
         if let Some(d) = decision {
             outputs.extend(self.on_decision(d));
+        }
+        outputs
+    }
+
+    /// The deterministic quiet clock behind per-instance repair: every
+    /// in-window consensus event for an instance other than the delivery
+    /// frontier ticks the counter; an event for the frontier (or the
+    /// frontier moving) resets it. [`QUIET_EVENTS`] ticks of silence mean
+    /// the frontier's traffic was lost — halve the window and fire a
+    /// targeted fetch round. Adaptive mode only.
+    fn tick_quiet(&mut self, instance_id: u64) -> Vec<CoreOutput> {
+        let frontier = self.last_delivered + 1;
+        if self.frontier_watch != frontier {
+            self.frontier_watch = frontier;
+            self.frontier_quiet = 0;
+        }
+        if instance_id == frontier {
+            self.frontier_quiet = 0;
+            return Vec::new();
+        }
+        self.frontier_quiet += 1;
+        if self.frontier_quiet < QUIET_EVENTS {
+            return Vec::new();
+        }
+        self.frontier_quiet = 0;
+        self.halve_alpha();
+        self.repair_round(frontier)
+    }
+
+    /// Broadcasts an `InstanceFetch` for `frontier`, plus — when this
+    /// replica leads the instance — a re-broadcast of its own PROPOSE, so a
+    /// lost proposal heals even if no peer got it either.
+    fn repair_round(&mut self, frontier: u64) -> Vec<CoreOutput> {
+        self.stats.fetches_sent += 1;
+        self.fetched.insert(frontier);
+        let have = self
+            .instances
+            .get(&frontier)
+            .is_some_and(Instance::has_value);
+        let mut outputs = vec![CoreOutput::Broadcast(SmrMsg::InstanceFetch {
+            instance: frontier,
+            have: have as u8,
+        })];
+        if let Some(inst) = self.instances.get(&frontier) {
+            if inst.leader() == self.me {
+                for m in inst.own_messages(false) {
+                    outputs.push(CoreOutput::Broadcast(SmrMsg::Consensus(m)));
+                }
+            }
+        }
+        outputs
+    }
+
+    /// Answers a peer's repair request for `instance`: ship the decision
+    /// plus its quorum proof when we have it (delivered-tail or undelivered
+    /// buffer), otherwise replay our own message set for the instance.
+    /// Responding is unconditional — fixed-α replicas answer too; they just
+    /// never *ask*.
+    fn on_instance_fetch(
+        &mut self,
+        from: ReplicaId,
+        instance: u64,
+        requester_has_value: bool,
+    ) -> Vec<CoreOutput> {
+        if from == self.me || from >= self.view.members.len() {
+            return Vec::new();
+        }
+        let decided = self
+            .instances
+            .get(&instance)
+            .and_then(Instance::decision)
+            .map(|d| (d.value.clone(), d.proof.clone()))
+            .or_else(|| {
+                self.undelivered
+                    .get(&instance)
+                    .map(|d| (d.value.clone(), d.proof.clone()))
+            });
+        if let Some((value, proof)) = decided {
+            self.stats.fetches_answered += 1;
+            return vec![CoreOutput::Send(
+                from,
+                SmrMsg::InstanceRep {
+                    instance,
+                    decided: Some((value, proof)),
+                    msgs: Vec::new(),
+                },
+            )];
+        }
+        let msgs = self
+            .instances
+            .get(&instance)
+            .map(|inst| inst.own_messages(!requester_has_value))
+            .unwrap_or_default();
+        if msgs.is_empty() {
+            return Vec::new();
+        }
+        self.stats.fetches_answered += 1;
+        vec![CoreOutput::Send(
+            from,
+            SmrMsg::InstanceRep {
+                instance,
+                decided: None,
+                msgs,
+            },
+        )]
+    }
+
+    /// Applies a repair reply. A decided payload must carry a proof that (a)
+    /// names this instance, (b) binds to the shipped value by hash, and (c)
+    /// verifies against the view's quorum — a Byzantine responder cannot
+    /// forge any of the three. Undecided payloads are fed through the
+    /// ordinary consensus path, where the existing signature/leader/epoch
+    /// checks authenticate each replayed message.
+    fn on_instance_rep(
+        &mut self,
+        from: ReplicaId,
+        instance: u64,
+        decided: Option<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>,
+        msgs: Vec<ConsensusMsg>,
+    ) -> Vec<CoreOutput> {
+        if from == self.me || from >= self.view.members.len() {
+            return Vec::new();
+        }
+        if instance <= self.last_delivered || instance > self.last_delivered + self.window() {
+            return Vec::new();
+        }
+        if let Some((value, proof)) = decided {
+            if proof.instance != instance
+                || smartchain_crypto::sha256::digest(&value) != proof.value_hash
+                || !proof.verify(&self.view)
+            {
+                return Vec::new();
+            }
+            if self.undelivered.contains_key(&instance)
+                || self
+                    .instances
+                    .get(&instance)
+                    .is_some_and(Instance::is_decided)
+            {
+                return Vec::new();
+            }
+            let epoch = proof.epoch;
+            return self.on_decision(Decision {
+                instance,
+                epoch,
+                value,
+                proof,
+            });
+        }
+        let mut outputs = Vec::new();
+        for m in msgs {
+            if m.instance() != instance {
+                continue;
+            }
+            outputs.extend(self.on_consensus(from, m));
         }
         outputs
     }
@@ -647,6 +1047,18 @@ impl OrderingCore {
         while let Some(d) = self.undelivered.remove(&(self.last_delivered + 1)) {
             self.last_delivered = d.instance;
             self.release_claim(d.instance);
+            // AIMD bookkeeping: a fetched instance delivering is a repair
+            // (the halving already happened when the fetch fired); anything
+            // else is clean progress and grows the window. Delivery also
+            // restarts the quiet clock and the timeout-repair ratchet.
+            if self.fetched.remove(&d.instance) {
+                self.stats.repaired_instances += 1;
+            } else {
+                self.grow_alpha();
+            }
+            self.frontier_watch = self.last_delivered + 1;
+            self.frontier_quiet = 0;
+            self.timeout_repair = None;
             // A malformed decided batch delivers empty.
             let requests = decode_batch(&d.value).unwrap_or_default();
             // Dedup against already-delivered requests and drop them from
@@ -679,6 +1091,7 @@ impl OrderingCore {
         let keep_from = self.last_delivered.saturating_sub(self.window());
         self.instances.retain(|&i, _| i >= keep_from);
         self.proposed.retain(|&i, _| i > self.last_delivered);
+        self.fetched.retain(|&i| i > self.last_delivered);
         outputs.extend(self.try_propose());
         outputs
     }
@@ -712,7 +1125,7 @@ impl OrderingCore {
     /// The lowest window slot with no live proposal of ours and no decision.
     fn next_open_slot(&self, regency: u32) -> Option<u64> {
         let first = self.last_delivered + 1;
-        let last = self.last_delivered + self.config.alpha.max(1);
+        let last = self.last_delivered + self.effective_alpha();
         (first..=last).find(|slot| {
             self.proposed.get(slot).is_none_or(|&e| e < regency)
                 && !self.instances.get(slot).is_some_and(Instance::is_decided)
@@ -741,7 +1154,7 @@ impl OrderingCore {
     /// `slot`. Only tracked at α > 1: with a single slot there is never a
     /// concurrent proposal to keep the requests away from.
     fn claim(&mut self, slot: u64, batch: &[Request]) {
-        if self.config.alpha <= 1 {
+        if self.config.max_alpha() <= 1 {
             return;
         }
         let ids: Vec<(u64, u64)> = batch.iter().map(Request::id).collect();
@@ -837,7 +1250,7 @@ impl OrderingCore {
                 })
             })
         };
-        if self.config.alpha <= 1 {
+        if self.config.max_alpha() <= 1 {
             let next = self.last_delivered + 1;
             return self
                 .instances
@@ -863,6 +1276,8 @@ impl OrderingCore {
         leader: ReplicaId,
         adopt: Vec<(u64, Vec<u8>)>,
     ) -> Vec<CoreOutput> {
+        self.stats.regency_changes += 1;
+        self.timeout_repair = None;
         // Claims belong to the previous regency's proposals; the new leader
         // re-forms batches from everything still pending.
         let slots: Vec<u64> = self.claimed.keys().copied().collect();
@@ -871,7 +1286,7 @@ impl OrderingCore {
         }
         let mut outputs = Vec::new();
         let next = self.last_delivered + 1;
-        if self.config.alpha <= 1 {
+        if self.config.max_alpha() <= 1 {
             // The seed's single-slot path, preserved bit-for-bit: adopt only
             // a value carried for OUR open instance. A replica that already
             // delivered that instance must not re-decide its content one
@@ -983,7 +1398,11 @@ mod tests {
                     i,
                     view.clone(),
                     secrets[i].clone(),
-                    OrderingConfig { max_batch, alpha },
+                    OrderingConfig {
+                        max_batch,
+                        alpha,
+                        alpha_adaptive: None,
+                    },
                     0,
                 )
             })
@@ -1480,6 +1899,40 @@ mod wire_len_tests {
                 state_root: [4u8; 32],
                 tip: [5u8; 32],
                 signature: sig(3, b"z"),
+            },
+            SmrMsg::InstanceFetch {
+                instance: 12,
+                have: 1,
+            },
+            SmrMsg::InstanceRep {
+                instance: 12,
+                decided: Some((
+                    vec![6; 20],
+                    smartchain_consensus::proof::DecisionProof {
+                        instance: 12,
+                        epoch: 1,
+                        value_hash: [9u8; 32],
+                        accepts: vec![(0, sig(4, b"a")), (1, sig(5, b"b")), (2, sig(6, b"c"))],
+                    },
+                )),
+                msgs: Vec::new(),
+            },
+            SmrMsg::InstanceRep {
+                instance: 13,
+                decided: None,
+                msgs: vec![
+                    ConsensusMsg::Write {
+                        instance: 13,
+                        epoch: 0,
+                        value_hash: [1u8; 32],
+                        signature: sig(7, b"w"),
+                    },
+                    ConsensusMsg::ValueReply {
+                        instance: 13,
+                        epoch: 0,
+                        value: vec![2; 9],
+                    },
+                ],
             },
         ];
         for m in msgs {

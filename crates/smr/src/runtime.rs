@@ -786,10 +786,24 @@ fn replica_loop<A: Application, T: Transport>(
     // of its reply was lost (torn connections, a throttled slow client's
     // dropped frames); the retransmission lands inside the dedup frontier,
     // so it must be answered from here — silence would wedge the client
-    // forever. (Not yet persistent: a freshly restarted replica serves no
-    // cached replies until it executes for the client again; the other
-    // replicas' caches cover the quorum meanwhile.)
-    let mut reply_cache: std::collections::HashMap<u64, Reply> = std::collections::HashMap::new();
+    // forever. Seeded from the durable store (snapshot meta + log replay),
+    // so a freshly restarted replica still answers retransmissions of
+    // pre-crash deliveries.
+    let mut reply_cache: std::collections::HashMap<u64, Reply> = durable
+        .cached_replies()
+        .into_iter()
+        .map(|(client, seq, result)| {
+            (
+                client,
+                Reply {
+                    client,
+                    seq,
+                    result,
+                    replica: me,
+                },
+            )
+        })
+        .collect();
     // Checkpoint-certificate shares gossiped by peers (and ourselves).
     let mut certs = CertAssembly::new();
     loop {
@@ -1117,10 +1131,11 @@ mod tests {
             .execute(vec![9], Duration::from_secs(10))
             .expect("op");
         cluster.shutdown();
-        // Reboot on the same directories: the durable logs replay. The
-        // client resumes its sequence past the pre-restart history — the
-        // recovered replicas' duplicate filters (seeded from the durable
-        // frontier) correctly reject a reused (client, seq).
+        // Reboot on the same directories: the durable logs replay. A reused
+        // (client, seq) is never re-executed — the recovered duplicate
+        // filters reject it — but the reply cache (rebuilt from checkpoint
+        // metadata + replay) answers the retransmission with the ORIGINAL
+        // result, so a client that lost the reply to a restart isn't wedged.
         let mut cluster = LocalCluster::start(config, CounterApp::new).expect("reboot");
         let reused = Request {
             client: 0xC11E27,
@@ -1128,11 +1143,13 @@ mod tests {
             payload: vec![100],
             signature: None,
         };
-        assert!(
-            cluster
-                .execute_request(reused, Duration::from_millis(700))
-                .is_err(),
-            "a reused (client, seq) must be deduplicated across the restart"
+        let cached = cluster
+            .execute_request(reused, Duration::from_secs(10))
+            .expect("retransmission answered from the recovered reply cache");
+        assert_eq!(
+            u64::from_le_bytes(cached[..8].try_into().unwrap()),
+            9,
+            "the cached reply carries the original result, not a re-execution"
         );
         let fresh = Request {
             client: 0xC11E27,

@@ -43,7 +43,11 @@ fn make_cluster(n: usize, max_batch: usize, alpha: u64) -> Vec<OrderingCore> {
                 i,
                 view.clone(),
                 secrets[i].clone(),
-                OrderingConfig { max_batch, alpha },
+                OrderingConfig {
+                    max_batch,
+                    alpha,
+                    ..OrderingConfig::default()
+                },
                 0,
             )
         })

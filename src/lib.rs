@@ -44,7 +44,11 @@
 //!   in-flight instance (per-instance STOPDATA/SYNC vectors).
 //! * [`smr`] — the *windowed* total-order core (`OrderingConfig::alpha`
 //!   consensus instances in flight at once, strictly in-order delivery;
-//!   α = 1 reproduces the seed bit-for-bit), clients,
+//!   α = 1 reproduces the seed bit-for-bit; with
+//!   `OrderingConfig::alpha_adaptive` the window is AIMD-controlled —
+//!   grown on clean decisions, halved on repair — and a stalled frontier
+//!   heals via a one-round-trip `InstanceFetch`/`InstanceRep` repair
+//!   before any regency change), clients,
 //!   [`smr::durability::DurableApp`] (durable delivery over any
 //!   `DurabilityEngine`; group-commit segmented log by default — each
 //!   record stores the raw decided value + decision proof, hash-chained,

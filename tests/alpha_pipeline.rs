@@ -25,6 +25,7 @@ fn group_commit_blocks(alpha: u64, variant: Variant) -> u64 {
         ordering: OrderingConfig {
             max_batch: 16,
             alpha,
+            ..OrderingConfig::default()
         },
         progress_timeout: 800 * MILLI,
         ..NodeConfig::default()
@@ -85,6 +86,7 @@ fn strong_variant_pipelines_persist_certificates() {
         ordering: OrderingConfig {
             max_batch: 4,
             alpha: 4,
+            ..OrderingConfig::default()
         },
         ..NodeConfig::default()
     };
@@ -128,6 +130,7 @@ fn alpha4_leader_crash_preserves_identical_chains() {
         ordering: OrderingConfig {
             max_batch: 4,
             alpha: 4,
+            ..OrderingConfig::default()
         },
         progress_timeout: 200 * MILLI,
         ..NodeConfig::default()
@@ -196,6 +199,7 @@ fn alpha4_checkpoint_crash_recovery_keeps_app_state_consistent() {
         ordering: OrderingConfig {
             max_batch: 4,
             alpha: 4,
+            ..OrderingConfig::default()
         },
         ..NodeConfig::default()
     };

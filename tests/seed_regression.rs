@@ -31,6 +31,7 @@ fn lossy_run_lanes(seed: u64, alpha: u64, execute_lanes: usize) -> (u64, Vec<u64
         ordering: OrderingConfig {
             max_batch: 8,
             alpha,
+            ..OrderingConfig::default()
         },
         progress_timeout: 200 * MILLI,
         execute_lanes,
