@@ -16,9 +16,9 @@
 
 use smartchain_bench::micro::{
     alpha_pipeline_throughput, black_box, channel_smoke, chunked_install_scenario,
-    exec_lane_throughput, exec_pool_smoke, loss_grid_cell, measure, segmented_recovery_scenario,
-    tcp_client_soak, tcp_smoke, verify_adaptive_throughput, verify_cap_throughput, AlphaMode,
-    LossProfile,
+    exec_lane_throughput, exec_pool_smoke, hash_once_scenario, loss_grid_cell, measure,
+    segmented_recovery_scenario, tcp_client_soak, tcp_smoke, verify_adaptive_throughput,
+    verify_cap_throughput, AlphaMode, LossProfile,
 };
 use smartchain_crypto::sha256;
 use smartchain_merkle as merkle;
@@ -400,6 +400,26 @@ fn main() {
         }
     }
 
+    // Zero-copy hot path (deterministic): digest work per decided value on
+    // a 4-replica α = 4 core pump. Decided values travel as shared,
+    // hash-memoized handles, so the whole cluster computes exactly one
+    // SHA-256 per decision — band 0: any second hash on the ordering path
+    // moves this row.
+    let hash_once = hash_once_scenario();
+    println!(
+        "hash-once: {} decisions, {} digests ({:.2} hashes/decision cluster-wide)",
+        hash_once.decisions,
+        hash_once.digests,
+        hash_once.hashes_per_decision(),
+    );
+    gate.measured.insert(
+        "hashes_per_decision".into(),
+        hash_once.hashes_per_decision(),
+    );
+    if !print_baseline {
+        gate.band("hashes_per_decision", hash_once.hashes_per_decision(), 0.0);
+    }
+
     // Runtime smoke (wall-clock): the same closed loop over channel and
     // real loopback-TCP transports. The channel number stays informational
     // (liveness only); the TCP number is floor-gated — the reactor rework
@@ -413,7 +433,7 @@ fn main() {
     );
     if let Some(stats) = &tcp.transport {
         println!(
-            "tcp replica-0 transport: {} frames in / {} out, {} KiB in / {} KiB out, {} writev calls ({:.2} frames/call), {} drops, {} rejects",
+            "tcp replica-0 transport: {} frames in / {} out, {} KiB in / {} KiB out, {} writev calls ({:.2} frames/call), {} drops, {} rejects, {} broadcasts / {} payload encodes ({:.2} encodes/broadcast)",
             stats.frames_in,
             stats.frames_out,
             stats.bytes_in / 1024,
@@ -422,14 +442,34 @@ fn main() {
             stats.avg_coalesce(),
             stats.queue_full_drops,
             stats.accept_rejections,
+            stats.broadcast_msgs,
+            stats.broadcast_payload_encodes,
+            stats.encodes_per_broadcast(),
         );
+        // Encode-once fan-out (deterministic ratio): one payload
+        // serialization per broadcast, shared across all three peer queues
+        // — band 0: a per-peer re-encode (or re-copy) moves this to ~3.
+        gate.measured.insert(
+            "broadcast_encodes_per_msg".into(),
+            stats.encodes_per_broadcast(),
+        );
+        if !print_baseline {
+            gate.band(
+                "broadcast_encodes_per_msg",
+                stats.encodes_per_broadcast(),
+                0.0,
+            );
+        }
     }
     if !print_baseline {
         if ch.batches_per_sec <= 0.0 {
             gate.failures
                 .push("channel smoke must report nonzero throughput".to_string());
         }
-        gate.floor("tcp_smoke_bps", tcp.batches_per_sec, 3.0);
+        // pin/2 (was pin/3): the encode-once broadcast path shed the
+        // per-peer payload copies, so the measured number sits comfortably
+        // above the pin's half even on noisy CI machines.
+        gate.floor("tcp_smoke_bps", tcp.batches_per_sec, 2.0);
         match &tcp.transport {
             Some(stats) if stats.frames_in > 0 && stats.writev_calls > 0 => {}
             other => gate.failures.push(format!(

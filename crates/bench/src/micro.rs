@@ -133,17 +133,18 @@ impl AlphaMode {
             AlphaMode::Fixed1 => OrderingConfig {
                 max_batch,
                 alpha: 1,
-                alpha_adaptive: None,
+                ..OrderingConfig::default()
             },
             AlphaMode::Fixed4 => OrderingConfig {
                 max_batch,
                 alpha: 4,
-                alpha_adaptive: None,
+                ..OrderingConfig::default()
             },
             AlphaMode::Adaptive => OrderingConfig {
                 max_batch,
                 alpha: 1,
                 alpha_adaptive: Some(AlphaBounds { min: 1, max: 8 }),
+                ..OrderingConfig::default()
             },
         }
     }
@@ -229,6 +230,102 @@ pub fn loss_grid_cell(profile: LossProfile, mode: AlphaMode) -> LossGridCell {
         mode,
         completed,
         stats,
+    }
+}
+
+/// Outcome of the hash-once counting scenario (deterministic).
+#[derive(Clone, Copy, Debug)]
+pub struct HashOnce {
+    /// Consensus instances the cluster decided.
+    pub decisions: u64,
+    /// SHA-256 value digests actually computed, cluster-wide, during the
+    /// run (from the process-global [`hashes_computed`] counter).
+    ///
+    /// [`hashes_computed`]: smartchain_crypto::value::hashes_computed
+    pub digests: u64,
+}
+
+impl HashOnce {
+    /// Digests per decided value — ≈ 1.0 on the memoized hot path (each
+    /// replica used to hash every PROPOSE it validated, ~n per decision).
+    pub fn hashes_per_decision(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.digests as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// Counts digest work on the ordering hot path: a 4-replica core-level
+/// pump at α = 4 decides eight single-request batches over a clean FIFO
+/// network and reads the process-global digest counter around the run.
+/// Decided values travel as shared, hash-memoized [`ValueBytes`] handles,
+/// so PROPOSE hashing, WRITE/ACCEPT checks, proof validation, and delivery
+/// on *all four* replicas cost one digest per decided value total.
+///
+/// Caller must not run concurrent digest work (the counter is global);
+/// `bench_check` is single-threaded, so sequencing is free there.
+///
+/// [`ValueBytes`]: smartchain_crypto::ValueBytes
+pub fn hash_once_scenario() -> HashOnce {
+    use smartchain_smr::ordering::{CoreOutput, OrderingCore, SmrMsg};
+    let n = 4usize;
+    let secrets: Vec<SecretKey> = (0..n)
+        .map(|i| SecretKey::from_seed(Backend::Sim, &[i as u8 + 70; 32]))
+        .collect();
+    let view = View {
+        id: 0,
+        members: secrets.iter().map(|s| s.public_key()).collect(),
+    };
+    let config = OrderingConfig {
+        max_batch: 1,
+        alpha: 4,
+        ..OrderingConfig::default()
+    };
+    let mut cores: Vec<OrderingCore> = (0..n)
+        .map(|i| OrderingCore::new(i, view.clone(), secrets[i].clone(), config, 0))
+        .collect();
+    let before = smartchain_crypto::value::hashes_computed();
+    let mut decisions = 0u64;
+    let mut queue: std::collections::VecDeque<(usize, usize, SmrMsg)> =
+        std::collections::VecDeque::new();
+    let handle = |from: usize,
+                  out: CoreOutput,
+                  queue: &mut std::collections::VecDeque<(usize, usize, SmrMsg)>,
+                  decisions: &mut u64| match out {
+        CoreOutput::Broadcast(m) => {
+            for to in 0..n {
+                if to != from {
+                    queue.push_back((from, to, m.clone()));
+                }
+            }
+        }
+        CoreOutput::Send(to, m) => queue.push_back((from, to, m)),
+        CoreOutput::Deliver(_) if from == 0 => *decisions += 1,
+        CoreOutput::Deliver(_) | CoreOutput::NeedStateTransfer { .. } => {}
+    };
+    for seq in 0..8u64 {
+        let request = Request {
+            client: 1,
+            seq,
+            payload: vec![seq as u8],
+            signature: None,
+        };
+        for (r, core) in cores.iter_mut().enumerate() {
+            for out in core.submit(request.clone()) {
+                handle(r, out, &mut queue, &mut decisions);
+            }
+        }
+    }
+    while let Some((from, to, msg)) = queue.pop_front() {
+        for out in cores[to].on_message(from, msg) {
+            handle(to, out, &mut queue, &mut decisions);
+        }
+    }
+    HashOnce {
+        decisions,
+        digests: smartchain_crypto::value::hashes_computed() - before,
     }
 }
 

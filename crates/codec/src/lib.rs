@@ -193,6 +193,32 @@ impl<const N: usize> Decode for [u8; N] {
     }
 }
 
+/// Shared values encode exactly like the value they point at, so swapping a
+/// field from `T` to `Arc<T>` never changes the wire format. `Decode`
+/// allocates a fresh `Arc`; sharing across decoded messages is established
+/// by the layers that hold the handles, not by the codec.
+impl<T: Encode + ?Sized> Encode for std::sync::Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
+impl<T: Decode> Decode for std::sync::Arc<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(std::sync::Arc::new(T::decode(input)?))
+    }
+}
+
+/// Encodes `value` once into a reference-counted buffer that can be fanned
+/// out to many consumers (e.g. one frame body shared by every peer's write
+/// queue) without further copies.
+pub fn to_shared_bytes<T: Encode + ?Sized>(value: &T) -> std::sync::Arc<[u8]> {
+    value.to_vec().into()
+}
+
 fn decode_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
     let len = u32::decode(input)? as usize;
     if len > input.len() {

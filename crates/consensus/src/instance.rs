@@ -9,10 +9,15 @@ use crate::messages::{accept_sign_payload, ConsensusMsg, Output};
 use crate::proof::{write_sign_payload, DecisionProof, WriteCertificate};
 use crate::{ReplicaId, View};
 use smartchain_crypto::keys::{SecretKey, Signature};
-use smartchain_crypto::{sha256, Hash};
+use smartchain_crypto::{Hash, ValueBytes};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A decided value together with its proof.
+///
+/// Both fields are shared handles: cloning a `Decision` (delivery
+/// buffering, repair replies, durable logging) bumps two refcounts
+/// instead of copying the batch bytes and the accept quorum.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Decision {
     /// Instance that decided.
@@ -20,9 +25,9 @@ pub struct Decision {
     /// Epoch of the decision.
     pub epoch: u32,
     /// The decided value (encoded batch).
-    pub value: Vec<u8>,
+    pub value: ValueBytes,
     /// Quorum of signed ACCEPTs.
-    pub proof: DecisionProof,
+    pub proof: Arc<DecisionProof>,
 }
 
 /// Per-epoch vote tallies.
@@ -43,8 +48,9 @@ pub struct Instance {
     secret: SecretKey,
     epoch: u32,
     leader: ReplicaId,
-    /// Value received via PROPOSE (or SYNC re-proposal), with its hash.
-    value: Option<(Vec<u8>, Hash)>,
+    /// Value received via PROPOSE (or SYNC re-proposal); its hash is
+    /// memoized inside the handle.
+    value: Option<ValueBytes>,
     epoch_state: EpochState,
     decision: Option<Decision>,
     fetch_requested: bool,
@@ -119,7 +125,8 @@ impl Instance {
     /// Byzantine replica gains nothing by asking.
     pub fn own_messages(&self, include_value: bool) -> Vec<ConsensusMsg> {
         let mut msgs = Vec::new();
-        if let Some((value, hash)) = &self.value {
+        if let Some(value) = &self.value {
+            let hash = value.hash();
             if self.me == self.leader {
                 msgs.push(ConsensusMsg::Propose {
                     instance: self.id,
@@ -137,13 +144,13 @@ impl Instance {
                 let own = self
                     .epoch_state
                     .writes
-                    .get(hash)
+                    .get(&hash)
                     .and_then(|sigs| sigs.iter().find(|(r, _)| *r == self.me));
                 if let Some((_, signature)) = own {
                     msgs.push(ConsensusMsg::Write {
                         instance: self.id,
                         epoch: self.epoch,
-                        value_hash: *hash,
+                        value_hash: hash,
                         signature: *signature,
                     });
                 }
@@ -176,13 +183,14 @@ impl Instance {
     /// itself (its WRITE may have been lost, but a quorum's wasn't — the
     /// certificate alone proves the value may have decided and must survive
     /// the leader change).
-    pub fn locked_value(&self) -> Option<(Vec<u8>, Option<WriteCertificate>)> {
-        let (value, hash) = self.value.as_ref()?;
-        let cert = self.epoch_state.writes.get(hash).and_then(|sigs| {
+    pub fn locked_value(&self) -> Option<(ValueBytes, Option<WriteCertificate>)> {
+        let value = self.value.as_ref()?;
+        let hash = value.hash();
+        let cert = self.epoch_state.writes.get(&hash).and_then(|sigs| {
             (sigs.len() >= self.view.quorum()).then(|| WriteCertificate {
                 instance: self.id,
                 epoch: self.epoch,
-                value_hash: *hash,
+                value_hash: hash,
                 writes: sigs.clone(),
             })
         });
@@ -196,14 +204,14 @@ impl Instance {
     ///
     /// Returns the broadcast to perform. Calling this on a non-leader replica
     /// returns no outputs (defensive; the embedding should not do it).
-    pub fn propose(&mut self, value: Vec<u8>) -> Vec<Output<ConsensusMsg>> {
+    pub fn propose(&mut self, value: impl Into<ValueBytes>) -> Vec<Output<ConsensusMsg>> {
         if self.me != self.leader || self.decision.is_some() {
             return Vec::new();
         }
         vec![Output::Broadcast(ConsensusMsg::Propose {
             instance: self.id,
             epoch: self.epoch,
-            value,
+            value: value.into(),
         })]
     }
 
@@ -224,9 +232,8 @@ impl Instance {
 
     /// Adopts `value` as the one to decide in this epoch (used when a SYNC
     /// message certifies a locked value from a previous epoch).
-    pub fn adopt_value(&mut self, value: Vec<u8>) {
-        let hash = sha256::digest(&value);
-        self.value = Some((value, hash));
+    pub fn adopt_value(&mut self, value: impl Into<ValueBytes>) {
+        self.value = Some(value.into());
     }
 
     /// Handles a protocol message from `from`.
@@ -234,6 +241,27 @@ impl Instance {
         &mut self,
         from: ReplicaId,
         msg: ConsensusMsg,
+    ) -> (Vec<Output<ConsensusMsg>>, Option<Decision>) {
+        self.on_message_inner(from, msg, true)
+    }
+
+    /// Like [`Instance::on_message`] for messages whose WRITE/ACCEPT
+    /// signatures were already checked by a batch verifier (the InstanceRep
+    /// replay-admission path); skips the per-message signature check but
+    /// keeps every structural check (epoch, leader, membership, dedup).
+    pub fn on_message_preverified(
+        &mut self,
+        from: ReplicaId,
+        msg: ConsensusMsg,
+    ) -> (Vec<Output<ConsensusMsg>>, Option<Decision>) {
+        self.on_message_inner(from, msg, false)
+    }
+
+    fn on_message_inner(
+        &mut self,
+        from: ReplicaId,
+        msg: ConsensusMsg,
+        verify_sigs: bool,
     ) -> (Vec<Output<ConsensusMsg>>, Option<Decision>) {
         if self.decision.is_some() {
             // Serve value fetches even after deciding; drop the rest.
@@ -256,14 +284,14 @@ impl Instance {
                 if self.epoch_state.sent_write {
                     return (out, None); // already echoed a proposal this epoch
                 }
-                let hash = sha256::digest(&value);
-                if let Some((_, locked_hash)) = &self.value {
+                let hash = value.hash();
+                if let Some(locked) = &self.value {
                     // A SYNC-adopted value constrains what we echo.
-                    if *locked_hash != hash {
+                    if locked.hash() != hash {
                         return (out, None);
                     }
                 } else {
-                    self.value = Some((value, hash));
+                    self.value = Some(value);
                 }
                 self.epoch_state.sent_write = true;
                 let own_sig = self.sign_write(&hash);
@@ -292,12 +320,14 @@ impl Instance {
                 // Verify the sender's write signature: these signatures form
                 // the WriteCertificates that justify locked values during
                 // leader changes, so only genuine ones may be tallied.
-                let payload = write_sign_payload(self.id, self.epoch, &value_hash);
                 let Some(key) = self.view.members.get(from) else {
                     return (out, None);
                 };
-                if !key.verify(&payload, &signature) {
-                    return (out, None);
+                if verify_sigs {
+                    let payload = write_sign_payload(self.id, self.epoch, &value_hash);
+                    if !key.verify(&payload, &signature) {
+                        return (out, None);
+                    }
                 }
                 if self.record_write(from, value_hash, signature, &mut out) {
                     return self.try_decide(value_hash, &mut out);
@@ -313,12 +343,14 @@ impl Instance {
                 if epoch != self.epoch {
                     return (out, None);
                 }
-                let payload = accept_sign_payload(self.id, self.epoch, &value_hash);
                 let Some(key) = self.view.members.get(from) else {
                     return (out, None);
                 };
-                if !key.verify(&payload, &signature) {
-                    return (out, None);
+                if verify_sigs {
+                    let payload = accept_sign_payload(self.id, self.epoch, &value_hash);
+                    if !key.verify(&payload, &signature) {
+                        return (out, None);
+                    }
                 }
                 let entry = self.epoch_state.accepts.entry(value_hash).or_default();
                 if entry.iter().any(|(r, _)| *r == from) {
@@ -338,13 +370,12 @@ impl Instance {
                 value,
             } => {
                 debug_assert_eq!(instance, self.id);
-                let hash = sha256::digest(&value);
                 if self.value.is_none() {
-                    self.value = Some((value, hash));
+                    self.value = Some(value);
                 }
                 // A pending accept quorum may now be completable.
-                if let Some((_, h)) = &self.value {
-                    let h = *h;
+                if let Some(v) = &self.value {
+                    let h = v.hash();
                     if self
                         .epoch_state
                         .accepts
@@ -411,17 +442,17 @@ impl Instance {
             .cloned()
             .unwrap_or_default();
         match &self.value {
-            Some((value, h)) if *h == value_hash => {
+            Some(value) if value.hash() == value_hash => {
                 let decision = Decision {
                     instance: self.id,
                     epoch: self.epoch,
                     value: value.clone(),
-                    proof: DecisionProof {
+                    proof: Arc::new(DecisionProof {
                         instance: self.id,
                         epoch: self.epoch,
                         value_hash,
                         accepts,
-                    },
+                    }),
                 };
                 self.decision = Some(decision.clone());
                 (std::mem::take(out), Some(decision))
@@ -445,7 +476,7 @@ impl Instance {
     fn serve_fetch(&self, to: ReplicaId, instance: u64) -> Vec<Output<ConsensusMsg>> {
         debug_assert_eq!(instance, self.id);
         match &self.value {
-            Some((value, _)) => vec![Output::Send(
+            Some(value) => vec![Output::Send(
                 to,
                 ConsensusMsg::ValueReply {
                     instance: self.id,
@@ -462,6 +493,7 @@ impl Instance {
 mod tests {
     use super::*;
     use smartchain_crypto::keys::Backend;
+    use smartchain_crypto::sha256;
 
     struct Net {
         instances: Vec<Instance>,
@@ -566,7 +598,7 @@ mod tests {
             ConsensusMsg::Propose {
                 instance: 7,
                 epoch: 0,
-                value: b"evil".to_vec(),
+                value: b"evil".to_vec().into(),
             },
         );
         assert!(outs.is_empty());
@@ -580,7 +612,7 @@ mod tests {
         let prop = |v: &[u8]| ConsensusMsg::Propose {
             instance: 7,
             epoch: 0,
-            value: v.to_vec(),
+            value: v.to_vec().into(),
         };
         let mut queue: Vec<(ReplicaId, ReplicaId, ConsensusMsg)> =
             vec![(0, 1, prop(b"A")), (0, 2, prop(b"B")), (0, 3, prop(b"B"))];
@@ -604,8 +636,8 @@ mod tests {
             }
         }
         let decided: Vec<&Decision> = decisions.iter().flatten().collect();
-        let values: std::collections::HashSet<&Vec<u8>> =
-            decided.iter().map(|d| &d.value).collect();
+        let values: std::collections::HashSet<Vec<u8>> =
+            decided.iter().map(|d| d.value.to_vec()).collect();
         assert!(values.len() <= 1, "conflicting decisions: {values:?}");
     }
 
@@ -618,7 +650,7 @@ mod tests {
             ConsensusMsg::Propose {
                 instance: 7,
                 epoch: 0,
-                value: b"old".to_vec(),
+                value: b"old".to_vec().into(),
             },
         );
         assert!(outs.is_empty());
@@ -701,7 +733,7 @@ mod tests {
             ConsensusMsg::ValueReply {
                 instance: 7,
                 epoch: 0,
-                value: value.clone(),
+                value: value.clone().into(),
             },
         );
         assert!(dec.is_none());
@@ -744,7 +776,7 @@ mod tests {
         let prop = ConsensusMsg::Propose {
             instance: 7,
             epoch: 0,
-            value: value.clone(),
+            value: value.clone().into(),
         };
         let mut msgs: Vec<(ReplicaId, ConsensusMsg)> = Vec::new();
         for r in 0..3usize {

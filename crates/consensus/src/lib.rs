@@ -25,6 +25,8 @@ pub mod messages;
 pub mod proof;
 pub mod synchronizer;
 
+pub use smartchain_crypto::ValueBytes;
+
 /// Identifies a replica inside a view (dense, 0-based).
 pub type ReplicaId = usize;
 

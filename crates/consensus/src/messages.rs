@@ -3,7 +3,7 @@
 use crate::ReplicaId;
 use smartchain_codec::{Decode, DecodeError, Encode};
 use smartchain_crypto::keys::Signature;
-use smartchain_crypto::Hash;
+use smartchain_crypto::{Hash, ValueBytes};
 
 /// A consensus-protocol message.
 #[derive(Clone, Debug, PartialEq)]
@@ -14,8 +14,9 @@ pub enum ConsensusMsg {
         instance: u64,
         /// Epoch (regency) in which this proposal is made.
         epoch: u32,
-        /// The proposed value (an encoded request batch).
-        value: Vec<u8>,
+        /// The proposed value (an encoded request batch), shared and
+        /// hash-memoized so relays and repair replies never re-copy it.
+        value: ValueBytes,
     },
     /// Echo of the proposal hash (Byzantine-leader detection round).
     Write {
@@ -53,8 +54,8 @@ pub enum ConsensusMsg {
         instance: u64,
         /// Epoch the value was proposed in.
         epoch: u32,
-        /// The value itself.
-        value: Vec<u8>,
+        /// The value itself (shared handle; see [`ValueBytes`]).
+        value: ValueBytes,
     },
 }
 
@@ -88,6 +89,34 @@ impl ConsensusMsg {
     /// encoder is the single source of truth.
     pub fn wire_size(&self) -> usize {
         smartchain_codec::FRAME_BYTES + self.encoded_len()
+    }
+
+    /// For signed messages (WRITE/ACCEPT), the canonical sign payload and
+    /// the carried signature — the inputs a batch verifier needs. `None`
+    /// for unsigned messages (PROPOSE/FETCH/VALUE-REPLY are authenticated
+    /// structurally, not by signature).
+    pub fn sign_check(&self) -> Option<(Vec<u8>, &Signature)> {
+        match self {
+            ConsensusMsg::Write {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => Some((
+                crate::proof::write_sign_payload(*instance, *epoch, value_hash),
+                signature,
+            )),
+            ConsensusMsg::Accept {
+                instance,
+                epoch,
+                value_hash,
+                signature,
+            } => Some((
+                accept_sign_payload(*instance, *epoch, value_hash),
+                signature,
+            )),
+            _ => None,
+        }
     }
 }
 
@@ -182,7 +211,7 @@ impl Decode for ConsensusMsg {
             0 => Ok(ConsensusMsg::Propose {
                 instance: u64::decode(input)?,
                 epoch: u32::decode(input)?,
-                value: Vec::<u8>::decode(input)?,
+                value: ValueBytes::decode(input)?,
             }),
             1 => Ok(ConsensusMsg::Write {
                 instance: u64::decode(input)?,
@@ -202,7 +231,7 @@ impl Decode for ConsensusMsg {
             4 => Ok(ConsensusMsg::ValueReply {
                 instance: u64::decode(input)?,
                 epoch: u32::decode(input)?,
-                value: Vec::<u8>::decode(input)?,
+                value: ValueBytes::decode(input)?,
             }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
         }
@@ -233,7 +262,7 @@ mod tests {
             ConsensusMsg::Propose {
                 instance: 3,
                 epoch: 1,
-                value: vec![1, 2, 3],
+                value: vec![1, 2, 3].into(),
             },
             ConsensusMsg::Write {
                 instance: 3,
@@ -251,7 +280,7 @@ mod tests {
             ConsensusMsg::ValueReply {
                 instance: 9,
                 epoch: 0,
-                value: vec![],
+                value: vec![].into(),
             },
         ];
         for m in msgs {
@@ -268,7 +297,7 @@ mod tests {
             ConsensusMsg::Propose {
                 instance: 1,
                 epoch: 2,
-                value: vec![9; 100],
+                value: vec![9; 100].into(),
             },
             ConsensusMsg::Write {
                 instance: 1,
@@ -286,7 +315,7 @@ mod tests {
             ConsensusMsg::ValueReply {
                 instance: 5,
                 epoch: 0,
-                value: vec![1],
+                value: vec![1].into(),
             },
         ];
         for m in msgs {
@@ -307,12 +336,12 @@ mod tests {
         let small = ConsensusMsg::Propose {
             instance: 0,
             epoch: 0,
-            value: vec![0; 10],
+            value: vec![0; 10].into(),
         };
         let big = ConsensusMsg::Propose {
             instance: 0,
             epoch: 0,
-            value: vec![0; 10_000],
+            value: vec![0; 10_000].into(),
         };
         assert!(big.wire_size() > small.wire_size() + 9_000);
     }

@@ -24,7 +24,7 @@
 use crate::proof::WriteCertificate;
 use crate::{ReplicaId, View};
 use smartchain_codec::{decode_seq, encode_seq, Decode, DecodeError, Encode};
-use smartchain_crypto::sha256;
+use smartchain_crypto::ValueBytes;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// A replica's locked value, reported in STOPDATA.
@@ -34,8 +34,9 @@ pub struct LockedReport {
     pub instance: u64,
     /// Epoch in which the value gathered its write certificate.
     pub epoch: u32,
-    /// The value itself.
-    pub value: Vec<u8>,
+    /// The value itself (shared handle; cloning a report into lock
+    /// vectors and SYNC messages never copies the bytes).
+    pub value: ValueBytes,
     /// Quorum of signed WRITEs justifying the lock.
     pub cert: WriteCertificate,
 }
@@ -61,7 +62,7 @@ impl Decode for LockedReport {
         Ok(LockedReport {
             instance: u64::decode(input)?,
             epoch: u32::decode(input)?,
-            value: Vec::<u8>::decode(input)?,
+            value: ValueBytes::decode(input)?,
             cert: WriteCertificate::decode(input)?,
         })
     }
@@ -143,7 +144,7 @@ pub enum SyncMsg {
         /// a *later* instance would re-decide old content and fork the
         /// history. Encoded with a one-byte count, byte-identical to the
         /// former `Option` encoding for 0 or 1 entries (always at α = 1).
-        adopted: Vec<(u64, Vec<u8>)>,
+        adopted: Vec<(u64, ValueBytes)>,
     },
 }
 
@@ -222,7 +223,7 @@ impl Decode for SyncMsg {
                 let count = u8::decode(input)?;
                 let mut adopted = Vec::with_capacity(count as usize);
                 for _ in 0..count {
-                    adopted.push((u64::decode(input)?, Vec::<u8>::decode(input)?));
+                    adopted.push((u64::decode(input)?, ValueBytes::decode(input)?));
                 }
                 Ok(SyncMsg::Sync {
                     regency,
@@ -261,7 +262,7 @@ pub enum SyncAction {
         leader: ReplicaId,
         /// Locked `(instance, value)` pairs carried over from the previous
         /// regency, ascending by instance.
-        adopt: Vec<(u64, Vec<u8>)>,
+        adopt: Vec<(u64, ValueBytes)>,
     },
 }
 
@@ -449,7 +450,7 @@ impl Synchronizer {
         locked.cert.verify(view)
             && locked.cert.instance == locked.instance
             && locked.cert.epoch == locked.epoch
-            && locked.cert.value_hash == sha256::digest(&locked.value)
+            && locked.cert.value_hash == locked.value.hash()
     }
 
     /// Every attached lock must verify, and the list must be strictly
@@ -469,7 +470,7 @@ impl Synchronizer {
     /// highest-epoch lock for that instance wins — any value that could have
     /// decided at instance `i` is write-locked at a quorum, so it appears in
     /// every `n−f` report set and is re-adopted at `i` (and only at `i`).
-    fn choose(&self, reports: &[(u64, StopData)]) -> Vec<(u64, Vec<u8>)> {
+    fn choose(&self, reports: &[(u64, StopData)]) -> Vec<(u64, ValueBytes)> {
         if self.alpha <= 1 {
             return reports
                 .iter()
@@ -499,7 +500,7 @@ impl Synchronizer {
         from: ReplicaId,
         regency: u32,
         reports: Vec<(u64, StopData)>,
-        adopted: Vec<(u64, Vec<u8>)>,
+        adopted: Vec<(u64, ValueBytes)>,
     ) -> Vec<SyncAction> {
         if regency <= self.regency || self.leader_of(regency) != from {
             return Vec::new();
@@ -521,7 +522,7 @@ impl Synchronizer {
         self.install(regency, adopted)
     }
 
-    fn install(&mut self, regency: u32, adopt: Vec<(u64, Vec<u8>)>) -> Vec<SyncAction> {
+    fn install(&mut self, regency: u32, adopt: Vec<(u64, ValueBytes)>) -> Vec<SyncAction> {
         self.regency = regency;
         self.stopped_at = None;
         self.stops.retain(|r, _| *r > regency);
@@ -671,7 +672,7 @@ mod tests {
         // Build a genuine write certificate for value "locked-batch" at
         // instance 5, epoch 0.
         let value = b"locked-batch".to_vec();
-        let h = sha256::digest(&value);
+        let h = smartchain_crypto::sha256::digest(&value);
         let payload = write_sign_payload(5, 0, &h);
         let cert = WriteCertificate {
             instance: 5,
@@ -683,7 +684,7 @@ mod tests {
         let locked = LockedReport {
             instance: 5,
             epoch: 0,
-            value: value.clone(),
+            value: value.clone().into(),
             cert,
         };
 
@@ -706,7 +707,7 @@ mod tests {
             });
             assert_eq!(
                 adopted,
-                Some(vec![(5, value.clone())]),
+                Some(vec![(5, value.clone().into())]),
                 "replica {i} must adopt the locked value at its instance"
             );
         }
@@ -717,7 +718,7 @@ mod tests {
         let (secrets, view, mut syncs) = setup(4);
         // A lock whose certificate has only one signature (sub-quorum).
         let value = b"forged".to_vec();
-        let h = sha256::digest(&value);
+        let h = smartchain_crypto::sha256::digest(&value);
         let payload = write_sign_payload(5, 0, &h);
         let bad_cert = WriteCertificate {
             instance: 5,
@@ -729,7 +730,7 @@ mod tests {
         let locked = LockedReport {
             instance: 5,
             epoch: 0,
-            value,
+            value: value.into(),
             cert: bad_cert,
         };
 
@@ -785,7 +786,7 @@ mod tests {
             SyncMsg::Sync {
                 regency: 1,
                 reports,
-                adopted: vec![(5, b"bogus".to_vec())],
+                adopted: vec![(5, b"bogus".to_vec().into())],
             },
         );
         assert!(actions.is_empty());
@@ -812,7 +813,7 @@ mod tests {
                         locked: Vec::new(),
                     },
                 )],
-                adopted: vec![(9, vec![1, 2, 3]), (10, vec![4, 5])],
+                adopted: vec![(9, vec![1, 2, 3].into()), (10, vec![4, 5].into())],
             },
         ];
         for m in msgs {
@@ -841,7 +842,7 @@ mod wire_len_tests {
         let locked = LockedReport {
             instance: 4,
             epoch: 1,
-            value: vec![7; 40],
+            value: vec![7; 40].into(),
             cert: cert.clone(),
         };
         let data = StopData {
@@ -866,7 +867,7 @@ mod wire_len_tests {
                         },
                     ),
                 ],
-                adopted: vec![(4, vec![7; 40])],
+                adopted: vec![(4, vec![7; 40].into())],
             },
         ];
         assert_eq!(cert.encoded_len(), cert.to_vec().len());

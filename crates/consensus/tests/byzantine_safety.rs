@@ -79,7 +79,7 @@ fn equivocation_never_splits_decisions() {
                 ConsensusMsg::Propose {
                     instance: 1,
                     epoch: 0,
-                    value,
+                    value: value.into(),
                 },
             ));
         }
@@ -110,8 +110,8 @@ fn equivocation_never_splits_decisions() {
             }
         }
         let decided: Vec<&Decision> = decisions.iter().flatten().collect();
-        let values: std::collections::HashSet<&Vec<u8>> =
-            decided.iter().map(|d| &d.value).collect();
+        let values: std::collections::HashSet<Vec<u8>> =
+            decided.iter().map(|d| d.value.to_vec()).collect();
         assert!(
             values.len() <= 1,
             "case {case}: conflicting decisions ({} values)",
@@ -156,7 +156,7 @@ fn genuine_lock(
     LockedReport {
         instance,
         epoch,
-        value: value.to_vec(),
+        value: value.to_vec().into(),
         cert: WriteCertificate {
             instance,
             epoch,
@@ -170,7 +170,7 @@ fn genuine_lock(
 }
 
 /// An installed adoption vector: `(instance, value)` pairs.
-type Adopted = Vec<(u64, Vec<u8>)>;
+type Adopted = Vec<(u64, smartchain_consensus::ValueBytes)>;
 
 /// Drives a full regency change with per-replica STOPDATA contents and
 /// returns each replica's adopted `(instance, value)` vector.
@@ -235,8 +235,8 @@ fn pipelined_view_change_adopts_every_locked_instance() {
             _ => Vec::new(),
         },
     });
-    let expected: Vec<(u64, Vec<u8>)> = (5..=8u64)
-        .map(|i| (i, format!("value-{i}").into_bytes()))
+    let expected: Adopted = (5..=8u64)
+        .map(|i| (i, format!("value-{i}").into_bytes().into()))
         .collect();
     for (r, a) in adopted.iter().enumerate() {
         assert_eq!(
@@ -279,7 +279,10 @@ fn pipelined_view_change_drops_forged_locks_keeps_genuine() {
             .unwrap_or_else(|| panic!("replica {r} no install"));
         assert_eq!(
             a,
-            &vec![(5, b"good-5".to_vec()), (6, b"good-6-epoch1".to_vec()),],
+            &vec![
+                (5, b"good-5".to_vec().into()),
+                (6, b"good-6-epoch1".to_vec().into()),
+            ],
             "replica {r}: forged lock dropped, per-instance highest epoch wins"
         );
     }
@@ -310,7 +313,7 @@ fn pipelined_sync_with_shifted_adoption_rejected() {
         SyncMsg::Sync {
             regency: 1,
             reports: reports.clone(),
-            adopted: vec![(6, b"locked-at-5".to_vec())],
+            adopted: vec![(6, b"locked-at-5".to_vec().into())],
         },
     );
     assert!(actions.is_empty(), "shifted adoption must be rejected");
@@ -320,7 +323,7 @@ fn pipelined_sync_with_shifted_adoption_rejected() {
         SyncMsg::Sync {
             regency: 1,
             reports,
-            adopted: vec![(5, b"locked-at-5".to_vec())],
+            adopted: vec![(5, b"locked-at-5".to_vec().into())],
         },
     );
     assert!(actions
@@ -481,7 +484,7 @@ fn tampered_fetched_value_never_decides() {
         ConsensusMsg::ValueReply {
             instance: 1,
             epoch: 0,
-            value: b"forged-value".to_vec(),
+            value: b"forged-value".to_vec().into(),
         },
     );
     assert!(decision.is_none(), "a bare value reply never decides");

@@ -137,7 +137,7 @@ pub(crate) struct MemberState {
     pub(crate) pending_reconfig: Option<(
         u64,
         crate::block::ReconfigTx,
-        smartchain_consensus::proof::DecisionProof,
+        std::sync::Arc<smartchain_consensus::proof::DecisionProof>,
     )>,
     /// A reconfiguration block awaiting its synchronous write (Sync rung).
     pub(crate) reconfig_install: Option<ReconfigInstall>,

@@ -13,6 +13,8 @@
 //!   TCP transport's point-to-point links.
 //! * [`pool`] — a parallel signature-verification worker pool (the mechanism
 //!   behind the paper's "parallel signature verification" column in Table I).
+//! * [`value`] — [`ValueBytes`], the Arc-shared, hash-memoized handle for
+//!   decided consensus values (the zero-copy/hash-once hot-path currency).
 //!
 //! # Examples
 //!
@@ -31,6 +33,9 @@ pub mod pool;
 pub mod sha256;
 pub mod sha512;
 pub mod sim_signer;
+pub mod value;
+
+pub use value::ValueBytes;
 
 /// 32-byte hash digest used throughout the workspace.
 pub type Hash = [u8; 32];

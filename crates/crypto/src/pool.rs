@@ -84,7 +84,10 @@ impl JobQueue {
 /// ```
 pub struct VerifyPool {
     jobs: Arc<JobQueue>,
-    results_rx: mpsc::Receiver<(usize, bool)>,
+    /// Guarded so the pool is `Sync` (shareable via `Arc` across replica
+    /// components); the lock spans an entire batch, keeping each call's
+    /// results from interleaving with another thread's.
+    results_rx: Mutex<mpsc::Receiver<(usize, bool)>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -124,7 +127,7 @@ impl VerifyPool {
         drop(res_tx);
         VerifyPool {
             jobs,
-            results_rx: res_rx,
+            results_rx: Mutex::new(res_rx),
             workers: handles,
         }
     }
@@ -137,6 +140,7 @@ impl VerifyPool {
     /// Verifies a batch in parallel, returning per-item results in order.
     pub fn verify_batch(&self, batch: &[(PublicKey, Vec<u8>, Signature)]) -> Vec<bool> {
         let n = batch.len();
+        let results_rx = self.results_rx.lock().expect("pool results lock");
         for (index, (public, msg, sig)) in batch.iter().enumerate() {
             self.jobs.push(Job {
                 index,
@@ -147,10 +151,7 @@ impl VerifyPool {
         }
         let mut results = vec![false; n];
         for _ in 0..n {
-            let (index, ok) = self
-                .results_rx
-                .recv()
-                .expect("workers alive while pool exists");
+            let (index, ok) = results_rx.recv().expect("workers alive while pool exists");
             results[index] = ok;
         }
         results
@@ -161,6 +162,7 @@ impl VerifyPool {
     /// Consumes the items, so messages move into the worker jobs uncopied.
     pub fn verify_tagged<T>(&self, batch: Vec<VerifyItem<T>>) -> Vec<(T, bool)> {
         let n = batch.len();
+        let results_rx = self.results_rx.lock().expect("pool results lock");
         let mut tags = Vec::with_capacity(n);
         for (index, item) in batch.into_iter().enumerate() {
             tags.push(item.tag);
@@ -173,10 +175,7 @@ impl VerifyPool {
         }
         let mut results = vec![false; n];
         for _ in 0..n {
-            let (index, ok) = self
-                .results_rx
-                .recv()
-                .expect("workers alive while pool exists");
+            let (index, ok) = results_rx.recv().expect("workers alive while pool exists");
             results[index] = ok;
         }
         tags.into_iter().zip(results).collect()

@@ -48,8 +48,12 @@ use std::io;
 use std::path::Path;
 
 /// The batch chain hash: `tip_k = sha256(tip_{k-1} ‖ sha256(value_k))`.
-fn chain_tip(prev: &[u8; 32], value: &[u8]) -> [u8; 32] {
-    sha256::digest_parts(&[prev, &sha256::digest(value)])
+///
+/// Takes the value as a shared handle so the inner digest reuses the
+/// memoized value hash (computed once per allocation, usually already paid
+/// by consensus) instead of rehashing the batch bytes.
+fn chain_tip_shared(prev: &[u8; 32], value: &smartchain_crypto::ValueBytes) -> [u8; 32] {
+    sha256::digest_parts(&[prev, &value.hash()])
 }
 
 /// One durable log record: the raw decided value plus its decision proof,
@@ -58,8 +62,10 @@ fn chain_tip(prev: &[u8; 32], value: &[u8]) -> [u8; 32] {
 pub struct LoggedBatch {
     /// Chain hash of the predecessor record ([0; 32] for batch 1).
     pub prev: [u8; 32],
-    /// The raw decided consensus value (`sha256` of it = `proof.value_hash`).
-    pub value: Vec<u8>,
+    /// The raw decided consensus value (`sha256` of it = `proof.value_hash`),
+    /// held as a shared, hash-memoized handle — replay verification and
+    /// chain-tip updates digest it once.
+    pub value: smartchain_crypto::ValueBytes,
     /// Quorum of signed ACCEPTs for this instance.
     pub proof: DecisionProof,
 }
@@ -79,7 +85,7 @@ impl Decode for LoggedBatch {
     fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
         Ok(LoggedBatch {
             prev: <[u8; 32]>::decode(input)?,
-            value: Vec::<u8>::decode(input)?,
+            value: smartchain_crypto::ValueBytes::decode(input)?,
             proof: DecisionProof::decode(input)?,
         })
     }
@@ -397,7 +403,7 @@ pub fn verify_shipped_suffix(view: &View, first_batch: u64, batches: &[Vec<u8>])
             return false;
         };
         lb.proof.instance == first_batch + i as u64
-            && sha256::digest(&lb.value) == lb.proof.value_hash
+            && lb.value.hash() == lb.proof.value_hash
             && lb.proof.verify(view)
     })
 }
@@ -592,7 +598,7 @@ impl<A: Application> DurableApp<A> {
                     replies.insert(request.client, (request.seq, result));
                 }
             }
-            tip = chain_tip(&tip, &lb.value);
+            tip = chain_tip_shared(&tip, &lb.value);
             batches_applied = index + 1;
             replayed += 1;
         }
@@ -741,7 +747,7 @@ impl<A: Application> DurableApp<A> {
             .iter()
             .map(|r| executed.remove(&(r.client, r.seq)).unwrap_or_default())
             .collect();
-        self.tip = chain_tip(&self.tip, &batch.value);
+        self.tip = chain_tip_shared(&self.tip, &batch.value);
         self.batches_applied += 1;
         if self.batches_applied.is_multiple_of(self.checkpoint_period) {
             self.checkpoint()?;
@@ -777,18 +783,18 @@ impl<A: Application> DurableApp<A> {
     ///
     /// Propagates storage failures.
     pub fn apply_requests(&mut self, requests: &[Request]) -> io::Result<Vec<Vec<u8>>> {
-        let value = encode_batch(requests);
+        let value = smartchain_crypto::ValueBytes::from(encode_batch(requests));
         let instance = self.batches_applied + 1;
         let batch = OrderedBatch {
             instance,
             epoch: 0,
             requests: requests.to_vec(),
-            proof: DecisionProof {
+            proof: std::sync::Arc::new(DecisionProof {
                 instance,
                 epoch: 0,
-                value_hash: sha256::digest(&value),
+                value_hash: value.hash(),
                 accepts: Vec::new(),
-            },
+            }),
             value,
         };
         self.apply_batch(&batch)
@@ -1100,7 +1106,7 @@ impl<A: Application> DurableApp<A> {
                     applied.push(request);
                 }
             }
-            self.tip = chain_tip(&self.tip, &lb.value);
+            self.tip = chain_tip_shared(&self.tip, &lb.value);
             self.batches_applied += 1;
         }
         Ok(applied)
@@ -1512,18 +1518,18 @@ mod tests {
             // both. Emulate by logging the raw value with the dup inside.
             let dup = req(1, 1, 5);
             let fresh = req(1, 2, 3);
-            let value = encode_batch(&[dup, fresh.clone()]);
+            let value = smartchain_crypto::ValueBytes::from(encode_batch(&[dup, fresh.clone()]));
             let instance = d.batches_applied() + 1;
             let batch = OrderedBatch {
                 instance,
                 epoch: 0,
                 requests: vec![fresh],
-                proof: DecisionProof {
+                proof: std::sync::Arc::new(DecisionProof {
                     instance,
                     epoch: 0,
-                    value_hash: sha256::digest(&value),
+                    value_hash: value.hash(),
                     accepts: Vec::new(),
-                },
+                }),
                 value,
             };
             d.apply_batch(&batch).unwrap();

@@ -15,12 +15,16 @@ use crate::types::{decode_batch, encode_batch, Request};
 use smartchain_codec::{Decode, DecodeError, Encode};
 use smartchain_consensus::instance::{Decision, Instance};
 use smartchain_consensus::messages::{ConsensusMsg, Output};
+use smartchain_consensus::proof::DecisionProof;
 use smartchain_consensus::synchronizer::{
     LockedReport, StopData, SyncAction, SyncMsg, Synchronizer,
 };
 use smartchain_consensus::{ReplicaId, View};
 use smartchain_crypto::keys::{SecretKey, Signature};
+use smartchain_crypto::pool::{verify_batch_sequential, VerifyPool};
+use smartchain_crypto::ValueBytes;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// How many instances ahead of `last_decided` a replica will participate in
 /// (catch-up window before state transfer is required).
@@ -35,6 +39,25 @@ const INSTANCE_WINDOW: u64 = 8;
 /// schedule — deterministic under the simulator and free of extra timers on
 /// metal.
 const QUIET_EVENTS: u32 = 24;
+
+/// Largest number of *extra* consecutive instances a single
+/// [`SmrMsg::InstanceFetch`] can cover beyond its first one — the range
+/// extension travels in the upper seven bits of the flag byte.
+pub const MAX_FETCH_EXTRA: u8 = 127;
+
+/// Packs an [`SmrMsg::InstanceFetch`] flag byte: bit 0 says the requester
+/// already holds the first instance's proposed value; bits 1..7 carry how
+/// many extra consecutive instances the fetch also covers. The legacy
+/// single-instance encodings (0 and 1) round-trip unchanged.
+pub fn pack_fetch(have_value: bool, extra: u8) -> u8 {
+    (have_value as u8) | (extra.min(MAX_FETCH_EXTRA) << 1)
+}
+
+/// Splits an [`SmrMsg::InstanceFetch`] flag byte into
+/// `(have_value, extra_instances)`.
+pub fn unpack_fetch(flags: u8) -> (bool, u8) {
+    (flags & 1 != 0, flags >> 1)
+}
 
 /// Wire messages exchanged by SMR replicas (clients speak
 /// [`SmrMsg::Request`]/[`SmrMsg::Reply`]).
@@ -96,12 +119,15 @@ pub enum SmrMsg {
     /// Per-instance repair request: the sender observed traffic for later
     /// instances but none for `instance` over a quiet period, and asks its
     /// peers for the missing messages — one round trip instead of a regency
-    /// change. `have` is 1 when the requester already holds the proposed
-    /// value (responders then omit the value-bearing reply).
+    /// change. `have` is a packed flag byte (see [`pack_fetch`]): bit 0 is
+    /// set when the requester already holds the first instance's proposed
+    /// value (responders then omit the value-bearing reply), and bits 1..7
+    /// extend the fetch over that many extra consecutive instances, so one
+    /// request repairs a whole stretch of the window.
     InstanceFetch {
-        /// The stalled instance.
+        /// The first stalled instance.
         instance: u64,
-        /// 1 if the requester already knows the proposed value.
+        /// Packed have-value flag and range extension ([`pack_fetch`]).
         have: u8,
     },
     /// Per-instance repair reply. If the responder has seen the decision,
@@ -114,8 +140,10 @@ pub enum SmrMsg {
     InstanceRep {
         /// The instance being repaired.
         instance: u64,
-        /// Decided value and its decision proof, when known.
-        decided: Option<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>,
+        /// Decided value and its decision proof, when known (shared
+        /// handles: responders answer straight from their delivery and
+        /// undelivered buffers without copying the batch bytes).
+        decided: Option<(ValueBytes, Arc<DecisionProof>)>,
         /// The responder's own consensus messages for the instance.
         msgs: Vec<ConsensusMsg>,
     },
@@ -274,9 +302,7 @@ impl Decode for SmrMsg {
             }),
             8 => Ok(SmrMsg::InstanceRep {
                 instance: u64::decode(input)?,
-                decided: Option::<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>::decode(
-                    input,
-                )?,
+                decided: Option::<(ValueBytes, Arc<DecisionProof>)>::decode(input)?,
                 msgs: smartchain_codec::decode_seq(input)?,
             }),
             d => Err(DecodeError::BadDiscriminant(d as u32)),
@@ -325,10 +351,13 @@ pub struct OrderedBatch {
     /// `sha256(value)` is exactly the proof's `value_hash`, so a durable log
     /// that stores this instead of the stripped request list stays bound to
     /// the quorum-signed decision — what the runtime's digest-checked state
-    /// transfer verifies.
-    pub value: Vec<u8>,
-    /// The decision proof (quorum of signed ACCEPTs).
-    pub proof: smartchain_consensus::proof::DecisionProof,
+    /// transfer verifies. A shared, hash-memoized handle: the delivery,
+    /// the durable log, the reply-cache source, and repair replies all hold
+    /// the same allocation, and its digest is computed once.
+    pub value: ValueBytes,
+    /// The decision proof (quorum of signed ACCEPTs), shared with the
+    /// consensus instance and any repair replies that re-ship it.
+    pub proof: Arc<DecisionProof>,
 }
 
 /// Outputs of the ordering core.
@@ -379,6 +408,23 @@ pub struct OrderingConfig {
     /// bit-for-bit reproducible. `None` (the default) keeps the fixed-α
     /// behavior untouched.
     pub alpha_adaptive: Option<AlphaBounds>,
+    /// Opt-in joint α×batch adaptation: when set (and `alpha_adaptive` is
+    /// on), the effective batch cap scales inversely with the AIMD window —
+    /// `max_batch × min_α / current_α`, floored at 1 — so the total work in
+    /// flight (α × batch) stays near `min_α × max_batch`. A wide window
+    /// fills the pipeline with more, slimmer batches (lower per-slot
+    /// latency); a loss-halved window fattens batches to hold throughput.
+    /// Like the window itself this is a pure function of observed protocol
+    /// events, so identically-seeded runs stay bit-for-bit reproducible.
+    /// Ignored in fixed-α mode.
+    pub batch_adaptive: bool,
+    /// How many consecutive instances one repair round may cover (clamped
+    /// to `1..=MAX_FETCH_EXTRA + 1` at construction): the fetch for a
+    /// stalled frontier extends over up to `repair_range - 1` additional
+    /// not-yet-decided instances, and responders answer each from the same
+    /// shared buffers. 1 (the default) preserves single-instance repair
+    /// bit-for-bit.
+    pub repair_range: u8,
 }
 
 impl Default for OrderingConfig {
@@ -387,6 +433,8 @@ impl Default for OrderingConfig {
             max_batch: 512,
             alpha: 1,
             alpha_adaptive: None,
+            batch_adaptive: false,
+            repair_range: 1,
         }
     }
 }
@@ -450,6 +498,13 @@ pub struct OrderingCore {
     claimed: HashMap<u64, Vec<(u64, u64)>>,
     /// Union of the id sets in `claimed` (O(1) batch filtering).
     claimed_ids: HashSet<(u64, u64)>,
+    /// Leading entries of `pending` known to be dead or claimed — the next
+    /// `take_batch` starts scanning here instead of rescanning the prefix
+    /// (rewound whenever a claim is released; only ever advanced at α > 1).
+    pending_cursor: usize,
+    /// Where the last `take_batch` scan stopped; `claim` promotes it to
+    /// `pending_cursor` once the scanned prefix is actually claimed.
+    take_scan_end: usize,
     /// Per-client highest delivered sequence number (dedup).
     delivered_seq: HashMap<u64, u64>,
     /// Effective pipeline width right now (AIMD state; equals
@@ -471,6 +526,10 @@ pub struct OrderingCore {
     timeout_repair: Option<u64>,
     /// Repair/adaptation counters.
     stats: OrderingStats,
+    /// Optional shared signature-verification pool: when set, repair-reply
+    /// admission checks the replayed WRITE/ACCEPT signatures as one batch
+    /// on the pool's workers instead of one by one inline.
+    verify_pool: Option<Arc<VerifyPool>>,
 }
 
 impl std::fmt::Debug for OrderingCore {
@@ -503,6 +562,8 @@ impl OrderingCore {
             bounds.min = bounds.min.clamp(1, u8::MAX as u64);
             bounds.max = bounds.max.clamp(bounds.min, u8::MAX as u64);
         }
+        // The fetch range extension travels in seven bits of the flag byte.
+        config.repair_range = config.repair_range.clamp(1, MAX_FETCH_EXTRA + 1);
         let start_alpha = match config.alpha_adaptive {
             Some(bounds) => bounds.min,
             None => config.alpha,
@@ -521,6 +582,8 @@ impl OrderingCore {
             proposed: HashMap::new(),
             claimed: HashMap::new(),
             claimed_ids: HashSet::new(),
+            pending_cursor: 0,
+            take_scan_end: 0,
             delivered_seq: HashMap::new(),
             current_alpha: start_alpha,
             frontier_quiet: 0,
@@ -533,6 +596,7 @@ impl OrderingCore {
                 alpha_max_seen: start_alpha,
                 ..OrderingStats::default()
             },
+            verify_pool: None,
         }
     }
 
@@ -550,6 +614,19 @@ impl OrderingCore {
             self.current_alpha
         } else {
             self.config.alpha.max(1)
+        }
+    }
+
+    /// The batch cap in force right now: joint adaptation (opt-in) scales
+    /// it inversely with the AIMD window so α × batch stays near
+    /// `min_α × max_batch`; otherwise the configured constant.
+    fn effective_max_batch(&self) -> usize {
+        match self.config.alpha_adaptive {
+            Some(bounds) if self.config.batch_adaptive => {
+                let alpha = self.effective_alpha().max(1) as usize;
+                (self.config.max_batch * bounds.min as usize / alpha).max(1)
+            }
+            _ => self.config.max_batch,
         }
     }
 
@@ -582,6 +659,14 @@ impl OrderingCore {
         let mut stats = self.stats;
         stats.alpha_current = self.effective_alpha();
         stats
+    }
+
+    /// Attaches a shared signature-verification pool; repair-reply
+    /// admission then checks replayed signatures as one batch on the
+    /// pool's workers. Verdicts are identical with or without a pool — it
+    /// only changes where the work runs.
+    pub fn set_verify_pool(&mut self, pool: Arc<VerifyPool>) {
+        self.verify_pool = Some(pool);
     }
 
     /// This replica's id.
@@ -631,6 +716,8 @@ impl OrderingCore {
         self.proposed.clear();
         self.claimed.clear();
         self.claimed_ids.clear();
+        self.pending_cursor = 0;
+        self.take_scan_end = 0;
     }
 
     /// Signs `payload` with this replica's consensus secret key — used by
@@ -745,7 +832,7 @@ impl OrderingCore {
             }
             SmrMsg::Reply(_) => Vec::new(), // replicas ignore replies
             SmrMsg::InstanceFetch { instance, have } => {
-                self.on_instance_fetch(from, instance, have != 0)
+                self.on_instance_fetch(from, instance, have)
             }
             SmrMsg::InstanceRep {
                 instance,
@@ -844,6 +931,18 @@ impl OrderingCore {
     }
 
     fn on_consensus(&mut self, from: ReplicaId, msg: ConsensusMsg) -> Vec<CoreOutput> {
+        self.on_consensus_inner(from, msg, true)
+    }
+
+    /// `verify_sigs = false` skips the per-message signature check — only
+    /// for repair-reply replays whose signatures were already batch-verified
+    /// up front ([`on_instance_rep`](Self::on_instance_rep)).
+    fn on_consensus_inner(
+        &mut self,
+        from: ReplicaId,
+        msg: ConsensusMsg,
+        verify_sigs: bool,
+    ) -> Vec<CoreOutput> {
         let instance_id = msg.instance();
         if instance_id <= self.last_delivered {
             // Late traffic for an already-delivered instance: serve fetches
@@ -866,7 +965,11 @@ impl OrderingCore {
             outputs.extend(self.tick_quiet(instance_id));
         }
         let inst = self.instance_entry(instance_id);
-        let (outs, decision) = inst.on_message(from, msg);
+        let (outs, decision) = if verify_sigs {
+            inst.on_message(from, msg)
+        } else {
+            inst.on_message_preverified(from, msg)
+        };
         outputs.extend(outs.into_iter().map(Self::net));
         if let Some(d) = decision {
             outputs.extend(self.on_decision(d));
@@ -899,19 +1002,39 @@ impl OrderingCore {
         self.repair_round(frontier)
     }
 
-    /// Broadcasts an `InstanceFetch` for `frontier`, plus — when this
-    /// replica leads the instance — a re-broadcast of its own PROPOSE, so a
-    /// lost proposal heals even if no peer got it either.
+    /// Broadcasts an `InstanceFetch` for `frontier` — extended over up to
+    /// `repair_range - 1` further consecutive undecided instances — plus,
+    /// when this replica leads the instance, a re-broadcast of its own
+    /// PROPOSE, so a lost proposal heals even if no peer got it either.
     fn repair_round(&mut self, frontier: u64) -> Vec<CoreOutput> {
         self.stats.fetches_sent += 1;
-        self.fetched.insert(frontier);
         let have = self
             .instances
             .get(&frontier)
             .is_some_and(Instance::has_value);
+        // Cover later instances still missing here; anything already
+        // decided locally (delivered or buffered) needs no repair.
+        let mut extra = 0u8;
+        let window_end = self.last_delivered + self.window();
+        while u64::from(extra) + 1 < u64::from(self.config.repair_range) {
+            let candidate = frontier + 1 + u64::from(extra);
+            if candidate > window_end
+                || self.undelivered.contains_key(&candidate)
+                || self
+                    .instances
+                    .get(&candidate)
+                    .is_some_and(Instance::is_decided)
+            {
+                break;
+            }
+            extra += 1;
+        }
+        for i in frontier..=frontier + u64::from(extra) {
+            self.fetched.insert(i);
+        }
         let mut outputs = vec![CoreOutput::Broadcast(SmrMsg::InstanceFetch {
             instance: frontier,
-            have: have as u8,
+            have: pack_fetch(have, extra),
         })];
         if let Some(inst) = self.instances.get(&frontier) {
             if inst.leader() == self.me {
@@ -923,71 +1046,79 @@ impl OrderingCore {
         outputs
     }
 
-    /// Answers a peer's repair request for `instance`: ship the decision
-    /// plus its quorum proof when we have it (delivered-tail or undelivered
-    /// buffer), otherwise replay our own message set for the instance.
-    /// Responding is unconditional — fixed-α replicas answer too; they just
-    /// never *ask*.
-    fn on_instance_fetch(
-        &mut self,
-        from: ReplicaId,
-        instance: u64,
-        requester_has_value: bool,
-    ) -> Vec<CoreOutput> {
+    /// Answers a peer's repair request: for every instance in the fetched
+    /// range, ship the decision plus its quorum proof when we have it
+    /// (delivered-tail or undelivered buffer) — cloning only the shared
+    /// handles, never the batch bytes — otherwise replay our own message
+    /// set for the instance. Responding is unconditional — fixed-α replicas
+    /// answer too; they just never *ask*.
+    fn on_instance_fetch(&mut self, from: ReplicaId, first: u64, flags: u8) -> Vec<CoreOutput> {
         if from == self.me || from >= self.view.members.len() {
             return Vec::new();
         }
-        let decided = self
-            .instances
-            .get(&instance)
-            .and_then(Instance::decision)
-            .map(|d| (d.value.clone(), d.proof.clone()))
-            .or_else(|| {
-                self.undelivered
-                    .get(&instance)
-                    .map(|d| (d.value.clone(), d.proof.clone()))
-            });
-        if let Some((value, proof)) = decided {
+        let (requester_has_value, extra) = unpack_fetch(flags);
+        let mut outputs = Vec::new();
+        for instance in first..=first.saturating_add(u64::from(extra)) {
+            let decided = self
+                .instances
+                .get(&instance)
+                .and_then(Instance::decision)
+                .map(|d| (d.value.clone(), d.proof.clone()))
+                .or_else(|| {
+                    self.undelivered
+                        .get(&instance)
+                        .map(|d| (d.value.clone(), d.proof.clone()))
+                });
+            if let Some((value, proof)) = decided {
+                self.stats.fetches_answered += 1;
+                outputs.push(CoreOutput::Send(
+                    from,
+                    SmrMsg::InstanceRep {
+                        instance,
+                        decided: Some((value, proof)),
+                        msgs: Vec::new(),
+                    },
+                ));
+                continue;
+            }
+            // The have-value hint only ever describes the first instance.
+            let ship_value = !(requester_has_value && instance == first);
+            let msgs = self
+                .instances
+                .get(&instance)
+                .map(|inst| inst.own_messages(ship_value))
+                .unwrap_or_default();
+            if msgs.is_empty() {
+                continue;
+            }
             self.stats.fetches_answered += 1;
-            return vec![CoreOutput::Send(
+            outputs.push(CoreOutput::Send(
                 from,
                 SmrMsg::InstanceRep {
                     instance,
-                    decided: Some((value, proof)),
-                    msgs: Vec::new(),
+                    decided: None,
+                    msgs,
                 },
-            )];
+            ));
         }
-        let msgs = self
-            .instances
-            .get(&instance)
-            .map(|inst| inst.own_messages(!requester_has_value))
-            .unwrap_or_default();
-        if msgs.is_empty() {
-            return Vec::new();
-        }
-        self.stats.fetches_answered += 1;
-        vec![CoreOutput::Send(
-            from,
-            SmrMsg::InstanceRep {
-                instance,
-                decided: None,
-                msgs,
-            },
-        )]
+        outputs
     }
 
     /// Applies a repair reply. A decided payload must carry a proof that (a)
     /// names this instance, (b) binds to the shipped value by hash, and (c)
     /// verifies against the view's quorum — a Byzantine responder cannot
-    /// forge any of the three. Undecided payloads are fed through the
-    /// ordinary consensus path, where the existing signature/leader/epoch
-    /// checks authenticate each replayed message.
+    /// forge any of the three. Undecided payloads replay the responder's
+    /// own WRITE/ACCEPTs: their signatures are checked up front as one
+    /// batch (on the shared verify pool when attached, inline otherwise),
+    /// failures are dropped, and survivors flow through the ordinary
+    /// consensus path with only the now-redundant per-message signature
+    /// check skipped — the leader/epoch/membership checks still apply
+    /// unchanged.
     fn on_instance_rep(
         &mut self,
         from: ReplicaId,
         instance: u64,
-        decided: Option<(Vec<u8>, smartchain_consensus::proof::DecisionProof)>,
+        decided: Option<(ValueBytes, Arc<DecisionProof>)>,
         msgs: Vec<ConsensusMsg>,
     ) -> Vec<CoreOutput> {
         if from == self.me || from >= self.view.members.len() {
@@ -998,7 +1129,7 @@ impl OrderingCore {
         }
         if let Some((value, proof)) = decided {
             if proof.instance != instance
-                || smartchain_crypto::sha256::digest(&value) != proof.value_hash
+                || value.hash() != proof.value_hash
                 || !proof.verify(&self.view)
             {
                 return Vec::new();
@@ -1019,12 +1150,35 @@ impl OrderingCore {
                 proof,
             });
         }
+        // Replayed messages are the responder's own, so every signed one
+        // must verify against the responder's key; check them as one batch.
+        let relevant: Vec<ConsensusMsg> = msgs
+            .into_iter()
+            .filter(|m| m.instance() == instance)
+            .collect();
+        let public = self.view.members[from];
+        let checks: Vec<_> = relevant
+            .iter()
+            .filter_map(|m| m.sign_check().map(|(payload, sig)| (public, payload, *sig)))
+            .collect();
+        let verdicts = match &self.verify_pool {
+            Some(pool) => pool.verify_batch(&checks),
+            None => verify_batch_sequential(&checks),
+        };
         let mut outputs = Vec::new();
-        for m in msgs {
-            if m.instance() != instance {
-                continue;
-            }
-            outputs.extend(self.on_consensus(from, m));
+        let mut next_verdict = 0;
+        for m in relevant {
+            let preverified = if m.sign_check().is_some() {
+                let ok = verdicts[next_verdict];
+                next_verdict += 1;
+                if !ok {
+                    continue;
+                }
+                true
+            } else {
+                false
+            };
+            outputs.extend(self.on_consensus_inner(from, m, !preverified));
         }
         outputs
     }
@@ -1112,7 +1266,7 @@ impl OrderingCore {
             if batch.is_empty() {
                 break;
             }
-            let value = encode_batch(&batch);
+            let value = ValueBytes::from(encode_batch(&batch));
             self.claim(slot, &batch);
             outputs.extend(self.propose_at(slot, regency, value));
             if !self.is_leader() || self.synchronizer.is_stopped() || self.pending_ids.is_empty() {
@@ -1134,20 +1288,31 @@ impl OrderingCore {
 
     /// Drops stale deque entries (ids removed on delivery) lazily, then
     /// takes up to a batch of live, unclaimed requests (they stay queued
-    /// until their own delivery removes them).
+    /// until their own delivery removes them). The scan starts at
+    /// `pending_cursor` — every earlier entry is already dead or claimed —
+    /// so filling α slots costs O(α × batch), not O(α × pending).
     fn take_batch(&mut self) -> Vec<Request> {
         while let Some(front) = self.pending.front() {
             if self.pending_ids.contains(&front.id()) {
                 break;
             }
             self.pending.pop_front();
+            self.pending_cursor = self.pending_cursor.saturating_sub(1);
         }
-        self.pending
-            .iter()
-            .filter(|r| self.pending_ids.contains(&r.id()) && !self.claimed_ids.contains(&r.id()))
-            .take(self.config.max_batch)
-            .cloned()
-            .collect()
+        let limit = self.effective_max_batch();
+        let mut batch = Vec::new();
+        let mut scanned = self.pending_cursor;
+        for r in self.pending.iter().skip(self.pending_cursor) {
+            if batch.len() >= limit {
+                break;
+            }
+            scanned += 1;
+            if self.pending_ids.contains(&r.id()) && !self.claimed_ids.contains(&r.id()) {
+                batch.push(r.clone());
+            }
+        }
+        self.take_scan_end = scanned;
+        batch
     }
 
     /// Marks `batch`'s requests as claimed by the in-flight proposal for
@@ -1157,6 +1322,9 @@ impl OrderingCore {
         if self.config.max_alpha() <= 1 {
             return;
         }
+        // The prefix the batch's scan covered is now entirely dead or
+        // claimed; the next slot's scan starts past it.
+        self.pending_cursor = self.pending_cursor.max(self.take_scan_end);
         let ids: Vec<(u64, u64)> = batch.iter().map(Request::id).collect();
         for id in &ids {
             self.claimed_ids.insert(*id);
@@ -1165,19 +1333,22 @@ impl OrderingCore {
     }
 
     /// Releases the claim held by `slot`'s proposal (delivery or window
-    /// reset).
+    /// reset). Freed requests may sit anywhere in the queue, so the claim
+    /// cursor rewinds to rescan from the front.
     fn release_claim(&mut self, slot: u64) {
         if let Some(ids) = self.claimed.remove(&slot) {
             for id in ids {
                 self.claimed_ids.remove(&id);
             }
+            self.pending_cursor = 0;
+            self.take_scan_end = 0;
         }
     }
 
     /// Records the proposal bookkeeping for `slot` and runs the leader's
     /// proposal, including handling our own broadcast locally (it does not
     /// loop back).
-    fn propose_at(&mut self, slot: u64, regency: u32, value: Vec<u8>) -> Vec<CoreOutput> {
+    fn propose_at(&mut self, slot: u64, regency: u32, value: ValueBytes) -> Vec<CoreOutput> {
         self.proposed.insert(slot, regency);
         let me = self.me;
         let inst = self.instance_entry(slot);
@@ -1274,7 +1445,7 @@ impl OrderingCore {
         &mut self,
         regency: u32,
         leader: ReplicaId,
-        adopt: Vec<(u64, Vec<u8>)>,
+        adopt: Vec<(u64, ValueBytes)>,
     ) -> Vec<CoreOutput> {
         self.stats.regency_changes += 1;
         self.timeout_repair = None;
@@ -1322,7 +1493,7 @@ impl OrderingCore {
         self.instance_entry(next); // the next slot must be open either way
                                    // Carried values are adopted at their instances (never at a
                                    // different slot — adopting elsewhere would re-decide old content).
-        let mut adopt_map: BTreeMap<u64, Vec<u8>> = adopt
+        let mut adopt_map: BTreeMap<u64, ValueBytes> = adopt
             .into_iter()
             .filter(|(instance, _)| *instance >= next)
             .collect();
@@ -1351,7 +1522,7 @@ impl OrderingCore {
                         // whatever is pending (an empty batch if nothing is)
                         // so the carried decisions above can deliver.
                         let batch = self.take_batch();
-                        let value = encode_batch(&batch);
+                        let value = ValueBytes::from(encode_batch(&batch));
                         self.claim(slot, &batch);
                         value
                     }
@@ -1401,7 +1572,7 @@ mod tests {
                     OrderingConfig {
                         max_batch,
                         alpha,
-                        alpha_adaptive: None,
+                        ..OrderingConfig::default()
                     },
                     0,
                 )
@@ -1837,6 +2008,97 @@ mod tests {
             assert_eq!(ids, vec![(99, 1), (41, 1), (43, 1)], "replica {r}");
         }
     }
+
+    /// α = 4, max_batch = 2, eight requests queued before leadership: the
+    /// pipeline's per-slot claims must be disjoint, consecutive, and in
+    /// submission order — pinning that the O(batch) claim cursor neither
+    /// rescans nor skips.
+    #[test]
+    fn pipelined_batches_claim_disjoint_consecutive_requests() {
+        let mut cores = make_cluster_alpha(4, 2, 4);
+        let mut initial = Vec::new();
+        for r in 1..4usize {
+            for i in 0..8u64 {
+                for out in cores[r].submit(req(60 + i, 1)) {
+                    initial.push((r, out));
+                }
+            }
+        }
+        // Leader 0 is down; the timeout hands leadership to replica 1,
+        // whose try_propose fills all four slots from the queued backlog.
+        for r in 1..4usize {
+            for out in cores[r].on_progress_timeout() {
+                initial.push((r, out));
+            }
+        }
+        let delivered = pump(&mut cores, initial, &[0]);
+        let expected: Vec<Vec<(u64, u64)>> = (0..4u64)
+            .map(|slot| vec![(60 + 2 * slot, 1), (61 + 2 * slot, 1)])
+            .collect();
+        for r in 1..4usize {
+            let batches: Vec<Vec<(u64, u64)>> = delivered[r]
+                .iter()
+                .map(|b| b.requests.iter().map(Request::id).collect())
+                .collect();
+            assert_eq!(batches, expected, "replica {r}");
+        }
+    }
+
+    #[test]
+    fn fetch_flag_byte_packs_have_and_range() {
+        // Legacy single-instance encodings survive unchanged.
+        assert_eq!(pack_fetch(false, 0), 0);
+        assert_eq!(pack_fetch(true, 0), 1);
+        assert_eq!(unpack_fetch(0), (false, 0));
+        assert_eq!(unpack_fetch(1), (true, 0));
+        for extra in [1u8, 3, 63, 127] {
+            for have in [false, true] {
+                assert_eq!(unpack_fetch(pack_fetch(have, extra)), (have, extra));
+            }
+        }
+        // Out-of-range extensions saturate instead of corrupting the flag.
+        assert_eq!(unpack_fetch(pack_fetch(true, 255)), (true, 127));
+    }
+
+    /// A ranged fetch is answered instance by instance from the responder's
+    /// shared buffers: decided instances ship value + proof without copying
+    /// the batch bytes.
+    #[test]
+    fn ranged_instance_fetch_answers_each_instance() {
+        let mut cores = make_cluster_alpha(4, 1, 4);
+        let mut initial = Vec::new();
+        for i in 0..2u64 {
+            for out in cores[0].submit(req(70 + i, 1)) {
+                initial.push((0usize, out));
+            }
+        }
+        // Replica 3 misses everything; the rest decide instances 1 and 2.
+        let _ = pump(&mut cores, initial, &[3]);
+        assert_eq!(cores[1].last_delivered(), 2);
+        let outs = cores[1].on_message(
+            3,
+            SmrMsg::InstanceFetch {
+                instance: 1,
+                have: pack_fetch(false, 1),
+            },
+        );
+        let mut answered = Vec::new();
+        for out in outs {
+            match out {
+                CoreOutput::Send(
+                    3,
+                    SmrMsg::InstanceRep {
+                        instance, decided, ..
+                    },
+                ) => {
+                    assert!(decided.is_some(), "instance {instance} decided here");
+                    answered.push(instance);
+                }
+                other => panic!("unexpected output {other:?}"),
+            }
+        }
+        assert_eq!(answered, vec![1, 2]);
+    }
 }
 
 #[cfg(test)]
@@ -1861,7 +2123,7 @@ mod wire_len_tests {
             SmrMsg::Consensus(ConsensusMsg::Propose {
                 instance: 1,
                 epoch: 0,
-                value: vec![2; 50],
+                value: vec![2; 50].into(),
             }),
             SmrMsg::Reply(Reply {
                 client: 1,
@@ -1907,13 +2169,13 @@ mod wire_len_tests {
             SmrMsg::InstanceRep {
                 instance: 12,
                 decided: Some((
-                    vec![6; 20],
-                    smartchain_consensus::proof::DecisionProof {
+                    vec![6; 20].into(),
+                    Arc::new(DecisionProof {
                         instance: 12,
                         epoch: 1,
                         value_hash: [9u8; 32],
                         accepts: vec![(0, sig(4, b"a")), (1, sig(5, b"b")), (2, sig(6, b"c"))],
-                    },
+                    }),
                 )),
                 msgs: Vec::new(),
             },
@@ -1930,7 +2192,7 @@ mod wire_len_tests {
                     ConsensusMsg::ValueReply {
                         instance: 13,
                         epoch: 0,
-                        value: vec![2; 9],
+                        value: vec![2; 9].into(),
                     },
                 ],
             },

@@ -144,7 +144,8 @@ impl LocalCluster {
             let verify_workers = config.verify_workers.max(1);
             let require_signed = config.require_signed;
             handles.push(std::thread::spawn(move || {
-                let pool = VerifyPool::new(verify_workers);
+                let pool = std::sync::Arc::new(VerifyPool::new(verify_workers));
+                core.set_verify_pool(pool.clone());
                 replica_loop(
                     &mut core,
                     &mut durable,
@@ -390,7 +391,8 @@ impl<A: Application> TcpCluster<A> {
         let handle = std::thread::Builder::new()
             .name(format!("sc-replica-{me}"))
             .spawn(move || {
-                let pool = VerifyPool::new(verify_workers);
+                let pool = std::sync::Arc::new(VerifyPool::new(verify_workers));
+                core.set_verify_pool(pool.clone());
                 replica_loop(
                     &mut core,
                     &mut durable,
@@ -518,7 +520,8 @@ pub fn serve_replica<A: Application>(
     for (client, seq) in durable.delivered_frontier() {
         core.note_delivered(client, seq);
     }
-    let pool = VerifyPool::new(2);
+    let pool = std::sync::Arc::new(VerifyPool::new(2));
+    core.set_verify_pool(pool.clone());
     let timeout = Duration::from_millis(cluster.progress_timeout_ms.max(1));
     replica_loop(
         &mut core,

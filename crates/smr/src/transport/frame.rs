@@ -139,6 +139,27 @@ pub fn encode_frame_payload_into(
     finish_frame(buf, key)
 }
 
+/// The header (length prefix + link tag) for `payload`, without copying the
+/// payload anywhere: the encode-once broadcast path tags one shared payload
+/// buffer under each per-link key and queues `(header, Arc<[u8]>)` pairs, so
+/// only these [`HEADER_BYTES`] differ between peers.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME`].
+pub fn frame_header(key: &FrameKey, payload: &[u8]) -> io::Result<[u8; HEADER_BYTES]> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&key.tag(payload));
+    Ok(header)
+}
+
 /// Backfills the header of a staged frame whose payload sits after the
 /// reserved [`HEADER_BYTES`] prefix.
 fn finish_frame(buf: &mut Vec<u8>, key: &FrameKey) -> io::Result<()> {
@@ -500,6 +521,21 @@ mod tests {
         encode_frame_payload_into(&mut buf, &key, &[2u8; 256]).unwrap();
         assert_eq!(buf.as_ptr(), ptr, "no realloc for a smaller frame");
         assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn frame_header_plus_payload_matches_write_frame() {
+        let key = FrameKey::link(&[7u8; 32], 1, 2);
+        for payload in [&b""[..], b"shared", &[0x33u8; 2048][..]] {
+            let mut classic = Vec::new();
+            write_frame(&mut classic, &key, payload).unwrap();
+            let header = frame_header(&key, payload).unwrap();
+            let mut split = header.to_vec();
+            split.extend_from_slice(payload);
+            assert_eq!(split, classic, "header+body must be wire-identical");
+        }
+        let huge = vec![0u8; MAX_FRAME + 1];
+        assert!(frame_header(&key, &huge).is_err());
     }
 
     #[test]

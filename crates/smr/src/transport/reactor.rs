@@ -32,8 +32,8 @@
 //! harness injecting `Shutdown`, tests — can interrupt a blocking poll.
 
 use super::frame::{
-    decode_hello, encode_frame_into, encode_frame_payload_into, peer_hello_frame, FrameKey, Hello,
-    HEADER_BYTES, MAX_FRAME, TAG_BYTES,
+    decode_hello, encode_frame_into, frame_header, peer_hello_frame, FrameKey, Hello, HEADER_BYTES,
+    MAX_FRAME, TAG_BYTES,
 };
 use super::sys::{
     connect_nonblocking, poll_wait, take_socket_error, Dial, PollFd, POLLERR, POLLHUP, POLLIN,
@@ -43,7 +43,7 @@ use super::tcp::TcpConfig;
 use super::NetEvent;
 use crate::ordering::SmrMsg;
 use crate::types::Reply;
-use smartchain_codec::{from_bytes, to_bytes};
+use smartchain_codec::from_bytes;
 use smartchain_consensus::ReplicaId;
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
@@ -184,11 +184,42 @@ pub struct DrainStats {
     pub bytes: u64,
 }
 
+/// One queued outbound frame.
+///
+/// Unicast traffic owns its bytes (header and payload staged contiguously in
+/// a pooled buffer). Broadcast traffic is *shared*: the payload was encoded
+/// once into an `Arc<[u8]>` that every peer's queue references, and only the
+/// [`HEADER_BYTES`] header — whose truncated HMAC tag depends on the link
+/// key — is per-queue. The vectored drain stitches header and body together
+/// on the wire, so the receiver cannot tell the two apart.
+#[derive(Debug)]
+pub enum Frame {
+    /// A frame staged whole in one buffer (header + payload).
+    Owned(Vec<u8>),
+    /// A per-link header over a payload buffer shared across queues.
+    Shared {
+        /// Length prefix + per-link tag for `body`.
+        header: [u8; HEADER_BYTES],
+        /// The encode-once payload, shared with every other peer's queue.
+        body: Arc<[u8]>,
+    },
+}
+
+impl Frame {
+    /// Total wire bytes of this frame.
+    fn len(&self) -> usize {
+        match self {
+            Frame::Owned(buf) => buf.len(),
+            Frame::Shared { body, .. } => HEADER_BYTES + body.len(),
+        }
+    }
+}
+
 /// A bounded queue of encoded frames awaiting a writable socket, with a
 /// small buffer pool so steady-state traffic allocates nothing.
 #[derive(Debug)]
 pub struct WriteQueue {
-    q: VecDeque<Vec<u8>>,
+    q: VecDeque<Frame>,
     /// Bytes of `q[0]` already written (partial vectored writes resume here).
     head_off: usize,
     cap: usize,
@@ -235,7 +266,18 @@ impl WriteQueue {
             self.recycle(frame);
             return false;
         }
-        self.q.push_back(frame);
+        self.q.push_back(Frame::Owned(frame));
+        true
+    }
+
+    /// Enqueues a shared-payload frame (the encode-once broadcast path):
+    /// this queue stores only the per-link `header` and a reference to the
+    /// payload encoded once for all peers. Returns `false` at capacity.
+    pub fn push_shared(&mut self, header: [u8; HEADER_BYTES], body: Arc<[u8]>) -> bool {
+        if self.q.len() >= self.cap {
+            return false;
+        }
+        self.q.push_back(Frame::Shared { header, body });
         true
     }
 
@@ -243,7 +285,7 @@ impl WriteQueue {
     /// out first even on a queue that filled while disconnected.
     pub fn push_front(&mut self, frame: Vec<u8>) {
         debug_assert_eq!(self.head_off, 0, "push_front under a partial write");
-        self.q.push_front(frame);
+        self.q.push_front(Frame::Owned(frame));
     }
 
     /// Forgets partial-write progress: on a fresh connection the current
@@ -268,14 +310,27 @@ impl WriteQueue {
             if self.q.is_empty() {
                 return Ok(stats);
             }
+            // A shared frame contributes up to two slices (detached header,
+            // then the shared body); stop one slice short of the cap so
+            // either shape still fits.
             let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.q.len().min(MAX_IOVECS));
-            for (i, buf) in self.q.iter().take(MAX_IOVECS).enumerate() {
-                let bytes = if i == 0 {
-                    &buf[self.head_off..]
-                } else {
-                    &buf[..]
-                };
-                slices.push(IoSlice::new(bytes));
+            for (i, frame) in self.q.iter().enumerate() {
+                if slices.len() + 1 >= MAX_IOVECS {
+                    break;
+                }
+                let off = if i == 0 { self.head_off } else { 0 };
+                match frame {
+                    Frame::Owned(buf) => slices.push(IoSlice::new(&buf[off..])),
+                    Frame::Shared { header, body } => {
+                        if off < HEADER_BYTES {
+                            slices.push(IoSlice::new(&header[off..]));
+                            slices.push(IoSlice::new(body));
+                        } else {
+                            // Partial write stopped inside the body.
+                            slices.push(IoSlice::new(&body[off - HEADER_BYTES..]));
+                        }
+                    }
+                }
             }
             match w.write_vectored(&slices) {
                 Ok(0) => {
@@ -294,7 +349,9 @@ impl WriteQueue {
                             let done = self.q.pop_front().expect("head exists");
                             self.head_off = 0;
                             stats.frames += 1;
-                            self.recycle(done);
+                            if let Frame::Owned(buf) = done {
+                                self.recycle(buf);
+                            }
                         } else {
                             self.head_off += n;
                             n = 0;
@@ -323,6 +380,8 @@ pub struct StatsInner {
     bytes_out: AtomicU64,
     writev_calls: AtomicU64,
     writev_frames: AtomicU64,
+    broadcast_msgs: AtomicU64,
+    broadcast_payload_encodes: AtomicU64,
     queue_full_drops: AtomicU64,
     accept_rejections: AtomicU64,
     handshake_failures: AtomicU64,
@@ -352,6 +411,8 @@ impl StatsInner {
             bytes_out: get(&self.bytes_out),
             writev_calls: get(&self.writev_calls),
             writev_frames: get(&self.writev_frames),
+            broadcast_msgs: get(&self.broadcast_msgs),
+            broadcast_payload_encodes: get(&self.broadcast_payload_encodes),
             queue_full_drops: get(&self.queue_full_drops),
             accept_rejections: get(&self.accept_rejections),
             handshake_failures: get(&self.handshake_failures),
@@ -377,6 +438,12 @@ pub struct TransportStats {
     /// Frames completed via those syscalls (`writev_frames / writev_calls`
     /// = average coalesce size).
     pub writev_frames: u64,
+    /// Peer broadcasts issued by the replica loop.
+    pub broadcast_msgs: u64,
+    /// Payload serializations those broadcasts cost. With the encode-once
+    /// fan-out this tracks `broadcast_msgs` one-to-one — *not* once per
+    /// peer — because every peer queue shares the same payload buffer.
+    pub broadcast_payload_encodes: u64,
     /// Frames dropped because a bounded write queue was full (slow peer or
     /// client throttled — never silent any more).
     pub queue_full_drops: u64,
@@ -397,6 +464,17 @@ impl TransportStats {
             0.0
         } else {
             self.writev_frames as f64 / self.writev_calls as f64
+        }
+    }
+
+    /// Average payload serializations per broadcast (≈ 1.0 with the
+    /// encode-once fan-out; the pre-sharing transport paid one *copy* per
+    /// peer on top of the encode).
+    pub fn encodes_per_broadcast(&self) -> f64 {
+        if self.broadcast_msgs == 0 {
+            0.0
+        } else {
+            self.broadcast_payload_encodes as f64 / self.broadcast_msgs as f64
         }
     }
 }
@@ -605,13 +683,17 @@ impl Reactor {
         self.queue_peer_msg(to, msg);
     }
 
-    /// Queues `msg` for every peer: the payload is serialized once, only
-    /// the per-link tag and header differ between peers.
+    /// Queues `msg` for every peer, encode-once: the payload is serialized
+    /// into one shared `Arc<[u8]>` and every peer's queue references that
+    /// same buffer — only the 8-byte per-link header (length + truncated
+    /// HMAC tag under the pairwise key) is computed per peer.
     pub(super) fn queue_broadcast(&mut self, msg: &SmrMsg) {
-        let payload = to_bytes(msg);
+        let payload = smartchain_codec::to_shared_bytes(msg);
+        self.stats.add(&self.stats.broadcast_msgs, 1);
+        self.stats.add(&self.stats.broadcast_payload_encodes, 1);
         for to in 0..self.n {
             if to != self.me {
-                self.queue_peer_payload(to, &payload);
+                self.queue_peer_shared(to, &payload);
             }
         }
     }
@@ -643,12 +725,15 @@ impl Reactor {
         }
     }
 
-    fn queue_peer_payload(&mut self, to: ReplicaId, payload: &[u8]) {
+    fn queue_peer_shared(&mut self, to: ReplicaId, payload: &Arc<[u8]>) {
         let Some(Some(link)) = self.peers.get_mut(to) else {
             return;
         };
-        let mut buf = link.wq.take_buf();
-        if encode_frame_payload_into(&mut buf, &link.key, payload).is_err() || !link.wq.push(buf) {
+        let queued = match frame_header(&link.key, payload) {
+            Ok(header) => link.wq.push_shared(header, Arc::clone(payload)),
+            Err(_) => false,
+        };
+        if !queued {
             self.stats.add(&self.stats.queue_full_drops, 1);
             link.overflowed = true;
         }
@@ -1293,6 +1378,62 @@ mod tests {
             vec![9u8; 50],
             "fresh connection gets the whole frame"
         );
+    }
+
+    #[test]
+    fn shared_frames_drain_byte_identical_to_write_frame() {
+        // One payload allocation serves three links; each queue's drained
+        // bytes must match what write_frame would have produced under that
+        // link's key.
+        let payload: Arc<[u8]> = Arc::from(&[0x42u8; 500][..]);
+        let keys: Vec<FrameKey> = (1..4).map(|to| FrameKey::link(&[7u8; 32], 0, to)).collect();
+        let mut queues: Vec<WriteQueue> = Vec::new();
+        for key in &keys {
+            let mut wq = WriteQueue::new(8);
+            let header = frame_header(key, &payload).unwrap();
+            assert!(wq.push_shared(header, Arc::clone(&payload)));
+            queues.push(wq);
+        }
+        // 3 queue references + the local handle: zero payload copies made.
+        assert_eq!(Arc::strong_count(&payload), 4);
+        for (key, wq) in keys.iter().zip(&mut queues) {
+            let mut classic = Vec::new();
+            write_frame(&mut classic, key, &payload).unwrap();
+            let mut w = ShortWriter {
+                written: Vec::new(),
+                budget: usize::MAX,
+                calls: 0,
+                block_after: usize::MAX,
+            };
+            let d = wq.drain(&mut w).unwrap();
+            assert_eq!(d.frames, 1);
+            assert_eq!(w.written, classic, "shared frame wire-identical");
+        }
+    }
+
+    #[test]
+    fn shared_frame_survives_partial_writes_mid_header_and_mid_body() {
+        let key = FrameKey::link(&[7u8; 32], 0, 1);
+        let payload: Arc<[u8]> = Arc::from(&[0x17u8; 200][..]);
+        let mut classic = Vec::new();
+        write_frame(&mut classic, &key, &payload).unwrap();
+        // 3-byte budget: the first drain tears inside the 8-byte header;
+        // later drains tear inside the body; mixed with owned frames after.
+        let mut wq = WriteQueue::new(8);
+        wq.push_shared(frame_header(&key, &payload).unwrap(), payload);
+        wq.push(classic.clone()); // an owned copy rides behind the shared one
+        let mut w = ShortWriter {
+            written: Vec::new(),
+            budget: 3,
+            calls: 0,
+            block_after: 1,
+        };
+        while !wq.is_empty() {
+            w.block_after = w.calls + 1; // one syscall per simulated POLLOUT
+            wq.drain(&mut w).unwrap();
+        }
+        let expected: Vec<u8> = classic.iter().chain(&classic).copied().collect();
+        assert_eq!(w.written, expected, "byte stream intact across partials");
     }
 
     #[test]

@@ -117,6 +117,55 @@ fn outbox_overflow_is_counted_and_repaired() {
     drainer.join().unwrap();
 }
 
+/// Broadcasting to several peers serializes the payload exactly once: the
+/// encode counter tracks broadcasts one-to-one (not once per peer), and the
+/// shared-buffer frames still authenticate per link — a real peer receives
+/// and verifies the message over its own pairwise key.
+#[test]
+fn broadcast_encodes_payload_once_for_all_peers() {
+    // Three replica addresses; the test runs replicas 0 and 1, replica 2 is
+    // a bound-but-mute listener so replica 0 genuinely fans out to two
+    // distinct links with two distinct tags.
+    let listeners: Vec<TcpListener> = (0..3)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let mut it = listeners.into_iter();
+    let mut sender =
+        TcpTransport::from_listener(TcpConfig::new(0, addrs.clone(), SECRET), it.next().unwrap())
+            .expect("transport 0");
+    let mut receiver =
+        TcpTransport::from_listener(TcpConfig::new(1, addrs, SECRET), it.next().unwrap())
+            .expect("transport 1");
+    let stats = sender.stats_handle();
+
+    const ROUNDS: u64 = 5;
+    for seq in 1..=ROUNDS {
+        sender.broadcast(&big_request(seq, 2048));
+    }
+    let mut seen = 0u64;
+    let end = Instant::now() + Duration::from_secs(10);
+    while seen < ROUNDS && Instant::now() < end {
+        let _ = sender.recv_timeout(Duration::from_millis(5));
+        if let Ok(NetEvent::Peer { from: 0, msg }) = receiver.recv_timeout(Duration::from_millis(5))
+        {
+            assert!(matches!(msg, SmrMsg::Request(ref r) if r.payload.len() == 2048));
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, ROUNDS, "peer must receive every broadcast intact");
+    let snap = stats.snapshot();
+    assert_eq!(snap.broadcast_msgs, ROUNDS);
+    assert_eq!(
+        snap.broadcast_payload_encodes, ROUNDS,
+        "one serialization per broadcast, not per peer"
+    );
+    assert!((snap.encodes_per_broadcast() - 1.0).abs() < f64::EPSILON);
+}
+
 /// The admission cap closes inbound connections beyond
 /// `max_clients` + reserved peer slots, and counts the rejections;
 /// admitted clients keep working.

@@ -37,6 +37,7 @@ fn adaptive_bursty_run(seed: u64) -> (u64, Vec<u64>, Vec<OrderingStats>) {
             max_batch: 8,
             alpha: 1,
             alpha_adaptive: Some(AlphaBounds { min: 1, max: 8 }),
+            ..OrderingConfig::default()
         },
         progress_timeout: 200 * MILLI,
         ..NodeConfig::default()
@@ -130,6 +131,7 @@ fn adaptive_cores(n: usize) -> Vec<OrderingCore> {
                     max_batch: 1,
                     alpha: 1,
                     alpha_adaptive: Some(AlphaBounds { min: 1, max: 8 }),
+                    ..OrderingConfig::default()
                 },
                 0,
             )
@@ -243,7 +245,11 @@ fn dropped_propose_heals_via_fetch_without_regency_change() {
 /// Decides instance 1 at replicas 0..=2 while replica 3 stays dark, then
 /// returns the cores plus the genuine (value, proof) a correct responder
 /// ships in its `InstanceRep`.
-fn decided_cluster_with_blind_replica() -> (Vec<OrderingCore>, Vec<u8>, DecisionProof) {
+fn decided_cluster_with_blind_replica() -> (
+    Vec<OrderingCore>,
+    smartchain::consensus::ValueBytes,
+    std::sync::Arc<DecisionProof>,
+) {
     let mut cores = adaptive_cores(4);
     let submissions: Vec<(usize, Request)> = (0..4usize).map(|r| (r, req(0, 0))).collect();
     let delivered = pump_fifo(&mut cores, submissions, |_, to, _| to == 3);
@@ -299,14 +305,14 @@ fn forged_instance_rep_rejected_genuine_heals() {
     let (mut cores, value, proof) = decided_cluster_with_blind_replica();
 
     // (a) Tampered value: hash no longer matches the proof.
-    let mut tampered = value.clone();
+    let mut tampered = value.to_vec();
     tampered.push(0xff);
     assert_rejected(
         &mut cores[3],
         0,
         SmrMsg::InstanceRep {
             instance: 1,
-            decided: Some((tampered, proof.clone())),
+            decided: Some((tampered.into(), proof.clone())),
             msgs: Vec::new(),
         },
         "tampered value",
@@ -325,14 +331,14 @@ fn forged_instance_rep_rejected_genuine_heals() {
     );
 
     // (c) Sub-quorum proof (accept set truncated to one signer).
-    let mut sub = proof.clone();
+    let mut sub = (*proof).clone();
     sub.accepts.truncate(1);
     assert_rejected(
         &mut cores[3],
         0,
         SmrMsg::InstanceRep {
             instance: 1,
-            decided: Some((value.clone(), sub)),
+            decided: Some((value.clone(), sub.into())),
             msgs: Vec::new(),
         },
         "sub-quorum proof",
@@ -340,7 +346,7 @@ fn forged_instance_rep_rejected_genuine_heals() {
 
     // (d) Outsider-signed proof: right shape, wrong keys.
     let outsider = SecretKey::from_seed(Backend::Sim, &[0xee; 32]);
-    let mut forged = proof.clone();
+    let mut forged = (*proof).clone();
     forged.accepts = forged
         .accepts
         .iter()
@@ -351,7 +357,7 @@ fn forged_instance_rep_rejected_genuine_heals() {
         0,
         SmrMsg::InstanceRep {
             instance: 1,
-            decided: Some((value.clone(), forged)),
+            decided: Some((value.clone(), forged.into())),
             msgs: Vec::new(),
         },
         "outsider-signed proof",
